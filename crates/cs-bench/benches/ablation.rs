@@ -1,0 +1,118 @@
+//! Design-decision ablation benches (DESIGN.md §5): the runtime side of
+//! each alternative. (The *quality* side is reported by the
+//! `cs-repro --bin ablation` binary.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cs_core::{CollaborativeScoper, CollaborativeSweep, CombinationRule};
+use cs_linalg::{Matrix, Svd, Xoshiro256};
+use cs_schema::SerializeOptions;
+use std::hint::black_box;
+
+/// A signature-shaped matrix: n rows of 768-d unit-ish vectors.
+fn signature_shaped(n: usize, seed: u64) -> Matrix {
+    let mut rng = Xoshiro256::seed_from(seed);
+    Matrix::from_fn(n, 768, |_, _| rng.next_gaussian() / 27.7)
+}
+
+fn bench_svd_paths(c: &mut Criterion) {
+    // Ablation 2: Gram-matrix economy SVD vs one-sided Jacobi on the
+    // short-and-wide signature shape.
+    let mut group = c.benchmark_group("ablation/svd_path");
+    group.sample_size(10);
+    let m = signature_shaped(50, 3);
+    group.bench_function("gram_50x768", |b| {
+        b.iter(|| black_box(Svd::gram(&m).unwrap()))
+    });
+    // Jacobi on the full 768 columns is orders of magnitude slower; bench a
+    // narrower slice so the target stays runnable.
+    let narrow = Matrix::from_fn(50, 96, |i, j| m[(i, j)]);
+    group.bench_function("jacobi_50x96", |b| {
+        b.iter(|| black_box(Svd::jacobi(&narrow).unwrap()))
+    });
+    group.bench_function("gram_50x96", |b| {
+        b.iter(|| black_box(Svd::gram(&narrow).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_sweep_vs_rerun(c: &mut Criterion) {
+    // Ablation: the cached-projection sweep vs re-running Algorithm 1+2
+    // per grid point.
+    let mut group = c.benchmark_group("ablation/sweep_vs_rerun");
+    group.sample_size(10);
+    let ds = cs_datasets::oc3();
+    let encoder = cs_embed::SignatureEncoder::default();
+    let sigs = cs_core::encode_catalog(&encoder, &ds.catalog);
+    let grid: Vec<f64> = (0..20).map(|i| 0.99 - 0.98 * (i as f64 / 19.0)).collect();
+    group.bench_function("cached_sweep_20pts", |b| {
+        b.iter(|| {
+            let sweep = CollaborativeSweep::prepare(&sigs).unwrap();
+            for &v in &grid {
+                black_box(sweep.assess_at(v));
+            }
+        })
+    });
+    group.bench_function("rerun_20pts", |b| {
+        b.iter(|| {
+            for &v in &grid {
+                black_box(CollaborativeScoper::new(v).run(&sigs).unwrap());
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_combination_rules(c: &mut Criterion) {
+    // Ablation 3: OR vs AND vs voting combination (cost is identical by
+    // construction; the bench documents that the rule choice is free).
+    let mut group = c.benchmark_group("ablation/combination_rule");
+    group.sample_size(10);
+    let ds = cs_datasets::oc3();
+    let encoder = cs_embed::SignatureEncoder::default();
+    let sigs = cs_core::encode_catalog(&encoder, &ds.catalog);
+    for (name, rule) in [
+        ("any", CombinationRule::Any),
+        ("all", CombinationRule::All),
+        ("at_least_2", CombinationRule::AtLeast(2)),
+    ] {
+        group.bench_function(BenchmarkId::new("rule", name), |b| {
+            b.iter(|| {
+                black_box(
+                    CollaborativeScoper::new(0.8)
+                        .with_rule(rule)
+                        .run(&sigs)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_serializer_options(c: &mut Criterion) {
+    // Ablation 4: signature composition — full metadata vs names only.
+    let mut group = c.benchmark_group("ablation/serializer");
+    group.sample_size(10);
+    let ds = cs_datasets::oc3();
+    for (name, opts) in [
+        ("full_metadata", SerializeOptions::default()),
+        ("names_only", SerializeOptions::names_only()),
+    ] {
+        group.bench_function(BenchmarkId::new("encode", name), |b| {
+            b.iter(|| {
+                let encoder = cs_embed::SignatureEncoder::default();
+                black_box(cs_core::encode_catalog_with(&encoder, &ds.catalog, &opts))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_svd_paths,
+    bench_sweep_vs_rerun,
+    bench_combination_rules,
+    bench_serializer_options
+);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Figure-7 efficiency benches: matcher cost on original vs streamlined
+//! schemas. The reduction ratio translates directly into wall-clock
+//! savings for every matcher family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cs_core::CollaborativeScoper;
+use cs_match::{ClusterMatcher, ElementSet, LshMatcher, Matcher, SimMatcher};
+use std::hint::black_box;
+
+/// Builds (original, streamlined) attribute element sets for a dataset.
+fn element_sets(
+    ds: &cs_datasets::Dataset,
+) -> (Vec<ElementSet>, Vec<ElementSet>) {
+    let encoder = cs_embed::SignatureEncoder::default();
+    let sigs = cs_core::encode_catalog(&encoder, &ds.catalog);
+    let original: Vec<ElementSet> = (0..sigs.schema_count())
+        .map(|k| ElementSet::full(k, sigs.schema(k).clone()))
+        .collect();
+    let kept = CollaborativeScoper::new(0.75)
+        .run(&sigs)
+        .expect("valid dataset")
+        .outcome
+        .kept();
+    let streamlined: Vec<ElementSet> = (0..sigs.schema_count())
+        .map(|k| ElementSet::filtered(k, sigs.schema(k), &kept))
+        .collect();
+    (original, streamlined)
+}
+
+fn bench_matchers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7/matchers");
+    group.sample_size(10);
+    let matchers: Vec<Box<dyn Matcher>> = vec![
+        Box::new(SimMatcher::new(0.6)),
+        Box::new(ClusterMatcher::new(5)),
+        Box::new(LshMatcher::new(5)),
+    ];
+    for (name, ds) in [("oc3", cs_datasets::oc3()), ("oc3-fo", cs_datasets::oc3_fo())] {
+        let (original, streamlined) = element_sets(&ds);
+        for matcher in &matchers {
+            group.bench_function(
+                BenchmarkId::new(format!("{}/original", matcher.name()), name),
+                |b| b.iter(|| black_box(matcher.match_pairs(&original))),
+            );
+            group.bench_function(
+                BenchmarkId::new(format!("{}/streamlined", matcher.name()), name),
+                |b| b.iter(|| black_box(matcher.match_pairs(&streamlined))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_streamlining_overhead(c: &mut Criterion) {
+    // The pre-processing cost Figure 7 amortizes: one collaborative run.
+    let mut group = c.benchmark_group("fig7/preprocess_overhead");
+    group.sample_size(10);
+    let ds = cs_datasets::oc3_fo();
+    let encoder = cs_embed::SignatureEncoder::default();
+    let sigs = cs_core::encode_catalog(&encoder, &ds.catalog);
+    group.bench_function("collaborative_v075_oc3fo", |b| {
+        b.iter(|| black_box(CollaborativeScoper::new(0.75).run(&sigs).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matchers, bench_streamlining_overhead);
+criterion_main!(benches);

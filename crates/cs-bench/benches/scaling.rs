@@ -1,0 +1,85 @@
+//! Section-3 complexity benches: global scoping scales with the unified
+//! `|S|²` while collaborative scoping scales with the per-schema
+//! `Σ|S_k|²` — the gap widens as elements spread over more schemas.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cs_core::{CollaborativeScoper, GlobalScoper};
+use cs_datasets::synthetic::{generate, SyntheticConfig};
+use cs_oda::{LofDetector, PcaDetector};
+use std::hint::black_box;
+
+fn synthetic_signatures(
+    schemas: usize,
+    elements_per_schema: usize,
+    seed: u64,
+) -> cs_core::SchemaSignatures {
+    let config = SyntheticConfig {
+        schemas,
+        shared_concepts: 30,
+        concepts_per_schema: (elements_per_schema / 2).min(30),
+        private_per_schema: elements_per_schema - (elements_per_schema / 2).min(30),
+        table_width: 8,
+        alien_elements: 0,
+        seed,
+    };
+    let ds = generate(&config);
+    let encoder = cs_embed::SignatureEncoder::default();
+    cs_core::encode_catalog(&encoder, &ds.catalog)
+}
+
+fn bench_total_size_scaling(c: &mut Criterion) {
+    // Fixed 4 schemas, growing element counts.
+    let mut group = c.benchmark_group("scaling/total_elements");
+    group.sample_size(10);
+    for per_schema in [25usize, 50, 100] {
+        let sigs = synthetic_signatures(4, per_schema, 7);
+        let total = sigs.total_len();
+        group.throughput(Throughput::Elements(total as u64));
+        group.bench_with_input(
+            BenchmarkId::new("global_pca", total),
+            &sigs,
+            |b, s| {
+                let scoper = GlobalScoper::new(PcaDetector::with_variance(0.5));
+                b.iter(|| black_box(scoper.scores(s).unwrap()))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("global_lof", total),
+            &sigs,
+            |b, s| {
+                let scoper = GlobalScoper::new(LofDetector::default());
+                b.iter(|| black_box(scoper.scores(s).unwrap()))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("collaborative", total),
+            &sigs,
+            |b, s| b.iter(|| black_box(CollaborativeScoper::new(0.8).run(s).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_schema_count_scaling(c: &mut Criterion) {
+    // Fixed ~200 total elements, spread over more schemas: the paper notes
+    // Σ|S_k|² shrinks relative to |S|² as k grows.
+    let mut group = c.benchmark_group("scaling/schema_count");
+    group.sample_size(10);
+    for schemas in [2usize, 4, 8] {
+        let per_schema = 200 / schemas;
+        let sigs = synthetic_signatures(schemas, per_schema, 11);
+        group.bench_with_input(
+            BenchmarkId::new("collaborative", schemas),
+            &sigs,
+            |b, s| b.iter(|| black_box(CollaborativeScoper::new(0.8).run(s).unwrap())),
+        );
+        group.bench_with_input(BenchmarkId::new("global_pca", schemas), &sigs, |b, s| {
+            let scoper = GlobalScoper::new(PcaDetector::with_variance(0.5));
+            b.iter(|| black_box(scoper.scores(s).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_total_size_scaling, bench_schema_count_scaling);
+criterion_main!(benches);

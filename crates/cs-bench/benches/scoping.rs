@@ -1,0 +1,99 @@
+//! Table-4 efficiency benches: the cost of every scoping method on the
+//! real datasets. The paper's claim: collaborative scoping is *more*
+//! efficient than global scoping because the per-schema quadratic terms
+//! `Σ|S_k|²` beat the unified `|S|²` (Section 3, "Computational
+//! Complexity").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cs_core::{CollaborativeScoper, CollaborativeSweep, GlobalScoper};
+use cs_oda::{LofDetector, OutlierDetector, PcaDetector, ZScoreDetector};
+use std::hint::black_box;
+
+fn bench_global_detectors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4/global_scoping");
+    group.sample_size(10);
+    for (name, ds) in [("oc3", cs_datasets::oc3()), ("oc3-fo", cs_datasets::oc3_fo())] {
+        let encoder = cs_embed::SignatureEncoder::default();
+        let sigs = cs_core::encode_catalog(&encoder, &ds.catalog);
+        let unified = sigs.unified();
+        group.bench_with_input(BenchmarkId::new("zscore", name), &unified, |b, m| {
+            b.iter(|| black_box(ZScoreDetector.score(m)))
+        });
+        group.bench_with_input(BenchmarkId::new("lof20", name), &unified, |b, m| {
+            b.iter(|| black_box(LofDetector::default().score(m)))
+        });
+        group.bench_with_input(BenchmarkId::new("pca05", name), &unified, |b, m| {
+            b.iter(|| black_box(PcaDetector::with_variance(0.5).score(m)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_collaborative(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4/collaborative");
+    group.sample_size(10);
+    for (name, ds) in [("oc3", cs_datasets::oc3()), ("oc3-fo", cs_datasets::oc3_fo())] {
+        let encoder = cs_embed::SignatureEncoder::default();
+        let sigs = cs_core::encode_catalog(&encoder, &ds.catalog);
+        group.bench_with_input(BenchmarkId::new("run_v08", name), &sigs, |b, s| {
+            b.iter(|| black_box(CollaborativeScoper::new(0.8).run(s).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("sweep_prepare", name), &sigs, |b, s| {
+            b.iter(|| black_box(CollaborativeSweep::prepare(s).unwrap()))
+        });
+        let sweep = CollaborativeSweep::prepare(&sigs).unwrap();
+        group.bench_with_input(BenchmarkId::new("sweep_50_points", name), &sweep, |b, s| {
+            b.iter(|| {
+                for i in 0..50 {
+                    let v = 0.99 - 0.98 * (i as f64 / 49.0);
+                    black_box(s.assess_at(v));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_phase1_encoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4/phase1_signatures");
+    group.sample_size(10);
+    for (name, ds) in [("oc3", cs_datasets::oc3()), ("oc3-fo", cs_datasets::oc3_fo())] {
+        group.bench_function(BenchmarkId::new("encode_catalog", name), |b| {
+            b.iter(|| {
+                // Fresh encoder per iteration: includes token-cache build-up,
+                // matching a cold local deployment.
+                let encoder = cs_embed::SignatureEncoder::default();
+                black_box(cs_core::encode_catalog(&encoder, &ds.catalog))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_global_p_sweep(c: &mut Criterion) {
+    // The rank→sort→filter part of global scoping, separated from scoring.
+    let ds = cs_datasets::oc3_fo();
+    let encoder = cs_embed::SignatureEncoder::default();
+    let sigs = cs_core::encode_catalog(&encoder, &ds.catalog);
+    let scoper = GlobalScoper::new(PcaDetector::with_variance(0.5));
+    let scores = scoper.scores(&sigs).unwrap();
+    let mut group = c.benchmark_group("table4/global_threshold_sweep");
+    group.bench_function("50_points_oc3fo", |b| {
+        b.iter(|| {
+            for i in 0..50 {
+                let p = i as f64 / 49.0;
+                black_box(cs_core::scoping::scope_from_scores("b", &sigs, &scores, p));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_global_detectors,
+    bench_collaborative,
+    bench_phase1_encoding,
+    bench_global_p_sweep
+);
+criterion_main!(benches);

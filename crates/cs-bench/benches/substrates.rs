@@ -1,0 +1,145 @@
+//! Substrate microbenches: the building blocks every experiment rests on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cs_linalg::pca::ExplainedVariance;
+use cs_linalg::{Matrix, Pca, Xoshiro256};
+use cs_match::{FlatIndex, HyperplaneLsh, KMeans};
+use cs_nn::{train_autoencoder, TrainConfig};
+use cs_oda::{LofDetector, OutlierDetector};
+use std::hint::black_box;
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = Xoshiro256::seed_from(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.next_gaussian())
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates/matmul");
+    for n in [64usize, 128, 256] {
+        let a = random_matrix(n, n, 1);
+        let b = random_matrix(n, n, 2);
+        group.throughput(Throughput::Elements((n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(a, b), |bench, (a, b)| {
+            bench.iter(|| black_box(a.matmul(b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pca_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates/pca_fit");
+    group.sample_size(10);
+    for rows in [50usize, 150, 300] {
+        let m = random_matrix(rows, 768, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &m, |b, m| {
+            b.iter(|| black_box(Pca::fit(m, ExplainedVariance::new(0.8).unwrap()).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_encoder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates/encoder");
+    let encoder = cs_embed::SignatureEncoder::default();
+    // Warm the token cache with one pass, then measure steady-state.
+    let texts: Vec<String> = (0..100)
+        .map(|i| format!("ATTR_{i} CUSTOMER_ORDERS VARCHAR PRIMARY KEY"))
+        .collect();
+    for t in &texts {
+        encoder.encode(t);
+    }
+    group.throughput(Throughput::Elements(texts.len() as u64));
+    group.bench_function("encode_100_texts_warm", |b| {
+        b.iter(|| {
+            for t in &texts {
+                black_box(encoder.encode(t));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_lof(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates/lof");
+    group.sample_size(10);
+    for n in [100usize, 300] {
+        let m = random_matrix(n, 768, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &m, |b, m| {
+            b.iter(|| black_box(LofDetector::default().score(m)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates/kmeans");
+    group.sample_size(10);
+    let m = random_matrix(200, 768, 7);
+    for k in [5usize, 20] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &m, |b, m| {
+            b.iter(|| black_box(KMeans::fit(m, k, 42)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ann_indexes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates/ann");
+    group.sample_size(20);
+    let data = random_matrix(500, 768, 9);
+    let queries = random_matrix(50, 768, 10);
+    let flat = FlatIndex::build(data.clone());
+    group.bench_function("flat_top5_x50", |b| {
+        b.iter(|| {
+            for q in 0..queries.rows() {
+                black_box(flat.search(queries.row(q), 5));
+            }
+        })
+    });
+    let lsh = HyperplaneLsh::build(data, 8, 12, 11);
+    group.bench_function("hyperplane_lsh_top5_x50", |b| {
+        b.iter(|| {
+            for q in 0..queries.rows() {
+                black_box(lsh.search(queries.row(q), 5));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_autoencoder_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates/autoencoder");
+    group.sample_size(10);
+    let data = random_matrix(160, 768, 13);
+    let config = TrainConfig { epochs: 1, ..TrainConfig::default() };
+    group.bench_function("one_epoch_768_100_10", |b| {
+        b.iter(|| black_box(train_autoencoder(&data, &config)))
+    });
+    group.finish();
+}
+
+fn bench_ddl_parsing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates/ddl");
+    group.bench_function("parse_all_four_schemas", |b| {
+        b.iter(|| {
+            black_box(cs_datasets::oc_oracle());
+            black_box(cs_datasets::oc_mysql());
+            black_box(cs_datasets::oc_hana());
+            black_box(cs_datasets::formula_one());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_pca_fit,
+    bench_encoder,
+    bench_lof,
+    bench_kmeans,
+    bench_ann_indexes,
+    bench_autoencoder_training,
+    bench_ddl_parsing
+);
+criterion_main!(benches);

@@ -1,0 +1,323 @@
+//! Phase II + III end-to-end: **collaborative scoping** (Algorithm 2).
+//!
+//! Each schema trains its own [`LocalModel`]; models — not data — are
+//! exchanged. A schema's element is kept when at least one *foreign* model
+//! reconstructs it within that model's local linkability range
+//! (Definition 4). Training and assessment are embarrassingly parallel per
+//! schema, mirroring the paper's distributed deployment; the
+//! implementation fans out with scoped threads.
+
+use crate::error::ScopingError;
+use crate::local_model::LocalModel;
+use crate::outcome::ScopingOutcome;
+use crate::signatures::SchemaSignatures;
+use cs_linalg::pca::ExplainedVariance;
+
+/// How the verdicts of the foreign models are combined. The paper uses
+/// [`CombinationRule::Any`]; the others exist for the ablation bench.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CombinationRule {
+    /// Linkable if ANY foreign model accepts (the paper's rule).
+    Any,
+    /// Linkable only if EVERY foreign model accepts.
+    All,
+    /// Linkable if at least `k` foreign models accept.
+    AtLeast(usize),
+}
+
+impl CombinationRule {
+    /// Applies the rule given `accepts` votes out of `total` foreign models.
+    pub fn decide(self, accepts: usize, total: usize) -> bool {
+        match self {
+            CombinationRule::Any => accepts >= 1,
+            CombinationRule::All => accepts == total && total > 0,
+            CombinationRule::AtLeast(k) => accepts >= k,
+        }
+    }
+}
+
+/// Cost accounting for the pre-processing trade-off discussion (§4.4):
+/// how many encoder–decoder pass operations collaborative scoping spends,
+/// compared against the Cartesian pair count a matcher would face.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostReport {
+    /// Total `(element, foreign model)` reconstruction passes — `|S|·|M|`.
+    pub pass_operations: usize,
+    /// Number of local models trained (= number of schemas).
+    pub models_trained: usize,
+}
+
+impl CostReport {
+    /// Pass operations as a fraction of a pairwise comparison count
+    /// (e.g. the catalog's Cartesian element pairs).
+    pub fn fraction_of(&self, pair_comparisons: usize) -> f64 {
+        if pair_comparisons == 0 {
+            return 0.0;
+        }
+        self.pass_operations as f64 / pair_comparisons as f64
+    }
+}
+
+/// Result of one collaborative run: the outcome plus diagnostics.
+#[derive(Debug, Clone)]
+pub struct CollaborativeRun {
+    /// Keep/prune decisions.
+    pub outcome: ScopingOutcome,
+    /// Per element (unified order): how many foreign models accepted it.
+    pub accept_votes: Vec<usize>,
+    /// Per element: the minimum reconstruction error over foreign models
+    /// relative to that model's range (`err − l_m`); negative = accepted by
+    /// that model. Useful for diagnosing near-misses.
+    pub best_margin: Vec<f64>,
+    /// The trained local models (`M_1 … M_k`).
+    pub models: Vec<LocalModel>,
+    /// Cost accounting.
+    pub cost: CostReport,
+}
+
+/// The collaborative scoper: one global explained-variance knob.
+#[derive(Debug, Clone, Copy)]
+pub struct CollaborativeScoper {
+    v: f64,
+    rule: CombinationRule,
+}
+
+impl CollaborativeScoper {
+    /// Creates a scoper at explained variance `v ∈ (0, 1]` with the paper's
+    /// ANY-model combination rule. Validation happens in [`Self::run`].
+    pub fn new(v: f64) -> Self {
+        Self { v, rule: CombinationRule::Any }
+    }
+
+    /// Overrides the combination rule (ablation).
+    pub fn with_rule(mut self, rule: CombinationRule) -> Self {
+        self.rule = rule;
+        self
+    }
+
+    /// The configured explained variance.
+    pub fn variance(&self) -> f64 {
+        self.v
+    }
+
+    /// Trains one local model per schema, in parallel (phase II for the
+    /// whole catalog).
+    pub fn train_models(
+        &self,
+        signatures: &SchemaSignatures,
+    ) -> Result<Vec<LocalModel>, ScopingError> {
+        let v = ExplainedVariance::new(self.v)
+            .ok_or(ScopingError::InvalidParameter { name: "v", value: self.v })?;
+        let k = signatures.schema_count();
+        if k < 2 {
+            return Err(ScopingError::TooFewSchemas { found: k });
+        }
+        let mut slots: Vec<Option<Result<LocalModel, ScopingError>>> = Vec::new();
+        slots.resize_with(k, || None);
+        crossbeam::thread::scope(|scope| {
+            for (idx, slot) in slots.iter_mut().enumerate() {
+                let sigs = signatures.schema(idx);
+                scope.spawn(move |_| {
+                    *slot = Some(LocalModel::train(idx, sigs, v));
+                });
+            }
+        })
+        .expect("training thread panicked");
+        slots
+            .into_iter()
+            .map(|s| s.expect("every slot is filled"))
+            .collect()
+    }
+
+    /// Runs the full collaborative assessment (Algorithm 2 per schema).
+    pub fn run(&self, signatures: &SchemaSignatures) -> Result<CollaborativeRun, ScopingError> {
+        let models = self.train_models(signatures)?;
+        let k = signatures.schema_count();
+
+        // Per schema: assess against every foreign model (parallel per schema).
+        let mut per_schema: Vec<Option<(Vec<usize>, Vec<f64>)>> = Vec::new();
+        per_schema.resize_with(k, || None);
+        crossbeam::thread::scope(|scope| {
+            for (idx, slot) in per_schema.iter_mut().enumerate() {
+                let sigs = signatures.schema(idx);
+                let models = &models;
+                scope.spawn(move |_| {
+                    let n = sigs.rows();
+                    let mut votes = vec![0usize; n];
+                    let mut margin = vec![f64::INFINITY; n];
+                    for model in models.iter().filter(|m| m.schema_index() != idx) {
+                        let errors = model.reconstruction_errors(sigs);
+                        for (i, e) in errors.into_iter().enumerate() {
+                            let m = e - model.linkability_range();
+                            if m <= 0.0 {
+                                votes[i] += 1;
+                            }
+                            if m < margin[i] {
+                                margin[i] = m;
+                            }
+                        }
+                    }
+                    *slot = Some((votes, margin));
+                });
+            }
+        })
+        .expect("assessment thread panicked");
+
+        let mut accept_votes = Vec::with_capacity(signatures.total_len());
+        let mut best_margin = Vec::with_capacity(signatures.total_len());
+        for slot in per_schema {
+            let (votes, margin) = slot.expect("every slot is filled");
+            accept_votes.extend(votes);
+            best_margin.extend(margin);
+        }
+        let foreign_count = k - 1;
+        let decisions: Vec<bool> = accept_votes
+            .iter()
+            .map(|&a| self.rule.decide(a, foreign_count))
+            .collect();
+        let outcome = ScopingOutcome::new(
+            format!("Collaborative[PCA] v={}", self.v),
+            signatures.element_ids(),
+            decisions,
+        );
+        let cost = CostReport {
+            pass_operations: signatures.total_len() * foreign_count,
+            models_trained: k,
+        };
+        Ok(CollaborativeRun { outcome, accept_votes, best_margin, models, cost })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_linalg::{Matrix, Xoshiro256};
+
+    /// Builds schemas living on a shared subspace plus one schema on a
+    /// disjoint subspace — a miniature OC3-FO.
+    fn shared_and_disjoint() -> SchemaSignatures {
+        let dim = 16;
+        let mut rng = Xoshiro256::seed_from(42);
+        let shared: Vec<Vec<f64>> = (0..3)
+            .map(|_| (0..dim).map(|_| rng.next_gaussian()).collect())
+            .collect();
+        let alien: Vec<Vec<f64>> = (0..3)
+            .map(|_| (0..dim).map(|_| rng.next_gaussian()).collect())
+            .collect();
+        let make = |basis: &[Vec<f64>], n: usize, rng: &mut Xoshiro256| {
+            let rows: Vec<Vec<f64>> = (0..n)
+                .map(|_| {
+                    let mut row = vec![0.0; dim];
+                    for b in basis {
+                        cs_linalg::vecops::axpy(&mut row, rng.next_gaussian(), b);
+                    }
+                    row
+                })
+                .collect();
+            Matrix::from_rows(&rows)
+        };
+        let s1 = make(&shared, 12, &mut rng);
+        let s2 = make(&shared, 15, &mut rng);
+        let s3 = make(&alien, 20, &mut rng);
+        SchemaSignatures::from_matrices(
+            vec![s1, s2, s3],
+            vec!["A".into(), "B".into(), "ALIEN".into()],
+        )
+    }
+
+    #[test]
+    fn shared_subspace_schemas_accept_each_other_alien_is_pruned() {
+        let sigs = shared_and_disjoint();
+        let run = CollaborativeScoper::new(0.9).run(&sigs).unwrap();
+        let kept_a = run.outcome.kept_in_schema(0);
+        let kept_b = run.outcome.kept_in_schema(1);
+        let kept_alien = run.outcome.kept_in_schema(2);
+        assert!(kept_a >= 10, "A kept {kept_a}/12");
+        assert!(kept_b >= 12, "B kept {kept_b}/15");
+        assert!(kept_alien <= 4, "alien kept {kept_alien}/20");
+    }
+
+    #[test]
+    fn cost_report_counts_passes() {
+        let sigs = shared_and_disjoint();
+        let run = CollaborativeScoper::new(0.8).run(&sigs).unwrap();
+        // 47 elements × 2 foreign models.
+        assert_eq!(run.cost.pass_operations, 47 * 2);
+        assert_eq!(run.cost.models_trained, 3);
+        assert!((run.cost.fraction_of(470) - 0.2).abs() < 1e-12);
+        assert_eq!(run.cost.fraction_of(0), 0.0);
+    }
+
+    #[test]
+    fn votes_and_margins_are_consistent_with_decisions() {
+        let sigs = shared_and_disjoint();
+        let run = CollaborativeScoper::new(0.7).run(&sigs).unwrap();
+        for i in 0..run.outcome.len() {
+            let accepted = run.outcome.decisions[i];
+            assert_eq!(accepted, run.accept_votes[i] >= 1);
+            if accepted {
+                assert!(run.best_margin[i] <= 0.0);
+            } else {
+                assert!(run.best_margin[i] > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn combination_rules() {
+        assert!(CombinationRule::Any.decide(1, 3));
+        assert!(!CombinationRule::Any.decide(0, 3));
+        assert!(CombinationRule::All.decide(3, 3));
+        assert!(!CombinationRule::All.decide(2, 3));
+        assert!(!CombinationRule::All.decide(0, 0));
+        assert!(CombinationRule::AtLeast(2).decide(2, 3));
+        assert!(!CombinationRule::AtLeast(2).decide(1, 3));
+    }
+
+    #[test]
+    fn all_rule_is_stricter_than_any() {
+        let sigs = shared_and_disjoint();
+        let any = CollaborativeScoper::new(0.8).run(&sigs).unwrap();
+        let all = CollaborativeScoper::new(0.8)
+            .with_rule(CombinationRule::All)
+            .run(&sigs)
+            .unwrap();
+        assert!(all.outcome.kept_count() <= any.outcome.kept_count());
+        assert!(all.outcome.kept().is_subset(&any.outcome.kept()));
+    }
+
+    #[test]
+    fn invalid_variance_is_typed_error() {
+        let sigs = shared_and_disjoint();
+        for bad in [0.0, -0.5, 1.5, f64::NAN] {
+            let err = CollaborativeScoper::new(bad).run(&sigs).unwrap_err();
+            assert!(matches!(err, ScopingError::InvalidParameter { name: "v", .. }), "{bad}");
+        }
+    }
+
+    #[test]
+    fn single_schema_is_typed_error() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0]]);
+        let sigs = SchemaSignatures::from_matrices(vec![m], vec!["only".into()]);
+        let err = CollaborativeScoper::new(0.8).run(&sigs).unwrap_err();
+        assert_eq!(err, ScopingError::TooFewSchemas { found: 1 });
+    }
+
+    #[test]
+    fn empty_schema_is_typed_error() {
+        let m1 = Matrix::from_rows(&[vec![1.0, 2.0]]);
+        let m2 = Matrix::zeros(0, 2);
+        let sigs = SchemaSignatures::from_matrices(vec![m1, m2], vec!["a".into(), "b".into()]);
+        let err = CollaborativeScoper::new(0.8).run(&sigs).unwrap_err();
+        assert_eq!(err, ScopingError::EmptySchema { schema: 1 });
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let sigs = shared_and_disjoint();
+        let a = CollaborativeScoper::new(0.75).run(&sigs).unwrap();
+        let b = CollaborativeScoper::new(0.75).run(&sigs).unwrap();
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.accept_votes, b.accept_votes);
+    }
+}

@@ -1,0 +1,86 @@
+//! Typed errors for the scoping pipeline.
+
+use cs_linalg::SvdError;
+
+/// Errors surfaced by scoping and collaborative scoping.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScopingError {
+    /// A schema has no elements — a local model cannot be trained on it.
+    EmptySchema {
+        /// Index of the offending schema in the catalog.
+        schema: usize,
+    },
+    /// Collaborative scoping needs at least two schemas (there is no
+    /// "other" model to assess against otherwise).
+    TooFewSchemas {
+        /// Number of schemas found.
+        found: usize,
+    },
+    /// A parameter was outside its valid range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// Numerical decomposition failed.
+    Svd(SvdError),
+}
+
+impl std::fmt::Display for ScopingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScopingError::EmptySchema { schema } => {
+                write!(f, "schema #{schema} has no elements to train a local model on")
+            }
+            ScopingError::TooFewSchemas { found } => {
+                write!(f, "collaborative scoping needs ≥ 2 schemas, found {found}")
+            }
+            ScopingError::InvalidParameter { name, value } => {
+                write!(f, "parameter {name} = {value} is out of range")
+            }
+            ScopingError::Svd(e) => write!(f, "decomposition failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScopingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScopingError::Svd(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SvdError> for ScopingError {
+    fn from(e: SvdError) -> Self {
+        ScopingError::Svd(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(ScopingError::EmptySchema { schema: 2 }.to_string().contains("#2"));
+        assert!(ScopingError::TooFewSchemas { found: 1 }.to_string().contains("found 1"));
+        assert!(
+            ScopingError::InvalidParameter { name: "v", value: 1.5 }
+                .to_string()
+                .contains("v = 1.5")
+        );
+        let svd: ScopingError = SvdError::EmptyMatrix.into();
+        assert!(svd.to_string().contains("decomposition"));
+    }
+
+    #[test]
+    fn source_chains_for_svd() {
+        use std::error::Error;
+        let e: ScopingError = SvdError::NonFiniteInput.into();
+        assert!(e.source().is_some());
+        assert!(ScopingError::EmptySchema { schema: 0 }.source().is_none());
+    }
+}

@@ -1,0 +1,381 @@
+//! Model exchange: serialize local encoder–decoders for distribution.
+//!
+//! Collaborative scoping's deployment story (Section 3, phase III) is that
+//! organizations exchange **models, not data**: each participant trains
+//! `M_k = {μ_k, PC_k, l_k}` locally and publishes only that. This module
+//! provides the wire formats for the exchange:
+//!
+//! - **JSON** ([`to_json`] / [`from_json`]) — human-auditable, the format
+//!   an organization's review process would inspect before publishing,
+//! - **binary** ([`to_bytes`] / [`from_bytes`]) — a compact versioned
+//!   codec (magic `CSEX`, little-endian) for the actual transfer; a
+//!   768-dimensional model with 20 components is ≈135 KB instead of
+//!   ≈420 KB of JSON.
+//!
+//! Both formats validate on ingest: a corrupted or truncated payload is a
+//! typed [`ExchangeError`], never a panic, because the payload crosses a
+//! trust boundary.
+
+use crate::local_model::LocalModel;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use cs_linalg::{Matrix, Pca};
+use serde::{Deserialize, Serialize};
+
+/// Magic prefix of the binary format.
+pub const MAGIC: &[u8; 4] = b"CSEX";
+/// Current binary format version.
+pub const VERSION: u16 = 1;
+
+/// Errors raised while decoding an exchanged model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExchangeError {
+    /// The payload does not start with the `CSEX` magic.
+    BadMagic,
+    /// The payload's version is not supported.
+    UnsupportedVersion(u16),
+    /// The payload ended before the declared content.
+    Truncated,
+    /// A declared shape is internally inconsistent.
+    MalformedShape(String),
+    /// JSON (de)serialization failed.
+    Json(String),
+}
+
+impl std::fmt::Display for ExchangeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExchangeError::BadMagic => write!(f, "payload is not a CSEX model"),
+            ExchangeError::UnsupportedVersion(v) => write!(f, "unsupported model version {v}"),
+            ExchangeError::Truncated => write!(f, "payload truncated"),
+            ExchangeError::MalformedShape(s) => write!(f, "malformed payload: {s}"),
+            ExchangeError::Json(s) => write!(f, "JSON error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ExchangeError {}
+
+/// The exchanged form of a local model: exactly the paper's
+/// `M_k = {μ_k, PC_k, l_k}` triple plus provenance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelEnvelope {
+    /// Publishing schema's display name (provenance, not identity).
+    pub schema_name: String,
+    /// The publisher's schema index within the matching federation.
+    pub schema_index: usize,
+    /// Signature dimensionality the model expects.
+    pub dim: usize,
+    /// Local signature mean `μ_k`.
+    pub mean: Vec<f64>,
+    /// Principal components `PC_k` (rows).
+    pub components: Matrix,
+    /// Local linkability range `l_k`.
+    pub linkability_range: f64,
+}
+
+impl ModelEnvelope {
+    /// Packs a trained local model for exchange.
+    pub fn pack(schema_name: impl Into<String>, model: &LocalModel) -> Self {
+        Self {
+            schema_name: schema_name.into(),
+            schema_index: model.schema_index(),
+            dim: model.pca().dim(),
+            mean: model.pca().mean().to_vec(),
+            components: model.pca().components().clone(),
+            linkability_range: model.linkability_range(),
+        }
+    }
+
+    /// Validates internal consistency (shapes, finiteness).
+    pub fn validate(&self) -> Result<(), ExchangeError> {
+        if self.mean.len() != self.dim {
+            return Err(ExchangeError::MalformedShape(format!(
+                "mean length {} != dim {}",
+                self.mean.len(),
+                self.dim
+            )));
+        }
+        if self.components.cols() != self.dim {
+            return Err(ExchangeError::MalformedShape(format!(
+                "component width {} != dim {}",
+                self.components.cols(),
+                self.dim
+            )));
+        }
+        if self.components.rows() == 0 {
+            return Err(ExchangeError::MalformedShape("no components".into()));
+        }
+        if !self.linkability_range.is_finite() || self.linkability_range < 0.0 {
+            return Err(ExchangeError::MalformedShape(format!(
+                "linkability range {} invalid",
+                self.linkability_range
+            )));
+        }
+        if self.mean.iter().any(|x| !x.is_finite())
+            || self.components.has_non_finite()
+        {
+            return Err(ExchangeError::MalformedShape("non-finite values".into()));
+        }
+        Ok(())
+    }
+
+    /// Reconstruction MSE of foreign signatures under this exchanged model
+    /// — Definition 4 evaluated by the *receiving* schema.
+    pub fn reconstruction_errors(&self, foreign: &Matrix) -> Vec<f64> {
+        assert_eq!(foreign.cols(), self.dim, "dimension mismatch");
+        let centered = foreign.sub_row_vector(&self.mean);
+        let z = centered.matmul_transposed(&self.components);
+        let decoded = z.matmul(&self.components);
+        centered
+            .rows_iter()
+            .zip(decoded.rows_iter())
+            .map(|(a, b)| cs_linalg::vecops::mse(a, b))
+            .collect()
+    }
+
+    /// Which foreign signatures this exchanged model accepts as linkable.
+    pub fn assess(&self, foreign: &Matrix) -> Vec<bool> {
+        self.reconstruction_errors(foreign)
+            .into_iter()
+            .map(|e| e <= self.linkability_range)
+            .collect()
+    }
+}
+
+/// Serializes an envelope as JSON.
+pub fn to_json(envelope: &ModelEnvelope) -> Result<String, ExchangeError> {
+    serde_json::to_string(envelope).map_err(|e| ExchangeError::Json(e.to_string()))
+}
+
+/// Parses and validates an envelope from JSON.
+pub fn from_json(json: &str) -> Result<ModelEnvelope, ExchangeError> {
+    let envelope: ModelEnvelope =
+        serde_json::from_str(json).map_err(|e| ExchangeError::Json(e.to_string()))?;
+    envelope.validate()?;
+    Ok(envelope)
+}
+
+/// Encodes an envelope in the compact binary format.
+pub fn to_bytes(envelope: &ModelEnvelope) -> Bytes {
+    let mut buf = BytesMut::with_capacity(
+        64 + envelope.schema_name.len()
+            + 8 * (envelope.mean.len() + envelope.components.as_slice().len()),
+    );
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u32_le(envelope.schema_index as u32);
+    buf.put_f64_le(envelope.linkability_range);
+    buf.put_u32_le(envelope.schema_name.len() as u32);
+    buf.put_slice(envelope.schema_name.as_bytes());
+    buf.put_u32_le(envelope.dim as u32);
+    for &x in &envelope.mean {
+        buf.put_f64_le(x);
+    }
+    buf.put_u32_le(envelope.components.rows() as u32);
+    for &x in envelope.components.as_slice() {
+        buf.put_f64_le(x);
+    }
+    buf.freeze()
+}
+
+/// Decodes and validates an envelope from the binary format.
+pub fn from_bytes(mut payload: &[u8]) -> Result<ModelEnvelope, ExchangeError> {
+    fn need(buf: &[u8], n: usize) -> Result<(), ExchangeError> {
+        if buf.remaining() < n {
+            Err(ExchangeError::Truncated)
+        } else {
+            Ok(())
+        }
+    }
+    need(payload, 4)?;
+    let mut magic = [0u8; 4];
+    payload.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(ExchangeError::BadMagic);
+    }
+    need(payload, 2)?;
+    let version = payload.get_u16_le();
+    if version != VERSION {
+        return Err(ExchangeError::UnsupportedVersion(version));
+    }
+    need(payload, 4 + 8 + 4)?;
+    let schema_index = payload.get_u32_le() as usize;
+    let linkability_range = payload.get_f64_le();
+    let name_len = payload.get_u32_le() as usize;
+    need(payload, name_len)?;
+    let mut name_bytes = vec![0u8; name_len];
+    payload.copy_to_slice(&mut name_bytes);
+    let schema_name = String::from_utf8(name_bytes)
+        .map_err(|_| ExchangeError::MalformedShape("schema name is not UTF-8".into()))?;
+    need(payload, 4)?;
+    let dim = payload.get_u32_le() as usize;
+    need(payload, dim.checked_mul(8).ok_or(ExchangeError::Truncated)?)?;
+    let mut mean = Vec::with_capacity(dim);
+    for _ in 0..dim {
+        mean.push(payload.get_f64_le());
+    }
+    need(payload, 4)?;
+    let n_components = payload.get_u32_le() as usize;
+    let n_values = n_components
+        .checked_mul(dim)
+        .ok_or_else(|| ExchangeError::MalformedShape("component count overflow".into()))?;
+    need(payload, n_values.checked_mul(8).ok_or(ExchangeError::Truncated)?)?;
+    let mut data = Vec::with_capacity(n_values);
+    for _ in 0..n_values {
+        data.push(payload.get_f64_le());
+    }
+    let envelope = ModelEnvelope {
+        schema_name,
+        schema_index,
+        dim,
+        mean,
+        components: Matrix::from_vec(n_components, dim, data),
+        linkability_range,
+    };
+    envelope.validate()?;
+    Ok(envelope)
+}
+
+/// Rehydrates a received envelope into something assessment code can use
+/// alongside natively trained models: the underlying PCA plus range.
+///
+/// Note the explained-variance bookkeeping is not transferred (it is not
+/// part of the paper's `M_k`), so re-truncation is not possible on the
+/// receiving side — by design: the publisher chose the generalization.
+pub fn to_pca(envelope: &ModelEnvelope) -> Result<(Pca, f64), ExchangeError> {
+    envelope.validate()?;
+    // Round-trip through the serde representation of Pca, which validates
+    // matrix shape again.
+    #[derive(Serialize)]
+    struct PcaWire<'a> {
+        mean: &'a [f64],
+        components: &'a Matrix,
+        explained_variance_ratio: Vec<f64>,
+        singular_values: Vec<f64>,
+    }
+    let wire = PcaWire {
+        mean: &envelope.mean,
+        components: &envelope.components,
+        explained_variance_ratio: vec![0.0; envelope.components.rows()],
+        singular_values: vec![0.0; envelope.components.rows()],
+    };
+    let json = serde_json::to_string(&wire).map_err(|e| ExchangeError::Json(e.to_string()))?;
+    let pca: Pca = serde_json::from_str(&json).map_err(|e| ExchangeError::Json(e.to_string()))?;
+    Ok((pca, envelope.linkability_range))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local_model::LocalModel;
+    use cs_linalg::pca::ExplainedVariance;
+    use cs_linalg::Xoshiro256;
+
+    fn trained_model() -> (LocalModel, Matrix) {
+        let mut rng = Xoshiro256::seed_from(11);
+        let data = Matrix::from_fn(20, 12, |_, _| rng.next_gaussian());
+        let model = LocalModel::train(2, &data, ExplainedVariance::new(0.8).unwrap()).unwrap();
+        (model, data)
+    }
+
+    #[test]
+    fn binary_roundtrip_preserves_everything() {
+        let (model, data) = trained_model();
+        let envelope = ModelEnvelope::pack("OC-HANA", &model);
+        let bytes = to_bytes(&envelope);
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(back.schema_name, "OC-HANA");
+        assert_eq!(back.schema_index, 2);
+        assert_eq!(back.dim, 12);
+        assert_eq!(back.mean, envelope.mean);
+        assert_eq!(back.components, envelope.components);
+        assert_eq!(back.linkability_range, envelope.linkability_range);
+        // Assessment through the envelope matches the native model.
+        assert_eq!(back.assess(&data), model.assess(&data));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let (model, data) = trained_model();
+        let envelope = ModelEnvelope::pack("OC-Oracle", &model);
+        let json = to_json(&envelope).unwrap();
+        let back = from_json(&json).unwrap();
+        assert_eq!(back.assess(&data), model.assess(&data));
+    }
+
+    #[test]
+    fn binary_is_smaller_than_json() {
+        let (model, _) = trained_model();
+        let envelope = ModelEnvelope::pack("X", &model);
+        let bin = to_bytes(&envelope);
+        let json = to_json(&envelope).unwrap();
+        assert!(bin.len() < json.len(), "{} vs {}", bin.len(), json.len());
+    }
+
+    #[test]
+    fn corrupted_magic_rejected() {
+        let (model, _) = trained_model();
+        let mut bytes = to_bytes(&ModelEnvelope::pack("X", &model)).to_vec();
+        bytes[0] = b'Z';
+        assert!(matches!(from_bytes(&bytes), Err(ExchangeError::BadMagic)));
+    }
+
+    #[test]
+    fn unsupported_version_rejected() {
+        let (model, _) = trained_model();
+        let mut bytes = to_bytes(&ModelEnvelope::pack("X", &model)).to_vec();
+        bytes[4] = 99;
+        assert!(matches!(from_bytes(&bytes), Err(ExchangeError::UnsupportedVersion(_))));
+    }
+
+    #[test]
+    fn truncation_rejected_at_every_prefix() {
+        let (model, _) = trained_model();
+        let bytes = to_bytes(&ModelEnvelope::pack("SCHEMA", &model));
+        for cut in [0, 3, 5, 10, 20, bytes.len() - 1] {
+            let result = from_bytes(&bytes[..cut]);
+            assert!(result.is_err(), "prefix of {cut} bytes accepted");
+        }
+    }
+
+    #[test]
+    fn tampered_range_rejected() {
+        let (model, _) = trained_model();
+        let mut envelope = ModelEnvelope::pack("X", &model);
+        envelope.linkability_range = f64::NAN;
+        assert!(matches!(
+            from_bytes(&to_bytes(&envelope)),
+            Err(ExchangeError::MalformedShape(_))
+        ));
+    }
+
+    #[test]
+    fn shape_mismatch_rejected_in_json() {
+        let (model, _) = trained_model();
+        let mut envelope = ModelEnvelope::pack("X", &model);
+        envelope.dim = 99;
+        let json = to_json(&envelope).unwrap();
+        assert!(matches!(from_json(&json), Err(ExchangeError::MalformedShape(_))));
+    }
+
+    #[test]
+    fn to_pca_assesses_identically() {
+        let (model, data) = trained_model();
+        let envelope = ModelEnvelope::pack("X", &model);
+        let (pca, range) = to_pca(&envelope).unwrap();
+        let errs = pca.reconstruction_errors(&data);
+        let native = model.reconstruction_errors(&data);
+        for (a, b) in errs.iter().zip(native.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert_eq!(range, model.linkability_range());
+    }
+
+    #[test]
+    fn unicode_schema_names_survive() {
+        let (model, _) = trained_model();
+        let envelope = ModelEnvelope::pack("Bestellungen-Köln-北京", &model);
+        let back = from_bytes(&to_bytes(&envelope)).unwrap();
+        assert_eq!(back.schema_name, "Bestellungen-Köln-北京");
+    }
+}

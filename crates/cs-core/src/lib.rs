@@ -1,0 +1,46 @@
+//! # cs-core
+//!
+//! The paper's contribution: **collaborative scoping** — self-supervised
+//! linkability assessment for multi-source schema matching — plus the
+//! **global scoping** baseline it is evaluated against.
+//!
+//! Pipeline (Figure 4 of the paper):
+//!
+//! 1. **(I) Local signatures** — [`encode_catalog`] serializes every table
+//!    and attribute (`T^a` / `T^t`) and encodes them into per-schema
+//!    signature matrices ([`SchemaSignatures`]).
+//! 2. **(II) Local self-supervised models** — [`LocalModel::train`]
+//!    (Algorithm 1) fits a PCA encoder–decoder per schema at a global
+//!    explained variance `v` and derives the **local linkability range**
+//!    `l_k` (Definition 3).
+//! 3. **(III) Local linkability assessment** — [`CollaborativeScoper::run`]
+//!    (Algorithm 2) reconstructs each schema's signatures through every
+//!    *other* schema's model; elements recognized by at least one foreign
+//!    model (Definition 4) survive into the streamlined schemas `S'`.
+//!
+//! The baseline [`GlobalScoper`] ranks the unified signature set with a
+//! single outlier detector and keeps the lowest-scoring `p` fraction
+//! (Section 2.4). [`CollaborativeSweep`] evaluates the whole `v ∈ (1..0)`
+//! grid efficiently by caching full-rank latent projections.
+
+pub mod collaborative;
+pub mod error;
+pub mod exchange;
+pub mod local_model;
+pub mod nonlinear;
+pub mod outcome;
+pub mod pairwise;
+pub mod scoping;
+pub mod signatures;
+pub mod sweep;
+
+pub use collaborative::{CollaborativeScoper, CombinationRule, CostReport};
+pub use error::ScopingError;
+pub use exchange::{ExchangeError, ModelEnvelope};
+pub use local_model::LocalModel;
+pub use nonlinear::{NeuralCollaborativeScoper, NeuralLocalModel};
+pub use outcome::ScopingOutcome;
+pub use pairwise::SourceToTargetScoper;
+pub use scoping::GlobalScoper;
+pub use signatures::{encode_catalog, encode_catalog_with, SchemaSignatures};
+pub use sweep::CollaborativeSweep;

@@ -1,0 +1,187 @@
+//! Phase II: local self-supervised models (Algorithm 1).
+//!
+//! A [`LocalModel`] is the triple the paper distributes between schemas:
+//! `M_k = {μ_k, PC_k, l_k}` — the local signature mean, the principal
+//! components retained at the global explained variance `v`, and the
+//! **local linkability range** `l_k` = the largest reconstruction error
+//! among the model's own training signatures (Definition 3).
+
+use crate::error::ScopingError;
+use cs_linalg::pca::ExplainedVariance;
+use cs_linalg::{Matrix, Pca};
+
+/// A trained local encoder–decoder for one schema.
+#[derive(Debug, Clone)]
+pub struct LocalModel {
+    schema_index: usize,
+    pca: Pca,
+    linkability_range: f64,
+}
+
+impl LocalModel {
+    /// Trains on one schema's signatures at explained variance `v`
+    /// (Algorithm 1, lines 3–15).
+    pub fn train(
+        schema_index: usize,
+        signatures: &Matrix,
+        v: ExplainedVariance,
+    ) -> Result<Self, ScopingError> {
+        if signatures.rows() == 0 {
+            return Err(ScopingError::EmptySchema { schema: schema_index });
+        }
+        let pca = Pca::fit(signatures, v)?;
+        let own_errors = pca.reconstruction_errors(signatures);
+        let linkability_range = own_errors.iter().copied().fold(0.0, f64::max);
+        Ok(Self { schema_index, pca, linkability_range })
+    }
+
+    /// Index of the schema this model was trained on.
+    pub fn schema_index(&self) -> usize {
+        self.schema_index
+    }
+
+    /// The local linkability range `l_k`.
+    pub fn linkability_range(&self) -> f64 {
+        self.linkability_range
+    }
+
+    /// Number of principal components retained for the requested variance.
+    pub fn n_components(&self) -> usize {
+        self.pca.n_components()
+    }
+
+    /// The underlying PCA encoder–decoder (`μ_k`, `PC_k`).
+    pub fn pca(&self) -> &Pca {
+        &self.pca
+    }
+
+    /// Reconstruction MSE of foreign signatures under this model
+    /// (the score of Definition 4).
+    pub fn reconstruction_errors(&self, foreign: &Matrix) -> Vec<f64> {
+        self.pca.reconstruction_errors(foreign)
+    }
+
+    /// Definition 4: which foreign signatures this model recognizes as
+    /// linkable (`MSE ≤ l_k`).
+    pub fn assess(&self, foreign: &Matrix) -> Vec<bool> {
+        self.reconstruction_errors(foreign)
+            .into_iter()
+            .map(|e| e <= self.linkability_range)
+            .collect()
+    }
+
+    /// Like [`Self::assess`] with a relaxed range `l_k + ε` — the variant
+    /// the paper discusses (and rejects) after Definition 3; kept for the
+    /// ablation bench.
+    pub fn assess_relaxed(&self, foreign: &Matrix, epsilon: f64) -> Vec<bool> {
+        assert!(epsilon >= 0.0, "epsilon must be non-negative");
+        self.reconstruction_errors(foreign)
+            .into_iter()
+            .map(|e| e <= self.linkability_range + epsilon)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_linalg::Xoshiro256;
+
+    fn v(x: f64) -> ExplainedVariance {
+        ExplainedVariance::new(x).unwrap()
+    }
+
+    /// Signatures concentrated on a low-dimensional subspace.
+    fn subspace_data(n: usize, dim: usize, rank: usize, seed: u64) -> Matrix {
+        let mut rng = Xoshiro256::seed_from(seed);
+        let basis: Vec<Vec<f64>> = (0..rank)
+            .map(|_| (0..dim).map(|_| rng.next_gaussian()).collect())
+            .collect();
+        let mut rows = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut row = vec![0.0; dim];
+            for b in &basis {
+                let c = rng.next_gaussian();
+                cs_linalg::vecops::axpy(&mut row, c, b);
+            }
+            rows.push(row);
+        }
+        Matrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn own_elements_always_pass_at_any_variance() {
+        let data = subspace_data(30, 20, 5, 1);
+        for variance in [0.99, 0.7, 0.4, 0.1] {
+            let model = LocalModel::train(0, &data, v(variance)).unwrap();
+            let own = model.assess(&data);
+            assert!(own.iter().all(|&b| b), "v={variance}: an own element failed");
+        }
+    }
+
+    #[test]
+    fn linkability_range_is_max_own_error() {
+        let data = subspace_data(25, 15, 6, 2);
+        let model = LocalModel::train(3, &data, v(0.5)).unwrap();
+        let max_err = model
+            .reconstruction_errors(&data)
+            .into_iter()
+            .fold(0.0f64, f64::max);
+        assert!((model.linkability_range() - max_err).abs() < 1e-15);
+        assert_eq!(model.schema_index(), 3);
+    }
+
+    #[test]
+    fn foreign_on_manifold_accepted_off_manifold_rejected() {
+        let data = subspace_data(40, 24, 3, 3);
+        let model = LocalModel::train(0, &data, v(0.95)).unwrap();
+        // On-manifold foreign point: a combination of training rows.
+        let mut on = vec![0.0; 24];
+        cs_linalg::vecops::axpy(&mut on, 0.5, data.row(0));
+        cs_linalg::vecops::axpy(&mut on, 0.5, data.row(1));
+        // Off-manifold: orthogonal-ish random direction, large.
+        let mut rng = Xoshiro256::seed_from(99);
+        let off: Vec<f64> = (0..24).map(|_| rng.next_gaussian() * 5.0).collect();
+        let foreign = Matrix::from_rows(&[on, off]);
+        let verdicts = model.assess(&foreign);
+        assert!(verdicts[0], "on-manifold point should be recognized");
+        assert!(!verdicts[1], "off-manifold point should be rejected");
+    }
+
+    #[test]
+    fn lower_variance_widens_linkability_range() {
+        // Fewer components → larger own reconstruction errors → larger l_k.
+        let data = subspace_data(30, 20, 10, 4);
+        let strict = LocalModel::train(0, &data, v(0.95)).unwrap();
+        let loose = LocalModel::train(0, &data, v(0.3)).unwrap();
+        assert!(loose.linkability_range() >= strict.linkability_range());
+        assert!(loose.n_components() <= strict.n_components());
+    }
+
+    #[test]
+    fn relaxed_assessment_is_superset() {
+        let data = subspace_data(20, 12, 4, 5);
+        let model = LocalModel::train(0, &data, v(0.6)).unwrap();
+        let mut rng = Xoshiro256::seed_from(7);
+        let foreign = Matrix::from_fn(10, 12, |_, _| rng.next_gaussian());
+        let strict = model.assess(&foreign);
+        let relaxed = model.assess_relaxed(&foreign, 0.05);
+        for (s, r) in strict.iter().zip(relaxed.iter()) {
+            assert!(!s || *r, "strict-accepted must stay accepted when relaxed");
+        }
+    }
+
+    #[test]
+    fn empty_schema_is_typed_error() {
+        let err = LocalModel::train(4, &Matrix::zeros(0, 8), v(0.5)).unwrap_err();
+        assert_eq!(err, ScopingError::EmptySchema { schema: 4 });
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_epsilon_panics() {
+        let data = subspace_data(5, 6, 2, 8);
+        let model = LocalModel::train(0, &data, v(0.5)).unwrap();
+        model.assess_relaxed(&data, -0.1);
+    }
+}

@@ -1,0 +1,120 @@
+//! The result of a scoping run: per-element keep/prune decisions.
+
+use cs_schema::{Catalog, ElementId};
+use std::collections::HashSet;
+
+/// Outcome of a (global or collaborative) scoping run.
+///
+/// `decisions[i]` says whether element `element_ids[i]` was assessed as
+/// linkable; the two vectors share the unified (stacked) row order of the
+/// signatures the run consumed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScopingOutcome {
+    /// Method display name (for reports).
+    pub method: String,
+    /// Element ids in unified row order.
+    pub element_ids: Vec<ElementId>,
+    /// Keep (true = linkable) per element.
+    pub decisions: Vec<bool>,
+}
+
+impl ScopingOutcome {
+    /// Creates an outcome; the vectors must be aligned.
+    pub fn new(method: impl Into<String>, element_ids: Vec<ElementId>, decisions: Vec<bool>) -> Self {
+        assert_eq!(element_ids.len(), decisions.len(), "misaligned outcome vectors");
+        Self { method: method.into(), element_ids, decisions }
+    }
+
+    /// Number of elements assessed.
+    pub fn len(&self) -> usize {
+        self.decisions.len()
+    }
+
+    /// True when nothing was assessed.
+    pub fn is_empty(&self) -> bool {
+        self.decisions.is_empty()
+    }
+
+    /// Number of elements kept.
+    pub fn kept_count(&self) -> usize {
+        self.decisions.iter().filter(|&&d| d).count()
+    }
+
+    /// Number of elements pruned.
+    pub fn pruned_count(&self) -> usize {
+        self.len() - self.kept_count()
+    }
+
+    /// The kept element ids as a set.
+    pub fn kept(&self) -> HashSet<ElementId> {
+        self.element_ids
+            .iter()
+            .zip(self.decisions.iter())
+            .filter(|(_, &d)| d)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Kept elements belonging to one schema.
+    pub fn kept_in_schema(&self, schema: usize) -> usize {
+        self.element_ids
+            .iter()
+            .zip(self.decisions.iter())
+            .filter(|(id, &d)| d && id.schema == schema)
+            .count()
+    }
+
+    /// Projects the catalog to the streamlined schemas `S'`.
+    pub fn streamlined(&self, catalog: &Catalog) -> Catalog {
+        catalog.project(&self.kept())
+    }
+
+    /// The decision for a specific element, if it was assessed.
+    pub fn decision_for(&self, id: ElementId) -> Option<bool> {
+        self.element_ids
+            .iter()
+            .position(|&e| e == id)
+            .map(|i| self.decisions[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids() -> Vec<ElementId> {
+        vec![
+            ElementId::new(0, 0),
+            ElementId::new(0, 1),
+            ElementId::new(1, 0),
+            ElementId::new(1, 1),
+        ]
+    }
+
+    #[test]
+    fn counting() {
+        let o = ScopingOutcome::new("test", ids(), vec![true, false, true, true]);
+        assert_eq!(o.len(), 4);
+        assert!(!o.is_empty());
+        assert_eq!(o.kept_count(), 3);
+        assert_eq!(o.pruned_count(), 1);
+        assert_eq!(o.kept_in_schema(0), 1);
+        assert_eq!(o.kept_in_schema(1), 2);
+    }
+
+    #[test]
+    fn kept_set_and_lookup() {
+        let o = ScopingOutcome::new("test", ids(), vec![true, false, false, true]);
+        let kept = o.kept();
+        assert!(kept.contains(&ElementId::new(0, 0)));
+        assert!(!kept.contains(&ElementId::new(0, 1)));
+        assert_eq!(o.decision_for(ElementId::new(0, 1)), Some(false));
+        assert_eq!(o.decision_for(ElementId::new(9, 9)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned")]
+    fn misaligned_vectors_panic() {
+        ScopingOutcome::new("test", ids(), vec![true]);
+    }
+}

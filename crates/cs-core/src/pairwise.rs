@@ -1,0 +1,159 @@
+//! Source-to-target scoping.
+//!
+//! The paper notes (end of Section 1) that although collaborative scoping
+//! targets multi-source scenarios, "it also works well for pruning
+//! unlinkable elements for source-to-target matching". This module is the
+//! two-schema convenience: train the target's local model, prune the
+//! source's elements against it (and optionally vice versa), without
+//! building a full catalog.
+
+use crate::error::ScopingError;
+use crate::local_model::LocalModel;
+use cs_linalg::pca::ExplainedVariance;
+use cs_linalg::Matrix;
+
+/// Directional source-to-target scoper at explained variance `v`.
+#[derive(Debug, Clone, Copy)]
+pub struct SourceToTargetScoper {
+    v: f64,
+}
+
+/// Result of a directional pruning pass.
+#[derive(Debug, Clone)]
+pub struct DirectionalOutcome {
+    /// Keep/prune per source element (true = recognized by the target).
+    pub keep_source: Vec<bool>,
+    /// Reconstruction error per source element under the target's model.
+    pub source_errors: Vec<f64>,
+    /// The target's local linkability range.
+    pub target_range: f64,
+    /// Components the target's model retained.
+    pub target_components: usize,
+}
+
+impl SourceToTargetScoper {
+    /// Creates a scoper; `v` is validated at run time.
+    pub fn new(v: f64) -> Self {
+        Self { v }
+    }
+
+    /// Prunes `source` elements against a model trained on `target`
+    /// (the asymmetric direction the paper's matching pipelines consume:
+    /// which source elements are worth offering to the target matcher).
+    pub fn prune_source(
+        &self,
+        source: &Matrix,
+        target: &Matrix,
+    ) -> Result<DirectionalOutcome, ScopingError> {
+        let v = ExplainedVariance::new(self.v)
+            .ok_or(ScopingError::InvalidParameter { name: "v", value: self.v })?;
+        if target.rows() == 0 {
+            return Err(ScopingError::EmptySchema { schema: 1 });
+        }
+        let model = LocalModel::train(1, target, v)?;
+        let source_errors = model.reconstruction_errors(source);
+        let keep_source = source_errors
+            .iter()
+            .map(|&e| e <= model.linkability_range())
+            .collect();
+        Ok(DirectionalOutcome {
+            keep_source,
+            source_errors,
+            target_range: model.linkability_range(),
+            target_components: model.n_components(),
+        })
+    }
+
+    /// Symmetric pruning: each side assessed by the other's model — the
+    /// two-schema special case of Algorithm 2.
+    pub fn prune_both(
+        &self,
+        source: &Matrix,
+        target: &Matrix,
+    ) -> Result<(DirectionalOutcome, DirectionalOutcome), ScopingError> {
+        Ok((self.prune_source(source, target)?, self.prune_source(target, source)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_linalg::Xoshiro256;
+
+    fn subspace(n: usize, dim: usize, basis: &[Vec<f64>], rng: &mut Xoshiro256) -> Matrix {
+        Matrix::from_rows(
+            &(0..n)
+                .map(|_| {
+                    let mut row = vec![0.0; dim];
+                    for b in basis {
+                        cs_linalg::vecops::axpy(&mut row, rng.next_gaussian(), b);
+                    }
+                    row
+                })
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn on_manifold_source_kept_off_manifold_pruned() {
+        let dim = 14;
+        let mut rng = Xoshiro256::seed_from(3);
+        let shared: Vec<Vec<f64>> = (0..3)
+            .map(|_| (0..dim).map(|_| rng.next_gaussian()).collect())
+            .collect();
+        let alien: Vec<Vec<f64>> = (0..3)
+            .map(|_| (0..dim).map(|_| rng.next_gaussian()).collect())
+            .collect();
+        let target = subspace(30, dim, &shared, &mut rng);
+        // Source: first 10 on the shared subspace, last 10 alien.
+        let on = subspace(10, dim, &shared, &mut rng);
+        let off = subspace(10, dim, &alien, &mut rng);
+        let source = on.vstack(&off);
+
+        let outcome = SourceToTargetScoper::new(0.9)
+            .prune_source(&source, &target)
+            .unwrap();
+        let kept_on = outcome.keep_source[..10].iter().filter(|&&b| b).count();
+        let kept_off = outcome.keep_source[10..].iter().filter(|&&b| b).count();
+        assert!(kept_on >= 8, "on-manifold kept {kept_on}/10");
+        assert!(kept_off <= 2, "alien kept {kept_off}/10");
+        assert_eq!(outcome.source_errors.len(), 20);
+        assert!(outcome.target_range >= 0.0);
+        assert!(outcome.target_components >= 1);
+    }
+
+    #[test]
+    fn symmetric_pruning_matches_collaborative_two_schema_case() {
+        let dim = 10;
+        let mut rng = Xoshiro256::seed_from(7);
+        let shared: Vec<Vec<f64>> = (0..2)
+            .map(|_| (0..dim).map(|_| rng.next_gaussian()).collect())
+            .collect();
+        let a = subspace(12, dim, &shared, &mut rng);
+        let b = subspace(15, dim, &shared, &mut rng);
+
+        let (src, tgt) = SourceToTargetScoper::new(0.8).prune_both(&a, &b).unwrap();
+        let sigs = crate::signatures::SchemaSignatures::from_matrices(
+            vec![a, b],
+            vec!["A".into(), "B".into()],
+        );
+        let run = crate::CollaborativeScoper::new(0.8).run(&sigs).unwrap();
+        let expected_a: Vec<bool> = run.outcome.decisions[..12].to_vec();
+        let expected_b: Vec<bool> = run.outcome.decisions[12..].to_vec();
+        assert_eq!(src.keep_source, expected_a);
+        assert_eq!(tgt.keep_source, expected_b);
+    }
+
+    #[test]
+    fn errors_are_typed() {
+        let m = Matrix::from_rows(&[vec![1.0, 0.0]]);
+        assert!(matches!(
+            SourceToTargetScoper::new(0.0).prune_source(&m, &m),
+            Err(ScopingError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            SourceToTargetScoper::new(0.5).prune_source(&m, &Matrix::zeros(0, 2)),
+            Err(ScopingError::EmptySchema { .. })
+        ));
+    }
+}

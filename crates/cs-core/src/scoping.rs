@@ -1,0 +1,173 @@
+//! The *global scoping* baseline (Section 2.4): rank → sort → filter.
+//!
+//! One outlier detector scores the **unified** signature set of all
+//! schemas; the `p ∈ (0..1)` fraction with the lowest scores is kept as
+//! linkable. `p = 1` keeps everything, `p = 0` keeps nothing.
+
+use crate::error::ScopingError;
+use crate::outcome::ScopingOutcome;
+use crate::signatures::SchemaSignatures;
+use cs_oda::OutlierDetector;
+
+/// Global scoping with a pluggable outlier detector.
+pub struct GlobalScoper<D: OutlierDetector> {
+    detector: D,
+}
+
+impl<D: OutlierDetector> GlobalScoper<D> {
+    /// Wraps a detector.
+    pub fn new(detector: D) -> Self {
+        Self { detector }
+    }
+
+    /// The wrapped detector.
+    pub fn detector(&self) -> &D {
+        &self.detector
+    }
+
+    /// Outlier scores over the unified signature set, in unified row order.
+    pub fn scores(&self, signatures: &SchemaSignatures) -> Result<Vec<f64>, ScopingError> {
+        if signatures.total_len() == 0 {
+            return Ok(Vec::new());
+        }
+        Ok(self.detector.score(&signatures.unified()))
+    }
+
+    /// Scopes streamlined schemas at threshold `p` (step 1–3 of Section 2.4).
+    pub fn scope(
+        &self,
+        signatures: &SchemaSignatures,
+        p: f64,
+    ) -> Result<ScopingOutcome, ScopingError> {
+        let scores = self.scores(signatures)?;
+        Ok(scope_from_scores(
+            format!("Scoping[{}] p={p}", self.detector.name()),
+            signatures,
+            &scores,
+            p,
+        ))
+    }
+}
+
+/// Filters pre-computed outlier scores at threshold `p`: keeps the
+/// `⌊p · n⌉` elements with the lowest scores. Exposed separately so one
+/// scoring pass can serve a whole `p` sweep (the AUC metrics need every
+/// threshold).
+pub fn scope_from_scores(
+    method: impl Into<String>,
+    signatures: &SchemaSignatures,
+    scores: &[f64],
+    p: f64,
+) -> ScopingOutcome {
+    assert!((0.0..=1.0).contains(&p) && p.is_finite(), "p must lie in [0, 1]");
+    let n = scores.len();
+    assert_eq!(n, signatures.total_len(), "score/signature count mismatch");
+    let keep_count = ((p * n as f64).round() as usize).min(n);
+
+    // Sort indices ascending by outlier score (stable for ties by index).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut decisions = vec![false; n];
+    for &i in order.iter().take(keep_count) {
+        decisions[i] = true;
+    }
+    ScopingOutcome::new(method, signatures.element_ids(), decisions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_linalg::Matrix;
+    use cs_oda::ZScoreDetector;
+
+    /// Two "schemas": a tight cluster and one containing an outlier row.
+    fn sigs() -> SchemaSignatures {
+        let s1 = Matrix::from_rows(&[
+            vec![0.0, 0.1],
+            vec![0.1, 0.0],
+            vec![0.05, 0.05],
+        ]);
+        let s2 = Matrix::from_rows(&[vec![0.02, 0.03], vec![6.0, 6.0]]);
+        SchemaSignatures::from_matrices(vec![s1, s2], vec!["A".into(), "B".into()])
+    }
+
+    #[test]
+    fn p_one_keeps_everything_p_zero_keeps_nothing() {
+        let scoper = GlobalScoper::new(ZScoreDetector);
+        let s = sigs();
+        let all = scoper.scope(&s, 1.0).unwrap();
+        assert_eq!(all.kept_count(), 5);
+        let none = scoper.scope(&s, 0.0).unwrap();
+        assert_eq!(none.kept_count(), 0);
+    }
+
+    #[test]
+    fn outlier_is_pruned_first() {
+        let scoper = GlobalScoper::new(ZScoreDetector);
+        let s = sigs();
+        let outcome = scoper.scope(&s, 0.8).unwrap(); // keep 4 of 5
+        assert_eq!(outcome.kept_count(), 4);
+        // The outlier row is schema 1, element 1.
+        assert_eq!(outcome.decision_for(cs_schema::ElementId::new(1, 1)), Some(false));
+    }
+
+    #[test]
+    fn keep_count_rounds() {
+        let scoper = GlobalScoper::new(ZScoreDetector);
+        let s = sigs();
+        // 0.5 of 5 = 2.5 → rounds to 2 (banker-free f64 round: 2.5 → 3).
+        let outcome = scoper.scope(&s, 0.5).unwrap();
+        assert_eq!(outcome.kept_count(), 3);
+        let outcome = scoper.scope(&s, 0.4).unwrap(); // 2.0 → 2
+        assert_eq!(outcome.kept_count(), 2);
+    }
+
+    #[test]
+    fn monotone_in_p() {
+        let scoper = GlobalScoper::new(ZScoreDetector);
+        let s = sigs();
+        let mut last = 0;
+        for p in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
+            let kept = scoper.scope(&s, p).unwrap().kept_count();
+            assert!(kept >= last, "kept count must grow with p");
+            last = kept;
+        }
+    }
+
+    #[test]
+    fn nested_keeps_in_p() {
+        // The kept set at lower p is a subset of the kept set at higher p.
+        let scoper = GlobalScoper::new(ZScoreDetector);
+        let s = sigs();
+        let small = scoper.scope(&s, 0.4).unwrap().kept();
+        let large = scoper.scope(&s, 0.8).unwrap().kept();
+        assert!(small.is_subset(&large));
+    }
+
+    #[test]
+    fn empty_signatures_give_empty_outcome() {
+        let scoper = GlobalScoper::new(ZScoreDetector);
+        let s = SchemaSignatures::from_matrices(vec![], vec![]);
+        let outcome = scoper.scope(&s, 0.5).unwrap();
+        assert!(outcome.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "p must lie in")]
+    fn out_of_range_p_panics() {
+        let s = sigs();
+        scope_from_scores("x", &s, &[0.0; 5], 1.5);
+    }
+
+    #[test]
+    fn method_name_mentions_detector() {
+        let scoper = GlobalScoper::new(ZScoreDetector);
+        let outcome = scoper.scope(&sigs(), 0.5).unwrap();
+        assert!(outcome.method.contains("Z-Score"));
+    }
+}

@@ -1,0 +1,204 @@
+//! Phase I: local signatures.
+//!
+//! [`SchemaSignatures`] holds one signature matrix per schema (row order =
+//! the catalog's canonical element enumeration) plus the id bookkeeping
+//! that maps matrix rows back to tables/attributes.
+
+use cs_embed::SignatureEncoder;
+use cs_linalg::Matrix;
+use cs_schema::serialize::serialize_schema_elements;
+use cs_schema::{Catalog, ElementId, SerializeOptions};
+
+/// Per-schema signature matrices for one catalog.
+#[derive(Debug, Clone)]
+pub struct SchemaSignatures {
+    per_schema: Vec<Matrix>,
+    schema_names: Vec<String>,
+    dim: usize,
+}
+
+impl SchemaSignatures {
+    /// Builds from pre-computed per-schema matrices.
+    ///
+    /// # Panics
+    /// If matrices disagree on dimensionality.
+    pub fn from_matrices(per_schema: Vec<Matrix>, schema_names: Vec<String>) -> Self {
+        assert_eq!(per_schema.len(), schema_names.len(), "name/matrix count mismatch");
+        let dim = per_schema
+            .iter()
+            .map(Matrix::cols)
+            .find(|&c| c > 0)
+            .unwrap_or(0);
+        for m in &per_schema {
+            assert!(
+                m.cols() == dim || m.rows() == 0,
+                "inconsistent signature dimensionality"
+            );
+        }
+        Self { per_schema, schema_names, dim }
+    }
+
+    /// Number of schemas.
+    pub fn schema_count(&self) -> usize {
+        self.per_schema.len()
+    }
+
+    /// Signature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Schema display names.
+    pub fn schema_names(&self) -> &[String] {
+        &self.schema_names
+    }
+
+    /// Signature matrix of one schema (`|S_k| × dim`).
+    pub fn schema(&self, k: usize) -> &Matrix {
+        &self.per_schema[k]
+    }
+
+    /// Number of elements in schema `k`.
+    pub fn schema_len(&self, k: usize) -> usize {
+        self.per_schema[k].rows()
+    }
+
+    /// Total elements across schemas — `|S|`.
+    pub fn total_len(&self) -> usize {
+        self.per_schema.iter().map(Matrix::rows).sum()
+    }
+
+    /// All signatures stacked into one matrix, schema by schema — the
+    /// unified set `S^v⃗` global scoping operates on.
+    pub fn unified(&self) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        for m in &self.per_schema {
+            out = out.vstack(m);
+        }
+        if out.is_empty() && out.cols() == 0 {
+            Matrix::zeros(0, self.dim)
+        } else {
+            out
+        }
+    }
+
+    /// Element ids in unified (stacked) row order.
+    pub fn element_ids(&self) -> Vec<ElementId> {
+        let mut out = Vec::with_capacity(self.total_len());
+        for (k, m) in self.per_schema.iter().enumerate() {
+            for e in 0..m.rows() {
+                out.push(ElementId::new(k, e));
+            }
+        }
+        out
+    }
+
+    /// Unified row index of an element id.
+    pub fn row_of(&self, id: ElementId) -> usize {
+        let offset: usize = self.per_schema[..id.schema].iter().map(Matrix::rows).sum();
+        offset + id.element
+    }
+}
+
+/// Encodes every element of a catalog with the paper's default
+/// serialization (phase I end-to-end).
+pub fn encode_catalog(encoder: &SignatureEncoder, catalog: &Catalog) -> SchemaSignatures {
+    encode_catalog_with(encoder, catalog, &SerializeOptions::default())
+}
+
+/// Encodes with explicit serialization options (signature ablation).
+pub fn encode_catalog_with(
+    encoder: &SignatureEncoder,
+    catalog: &Catalog,
+    opts: &SerializeOptions,
+) -> SchemaSignatures {
+    let mut per_schema = Vec::with_capacity(catalog.schema_count());
+    let mut names = Vec::with_capacity(catalog.schema_count());
+    for k in 0..catalog.schema_count() {
+        let texts = serialize_schema_elements(catalog, k, opts);
+        let m = encoder.encode_batch(&texts);
+        // encode_batch returns encoder-dim columns even for zero rows.
+        per_schema.push(m);
+        names.push(catalog.schema(k).name.clone());
+    }
+    SchemaSignatures::from_matrices(per_schema, names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_schema::{Attribute, DataType, Schema, Table};
+
+    fn catalog() -> Catalog {
+        Catalog::from_schemas(vec![
+            Schema::new(
+                "S1",
+                vec![Table::new(
+                    "CLIENT",
+                    vec![
+                        Attribute::plain("CID", DataType::Integer),
+                        Attribute::plain("NAME", DataType::Varchar(None)),
+                    ],
+                )],
+            ),
+            Schema::new(
+                "S2",
+                vec![Table::new(
+                    "CUSTOMER",
+                    vec![Attribute::plain("ID", DataType::Integer)],
+                )],
+            ),
+        ])
+    }
+
+    #[test]
+    fn encode_catalog_shapes() {
+        let enc = SignatureEncoder::default();
+        let sigs = encode_catalog(&enc, &catalog());
+        assert_eq!(sigs.schema_count(), 2);
+        assert_eq!(sigs.dim(), 768);
+        assert_eq!(sigs.schema_len(0), 3); // 2 attrs + 1 table
+        assert_eq!(sigs.schema_len(1), 2);
+        assert_eq!(sigs.total_len(), 5);
+        assert_eq!(sigs.unified().shape(), (5, 768));
+        assert_eq!(sigs.schema_names(), &["S1".to_string(), "S2".to_string()]);
+    }
+
+    #[test]
+    fn element_ids_align_with_unified_rows() {
+        let enc = SignatureEncoder::default();
+        let c = catalog();
+        let sigs = encode_catalog(&enc, &c);
+        let ids = sigs.element_ids();
+        assert_eq!(ids.len(), 5);
+        let unified = sigs.unified();
+        for (row, id) in ids.iter().enumerate() {
+            assert_eq!(sigs.row_of(*id), row);
+            assert_eq!(unified.row(row), sigs.schema(id.schema).row(id.element));
+        }
+    }
+
+    #[test]
+    fn signatures_match_direct_encoding() {
+        let enc = SignatureEncoder::default();
+        let c = catalog();
+        let sigs = encode_catalog(&enc, &c);
+        let expected = enc.encode("NAME CLIENT VARCHAR");
+        let id = c.attribute_id("S1", "CLIENT", "NAME").unwrap();
+        assert_eq!(sigs.schema(0).row(id.element), expected.as_slice());
+    }
+
+    #[test]
+    fn empty_catalog() {
+        let enc = SignatureEncoder::default();
+        let sigs = encode_catalog(&enc, &Catalog::new());
+        assert_eq!(sigs.schema_count(), 0);
+        assert_eq!(sigs.total_len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "name/matrix count mismatch")]
+    fn mismatched_names_panics() {
+        SchemaSignatures::from_matrices(vec![Matrix::zeros(1, 4)], vec![]);
+    }
+}

@@ -1,0 +1,289 @@
+//! Efficient evaluation of collaborative scoping over a whole `v` grid.
+//!
+//! The AUC metrics of the paper (Table 4) integrate performance over the
+//! full explained-variance range `v ∈ (1..0)`. Re-running Algorithm 1 + 2
+//! per grid point would redo the SVDs dozens of times. This module
+//! exploits PCA structure instead: with orthonormal components, the
+//! reconstruction error of a signature at `n` retained components is
+//!
+//! `MSE(n) = (‖x − μ‖² − Σ_{i≤n} z_i²) / dim`
+//!
+//! where `z = (x − μ)·PCᵀ` is the *full-rank* latent projection. So one
+//! projection per `(element, model)` pair — cached as prefix sums — makes
+//! every grid point an O(1)-per-element lookup. A property test pins the
+//! sweep's decisions to [`CollaborativeScoper::run`]'s.
+
+use crate::collaborative::CombinationRule;
+use crate::error::ScopingError;
+use crate::outcome::ScopingOutcome;
+use crate::signatures::SchemaSignatures;
+use cs_linalg::{Matrix, Pca};
+use cs_schema::ElementId;
+
+/// Cached latent projections of one element set under one model.
+#[derive(Debug, Clone)]
+struct ProjTable {
+    /// Per element: prefix sums of squared latent coordinates
+    /// (`prefix[e][n] = Σ_{i<n} z_i²`, with `prefix[e][0] = 0`).
+    prefix: Vec<Vec<f64>>,
+    /// Per element: squared norm of the centered signature.
+    total: Vec<f64>,
+}
+
+impl ProjTable {
+    fn build(pca: &Pca, data: &Matrix) -> Self {
+        let centered = data.sub_row_vector(pca.mean());
+        let z = centered.matmul_transposed(pca.components());
+        let mut prefix = Vec::with_capacity(data.rows());
+        let mut total = Vec::with_capacity(data.rows());
+        for (zrow, crow) in z.rows_iter().zip(centered.rows_iter()) {
+            let mut p = Vec::with_capacity(zrow.len() + 1);
+            let mut acc = 0.0;
+            p.push(0.0);
+            for &v in zrow {
+                acc += v * v;
+                p.push(acc);
+            }
+            prefix.push(p);
+            total.push(crow.iter().map(|x| x * x).sum());
+        }
+        Self { prefix, total }
+    }
+
+    /// Reconstruction MSE of element `e` at `n` retained components.
+    fn error_at(&self, e: usize, n: usize, dim: usize) -> f64 {
+        let p = &self.prefix[e];
+        let n = n.min(p.len() - 1);
+        (self.total[e] - p[n]).max(0.0) / dim as f64
+    }
+
+    fn len(&self) -> usize {
+        self.prefix.len()
+    }
+}
+
+/// Prepared state for sweeping `v` over a catalog's signatures.
+#[derive(Debug, Clone)]
+pub struct CollaborativeSweep {
+    element_ids: Vec<ElementId>,
+    dim: usize,
+    /// Full explained-variance ratios per schema model.
+    ratios: Vec<Vec<f64>>,
+    /// `own[m]` — schema `m`'s own elements under its own model.
+    own: Vec<ProjTable>,
+    /// `cross[k][m]` — schema `k`'s elements under model `m` (`None` on the
+    /// diagonal).
+    cross: Vec<Vec<Option<ProjTable>>>,
+}
+
+impl CollaborativeSweep {
+    /// Fits full-rank PCA per schema and caches all projections.
+    pub fn prepare(signatures: &SchemaSignatures) -> Result<Self, ScopingError> {
+        let k = signatures.schema_count();
+        if k < 2 {
+            return Err(ScopingError::TooFewSchemas { found: k });
+        }
+        for m in 0..k {
+            if signatures.schema_len(m) == 0 {
+                return Err(ScopingError::EmptySchema { schema: m });
+            }
+        }
+        let pcas: Vec<Pca> = (0..k)
+            .map(|m| Pca::fit_full(signatures.schema(m)).map_err(ScopingError::from))
+            .collect::<Result<_, _>>()?;
+        let ratios = pcas
+            .iter()
+            .map(|p| p.explained_variance_ratio().to_vec())
+            .collect();
+        let own: Vec<ProjTable> = (0..k)
+            .map(|m| ProjTable::build(&pcas[m], signatures.schema(m)))
+            .collect();
+        let cross: Vec<Vec<Option<ProjTable>>> = (0..k)
+            .map(|sk| {
+                (0..k)
+                    .map(|m| {
+                        (m != sk).then(|| ProjTable::build(&pcas[m], signatures.schema(sk)))
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(Self {
+            element_ids: signatures.element_ids(),
+            dim: signatures.dim(),
+            ratios,
+            own,
+            cross,
+        })
+    }
+
+    /// Number of schemas.
+    pub fn schema_count(&self) -> usize {
+        self.own.len()
+    }
+
+    /// Components each model retains at explained variance `v`.
+    pub fn components_at(&self, v: f64) -> Vec<usize> {
+        self.ratios
+            .iter()
+            .map(|r| Pca::components_for_variance(r, v))
+            .collect()
+    }
+
+    /// Local linkability ranges `l_m` at explained variance `v`.
+    pub fn ranges_at(&self, v: f64) -> Vec<f64> {
+        let comps = self.components_at(v);
+        self.own
+            .iter()
+            .zip(comps.iter())
+            .map(|(table, &n)| {
+                (0..table.len())
+                    .map(|e| table.error_at(e, n, self.dim))
+                    .fold(0.0, f64::max)
+            })
+            .collect()
+    }
+
+    /// Collaborative assessment at one grid point (equivalent to
+    /// [`crate::CollaborativeScoper::run`] at the same `v`).
+    pub fn assess_at(&self, v: f64) -> ScopingOutcome {
+        self.assess_with_rule(v, CombinationRule::Any)
+    }
+
+    /// Assessment with an explicit combination rule.
+    pub fn assess_with_rule(&self, v: f64, rule: CombinationRule) -> ScopingOutcome {
+        assert!(v.is_finite() && v > 0.0 && v <= 1.0, "v must lie in (0, 1]");
+        let k = self.schema_count();
+        let comps = self.components_at(v);
+        let ranges = self.ranges_at(v);
+        let mut decisions = Vec::with_capacity(self.element_ids.len());
+        for sk in 0..k {
+            let n_elems = self.own[sk].len();
+            for e in 0..n_elems {
+                let mut accepts = 0usize;
+                for m in 0..k {
+                    if let Some(table) = &self.cross[sk][m] {
+                        if table.error_at(e, comps[m], self.dim) <= ranges[m] {
+                            accepts += 1;
+                        }
+                    }
+                }
+                decisions.push(rule.decide(accepts, k - 1));
+            }
+        }
+        ScopingOutcome::new(
+            format!("Collaborative[PCA] v={v}"),
+            self.element_ids.clone(),
+            decisions,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collaborative::CollaborativeScoper;
+    use cs_linalg::Xoshiro256;
+
+    fn random_sigs(seed: u64) -> SchemaSignatures {
+        let mut rng = Xoshiro256::seed_from(seed);
+        let dim = 12;
+        // Shared basis + per-schema private directions to create structure.
+        let shared: Vec<Vec<f64>> = (0..3)
+            .map(|_| (0..dim).map(|_| rng.next_gaussian()).collect())
+            .collect();
+        let mats: Vec<Matrix> = [10usize, 14, 8]
+            .iter()
+            .map(|&n| {
+                let rows: Vec<Vec<f64>> = (0..n)
+                    .map(|_| {
+                        let mut row: Vec<f64> =
+                            (0..dim).map(|_| rng.next_gaussian() * 0.3).collect();
+                        for b in &shared {
+                            cs_linalg::vecops::axpy(&mut row, rng.next_gaussian(), b);
+                        }
+                        row
+                    })
+                    .collect();
+                Matrix::from_rows(&rows)
+            })
+            .collect();
+        SchemaSignatures::from_matrices(mats, vec!["A".into(), "B".into(), "C".into()])
+    }
+
+    #[test]
+    fn sweep_matches_direct_run_across_grid() {
+        let sigs = random_sigs(5);
+        let sweep = CollaborativeSweep::prepare(&sigs).unwrap();
+        for &v in &[0.99, 0.9, 0.75, 0.5, 0.3, 0.1, 0.01] {
+            let fast = sweep.assess_at(v);
+            let slow = CollaborativeScoper::new(v).run(&sigs).unwrap().outcome;
+            assert_eq!(fast.decisions, slow.decisions, "divergence at v={v}");
+        }
+    }
+
+    #[test]
+    fn ranges_grow_as_v_shrinks() {
+        let sigs = random_sigs(6);
+        let sweep = CollaborativeSweep::prepare(&sigs).unwrap();
+        let strict = sweep.ranges_at(0.95);
+        let loose = sweep.ranges_at(0.2);
+        for (s, l) in strict.iter().zip(loose.iter()) {
+            assert!(l >= s, "range must widen: {s} vs {l}");
+        }
+    }
+
+    #[test]
+    fn components_monotone_in_v() {
+        let sigs = random_sigs(7);
+        let sweep = CollaborativeSweep::prepare(&sigs).unwrap();
+        let many = sweep.components_at(0.99);
+        let few = sweep.components_at(0.2);
+        for (m, f) in many.iter().zip(few.iter()) {
+            assert!(m >= f);
+        }
+    }
+
+    #[test]
+    fn errors_match_explicit_reconstruction() {
+        let sigs = random_sigs(8);
+        let sweep = CollaborativeSweep::prepare(&sigs).unwrap();
+        // Compare the cached error of schema 1's elements under model 0
+        // against the explicit PCA reconstruction at v = 0.6.
+        let v = 0.6;
+        let n0 = sweep.components_at(v)[0];
+        let pca = Pca::fit_full(sigs.schema(0)).unwrap().with_components(n0);
+        let explicit = pca.reconstruction_errors(sigs.schema(1));
+        let table = sweep.cross[1][0].as_ref().unwrap();
+        for (e, expected) in explicit.iter().enumerate() {
+            let got = table.error_at(e, n0, sigs.dim());
+            assert!((got - expected).abs() < 1e-9, "elem {e}: {got} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        let one = SchemaSignatures::from_matrices(
+            vec![Matrix::from_rows(&[vec![1.0, 0.0]])],
+            vec!["only".into()],
+        );
+        assert!(matches!(
+            CollaborativeSweep::prepare(&one),
+            Err(ScopingError::TooFewSchemas { found: 1 })
+        ));
+        let with_empty = SchemaSignatures::from_matrices(
+            vec![Matrix::from_rows(&[vec![1.0, 0.0]]), Matrix::zeros(0, 2)],
+            vec!["a".into(), "b".into()],
+        );
+        assert!(matches!(
+            CollaborativeSweep::prepare(&with_empty),
+            Err(ScopingError::EmptySchema { schema: 1 })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "v must lie in")]
+    fn out_of_range_v_panics() {
+        let sigs = random_sigs(9);
+        CollaborativeSweep::prepare(&sigs).unwrap().assess_at(0.0);
+    }
+}

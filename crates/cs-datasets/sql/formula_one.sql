@@ -1,0 +1,165 @@
+-- Formula One: race-data schema in the style of the JOLPICA-F1 / Ergast
+-- database (https://github.com/jolpica/jolpica-f1). 16 tables,
+-- 111 attributes (Table 2 of the paper). Entirely unrelated to the
+-- order-customer domain: every element is unlinkable ground truth.
+
+CREATE TABLE circuits (
+    circuit_id   INT PRIMARY KEY,
+    circuit_ref  VARCHAR(255),
+    circuit_name VARCHAR(255),
+    location     VARCHAR(255),
+    country      VARCHAR(255),
+    latitude     FLOAT,
+    longitude    FLOAT,
+    altitude     INT,
+    url          VARCHAR(255)
+);
+
+CREATE TABLE constructors (
+    constructor_id   INT PRIMARY KEY,
+    constructor_ref  VARCHAR(255),
+    constructor_name VARCHAR(255),
+    nationality      VARCHAR(255),
+    url              VARCHAR(255)
+);
+
+CREATE TABLE constructor_results (
+    constructor_results_id INT PRIMARY KEY,
+    race_id                INT REFERENCES races(race_id),
+    constructor_id         INT REFERENCES constructors(constructor_id),
+    points                 FLOAT,
+    status_note            VARCHAR(255)
+);
+
+CREATE TABLE constructor_standings (
+    constructor_standings_id INT PRIMARY KEY,
+    race_id                  INT REFERENCES races(race_id),
+    constructor_id           INT REFERENCES constructors(constructor_id),
+    points                   FLOAT,
+    position                 INT,
+    position_text            VARCHAR(255),
+    wins                     INT
+);
+
+CREATE TABLE drivers (
+    driver_id   INT PRIMARY KEY,
+    driver_ref  VARCHAR(255),
+    car_number  INT,
+    driver_code VARCHAR(3),
+    forename    VARCHAR(255),
+    surname     VARCHAR(255),
+    dob         DATE,
+    nationality VARCHAR(255),
+    url         VARCHAR(255)
+);
+
+CREATE TABLE driver_standings (
+    driver_standings_id INT PRIMARY KEY,
+    race_id             INT REFERENCES races(race_id),
+    driver_id           INT REFERENCES drivers(driver_id),
+    points              FLOAT,
+    position            INT,
+    position_text       VARCHAR(255),
+    wins                INT
+);
+
+CREATE TABLE lap_times (
+    race_id      INT REFERENCES races(race_id),
+    driver_id    INT REFERENCES drivers(driver_id),
+    lap          INT,
+    position     INT,
+    lap_time     VARCHAR(255),
+    milliseconds INT,
+    PRIMARY KEY (race_id, driver_id, lap)
+);
+
+CREATE TABLE pit_stops (
+    race_id      INT REFERENCES races(race_id),
+    driver_id    INT REFERENCES drivers(driver_id),
+    stop_number  INT,
+    lap          INT,
+    pit_time     VARCHAR(255),
+    duration     VARCHAR(255),
+    milliseconds INT,
+    PRIMARY KEY (race_id, driver_id, stop_number)
+);
+
+CREATE TABLE qualifying (
+    qualify_id     INT PRIMARY KEY,
+    race_id        INT REFERENCES races(race_id),
+    driver_id      INT REFERENCES drivers(driver_id),
+    constructor_id INT REFERENCES constructors(constructor_id),
+    car_number     INT,
+    position       INT,
+    q1_time        VARCHAR(255),
+    q2_time        VARCHAR(255),
+    q3_time        VARCHAR(255)
+);
+
+CREATE TABLE races (
+    race_id     INT PRIMARY KEY,
+    season_year INT REFERENCES seasons(season_year),
+    round       INT,
+    circuit_id  INT REFERENCES circuits(circuit_id),
+    race_name   VARCHAR(255),
+    race_date   DATE,
+    race_time   TIME,
+    url         VARCHAR(255),
+    sprint_date DATE
+);
+
+CREATE TABLE results (
+    result_id        INT PRIMARY KEY,
+    race_id          INT REFERENCES races(race_id),
+    driver_id        INT REFERENCES drivers(driver_id),
+    constructor_id   INT REFERENCES constructors(constructor_id),
+    grid             INT,
+    position         INT,
+    position_order   INT,
+    points           FLOAT,
+    laps             INT,
+    race_duration    VARCHAR(255),
+    fastest_lap      INT,
+    fastest_lap_speed VARCHAR(255),
+    status_id        INT REFERENCES status(status_id)
+);
+
+CREATE TABLE seasons (
+    season_year INT PRIMARY KEY,
+    season_url  VARCHAR(255),
+    round_count INT
+);
+
+CREATE TABLE sprint_results (
+    sprint_result_id INT PRIMARY KEY,
+    race_id          INT REFERENCES races(race_id),
+    driver_id        INT REFERENCES drivers(driver_id),
+    constructor_id   INT REFERENCES constructors(constructor_id),
+    grid             INT,
+    position         INT,
+    points           FLOAT,
+    laps             INT,
+    status_id        INT REFERENCES status(status_id)
+);
+
+CREATE TABLE status (
+    status_id   INT PRIMARY KEY,
+    status_text VARCHAR(255)
+);
+
+CREATE TABLE sessions (
+    session_id   INT PRIMARY KEY,
+    race_id      INT REFERENCES races(race_id),
+    session_type VARCHAR(32),
+    session_date DATE,
+    session_time TIME,
+    weather_note VARCHAR(255)
+);
+
+CREATE TABLE penalties (
+    penalty_id    INT PRIMARY KEY,
+    race_id       INT REFERENCES races(race_id),
+    driver_id     INT REFERENCES drivers(driver_id),
+    penalty_type  VARCHAR(64),
+    seconds_added INT
+);

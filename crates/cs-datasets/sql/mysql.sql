@@ -1,0 +1,91 @@
+-- OC-MySQL: the classicmodels sample database
+-- (https://www.mysqltutorial.org/mysql-sample-database.aspx).
+-- 8 tables, 59 attributes (Table 2 of the paper). Identifier casing is
+-- flattened to lowercase, as the MySQL information schema reports it on
+-- case-folding platforms — this is what creates the paper's
+-- `ORDERDATE` vs `ORDER_DATETIME` serialization nuance.
+
+CREATE TABLE customers (
+    customernumber        INT PRIMARY KEY,
+    customername          VARCHAR(50),
+    contactlastname       VARCHAR(50),
+    contactfirstname      VARCHAR(50),
+    phone                 VARCHAR(50),
+    addressline1          VARCHAR(50),
+    addressline2          VARCHAR(50),
+    city                  VARCHAR(50),
+    state                 VARCHAR(50),
+    postalcode            VARCHAR(15),
+    country               VARCHAR(50),
+    salesrepemployeenumber INT REFERENCES employees(employeenumber),
+    creditlimit           DECIMAL(10,2)
+);
+
+CREATE TABLE employees (
+    employeenumber INT PRIMARY KEY,
+    lastname       VARCHAR(50),
+    firstname      VARCHAR(50),
+    extension      VARCHAR(10),
+    email          VARCHAR(100),
+    officecode     VARCHAR(10) REFERENCES offices(officecode),
+    reportsto      INT REFERENCES employees(employeenumber),
+    jobtitle       VARCHAR(50)
+);
+
+CREATE TABLE offices (
+    officecode   VARCHAR(10) PRIMARY KEY,
+    city         VARCHAR(50),
+    phone        VARCHAR(50),
+    addressline1 VARCHAR(50),
+    addressline2 VARCHAR(50),
+    state        VARCHAR(50),
+    country      VARCHAR(50),
+    postalcode   VARCHAR(15),
+    territory    VARCHAR(10)
+);
+
+CREATE TABLE orderdetails (
+    ordernumber     INT REFERENCES orders(ordernumber),
+    productcode     VARCHAR(15) REFERENCES products(productcode),
+    quantityordered INT,
+    priceeach       DECIMAL(10,2),
+    orderlinenumber SMALLINT,
+    PRIMARY KEY (ordernumber, productcode)
+);
+
+CREATE TABLE orders (
+    ordernumber    INT PRIMARY KEY,
+    orderdate      DATE,
+    requireddate   DATE,
+    shippeddate    DATE,
+    status         VARCHAR(15),
+    comments       TEXT,
+    customernumber INT REFERENCES customers(customernumber)
+);
+
+CREATE TABLE payments (
+    customernumber INT REFERENCES customers(customernumber),
+    checknumber    VARCHAR(50),
+    paymentdate    DATE,
+    amount         DECIMAL(10,2),
+    PRIMARY KEY (customernumber, checknumber)
+);
+
+CREATE TABLE productlines (
+    productline     VARCHAR(50) PRIMARY KEY,
+    textdescription VARCHAR(4000),
+    htmldescription TEXT,
+    image           BLOB
+);
+
+CREATE TABLE products (
+    productcode        VARCHAR(15) PRIMARY KEY,
+    productname        VARCHAR(70),
+    productline        VARCHAR(50) REFERENCES productlines(productline),
+    productscale       VARCHAR(10),
+    productvendor      VARCHAR(50),
+    productdescription TEXT,
+    quantityinstock    SMALLINT,
+    buyprice           DECIMAL(10,2),
+    msrp               DECIMAL(10,2)
+);

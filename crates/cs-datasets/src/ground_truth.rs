@@ -1,0 +1,183 @@
+//! The annotated ground-truth linkage set `L(S)` for the OC3 schemas.
+//!
+//! Authored to the paper's Table 3: per schema pair, 14/22 (Oracle–MySQL),
+//! 10/8 (Oracle–HANA), and 15/1 (MySQL–HANA) inter-identical /
+//! inter-sub-typed **attribute** pairs, plus five inter-sub-typed **table**
+//! pairs that close the gap to the totals row (II 39 / IS 36). The
+//! Formula-One schema participates in no linkage (Table 2: 0 linkable).
+//!
+//! Every name is resolved against the catalog with `expect`, so a typo in
+//! either the DDL or this module fails the test suite loudly.
+
+use cs_schema::{Catalog, ElementId, LinkageKind, LinkagePair, LinkageSet};
+
+/// Schema names as they appear in the catalog.
+const ORACLE: &str = "OC-Oracle";
+const MYSQL: &str = "OC-MySQL";
+const HANA: &str = "OC-HANA";
+
+/// One attribute endpoint: `(schema, table, attribute)`.
+type Attr = (&'static str, &'static str, &'static str);
+
+/// Oracle–MySQL inter-identical attribute pairs (14).
+const ORACLE_MYSQL_II: &[(Attr, Attr)] = &[
+    ((ORACLE, "CUSTOMERS", "CUSTOMER_ID"), (MYSQL, "customers", "customernumber")),
+    ((ORACLE, "CUSTOMERS", "FULL_NAME"), (MYSQL, "customers", "customername")),
+    ((ORACLE, "CUSTOMERS", "PHONE_NUMBER"), (MYSQL, "customers", "phone")),
+    ((ORACLE, "CUSTOMERS", "CREDIT_LIMIT"), (MYSQL, "customers", "creditlimit")),
+    ((ORACLE, "ORDERS", "ORDER_ID"), (MYSQL, "orders", "ordernumber")),
+    ((ORACLE, "ORDERS", "ORDER_DATETIME"), (MYSQL, "orders", "orderdate")),
+    ((ORACLE, "ORDERS", "ORDER_STATUS"), (MYSQL, "orders", "status")),
+    ((ORACLE, "ORDERS", "CUSTOMER_ID"), (MYSQL, "orders", "customernumber")),
+    ((ORACLE, "PRODUCTS", "PRODUCT_ID"), (MYSQL, "products", "productcode")),
+    ((ORACLE, "PRODUCTS", "PRODUCT_NAME"), (MYSQL, "products", "productname")),
+    ((ORACLE, "PRODUCTS", "UNIT_PRICE"), (MYSQL, "products", "buyprice")),
+    ((ORACLE, "ORDER_ITEMS", "ORDER_ID"), (MYSQL, "orderdetails", "ordernumber")),
+    ((ORACLE, "ORDER_ITEMS", "PRODUCT_ID"), (MYSQL, "orderdetails", "productcode")),
+    ((ORACLE, "ORDER_ITEMS", "QUANTITY"), (MYSQL, "orderdetails", "quantityordered")),
+];
+
+/// Oracle–MySQL inter-sub-typed attribute pairs (22).
+const ORACLE_MYSQL_IS: &[(Attr, Attr)] = &[
+    ((ORACLE, "CUSTOMERS", "FULL_NAME"), (MYSQL, "customers", "contactfirstname")),
+    ((ORACLE, "CUSTOMERS", "FULL_NAME"), (MYSQL, "customers", "contactlastname")),
+    ((ORACLE, "CUSTOMERS", "EMAIL_ADDRESS"), (MYSQL, "employees", "email")),
+    ((ORACLE, "CUSTOMERS", "PHONE_NUMBER"), (MYSQL, "offices", "phone")),
+    ((ORACLE, "STORES", "PHYSICAL_ADDRESS"), (MYSQL, "offices", "addressline1")),
+    ((ORACLE, "STORES", "PHYSICAL_ADDRESS"), (MYSQL, "offices", "addressline2")),
+    ((ORACLE, "STORES", "PHYSICAL_ADDRESS"), (MYSQL, "customers", "addressline1")),
+    ((ORACLE, "STORES", "PHYSICAL_ADDRESS"), (MYSQL, "customers", "addressline2")),
+    ((ORACLE, "STORES", "CITY"), (MYSQL, "offices", "city")),
+    ((ORACLE, "STORES", "CITY"), (MYSQL, "customers", "city")),
+    ((ORACLE, "STORES", "STATE_PROVINCE"), (MYSQL, "offices", "state")),
+    ((ORACLE, "STORES", "STATE_PROVINCE"), (MYSQL, "customers", "state")),
+    ((ORACLE, "STORES", "COUNTRY_CODE"), (MYSQL, "offices", "country")),
+    ((ORACLE, "STORES", "COUNTRY_CODE"), (MYSQL, "customers", "country")),
+    ((ORACLE, "ORDER_ITEMS", "UNIT_PRICE"), (MYSQL, "orderdetails", "priceeach")),
+    ((ORACLE, "PRODUCTS", "UNIT_PRICE"), (MYSQL, "orderdetails", "priceeach")),
+    ((ORACLE, "PRODUCTS", "PRODUCT_DETAILS"), (MYSQL, "products", "productdescription")),
+    ((ORACLE, "SHIPMENTS", "DELIVERY_ADDRESS"), (MYSQL, "customers", "addressline1")),
+    ((ORACLE, "SHIPMENTS", "DELIVERY_ADDRESS"), (MYSQL, "customers", "addressline2")),
+    ((ORACLE, "SHIPMENTS", "CUSTOMER_ID"), (MYSQL, "customers", "customernumber")),
+    ((ORACLE, "SHIPMENTS", "SHIPMENT_STATUS"), (MYSQL, "orders", "status")),
+    ((ORACLE, "ORDER_ITEMS", "UNIT_PRICE"), (MYSQL, "products", "buyprice")),
+];
+
+/// Oracle–HANA inter-identical attribute pairs (10).
+const ORACLE_HANA_II: &[(Attr, Attr)] = &[
+    ((ORACLE, "CUSTOMERS", "CUSTOMER_ID"), (HANA, "BUSINESS_PARTNERS", "PARTNER_ID")),
+    ((ORACLE, "CUSTOMERS", "FULL_NAME"), (HANA, "BUSINESS_PARTNERS", "PARTNER_NAME")),
+    ((ORACLE, "CUSTOMERS", "PHONE_NUMBER"), (HANA, "BUSINESS_PARTNERS", "PHONE")),
+    ((ORACLE, "CUSTOMERS", "CREDIT_LIMIT"), (HANA, "BUSINESS_PARTNERS", "CREDIT_LIMIT")),
+    ((ORACLE, "PRODUCTS", "PRODUCT_ID"), (HANA, "PRODUCTS", "PRODUCT_ID")),
+    ((ORACLE, "PRODUCTS", "PRODUCT_NAME"), (HANA, "PRODUCTS", "NAME")),
+    ((ORACLE, "PRODUCTS", "UNIT_PRICE"), (HANA, "PRODUCTS", "PRICE")),
+    ((ORACLE, "ORDERS", "ORDER_ID"), (HANA, "PURCHASE_ORDERS", "PURCHASE_ORDER_ID")),
+    ((ORACLE, "ORDERS", "ORDER_DATETIME"), (HANA, "PURCHASE_ORDERS", "ORDER_DATE")),
+    ((ORACLE, "ORDER_ITEMS", "QUANTITY"), (HANA, "PURCHASE_ORDERS", "QUANTITY")),
+];
+
+/// Oracle–HANA inter-sub-typed attribute pairs (8).
+const ORACLE_HANA_IS: &[(Attr, Attr)] = &[
+    ((ORACLE, "STORES", "CITY"), (HANA, "BUSINESS_PARTNERS", "CITY")),
+    ((ORACLE, "STORES", "COUNTRY_CODE"), (HANA, "BUSINESS_PARTNERS", "COUNTRY")),
+    ((ORACLE, "STORES", "STATE_PROVINCE"), (HANA, "BUSINESS_PARTNERS", "REGION")),
+    ((ORACLE, "STORES", "PHYSICAL_ADDRESS"), (HANA, "BUSINESS_PARTNERS", "STREET")),
+    ((ORACLE, "PRODUCTS", "PRODUCT_DETAILS"), (HANA, "PRODUCTS", "DESCRIPTION")),
+    ((ORACLE, "ORDERS", "CUSTOMER_ID"), (HANA, "PURCHASE_ORDERS", "PARTNER_ID")),
+    ((ORACLE, "SHIPMENTS", "DELIVERY_ADDRESS"), (HANA, "BUSINESS_PARTNERS", "STREET")),
+    ((ORACLE, "ORDER_ITEMS", "ORDER_ID"), (HANA, "PURCHASE_ORDERS", "PURCHASE_ORDER_ID")),
+];
+
+/// MySQL–HANA inter-identical attribute pairs (15).
+const MYSQL_HANA_II: &[(Attr, Attr)] = &[
+    ((MYSQL, "customers", "customernumber"), (HANA, "BUSINESS_PARTNERS", "PARTNER_ID")),
+    ((MYSQL, "customers", "customername"), (HANA, "BUSINESS_PARTNERS", "PARTNER_NAME")),
+    ((MYSQL, "customers", "phone"), (HANA, "BUSINESS_PARTNERS", "PHONE")),
+    ((MYSQL, "customers", "city"), (HANA, "BUSINESS_PARTNERS", "CITY")),
+    ((MYSQL, "customers", "postalcode"), (HANA, "BUSINESS_PARTNERS", "POSTAL_CODE")),
+    ((MYSQL, "customers", "country"), (HANA, "BUSINESS_PARTNERS", "COUNTRY")),
+    ((MYSQL, "customers", "creditlimit"), (HANA, "BUSINESS_PARTNERS", "CREDIT_LIMIT")),
+    ((MYSQL, "customers", "state"), (HANA, "BUSINESS_PARTNERS", "REGION")),
+    ((MYSQL, "products", "productcode"), (HANA, "PRODUCTS", "PRODUCT_ID")),
+    ((MYSQL, "products", "productname"), (HANA, "PRODUCTS", "NAME")),
+    ((MYSQL, "products", "productdescription"), (HANA, "PRODUCTS", "DESCRIPTION")),
+    ((MYSQL, "products", "buyprice"), (HANA, "PRODUCTS", "PRICE")),
+    ((MYSQL, "orders", "ordernumber"), (HANA, "PURCHASE_ORDERS", "PURCHASE_ORDER_ID")),
+    ((MYSQL, "orders", "orderdate"), (HANA, "PURCHASE_ORDERS", "ORDER_DATE")),
+    ((MYSQL, "orderdetails", "quantityordered"), (HANA, "PURCHASE_ORDERS", "QUANTITY")),
+];
+
+/// MySQL–HANA inter-sub-typed attribute pairs (1).
+const MYSQL_HANA_IS: &[(Attr, Attr)] = &[
+    ((MYSQL, "customers", "addressline1"), (HANA, "BUSINESS_PARTNERS", "STREET")),
+];
+
+/// Inter-sub-typed table pairs (5): `(schema, table, schema, table)`.
+const TABLE_PAIRS: &[(&str, &str, &str, &str)] = &[
+    (ORACLE, "CUSTOMERS", MYSQL, "customers"),
+    (ORACLE, "CUSTOMERS", HANA, "BUSINESS_PARTNERS"),
+    (MYSQL, "customers", HANA, "BUSINESS_PARTNERS"),
+    (ORACLE, "PRODUCTS", MYSQL, "products"),
+    (ORACLE, "ORDERS", MYSQL, "orders"),
+];
+
+fn attr_id(catalog: &Catalog, (schema, table, attr): Attr) -> ElementId {
+    catalog
+        .attribute_id(schema, table, attr)
+        .unwrap_or_else(|| panic!("ground truth names unknown attribute {schema}.{table}.{attr}"))
+}
+
+/// Builds the OC3 ground-truth linkage set against a catalog containing
+/// the OC3 schemas (the Formula-One schema, if present, has no linkages).
+pub fn oc3_linkages(catalog: &Catalog) -> LinkageSet {
+    let mut set = LinkageSet::new();
+    let batches: [(&[(Attr, Attr)], LinkageKind); 6] = [
+        (ORACLE_MYSQL_II, LinkageKind::InterIdentical),
+        (ORACLE_MYSQL_IS, LinkageKind::InterSubTyped),
+        (ORACLE_HANA_II, LinkageKind::InterIdentical),
+        (ORACLE_HANA_IS, LinkageKind::InterSubTyped),
+        (MYSQL_HANA_II, LinkageKind::InterIdentical),
+        (MYSQL_HANA_IS, LinkageKind::InterSubTyped),
+    ];
+    for (pairs, kind) in batches {
+        for &(a, b) in pairs {
+            let inserted = set.insert(LinkagePair::new(attr_id(catalog, a), attr_id(catalog, b), kind));
+            assert!(inserted, "duplicate ground-truth pair {a:?} / {b:?}");
+        }
+    }
+    for &(sa, ta, sb, tb) in TABLE_PAIRS {
+        let a = catalog
+            .table_id(sa, ta)
+            .unwrap_or_else(|| panic!("ground truth names unknown table {sa}.{ta}"));
+        let b = catalog
+            .table_id(sb, tb)
+            .unwrap_or_else(|| panic!("ground truth names unknown table {sb}.{tb}"));
+        let inserted = set.insert(LinkagePair::new(a, b, LinkageKind::InterSubTyped));
+        assert!(inserted, "duplicate ground-truth table pair {ta} / {tb}");
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn authored_list_sizes() {
+        assert_eq!(ORACLE_MYSQL_II.len(), 14);
+        assert_eq!(ORACLE_MYSQL_IS.len(), 22);
+        assert_eq!(ORACLE_HANA_II.len(), 10);
+        assert_eq!(ORACLE_HANA_IS.len(), 8);
+        assert_eq!(MYSQL_HANA_II.len(), 15);
+        assert_eq!(MYSQL_HANA_IS.len(), 1);
+        assert_eq!(TABLE_PAIRS.len(), 5);
+    }
+
+    #[test]
+    fn all_pairs_resolve_and_are_distinct() {
+        let ds = crate::oc3();
+        // 14+22+10+8+15+1 attribute pairs + 5 table pairs = 75.
+        assert_eq!(ds.linkages.len(), 75);
+    }
+}

@@ -1,0 +1,249 @@
+//! Synthetic multi-source matching scenarios with known ground truth.
+//!
+//! Used by property tests (scoping invariants must hold on arbitrary
+//! scenarios, not just OC3) and by the scaling benchmarks (complexity
+//! claims of Section 3 need schemas of controllable size).
+//!
+//! The generator draws from a pool of shared "concept" words: each schema
+//! materializes a subset of the shared concepts (these become linkable
+//! attributes, annotated across every schema pair that shares them) plus
+//! private noise attributes (unlinkable). Optionally an entirely alien
+//! schema with its own domain vocabulary is appended — the synthetic
+//! analog of the Formula-One extension.
+
+use cs_linalg::Xoshiro256;
+use cs_schema::{
+    Attribute, Catalog, Constraint, DataType, LinkageKind, LinkagePair, LinkageSet, Schema, Table,
+};
+
+use crate::Dataset;
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct SyntheticConfig {
+    /// Number of related schemas.
+    pub schemas: usize,
+    /// Size of the shared concept pool.
+    pub shared_concepts: usize,
+    /// Shared concepts each schema actually materializes.
+    pub concepts_per_schema: usize,
+    /// Private (unlinkable) attributes per schema.
+    pub private_per_schema: usize,
+    /// Attributes per table (tables are filled greedily).
+    pub table_width: usize,
+    /// Append one alien schema with this many elements (0 = none).
+    pub alien_elements: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        Self {
+            schemas: 3,
+            shared_concepts: 30,
+            concepts_per_schema: 20,
+            private_per_schema: 15,
+            table_width: 8,
+            alien_elements: 0,
+            seed: 0x5F_EE_D5,
+        }
+    }
+}
+
+/// Vocabulary the shared concepts are drawn from — words the default
+/// lexicon knows, so synthetic scenarios exercise the same encoder paths
+/// as the real datasets.
+const SHARED_WORDS: &[&str] = &[
+    "CUSTOMER", "ORDER", "PRODUCT", "PAYMENT", "SHIPMENT", "INVOICE", "EMPLOYEE", "OFFICE",
+    "STORE", "INVENTORY", "ADDRESS", "CITY", "COUNTRY", "PHONE", "EMAIL", "NAME", "PRICE",
+    "AMOUNT", "QUANTITY", "STATUS", "DATE", "CODE", "CREDIT", "DISCOUNT", "TAX", "WAREHOUSE",
+    "VENDOR", "CATEGORY", "DESCRIPTION", "ACCOUNT", "CONTACT", "REGION", "STREET", "POSTAL",
+    "TITLE", "MANAGER", "SALES", "UNIT", "TOTAL", "CHECK",
+];
+
+/// Vocabulary for the alien schema (motorsport domain).
+const ALIEN_WORDS: &[&str] = &[
+    "RACE", "CIRCUIT", "DRIVER", "CONSTRUCTOR", "SEASON", "LAP", "PIT", "QUALIFYING", "SPRINT",
+    "GRID", "POINTS", "STANDINGS", "RESULT", "CAR", "ENGINE", "NATIONALITY", "WIN", "POSITION",
+    "SPEED", "ROUND",
+];
+
+/// Generates a synthetic [`Dataset`].
+///
+/// # Panics
+/// If `concepts_per_schema > shared_concepts` or the configuration is
+/// degenerate (zero schemas / zero table width).
+pub fn generate(config: &SyntheticConfig) -> Dataset {
+    assert!(config.schemas >= 1, "need at least one schema");
+    assert!(config.table_width >= 1, "tables need at least one attribute");
+    assert!(
+        config.concepts_per_schema <= config.shared_concepts,
+        "cannot materialize more concepts than the pool holds"
+    );
+    let mut rng = Xoshiro256::seed_from(config.seed);
+
+    // Concept names: reuse lexicon words, suffix extras deterministically.
+    let concept_name = |i: usize| -> String {
+        let base = SHARED_WORDS[i % SHARED_WORDS.len()];
+        if i < SHARED_WORDS.len() {
+            base.to_string()
+        } else {
+            format!("{base}_{}", i / SHARED_WORDS.len())
+        }
+    };
+
+    let mut schemas = Vec::new();
+    // Which schemas picked which concept, for linkage annotation:
+    // picks[s] = sorted concept indices.
+    let mut picks: Vec<Vec<usize>> = Vec::new();
+    for s in 0..config.schemas {
+        let mut chosen = rng.sample_indices(config.shared_concepts, config.concepts_per_schema);
+        chosen.sort_unstable();
+        let mut attrs: Vec<Attribute> = chosen
+            .iter()
+            .map(|&c| Attribute::plain(concept_name(c), DataType::Varchar(Some(64))))
+            .collect();
+        for p in 0..config.private_per_schema {
+            attrs.push(Attribute::plain(
+                format!("X{s}_PRIVATE_{p}_{}", rng.next_below(1_000_000)),
+                DataType::Integer,
+            ));
+        }
+        rng.shuffle(&mut attrs);
+        let tables = chunk_into_tables(&format!("S{s}"), attrs, config.table_width);
+        schemas.push(Schema::new(format!("SYN-{s}"), tables));
+        picks.push(chosen);
+    }
+    if config.alien_elements > 0 {
+        let attrs: Vec<Attribute> = (0..config.alien_elements)
+            .map(|i| {
+                Attribute::plain(
+                    format!("{}_{}", ALIEN_WORDS[i % ALIEN_WORDS.len()], i / ALIEN_WORDS.len()),
+                    DataType::Integer,
+                )
+            })
+            .collect();
+        let tables = chunk_into_tables("ALIEN", attrs, config.table_width);
+        schemas.push(Schema::new("SYN-ALIEN", tables));
+    }
+
+    let catalog = Catalog::from_schemas(schemas);
+
+    // Annotate: same concept in two schemas → inter-identical pair.
+    let mut linkages = LinkageSet::new();
+    for a in 0..config.schemas {
+        for b in (a + 1)..config.schemas {
+            for &c in &picks[a] {
+                if picks[b].contains(&c) {
+                    let name = concept_name(c);
+                    let ida = find_attribute(&catalog, a, &name);
+                    let idb = find_attribute(&catalog, b, &name);
+                    linkages.insert(LinkagePair::new(ida, idb, LinkageKind::InterIdentical));
+                }
+            }
+        }
+    }
+    Dataset {
+        name: format!("SYN(seed={})", config.seed),
+        catalog,
+        linkages,
+    }
+}
+
+fn chunk_into_tables(prefix: &str, attrs: Vec<Attribute>, width: usize) -> Vec<Table> {
+    let mut tables = Vec::new();
+    for (ti, chunk) in attrs.chunks(width).enumerate() {
+        let mut cols = chunk.to_vec();
+        if let Some(first) = cols.first_mut() {
+            // Give each table a key so constraints vary.
+            if first.constraint == Constraint::None && ti % 2 == 0 {
+                first.constraint = Constraint::PrimaryKey;
+            }
+        }
+        tables.push(Table::new(format!("{prefix}_T{ti}"), cols));
+    }
+    tables
+}
+
+fn find_attribute(catalog: &Catalog, schema: usize, name: &str) -> cs_schema::ElementId {
+    let s = catalog.schema(schema);
+    for table in &s.tables {
+        if table.attribute(name).is_some() {
+            return catalog
+                .attribute_id(&s.name, &table.name, name)
+                .expect("attribute just found");
+        }
+    }
+    panic!("generated attribute {name} missing from schema {schema}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_expected_sizes() {
+        let cfg = SyntheticConfig::default();
+        let ds = generate(&cfg);
+        assert_eq!(ds.catalog.schema_count(), 3);
+        for s in ds.catalog.schemas() {
+            assert_eq!(s.attribute_count(), cfg.concepts_per_schema + cfg.private_per_schema);
+        }
+    }
+
+    #[test]
+    fn linkages_connect_shared_concepts_only() {
+        let ds = generate(&SyntheticConfig::default());
+        assert!(!ds.linkages.is_empty());
+        // Every linkable element is a shared-concept attribute (name in
+        // the vocabulary), never a private one.
+        for id in ds.linkages.linkable_elements() {
+            let info = ds.catalog.info(id);
+            assert!(
+                !info.qualified_name.contains("PRIVATE"),
+                "private attribute annotated linkable: {}",
+                info.qualified_name
+            );
+        }
+    }
+
+    #[test]
+    fn alien_schema_has_no_linkages() {
+        let cfg = SyntheticConfig { alien_elements: 25, ..Default::default() };
+        let ds = generate(&cfg);
+        assert_eq!(ds.catalog.schema_count(), 4);
+        let alien = 3;
+        assert!(ds.linkages.iter().all(|p| p.a.schema != alien && p.b.schema != alien));
+        assert_eq!(ds.linkages.linkable_per_schema(&ds.catalog)[alien], 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&SyntheticConfig::default());
+        let b = generate(&SyntheticConfig::default());
+        assert_eq!(a.catalog, b.catalog);
+        assert_eq!(a.linkages, b.linkages);
+        let c = generate(&SyntheticConfig { seed: 99, ..Default::default() });
+        assert_ne!(a.catalog, c.catalog);
+    }
+
+    #[test]
+    fn overhead_controllable_via_private_attrs() {
+        let lean = generate(&SyntheticConfig { private_per_schema: 2, ..Default::default() });
+        let heavy = generate(&SyntheticConfig { private_per_schema: 40, ..Default::default() });
+        let lo = lean.unlinkable_overhead().unwrap();
+        let hi = heavy.unlinkable_overhead().unwrap();
+        assert!(hi > lo, "{hi} vs {lo}");
+    }
+
+    #[test]
+    #[should_panic(expected = "more concepts than the pool")]
+    fn invalid_config_panics() {
+        generate(&SyntheticConfig {
+            shared_concepts: 5,
+            concepts_per_schema: 10,
+            ..Default::default()
+        });
+    }
+}

@@ -1,0 +1,491 @@
+//! The concept lexicon: curated word semantics for schema vocabulary.
+//!
+//! Sentence-BERT knows from pre-training that *client* ≈ *customer* and that
+//! *city* is part of an *address*. This module replaces that knowledge with
+//! an explicit concept graph: each [`ConceptEntry`] names a concept, the
+//! surface tokens that denote it, an optional hypernym (`parent`), and a
+//! domain tag. The encoder turns concepts into seeded Gaussian directions
+//! and blends in parent and domain directions, which is what makes
+//! synonyms collapse, hyponyms sit at an angle, and domains separate.
+//!
+//! [`Lexicon::default_lexicon`] covers the vocabulary of the evaluation
+//! datasets: generic database words, the order–customer (commerce) domain,
+//! the Formula-One (motorsport) domain, and SQL type words.
+
+use std::collections::HashMap;
+
+/// Domain tags used by the default lexicon.
+pub mod domains {
+    /// Cross-domain vocabulary (no domain pull).
+    pub const GENERIC: &str = "GENERIC";
+    /// Order-customer / commerce vocabulary.
+    pub const COMMERCE: &str = "COMMERCE";
+    /// Formula-One / motorsport vocabulary.
+    pub const MOTORSPORT: &str = "MOTORSPORT";
+    /// SQL type and constraint words.
+    pub const TYPE: &str = "TYPE";
+}
+
+/// One concept: canonical name, surface forms, optional hypernym, domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConceptEntry {
+    /// Canonical concept name (also seeds its Gaussian direction).
+    pub concept: String,
+    /// Hypernym concept name, if any (e.g. `city` → `address`).
+    pub parent: Option<String>,
+    /// Domain tag (see [`domains`]).
+    pub domain: String,
+    /// Uppercase surface tokens that resolve to this concept.
+    pub synonyms: Vec<String>,
+}
+
+impl ConceptEntry {
+    /// Convenience constructor from string-likes.
+    pub fn new(
+        concept: impl Into<String>,
+        parent: Option<&str>,
+        domain: impl Into<String>,
+        synonyms: &[&str],
+    ) -> Self {
+        Self {
+            concept: concept.into(),
+            parent: parent.map(str::to_string),
+            domain: domain.into(),
+            synonyms: synonyms.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+}
+
+/// Token → concept resolution table.
+#[derive(Debug, Clone)]
+pub struct Lexicon {
+    entries: Vec<ConceptEntry>,
+    by_token: HashMap<String, usize>,
+    by_concept: HashMap<String, usize>,
+}
+
+impl Lexicon {
+    /// Builds a lexicon from entries.
+    ///
+    /// # Panics
+    /// If a surface token is claimed by two concepts, or a `parent` names an
+    /// unknown concept — both are authoring bugs worth failing loudly on.
+    pub fn new(entries: Vec<ConceptEntry>) -> Self {
+        let mut by_token = HashMap::new();
+        let mut by_concept = HashMap::new();
+        for (i, e) in entries.iter().enumerate() {
+            if by_concept.insert(e.concept.clone(), i).is_some() {
+                panic!("duplicate concept {}", e.concept);
+            }
+        }
+        for (i, e) in entries.iter().enumerate() {
+            for tok in &e.synonyms {
+                if let Some(prev) = by_token.insert(tok.clone(), i) {
+                    panic!(
+                        "token {tok} claimed by both {} and {}",
+                        entries[prev].concept, e.concept
+                    );
+                }
+            }
+            if let Some(p) = &e.parent {
+                assert!(
+                    by_concept.contains_key(p),
+                    "concept {} has unknown parent {p}",
+                    e.concept
+                );
+            }
+        }
+        Self { entries, by_token, by_concept }
+    }
+
+    /// Resolves an uppercase surface token to its concept.
+    pub fn resolve(&self, token: &str) -> Option<&ConceptEntry> {
+        self.by_token.get(token).map(|&i| &self.entries[i])
+    }
+
+    /// Looks up a concept by canonical name.
+    pub fn concept(&self, name: &str) -> Option<&ConceptEntry> {
+        self.by_concept.get(name).map(|&i| &self.entries[i])
+    }
+
+    /// True if the token resolves to some concept.
+    pub fn contains_token(&self, token: &str) -> bool {
+        self.by_token.contains_key(token)
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[ConceptEntry] {
+        &self.entries
+    }
+
+    /// Hypernym chain of a concept, nearest first (excluding itself).
+    pub fn ancestors(&self, concept: &str) -> Vec<&ConceptEntry> {
+        let mut out = Vec::new();
+        let mut cur = self.concept(concept).and_then(|e| e.parent.as_deref());
+        let mut guard = 0;
+        while let Some(p) = cur {
+            guard += 1;
+            assert!(guard < 16, "parent cycle at {p}");
+            let entry = self.concept(p).expect("validated at construction");
+            out.push(entry);
+            cur = entry.parent.as_deref();
+        }
+        out
+    }
+
+    /// Parses lexicon entries from a plain-text description, one concept
+    /// per line:
+    ///
+    /// ```text
+    /// # comment
+    /// concept | parent-or-"-" | DOMAIN | SYN1, SYN2, ...
+    /// city    | address       | GENERIC | CITY, TOWN
+    /// ```
+    ///
+    /// Used by the `scope` CLI's `--lexicon` flag so users can extend the
+    /// vocabulary without recompiling. Entries returned here are meant to
+    /// be appended to [`Lexicon::default_lexicon`]'s entries (parents may
+    /// reference default concepts).
+    ///
+    /// # Errors
+    /// Returns a line-numbered message on malformed input.
+    pub fn parse_entries(text: &str) -> Result<Vec<ConceptEntry>, String> {
+        let mut out = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let parts: Vec<&str> = line.split('|').map(str::trim).collect();
+            if parts.len() != 4 {
+                return Err(format!(
+                    "line {}: expected 'concept | parent | domain | synonyms', got {line:?}",
+                    lineno + 1
+                ));
+            }
+            let concept = parts[0];
+            if concept.is_empty() {
+                return Err(format!("line {}: empty concept name", lineno + 1));
+            }
+            let parent = match parts[1] {
+                "-" | "" => None,
+                p => Some(p),
+            };
+            let synonyms: Vec<String> = parts[3]
+                .split(',')
+                .map(|s| s.trim().to_uppercase())
+                .filter(|s| !s.is_empty())
+                .collect();
+            if synonyms.is_empty() {
+                return Err(format!("line {}: concept {concept} has no synonyms", lineno + 1));
+            }
+            out.push(ConceptEntry {
+                concept: concept.to_string(),
+                parent: parent.map(str::to_string),
+                domain: parts[2].to_uppercase(),
+                synonyms,
+            });
+        }
+        Ok(out)
+    }
+
+    /// [`Lexicon::default_lexicon`] extended with entries parsed from a
+    /// text description (see [`Lexicon::parse_entries`]).
+    ///
+    /// # Errors
+    /// Propagates parse errors, and reports duplicate concepts/tokens and
+    /// unknown parents as errors (unlike [`Lexicon::new`], which treats
+    /// them as authoring bugs and panics) — extension text is user input,
+    /// not source code.
+    pub fn default_with_extensions(text: &str) -> Result<Self, String> {
+        let mut entries = Self::default_lexicon().entries().to_vec();
+        let extensions = Self::parse_entries(text)?;
+        let mut concepts: std::collections::HashSet<String> =
+            entries.iter().map(|e| e.concept.clone()).collect();
+        let mut tokens: std::collections::HashSet<String> = entries
+            .iter()
+            .flat_map(|e| e.synonyms.iter().cloned())
+            .collect();
+        for ext in &extensions {
+            if !concepts.insert(ext.concept.clone()) {
+                return Err(format!("extension redefines concept {}", ext.concept));
+            }
+            for tok in &ext.synonyms {
+                if !tokens.insert(tok.clone()) {
+                    return Err(format!(
+                        "extension token {tok} (concept {}) is already claimed",
+                        ext.concept
+                    ));
+                }
+            }
+        }
+        for ext in &extensions {
+            if let Some(p) = &ext.parent {
+                if !concepts.contains(p) {
+                    return Err(format!("extension concept {} has unknown parent {p}", ext.concept));
+                }
+            }
+        }
+        entries.extend(extensions);
+        Ok(Self::new(entries))
+    }
+
+    /// The default lexicon covering the evaluation datasets' vocabulary.
+    pub fn default_lexicon() -> Self {
+        use domains::*;
+        macro_rules! c {
+            ($concept:literal, $parent:expr, $domain:expr, [$($syn:literal),*]) => {
+                ConceptEntry::new($concept, $parent, $domain, &[$($syn),*])
+            };
+        }
+        let entries = vec![
+            // ---- generic vocabulary -------------------------------------
+            c!("identifier", None, GENERIC, ["ID", "IDS", "IDENTIFIER", "UID"]),
+            c!("number", None, GENERIC, ["NUMBER", "NUM", "NO", "NR"]),
+            c!("code", None, GENERIC, ["CODE", "CODES"]),
+            c!("name", None, GENERIC, ["NAME", "NAMES", "LABEL"]),
+            c!("title", Some("name"), GENERIC, ["TITLE"]),
+            c!("first", None, GENERIC, ["FIRST", "FORENAME", "GIVEN"]),
+            c!("last", None, GENERIC, ["LAST", "SURNAME", "FAMILY"]),
+            c!("full", None, GENERIC, ["FULL"]),
+            c!("person", None, GENERIC, ["PERSON", "PEOPLE", "INDIVIDUAL"]),
+            c!("contact", Some("person"), GENERIC, ["CONTACT", "CONTACTS"]),
+            c!("address", None, GENERIC, ["ADDRESS", "ADDRESSES", "ADDR"]),
+            c!("street", Some("address"), GENERIC, ["STREET", "ROAD"]),
+            c!("city", Some("address"), GENERIC, ["CITY", "TOWN"]),
+            c!("state", Some("address"), GENERIC, ["STATE", "PROVINCE", "REGION"]),
+            c!("postal", Some("address"), GENERIC, ["POSTAL", "ZIP", "POSTCODE"]),
+            c!("country", Some("address"), GENERIC, ["COUNTRY", "COUNTRIES"]),
+            c!("territory", Some("country"), GENERIC, ["TERRITORY", "TERRITORIES"]),
+            c!("location", Some("address"), GENERIC, ["LOCATION", "LOCATIONS", "PLACE", "LOCALITY"]),
+            c!("latitude", Some("location"), GENERIC, ["LATITUDE", "LAT"]),
+            c!("longitude", Some("location"), GENERIC, ["LONGITUDE", "LNG", "LON"]),
+            c!("altitude", Some("location"), GENERIC, ["ALTITUDE", "ALT"]),
+            c!("phone", None, GENERIC, ["PHONE", "TELEPHONE", "TEL"]),
+            c!("fax", Some("phone"), GENERIC, ["FAX"]),
+            c!("mobile", Some("phone"), GENERIC, ["MOBILE", "CELL"]),
+            c!("extension", Some("phone"), GENERIC, ["EXTENSION", "EXT"]),
+            c!("email", None, GENERIC, ["EMAIL", "MAIL"]),
+            c!("url", None, GENERIC, ["URL", "WEBSITE", "HOMEPAGE", "WEB"]),
+            c!("image", None, GENERIC, ["IMAGE", "PHOTO", "PICTURE", "IMG"]),
+            c!("date", None, GENERIC, ["DATE", "DAY"]),
+            c!("datetime", Some("date"), GENERIC, ["DATETIME"]),
+            c!("timestamp", Some("date"), GENERIC, ["TIMESTAMP"]),
+            c!("time", None, GENERIC, ["TIME"]),
+            c!("year", Some("date"), GENERIC, ["YEAR", "YR"]),
+            c!("month", Some("date"), GENERIC, ["MONTH"]),
+            c!("duration", Some("time"), GENERIC, ["DURATION"]),
+            c!("milliseconds", Some("time"), GENERIC, ["MILLISECONDS", "MILLIS", "MS"]),
+            c!("birthdate", Some("date"), GENERIC, ["DOB", "BIRTHDATE", "BIRTHDAY", "BORN", "BIRTH"]),
+            c!("gender", None, GENERIC, ["GENDER", "SEX"]),
+            c!("money", None, GENERIC, ["MONEY", "CURRENCY"]),
+            c!("price", Some("money"), GENERIC, ["PRICE", "PRICES", "MSRP"]),
+            c!("amount", Some("money"), GENERIC, ["AMOUNT", "AMOUNTS"]),
+            c!("cost", Some("money"), GENERIC, ["COST", "COSTS"]),
+            c!("total", Some("money"), GENERIC, ["TOTAL", "SUM"]),
+            c!("tax", Some("money"), GENERIC, ["TAX", "VAT"]),
+            c!("gross", Some("money"), GENERIC, ["GROSS"]),
+            c!("net", Some("money"), GENERIC, ["NET"]),
+            c!("discount", Some("money"), GENERIC, ["DISCOUNT", "REBATE"]),
+            c!("credit", Some("money"), GENERIC, ["CREDIT"]),
+            c!("limit", None, GENERIC, ["LIMIT", "MAX", "MAXIMUM"]),
+            c!("quantity", None, GENERIC, ["QUANTITY", "QTY", "COUNT"]),
+            c!("unit", None, GENERIC, ["UNIT", "UNITS", "EACH"]),
+            c!("size", None, GENERIC, ["SIZE", "SCALE"]),
+            c!("weight", None, GENERIC, ["WEIGHT"]),
+            c!("color", None, GENERIC, ["COLOR", "COLOUR"]),
+            c!("description", None, GENERIC, ["DESCRIPTION", "DESCRIPTIONS", "DESC"]),
+            c!("comment", Some("description"), GENERIC, ["COMMENT", "COMMENTS", "NOTE", "NOTES", "REMARK"]),
+            c!("status", None, GENERIC, ["STATUS"]),
+            c!("type", None, GENERIC, ["TYPE", "KIND"]),
+            c!("category", Some("type"), GENERIC, ["CATEGORY", "CATEGORIES"]),
+            c!("line", None, GENERIC, ["LINE", "LINES"]),
+            c!("job", None, GENERIC, ["JOB", "OCCUPATION"]),
+            c!("report", None, GENERIC, ["REPORT", "REPORTS"]),
+            c!("stop", None, GENERIC, ["STOP", "STOPS"]),
+            c!("reference", None, GENERIC, ["REF", "REFERENCE"]),
+            c!("required", None, GENERIC, ["REQUIRED", "REQUIRE"]),
+            c!("target", None, GENERIC, ["TARGET"]),
+            // ---- commerce / order-customer domain -----------------------
+            c!("customer", Some("person"), COMMERCE, ["CUSTOMER", "CUSTOMERS", "CLIENT", "CLIENTS", "BUYER", "PARTNER", "SHOPPER"]),
+            c!("order", None, COMMERCE, ["ORDER", "ORDERS", "PURCHASE", "PURCHASES", "PO"]),
+            c!("orderitem", Some("order"), COMMERCE, ["ITEM", "ITEMS", "DETAIL", "DETAILS", "ORDERDETAILS", "ORDERITEMS", "LINEITEM"]),
+            c!("product", None, COMMERCE, ["PRODUCT", "PRODUCTS", "GOODS", "ARTICLE", "MERCHANDISE"]),
+            c!("productline", Some("product"), COMMERCE, ["PRODUCTLINE", "PRODUCTLINES", "ASSORTMENT"]),
+            c!("brand", Some("product"), COMMERCE, ["BRAND", "MAKE"]),
+            c!("payment", Some("money"), COMMERCE, ["PAYMENT", "PAYMENTS", "PAID"]),
+            c!("check", Some("payment"), COMMERCE, ["CHECK", "CHEQUE"]),
+            c!("invoice", Some("payment"), COMMERCE, ["INVOICE", "INVOICES", "BILL", "BILLING"]),
+            c!("account", Some("money"), COMMERCE, ["ACCOUNT", "ACCOUNTS"]),
+            c!("shipment", None, COMMERCE, ["SHIPMENT", "SHIPMENTS", "DELIVERY", "DELIVERIES", "SHIPPING", "SHIPPED", "SHIP"]),
+            c!("store", None, COMMERCE, ["STORE", "STORES", "SHOP", "OUTLET"]),
+            c!("inventory", None, COMMERCE, ["INVENTORY", "STOCK", "ONHAND"]),
+            c!("warehouse", Some("inventory"), COMMERCE, ["WAREHOUSE", "WAREHOUSES", "DEPOT"]),
+            c!("employee", Some("person"), COMMERCE, ["EMPLOYEE", "EMPLOYEES", "STAFF", "WORKER"]),
+            c!("salesrep", Some("employee"), COMMERCE, ["REP", "REPRESENTATIVE", "AGENT"]),
+            c!("office", None, COMMERCE, ["OFFICE", "OFFICES", "BRANCH", "HEADQUARTER", "HEADQUARTERS"]),
+            c!("vendor", None, COMMERCE, ["VENDOR", "SUPPLIER", "SELLER"]),
+            c!("sales", None, COMMERCE, ["SALES", "SALE", "SELLING"]),
+            c!("manager", Some("employee"), COMMERCE, ["MANAGER", "SUPERVISOR", "BOSS"]),
+            // ---- motorsport / Formula-One domain ------------------------
+            c!("race", None, MOTORSPORT, ["RACE", "RACES", "RACING"]),
+            c!("circuit", None, MOTORSPORT, ["CIRCUIT", "CIRCUITS", "TRACK", "SPEEDWAY"]),
+            c!("driver", Some("person"), MOTORSPORT, ["DRIVER", "DRIVERS", "PILOT"]),
+            c!("constructor", None, MOTORSPORT, ["CONSTRUCTOR", "CONSTRUCTORS", "TEAM", "TEAMS"]),
+            c!("season", Some("year"), MOTORSPORT, ["SEASON", "SEASONS"]),
+            c!("lap", None, MOTORSPORT, ["LAP", "LAPS"]),
+            c!("pit", None, MOTORSPORT, ["PIT", "PITS"]),
+            c!("qualifying", None, MOTORSPORT, ["QUALIFYING", "QUALI", "QUALIFICATION"]),
+            c!("sprint", None, MOTORSPORT, ["SPRINT", "SPRINTS"]),
+            c!("grid", None, MOTORSPORT, ["GRID"]),
+            c!("points", None, MOTORSPORT, ["POINTS", "POINT", "SCORE"]),
+            c!("standings", None, MOTORSPORT, ["STANDING", "STANDINGS", "RANK", "RANKING", "LEADERBOARD"]),
+            c!("result", None, MOTORSPORT, ["RESULT", "RESULTS", "OUTCOME"]),
+            c!("car", None, MOTORSPORT, ["CAR", "CARS", "VEHICLE"]),
+            c!("engine", Some("car"), MOTORSPORT, ["ENGINE", "MOTOR"]),
+            c!("nationality", Some("country"), MOTORSPORT, ["NATIONALITY", "NATIONALITIES"]),
+            c!("win", None, MOTORSPORT, ["WIN", "WINS", "WINNER", "VICTORY"]),
+            c!("position", None, MOTORSPORT, ["POSITION", "POS", "PLACING"]),
+            c!("fastest", None, MOTORSPORT, ["FASTEST"]),
+            c!("speed", None, MOTORSPORT, ["SPEED", "VELOCITY"]),
+            c!("round", Some("number"), MOTORSPORT, ["ROUND", "ROUNDS"]),
+            c!("retired", None, MOTORSPORT, ["RETIRED", "RETIREMENT", "DNF"]),
+            // ---- SQL type & constraint words ----------------------------
+            c!("ty_integer", None, TYPE, ["INTEGER", "INT", "BIGINT", "SMALLINT"]),
+            c!("ty_decimal", None, TYPE, ["DECIMAL", "NUMERIC"]),
+            c!("ty_float", None, TYPE, ["FLOAT", "DOUBLE", "REAL"]),
+            c!("ty_varchar", None, TYPE, ["VARCHAR", "STRING"]),
+            c!("ty_char", None, TYPE, ["CHAR"]),
+            c!("ty_text", None, TYPE, ["TEXT", "CLOB"]),
+            c!("ty_boolean", None, TYPE, ["BOOLEAN", "BOOL"]),
+            c!("ty_blob", None, TYPE, ["BLOB", "BINARY"]),
+            c!("kw_primary", None, TYPE, ["PRIMARY"]),
+            c!("kw_foreign", None, TYPE, ["FOREIGN"]),
+            c!("kw_key", None, TYPE, ["KEY", "KEYS"]),
+        ];
+        Self::new(entries)
+    }
+}
+
+impl Default for Lexicon {
+    fn default() -> Self {
+        Self::default_lexicon()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_lexicon_builds() {
+        let lex = Lexicon::default_lexicon();
+        assert!(lex.entries().len() > 90);
+    }
+
+    #[test]
+    fn synonyms_resolve_to_same_concept() {
+        let lex = Lexicon::default_lexicon();
+        let a = lex.resolve("CLIENT").unwrap();
+        let b = lex.resolve("CUSTOMER").unwrap();
+        assert_eq!(a.concept, b.concept);
+        assert_eq!(a.concept, "customer");
+    }
+
+    #[test]
+    fn unknown_token_misses() {
+        let lex = Lexicon::default_lexicon();
+        assert!(lex.resolve("FLUXCAPACITOR").is_none());
+        assert!(!lex.contains_token("XYZZY"));
+    }
+
+    #[test]
+    fn hypernyms_chain() {
+        let lex = Lexicon::default_lexicon();
+        let city = lex.resolve("CITY").unwrap();
+        assert_eq!(city.parent.as_deref(), Some("address"));
+        let anc = lex.ancestors("territory");
+        let names: Vec<&str> = anc.iter().map(|e| e.concept.as_str()).collect();
+        assert_eq!(names, vec!["country", "address"]);
+    }
+
+    #[test]
+    fn domains_assigned() {
+        let lex = Lexicon::default_lexicon();
+        assert_eq!(lex.resolve("CIRCUIT").unwrap().domain, domains::MOTORSPORT);
+        assert_eq!(lex.resolve("SHIPMENT").unwrap().domain, domains::COMMERCE);
+        assert_eq!(lex.resolve("ADDRESS").unwrap().domain, domains::GENERIC);
+    }
+
+    #[test]
+    fn person_bridges_domains() {
+        // DRIVER, CUSTOMER, and EMPLOYEE all descend from `person` — the
+        // hard-negative structure the paper calls out ("DRIVER could be
+        // regarded as a CLIENT or EMPLOYEE").
+        let lex = Lexicon::default_lexicon();
+        for tok in ["DRIVER", "CUSTOMER", "EMPLOYEE"] {
+            assert_eq!(lex.resolve(tok).unwrap().parent.as_deref(), Some("person"), "{tok}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "claimed by both")]
+    fn duplicate_token_panics() {
+        Lexicon::new(vec![
+            ConceptEntry::new("a", None, "G", &["X"]),
+            ConceptEntry::new("b", None, "G", &["X"]),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown parent")]
+    fn unknown_parent_panics() {
+        Lexicon::new(vec![ConceptEntry::new("a", Some("ghost"), "G", &["A"])]);
+    }
+
+    #[test]
+    fn concept_lookup_by_name() {
+        let lex = Lexicon::default_lexicon();
+        assert!(lex.concept("customer").is_some());
+        assert!(lex.concept("no-such-concept").is_none());
+    }
+
+    #[test]
+    fn parse_entries_roundtrip() {
+        let text = "\n# custom words\nwarranty | - | COMMERCE | WARRANTY, GUARANTEE\ndestination | address | GENERIC | DESTINATION\n";
+        let entries = Lexicon::parse_entries(text).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].concept, "warranty");
+        assert_eq!(entries[0].parent, None);
+        assert_eq!(entries[1].parent.as_deref(), Some("address"));
+        let lex = Lexicon::default_with_extensions(text).unwrap();
+        assert_eq!(lex.resolve("GUARANTEE").unwrap().concept, "warranty");
+        assert_eq!(lex.ancestors("destination")[0].concept, "address");
+    }
+
+    #[test]
+    fn parse_entries_rejects_malformed_lines() {
+        assert!(Lexicon::parse_entries("just-a-word").unwrap_err().contains("line 1"));
+        assert!(Lexicon::parse_entries("a | - | G |").unwrap_err().contains("no synonyms"));
+        assert!(Lexicon::parse_entries(" | - | G | X").unwrap_err().contains("empty concept"));
+    }
+
+    #[test]
+    fn parse_entries_uppercases_synonyms_and_domains() {
+        let entries = Lexicon::parse_entries("c | - | generic | abc, Def").unwrap();
+        assert_eq!(entries[0].domain, "GENERIC");
+        assert_eq!(entries[0].synonyms, vec!["ABC".to_string(), "DEF".to_string()]);
+    }
+
+    #[test]
+    fn extensions_reject_collisions_gracefully() {
+        // Redefining a default token must be an Err, not a panic — the
+        // scope CLI feeds user files through this path.
+        let err = Lexicon::default_with_extensions("mycity | - | GENERIC | CITY").unwrap_err();
+        assert!(err.contains("already claimed"), "{err}");
+        let err = Lexicon::default_with_extensions("city | - | GENERIC | METROPOLIS").unwrap_err();
+        assert!(err.contains("redefines concept"), "{err}");
+        let err = Lexicon::default_with_extensions("x | ghost | GENERIC | XX").unwrap_err();
+        assert!(err.contains("unknown parent"), "{err}");
+    }
+}

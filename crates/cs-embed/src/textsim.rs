@@ -1,0 +1,188 @@
+//! Classic string-similarity measures.
+//!
+//! Related work (Section 2.2) matches schema element names with string
+//! similarity (Levenshtein, fuzzy measures). These are provided both as a
+//! baseline matcher ingredient and for examples comparing lexical vs
+//! semantic matching.
+
+/// Levenshtein edit distance between two strings (by Unicode scalar).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    // Single-row DP.
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Normalized Levenshtein similarity in `[0, 1]`.
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let max = a.chars().count().max(b.chars().count());
+    if max == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max as f64
+}
+
+/// Jaro similarity in `[0, 1]`.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches_a = Vec::new();
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == ca {
+                b_used[j] = true;
+                matches_a.push((i, j));
+                break;
+            }
+        }
+    }
+    let m = matches_a.len();
+    if m == 0 {
+        return 0.0;
+    }
+    // Transpositions: compare match sequences in order.
+    let b_matches: Vec<usize> = {
+        let mut v: Vec<(usize, usize)> = matches_a.clone();
+        v.sort_by_key(|&(i, _)| i);
+        v.into_iter().map(|(_, j)| j).collect()
+    };
+    let mut sorted_b = b_matches.clone();
+    sorted_b.sort_unstable();
+    let t = b_matches
+        .iter()
+        .zip(sorted_b.iter())
+        .filter(|(x, y)| x != y)
+        .count() as f64
+        / 2.0;
+    let m = m as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro–Winkler similarity with the standard prefix scale 0.1 (capped at 4).
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count() as f64;
+    j + prefix * 0.1 * (1.0 - j)
+}
+
+/// Jaccard similarity of character n-gram sets.
+pub fn ngram_jaccard(a: &str, b: &str, n: usize) -> f64 {
+    assert!(n > 0, "n-gram size must be positive");
+    let grams = |s: &str| -> std::collections::HashSet<String> {
+        let chars: Vec<char> = s.chars().collect();
+        if chars.len() < n {
+            if chars.is_empty() {
+                return Default::default();
+            }
+            return std::iter::once(chars.iter().collect()).collect();
+        }
+        chars.windows(n).map(|w| w.iter().collect()).collect()
+    };
+    let ga = grams(a);
+    let gb = grams(b);
+    if ga.is_empty() && gb.is_empty() {
+        return 1.0;
+    }
+    let inter = ga.intersection(&gb).count();
+    let union = ga.len() + gb.len() - inter;
+    if union == 0 {
+        1.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_known_values() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("same", "same"), 0);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn levenshtein_similarity_bounds() {
+        assert_eq!(levenshtein_similarity("", ""), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "abc"), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "xyz"), 0.0);
+        let s = levenshtein_similarity("ORDER_DATE", "ORDERDATE");
+        assert!(s > 0.8, "{s}");
+    }
+
+    #[test]
+    fn jaro_known_values() {
+        assert!((jaro("MARTHA", "MARHTA") - 0.9444444).abs() < 1e-6);
+        assert!((jaro("DIXON", "DICKSONX") - 0.7666666).abs() < 1e-6);
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("A", ""), 0.0);
+        assert_eq!(jaro("ABC", "XYZ"), 0.0);
+    }
+
+    #[test]
+    fn jaro_winkler_known_values() {
+        assert!((jaro_winkler("MARTHA", "MARHTA") - 0.9611111).abs() < 1e-6);
+        assert!((jaro_winkler("DWAYNE", "DUANE") - 0.84).abs() < 1e-2);
+        // Winkler boost only helps with shared prefixes.
+        assert!(jaro_winkler("PREFIX", "PREFIXES") > jaro("PREFIX", "PREFIXES"));
+    }
+
+    #[test]
+    fn symmetric() {
+        for (a, b) in [("ORDERS", "ORDER"), ("CLIENT", "CUSTOMER"), ("", "X")] {
+            assert_eq!(levenshtein(a, b), levenshtein(b, a));
+            assert!((jaro(a, b) - jaro(b, a)).abs() < 1e-12);
+            assert!((ngram_jaccard(a, b, 2) - ngram_jaccard(b, a, 2)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ngram_jaccard_cases() {
+        assert_eq!(ngram_jaccard("abc", "abc", 2), 1.0);
+        assert_eq!(ngram_jaccard("", "", 2), 1.0);
+        assert_eq!(ngram_jaccard("abcd", "wxyz", 2), 0.0);
+        let s = ngram_jaccard("ADDRESS", "ADDRESSES", 3);
+        assert!(s > 0.5, "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_ngram_panics() {
+        ngram_jaccard("a", "b", 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # cs-linalg
+//!
+//! Dense linear-algebra substrate for the collaborative-scoping workspace.
+//!
+//! Everything the paper's pipeline needs numerically lives here, implemented
+//! from scratch (no external linear-algebra crates):
+//!
+//! - [`Matrix`] — a row-major dense `f64` matrix with the usual operations,
+//! - [`svd`] — singular value decomposition (one-sided Jacobi, plus a
+//!   Gram-matrix economy path for the common `rows ≪ cols` signature case),
+//! - [`Pca`] — the PCA encoder–decoder used by both global scoping and the
+//!   paper's local self-supervised models (Algorithm 1),
+//! - [`stats`] — column means/variances, z-scores, distance helpers,
+//! - [`SplitMix64`] / [`Xoshiro256`] — small seeded PRNGs so every
+//!   experiment in the workspace is exactly reproducible.
+//!
+//! The signature matrices this workspace manipulates are small (hundreds of
+//! rows, 768 columns), so clarity and numerical robustness are preferred
+//! over blocked/SIMD kernels; the hot paths are nonetheless allocation-aware
+//! (see the `matmul` implementations) following the Rust Performance Book
+//! guidance.
+
+pub mod matrix;
+pub mod pca;
+pub mod qr;
+pub mod rng;
+pub mod stats;
+pub mod svd;
+pub mod vecops;
+
+pub use matrix::Matrix;
+pub use pca::{ExplainedVariance, Pca};
+pub use qr::{qr, randomized_svd};
+pub use rng::{SplitMix64, Xoshiro256};
+pub use svd::{Svd, SvdError};
+
+/// Numerical tolerance used by iterative algorithms in this crate.
+pub const EPS: f64 = 1e-12;

@@ -1,0 +1,337 @@
+//! PCA encoder–decoder.
+//!
+//! This is the exact model of the paper's Algorithm 1 (lines 3–13): project
+//! signatures onto their mean, take the full SVD, keep the smallest prefix
+//! of principal components whose cumulative explained variance exceeds the
+//! global parameter `v`, and encode/decode through those components. The
+//! per-row reconstruction MSE is the outlier score used by both global
+//! scoping and collaborative scoping.
+
+use crate::stats::column_mean;
+use crate::vecops::mse;
+use crate::{Matrix, Svd, SvdError};
+
+/// Validated explained-variance parameter `v ∈ (0, 1]`.
+///
+/// The paper treats `v` as the single *global* knob shared by all local
+/// models; `v = 1` keeps every component (perfect reconstruction of the
+/// training set), small `v` keeps almost none.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExplainedVariance(f64);
+
+impl ExplainedVariance {
+    /// Creates a validated explained-variance value.
+    ///
+    /// # Errors
+    /// Returns `None` unless `0 < v ≤ 1` and `v` is finite.
+    pub fn new(v: f64) -> Option<Self> {
+        (v.is_finite() && v > 0.0 && v <= 1.0).then_some(Self(v))
+    }
+
+    /// The raw value.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+/// A fitted PCA encoder–decoder: `(μ, PC)` plus the spectrum bookkeeping
+/// needed to re-truncate at different explained-variance levels.
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Pca {
+    mean: Vec<f64>,
+    /// Principal components as rows: `n_components × dim`.
+    components: Matrix,
+    /// Per-component explained-variance ratios of the *full* decomposition.
+    explained_variance_ratio: Vec<f64>,
+    /// Singular values of the full decomposition.
+    singular_values: Vec<f64>,
+}
+
+impl Pca {
+    /// Fits a full PCA (all `min(n, d)` components) on the rows of `data`.
+    pub fn fit_full(data: &Matrix) -> Result<Self, SvdError> {
+        let mean = column_mean(data);
+        let centered = data.sub_row_vector(&mean);
+        let svd = Svd::compute(&centered)?;
+        let total: f64 = svd.singular_values.iter().map(|s| s * s).sum();
+        let ratio: Vec<f64> = if total > 0.0 {
+            svd.singular_values.iter().map(|s| s * s / total).collect()
+        } else {
+            // Zero-variance data: every component explains "all" of nothing;
+            // define the first component as carrying the full (empty) variance
+            // so downstream truncation keeps exactly one component.
+            let mut r = vec![0.0; svd.singular_values.len()];
+            if let Some(first) = r.first_mut() {
+                *first = 1.0;
+            }
+            r
+        };
+        Ok(Self {
+            mean,
+            components: svd.vt,
+            explained_variance_ratio: ratio,
+            singular_values: svd.singular_values,
+        })
+    }
+
+    /// Fits and truncates so the kept components' cumulative explained
+    /// variance is `≥ v` (Algorithm 1 lines 6–10: `GetIndex(CEV, v) + 1`).
+    pub fn fit(data: &Matrix, v: ExplainedVariance) -> Result<Self, SvdError> {
+        let full = Self::fit_full(data)?;
+        Ok(full.truncated(v))
+    }
+
+    /// Fits with an explicit component count (clamped to the available rank).
+    pub fn fit_with_components(data: &Matrix, n_components: usize) -> Result<Self, SvdError> {
+        let full = Self::fit_full(data)?;
+        Ok(full.with_components(n_components))
+    }
+
+    /// Returns a copy truncated to the smallest prefix of components whose
+    /// cumulative explained variance reaches `v`.
+    pub fn truncated(&self, v: ExplainedVariance) -> Self {
+        let n = Self::components_for_variance(&self.explained_variance_ratio, v.get());
+        self.with_components(n)
+    }
+
+    /// Returns a copy keeping exactly `n` components (clamped to `[1, rank]`
+    /// when any components exist).
+    pub fn with_components(&self, n: usize) -> Self {
+        let avail = self.components.rows();
+        let keep = n.clamp(1.min(avail), avail);
+        let idx: Vec<usize> = (0..keep).collect();
+        Self {
+            mean: self.mean.clone(),
+            components: self.components.select_rows(&idx),
+            explained_variance_ratio: self.explained_variance_ratio.clone(),
+            singular_values: self.singular_values.clone(),
+        }
+    }
+
+    /// The `GetIndex(CEV, v) + 1` rule: number of leading components needed
+    /// so the cumulative explained variance is `≥ v` (at least 1).
+    pub fn components_for_variance(ratios: &[f64], v: f64) -> usize {
+        let mut cum = 0.0;
+        for (i, &r) in ratios.iter().enumerate() {
+            cum += r;
+            if cum >= v - 1e-12 {
+                return i + 1;
+            }
+        }
+        ratios.len().max(1)
+    }
+
+    /// Number of retained principal components.
+    pub fn n_components(&self) -> usize {
+        self.components.rows()
+    }
+
+    /// Signature dimensionality the model was fitted on.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// The training mean `μ`.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// The retained principal components (rows), `n_components × dim`.
+    pub fn components(&self) -> &Matrix {
+        &self.components
+    }
+
+    /// Per-component explained-variance ratios of the full decomposition.
+    pub fn explained_variance_ratio(&self) -> &[f64] {
+        &self.explained_variance_ratio
+    }
+
+    /// Cumulative explained variance actually captured by the retained
+    /// components.
+    pub fn captured_variance(&self) -> f64 {
+        self.explained_variance_ratio
+            .iter()
+            .take(self.n_components())
+            .sum()
+    }
+
+    /// Singular values of the full decomposition.
+    pub fn singular_values(&self) -> &[f64] {
+        &self.singular_values
+    }
+
+    /// Encodes rows into the latent space: `Z = (X − μ) · PCᵀ`.
+    pub fn encode(&self, data: &Matrix) -> Matrix {
+        assert_eq!(data.cols(), self.dim(), "dimension mismatch in encode");
+        data.sub_row_vector(&self.mean)
+            .matmul_transposed(&self.components)
+    }
+
+    /// Decodes latent rows back: `X̂ = Z · PC + μ`.
+    pub fn decode(&self, latent: &Matrix) -> Matrix {
+        assert_eq!(
+            latent.cols(),
+            self.n_components(),
+            "latent dimension mismatch in decode"
+        );
+        latent.matmul(&self.components).add_row_vector(&self.mean)
+    }
+
+    /// Encode-then-decode (the full reconstruction of Definition 4).
+    pub fn reconstruct(&self, data: &Matrix) -> Matrix {
+        self.decode(&self.encode(data))
+    }
+
+    /// Per-row reconstruction MSE — the outlier scores `s_{k_i}`.
+    pub fn reconstruction_errors(&self, data: &Matrix) -> Vec<f64> {
+        let recon = self.reconstruct(data);
+        data.rows_iter()
+            .zip(recon.rows_iter())
+            .map(|(orig, rec)| mse(orig, rec))
+            .collect()
+    }
+
+    /// Reconstruction MSE of a single signature vector.
+    pub fn reconstruction_error_one(&self, signature: &[f64]) -> f64 {
+        let row = Matrix::from_rows(&[signature.to_vec()]);
+        self.reconstruction_errors(&row)[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256;
+
+    fn random_data(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = Xoshiro256::seed_from(seed);
+        Matrix::from_fn(rows, cols, |_, _| rng.next_gaussian())
+    }
+
+    #[test]
+    fn explained_variance_validation() {
+        assert!(ExplainedVariance::new(0.5).is_some());
+        assert!(ExplainedVariance::new(1.0).is_some());
+        assert!(ExplainedVariance::new(0.0).is_none());
+        assert!(ExplainedVariance::new(-0.1).is_none());
+        assert!(ExplainedVariance::new(1.1).is_none());
+        assert!(ExplainedVariance::new(f64::NAN).is_none());
+    }
+
+    #[test]
+    fn full_pca_reconstructs_exactly() {
+        let data = random_data(10, 6, 1);
+        let pca = Pca::fit(&data, ExplainedVariance::new(1.0).unwrap()).unwrap();
+        let err = pca.reconstruction_errors(&data);
+        assert!(err.iter().all(|&e| e < 1e-16), "errors {err:?}");
+    }
+
+    #[test]
+    fn truncation_orders_error_by_variance() {
+        let data = random_data(30, 8, 2);
+        let full = Pca::fit_full(&data).unwrap();
+        let hi = full.truncated(ExplainedVariance::new(0.9).unwrap());
+        let lo = full.truncated(ExplainedVariance::new(0.3).unwrap());
+        assert!(hi.n_components() >= lo.n_components());
+        let err_hi: f64 = hi.reconstruction_errors(&data).iter().sum();
+        let err_lo: f64 = lo.reconstruction_errors(&data).iter().sum();
+        assert!(err_hi <= err_lo + 1e-12);
+    }
+
+    #[test]
+    fn components_for_variance_rule() {
+        let ratios = [0.5, 0.3, 0.15, 0.05];
+        assert_eq!(Pca::components_for_variance(&ratios, 0.4), 1);
+        assert_eq!(Pca::components_for_variance(&ratios, 0.5), 1);
+        assert_eq!(Pca::components_for_variance(&ratios, 0.6), 2);
+        assert_eq!(Pca::components_for_variance(&ratios, 0.95), 3);
+        assert_eq!(Pca::components_for_variance(&ratios, 1.0), 4);
+        // Unreachable targets clamp to everything.
+        assert_eq!(Pca::components_for_variance(&[0.6, 0.2], 0.99), 2);
+        // Degenerate input keeps at least one component.
+        assert_eq!(Pca::components_for_variance(&[], 0.5), 1);
+    }
+
+    #[test]
+    fn captured_variance_matches_request() {
+        let data = random_data(40, 10, 3);
+        let pca = Pca::fit(&data, ExplainedVariance::new(0.7).unwrap()).unwrap();
+        assert!(pca.captured_variance() >= 0.7 - 1e-9);
+    }
+
+    #[test]
+    fn encode_decode_shapes() {
+        let data = random_data(12, 20, 4);
+        let pca = Pca::fit_with_components(&data, 3).unwrap();
+        let z = pca.encode(&data);
+        assert_eq!(z.shape(), (12, 3));
+        let back = pca.decode(&z);
+        assert_eq!(back.shape(), (12, 20));
+    }
+
+    #[test]
+    fn rank_one_data_needs_one_component() {
+        // All rows along one direction plus the mean.
+        let mut rng = Xoshiro256::seed_from(5);
+        let dir: Vec<f64> = (0..7).map(|_| rng.next_gaussian()).collect();
+        let data = Matrix::from_fn(9, 7, |i, j| (i as f64 + 1.0) * dir[j]);
+        let pca = Pca::fit(&data, ExplainedVariance::new(0.99).unwrap()).unwrap();
+        assert_eq!(pca.n_components(), 1);
+        let err = pca.reconstruction_errors(&data);
+        assert!(err.iter().all(|&e| e < 1e-14));
+    }
+
+    #[test]
+    fn zero_variance_data_reconstructs_via_mean() {
+        let data = Matrix::from_fn(5, 4, |_, _| 3.5);
+        let pca = Pca::fit(&data, ExplainedVariance::new(0.5).unwrap()).unwrap();
+        assert_eq!(pca.n_components(), 1);
+        let err = pca.reconstruction_errors(&data);
+        assert!(err.iter().all(|&e| e < 1e-18));
+    }
+
+    #[test]
+    fn outlier_has_larger_reconstruction_error() {
+        // Fit on a plane-bound cloud, score an off-plane point higher than an
+        // on-plane one.
+        let mut rng = Xoshiro256::seed_from(6);
+        let rows: Vec<Vec<f64>> = (0..50)
+            .map(|_| {
+                let a = rng.next_gaussian();
+                let b = rng.next_gaussian();
+                vec![a, b, a + b, a - b, 0.0]
+            })
+            .collect();
+        let data = Matrix::from_rows(&rows);
+        let pca = Pca::fit(&data, ExplainedVariance::new(0.95).unwrap()).unwrap();
+        let on_plane = pca.reconstruction_error_one(&[1.0, 1.0, 2.0, 0.0, 0.0]);
+        let off_plane = pca.reconstruction_error_one(&[1.0, 1.0, 2.0, 0.0, 8.0]);
+        assert!(off_plane > on_plane * 10.0, "{off_plane} vs {on_plane}");
+    }
+
+    #[test]
+    fn mean_is_training_mean() {
+        let data = Matrix::from_rows(&[vec![0.0, 2.0], vec![2.0, 4.0]]);
+        let pca = Pca::fit_full(&data).unwrap();
+        assert_eq!(pca.mean(), &[1.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn encode_wrong_dim_panics() {
+        let data = random_data(5, 4, 7);
+        let pca = Pca::fit_full(&data).unwrap();
+        pca.encode(&random_data(3, 5, 8));
+    }
+
+    #[test]
+    fn single_row_training_set() {
+        let data = Matrix::from_rows(&[vec![1.0, 2.0, 3.0]]);
+        let pca = Pca::fit(&data, ExplainedVariance::new(0.9).unwrap()).unwrap();
+        // Centering a single row yields zero variance: reconstruction is the
+        // row itself.
+        let err = pca.reconstruction_errors(&data);
+        assert!(err[0] < 1e-18);
+    }
+}

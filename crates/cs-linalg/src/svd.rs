@@ -1,0 +1,483 @@
+//! Singular value decomposition.
+//!
+//! Algorithm 1 of the paper computes a *full SVD* of the mean-centered
+//! signature matrix of each local schema. Signature matrices here are
+//! short-and-wide (`n` elements × 768 embedding dimensions, with `n` from a
+//! handful up to a few hundred), so two implementations are provided:
+//!
+//! - [`Svd::jacobi`] — one-sided (Hestenes) Jacobi rotation SVD. Simple,
+//!   robust, accurate; the reference implementation.
+//! - [`Svd::gram`] — the economy path: eigendecompose the smaller Gram
+//!   matrix (`A·Aᵀ` when `n ≤ d`, `Aᵀ·A` otherwise) with a cyclic
+//!   symmetric Jacobi solver and recover the other factor. Much faster for
+//!   the `n ≪ d` signature case.
+//!
+//! [`Svd::compute`] dispatches to the faster path; a property test in this
+//! module (and an ablation bench in `cs-bench`) pins the two paths to agree.
+
+use crate::matrix::dot;
+use crate::Matrix;
+
+/// Thin SVD factorization `A = U · diag(σ) · Vᵀ` with `r = min(rows, cols)`
+/// retained components, singular values sorted in descending order.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors, `rows × r` (columns are `u_i`).
+    pub u: Matrix,
+    /// Singular values `σ_1 ≥ σ_2 ≥ … ≥ σ_r ≥ 0`.
+    pub singular_values: Vec<f64>,
+    /// Right singular vectors transposed, `r × cols` (rows are `v_iᵀ`).
+    pub vt: Matrix,
+}
+
+/// Errors reported by the SVD routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SvdError {
+    /// The input matrix has zero rows or zero columns.
+    EmptyMatrix,
+    /// The input contains NaN or infinite entries.
+    NonFiniteInput,
+}
+
+impl std::fmt::Display for SvdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SvdError::EmptyMatrix => write!(f, "cannot decompose an empty matrix"),
+            SvdError::NonFiniteInput => write!(f, "matrix contains NaN or infinite entries"),
+        }
+    }
+}
+
+impl std::error::Error for SvdError {}
+
+impl Svd {
+    /// Computes the thin SVD, dispatching to the cheaper algorithm for the
+    /// matrix shape: Gram path when one side is much smaller, one-sided
+    /// Jacobi otherwise.
+    pub fn compute(a: &Matrix) -> Result<Svd, SvdError> {
+        validate(a)?;
+        let (n, d) = a.shape();
+        // The Gram path solves a min(n,d)² eigenproblem; one-sided Jacobi
+        // rotates over the full `d` columns. Prefer Gram whenever the
+        // aspect ratio is lopsided — which is always true for signature
+        // matrices (n ≤ a few hundred, d = 768).
+        if n * 2 < d || d * 2 < n {
+            Self::gram(a)
+        } else {
+            Self::jacobi(a)
+        }
+    }
+
+    /// One-sided (Hestenes) Jacobi SVD: orthogonalizes the columns of `A`
+    /// by plane rotations accumulated into `V`.
+    pub fn jacobi(a: &Matrix) -> Result<Svd, SvdError> {
+        validate(a)?;
+        let (n, d) = a.shape();
+        // Work on the columns of A: w_j ∈ R^n. Store column-major for
+        // cache-friendly column rotations.
+        let mut w: Vec<Vec<f64>> = (0..d).map(|j| a.col(j)).collect();
+        let mut v: Vec<Vec<f64>> = (0..d)
+            .map(|j| {
+                let mut e = vec![0.0; d];
+                e[j] = 1.0;
+                e
+            })
+            .collect();
+
+        let scale = a.frobenius_norm();
+        let tol = if scale > 0.0 { 1e-14 * scale * scale } else { 0.0 };
+        let max_sweeps = 60;
+        for _ in 0..max_sweeps {
+            let mut off = 0.0f64;
+            for p in 0..d {
+                for q in (p + 1)..d {
+                    let alpha = dot(&w[p], &w[p]);
+                    let beta = dot(&w[q], &w[q]);
+                    let gamma = dot(&w[p], &w[q]);
+                    off = off.max(gamma.abs());
+                    if gamma.abs() <= tol || alpha == 0.0 || beta == 0.0 {
+                        continue;
+                    }
+                    // Rotation zeroing the (p,q) entry of WᵀW.
+                    let zeta = (beta - alpha) / (2.0 * gamma);
+                    let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = c * t;
+                    rotate_pair(&mut w, p, q, c, s);
+                    rotate_pair(&mut v, p, q, c, s);
+                }
+            }
+            if off <= tol.max(1e-300) {
+                break;
+            }
+        }
+
+        // Singular values are the column norms; sort descending.
+        let mut order: Vec<usize> = (0..d).collect();
+        let norms: Vec<f64> = w.iter().map(|col| dot(col, col).sqrt()).collect();
+        order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).unwrap());
+
+        let r = n.min(d);
+        let mut u = Matrix::zeros(n, r);
+        let mut vt = Matrix::zeros(r, d);
+        let mut sv = Vec::with_capacity(r);
+        for (slot, &j) in order.iter().take(r).enumerate() {
+            let sigma = norms[j];
+            sv.push(sigma);
+            if sigma > 0.0 {
+                for i in 0..n {
+                    u[(i, slot)] = w[j][i] / sigma;
+                }
+            }
+            for k in 0..d {
+                vt[(slot, k)] = v[j][k];
+            }
+        }
+        Ok(Svd { u, singular_values: sv, vt })
+    }
+
+    /// Gram-matrix economy SVD: eigendecomposes the smaller of `A·Aᵀ` and
+    /// `Aᵀ·A`, then recovers the other factor as `Aᵀu/σ` (or `Av/σ`).
+    pub fn gram(a: &Matrix) -> Result<Svd, SvdError> {
+        validate(a)?;
+        let (n, d) = a.shape();
+        let r = n.min(d);
+        if n <= d {
+            // G = A·Aᵀ (n×n); G = U·Σ²·Uᵀ.
+            let g = a.matmul_transposed(a);
+            let (eigvals, eigvecs) = symmetric_eigen(&g);
+            let mut u = Matrix::zeros(n, r);
+            let mut vt = Matrix::zeros(r, d);
+            let mut sv = Vec::with_capacity(r);
+            for slot in 0..r {
+                let lambda = eigvals[slot].max(0.0);
+                let sigma = lambda.sqrt();
+                sv.push(sigma);
+                for i in 0..n {
+                    u[(i, slot)] = eigvecs[(i, slot)];
+                }
+                if sigma > crate::EPS {
+                    // v = Aᵀ·u / σ.
+                    let u_col: Vec<f64> = (0..n).map(|i| eigvecs[(i, slot)]).collect();
+                    for k in 0..d {
+                        let mut acc = 0.0;
+                        for i in 0..n {
+                            acc += a[(i, k)] * u_col[i];
+                        }
+                        vt[(slot, k)] = acc / sigma;
+                    }
+                }
+            }
+            Ok(Svd { u, singular_values: sv, vt })
+        } else {
+            // G = Aᵀ·A (d×d); G = V·Σ²·Vᵀ.
+            let at = a.transpose();
+            let g = at.matmul_transposed(&at);
+            let (eigvals, eigvecs) = symmetric_eigen(&g);
+            let mut u = Matrix::zeros(n, r);
+            let mut vt = Matrix::zeros(r, d);
+            let mut sv = Vec::with_capacity(r);
+            for slot in 0..r {
+                let lambda = eigvals[slot].max(0.0);
+                let sigma = lambda.sqrt();
+                sv.push(sigma);
+                let v_col: Vec<f64> = (0..d).map(|k| eigvecs[(k, slot)]).collect();
+                for k in 0..d {
+                    vt[(slot, k)] = v_col[k];
+                }
+                if sigma > crate::EPS {
+                    // u = A·v / σ.
+                    for i in 0..n {
+                        u[(i, slot)] = dot(a.row(i), &v_col) / sigma;
+                    }
+                }
+            }
+            Ok(Svd { u, singular_values: sv, vt })
+        }
+    }
+
+    /// Reconstructs `U · diag(σ) · Vᵀ`. Useful for testing the factorization.
+    pub fn reconstruct(&self) -> Matrix {
+        let r = self.singular_values.len();
+        let mut us = self.u.clone();
+        for i in 0..us.rows() {
+            for j in 0..r {
+                us[(i, j)] *= self.singular_values[j];
+            }
+        }
+        us.matmul(&self.vt)
+    }
+
+    /// Number of singular values above `tol · σ_max` — the numerical rank.
+    pub fn rank(&self, tol: f64) -> usize {
+        let max = self.singular_values.first().copied().unwrap_or(0.0);
+        self.singular_values
+            .iter()
+            .filter(|&&s| s > tol * max && s > 0.0)
+            .count()
+    }
+}
+
+fn validate(a: &Matrix) -> Result<(), SvdError> {
+    if a.rows() == 0 || a.cols() == 0 {
+        return Err(SvdError::EmptyMatrix);
+    }
+    if a.has_non_finite() {
+        return Err(SvdError::NonFiniteInput);
+    }
+    Ok(())
+}
+
+/// Applies the plane rotation `(cols[p], cols[q]) ← (c·p − s·q, s·p + c·q)`.
+fn rotate_pair(cols: &mut [Vec<f64>], p: usize, q: usize, c: f64, s: f64) {
+    debug_assert_ne!(p, q);
+    let (lo, hi) = if p < q { (p, q) } else { (q, p) };
+    let (head, tail) = cols.split_at_mut(hi);
+    let (a, b) = if p < q {
+        (&mut head[lo], &mut tail[0])
+    } else {
+        (&mut tail[0], &mut head[lo])
+    };
+    for (x, y) in a.iter_mut().zip(b.iter_mut()) {
+        let xp = c * *x - s * *y;
+        let yq = s * *x + c * *y;
+        *x = xp;
+        *y = yq;
+    }
+}
+
+/// Cyclic Jacobi eigendecomposition of a symmetric matrix.
+///
+/// Returns `(eigenvalues, eigenvectors)` with eigenvalues sorted descending
+/// and eigenvectors as the corresponding *columns* of the returned matrix.
+pub fn symmetric_eigen(m: &Matrix) -> (Vec<f64>, Matrix) {
+    assert_eq!(m.rows(), m.cols(), "symmetric_eigen needs a square matrix");
+    let n = m.rows();
+    let mut a = m.clone();
+    let mut v = Matrix::identity(n);
+
+    let scale: f64 = a.as_slice().iter().map(|x| x * x).sum::<f64>().sqrt();
+    let tol = if scale > 0.0 { 1e-14 * scale } else { 0.0 };
+
+    for _ in 0..100 {
+        // Largest off-diagonal magnitude this sweep.
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                off = off.max(a[(p, q)].abs());
+            }
+        }
+        if off <= tol.max(1e-300) {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a[(p, q)];
+                if apq.abs() <= tol {
+                    continue;
+                }
+                let app = a[(p, p)];
+                let aqq = a[(q, q)];
+                let zeta = (aqq - app) / (2.0 * apq);
+                let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                // A ← JᵀAJ, applied to rows and columns p, q.
+                for k in 0..n {
+                    let akp = a[(k, p)];
+                    let akq = a[(k, q)];
+                    a[(k, p)] = c * akp - s * akq;
+                    a[(k, q)] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[(p, k)];
+                    let aqk = a[(q, k)];
+                    a[(p, k)] = c * apk - s * aqk;
+                    a[(q, k)] = s * apk + c * aqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| a[(i, i)]).collect();
+    order.sort_by(|&i, &j| diag[j].partial_cmp(&diag[i]).unwrap());
+    let eigvals: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let mut eigvecs = Matrix::zeros(n, n);
+    for (slot, &j) in order.iter().enumerate() {
+        for i in 0..n {
+            eigvecs[(i, slot)] = v[(i, j)];
+        }
+    }
+    (eigvals, eigvecs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256;
+
+    fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = Xoshiro256::seed_from(seed);
+        Matrix::from_fn(rows, cols, |_, _| rng.next_gaussian())
+    }
+
+    fn assert_reconstructs(a: &Matrix, svd: &Svd, tol: f64) {
+        let diff = svd.reconstruct().max_abs_diff(a);
+        assert!(diff < tol, "reconstruction error {diff}");
+    }
+
+    fn assert_orthonormal_cols(m: &Matrix, tol: f64) {
+        let gram = m.transpose().matmul(m);
+        for i in 0..gram.rows() {
+            for j in 0..gram.cols() {
+                let expected = if i == j { 1.0 } else { 0.0 };
+                let got = gram[(i, j)];
+                // Columns paired with zero singular values may be zero.
+                if i == j && got.abs() < tol {
+                    continue;
+                }
+                assert!(
+                    (got - expected).abs() < tol,
+                    "gram[{i},{j}] = {got}, expected {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jacobi_diagonal_matrix() {
+        let a = Matrix::from_rows(&[vec![3.0, 0.0], vec![0.0, 2.0]]);
+        let svd = Svd::jacobi(&a).unwrap();
+        assert!((svd.singular_values[0] - 3.0).abs() < 1e-10);
+        assert!((svd.singular_values[1] - 2.0).abs() < 1e-10);
+        assert_reconstructs(&a, &svd, 1e-10);
+    }
+
+    #[test]
+    fn jacobi_known_rank_one() {
+        // Outer product: rank 1 with σ = |u||v|.
+        let a = Matrix::from_rows(&[vec![2.0, 4.0], vec![1.0, 2.0]]);
+        let svd = Svd::jacobi(&a).unwrap();
+        assert!(svd.singular_values[1].abs() < 1e-10);
+        assert_eq!(svd.rank(1e-9), 1);
+        assert_reconstructs(&a, &svd, 1e-10);
+    }
+
+    #[test]
+    fn jacobi_random_square() {
+        let a = random_matrix(12, 12, 1);
+        let svd = Svd::jacobi(&a).unwrap();
+        assert_reconstructs(&a, &svd, 1e-8);
+        assert_orthonormal_cols(&svd.u, 1e-8);
+        assert_orthonormal_cols(&svd.vt.transpose(), 1e-8);
+    }
+
+    #[test]
+    fn gram_wide_matrix() {
+        let a = random_matrix(6, 40, 2);
+        let svd = Svd::gram(&a).unwrap();
+        assert_eq!(svd.u.shape(), (6, 6));
+        assert_eq!(svd.vt.shape(), (6, 40));
+        assert_reconstructs(&a, &svd, 1e-8);
+        assert_orthonormal_cols(&svd.u, 1e-8);
+        assert_orthonormal_cols(&svd.vt.transpose(), 1e-8);
+    }
+
+    #[test]
+    fn gram_tall_matrix() {
+        let a = random_matrix(40, 6, 3);
+        let svd = Svd::gram(&a).unwrap();
+        assert_eq!(svd.u.shape(), (40, 6));
+        assert_eq!(svd.vt.shape(), (6, 6));
+        assert_reconstructs(&a, &svd, 1e-8);
+    }
+
+    #[test]
+    fn gram_and_jacobi_agree_on_singular_values() {
+        let a = random_matrix(8, 20, 4);
+        let j = Svd::jacobi(&a).unwrap();
+        let g = Svd::gram(&a).unwrap();
+        for (x, y) in j.singular_values.iter().zip(g.singular_values.iter()) {
+            assert!((x - y).abs() < 1e-7, "jacobi {x} vs gram {y}");
+        }
+    }
+
+    #[test]
+    fn compute_dispatches_and_reconstructs() {
+        for (rows, cols, seed) in [(5, 30, 5), (30, 5, 6), (10, 10, 7)] {
+            let a = random_matrix(rows, cols, seed);
+            let svd = Svd::compute(&a).unwrap();
+            assert_reconstructs(&a, &svd, 1e-8);
+        }
+    }
+
+    #[test]
+    fn singular_values_sorted_descending() {
+        let a = random_matrix(9, 15, 8);
+        let svd = Svd::compute(&a).unwrap();
+        for w in svd.singular_values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_matrix_rejected() {
+        assert!(matches!(Svd::compute(&Matrix::zeros(0, 3)), Err(SvdError::EmptyMatrix)));
+        assert!(matches!(Svd::compute(&Matrix::zeros(3, 0)), Err(SvdError::EmptyMatrix)));
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 0)] = f64::NAN;
+        assert!(matches!(Svd::compute(&a), Err(SvdError::NonFiniteInput)));
+    }
+
+    #[test]
+    fn zero_matrix_has_zero_singular_values() {
+        let a = Matrix::zeros(3, 5);
+        let svd = Svd::compute(&a).unwrap();
+        assert!(svd.singular_values.iter().all(|&s| s.abs() < 1e-12));
+        assert_eq!(svd.rank(1e-9), 0);
+        assert_reconstructs(&a, &svd, 1e-12);
+    }
+
+    #[test]
+    fn single_row_matrix() {
+        let a = Matrix::from_rows(&[vec![3.0, 4.0]]);
+        let svd = Svd::compute(&a).unwrap();
+        assert!((svd.singular_values[0] - 5.0).abs() < 1e-10);
+        assert_reconstructs(&a, &svd, 1e-10);
+    }
+
+    #[test]
+    fn symmetric_eigen_known_eigenvalues() {
+        let m = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let (vals, vecs) = symmetric_eigen(&m);
+        assert!((vals[0] - 3.0).abs() < 1e-10);
+        assert!((vals[1] - 1.0).abs() < 1e-10);
+        // Check A·v = λ·v for the first eigenvector.
+        let v0: Vec<f64> = (0..2).map(|i| vecs[(i, 0)]).collect();
+        let av = m.matvec(&v0);
+        for i in 0..2 {
+            assert!((av[i] - vals[0] * v0[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn frobenius_preserved_by_singular_values() {
+        // ||A||_F² = Σ σ_i².
+        let a = random_matrix(7, 13, 9);
+        let svd = Svd::compute(&a).unwrap();
+        let sum_sq: f64 = svd.singular_values.iter().map(|s| s * s).sum();
+        let frob = a.frobenius_norm();
+        assert!((sum_sq - frob * frob).abs() < 1e-8 * frob * frob);
+    }
+}

@@ -1,0 +1,155 @@
+//! Vector-level helpers shared by the embedder, ODAs, and matchers.
+
+use crate::matrix::dot;
+
+/// Euclidean (L2) norm.
+#[inline]
+pub fn norm(v: &[f64]) -> f64 {
+    dot(v, v).sqrt()
+}
+
+/// Normalizes `v` in place to unit L2 norm; leaves zero vectors untouched.
+pub fn normalize(v: &mut [f64]) {
+    let n = norm(v);
+    if n > 0.0 {
+        for x in v {
+            *x /= n;
+        }
+    }
+}
+
+/// Cosine similarity in `[-1, 1]`; zero if either vector is all-zero.
+pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "cosine length mismatch");
+    let na = norm(a);
+    let nb = norm(b);
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+}
+
+/// Squared Euclidean distance.
+#[inline]
+pub fn sq_euclidean(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Euclidean distance.
+#[inline]
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    sq_euclidean(a, b).sqrt()
+}
+
+/// Mean squared error between two equal-length vectors — the reconstruction
+/// score the paper uses (Algorithm 1 line 14, Definition 4).
+pub fn mse(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "mse length mismatch");
+    if a.is_empty() {
+        return 0.0;
+    }
+    sq_euclidean(a, b) / a.len() as f64
+}
+
+/// `a + s·b` in place.
+pub fn axpy(a: &mut [f64], s: f64, b: &[f64]) {
+    debug_assert_eq!(a.len(), b.len());
+    for (x, &y) in a.iter_mut().zip(b.iter()) {
+        *x += s * y;
+    }
+}
+
+/// Index and value of the maximum element; `None` on empty input or if all
+/// elements are NaN.
+pub fn argmax(v: &[f64]) -> Option<(usize, f64)> {
+    v.iter()
+        .enumerate()
+        .filter(|(_, x)| !x.is_nan())
+        .fold(None, |best, (i, &x)| match best {
+            Some((_, bx)) if bx >= x => best,
+            _ => Some((i, x)),
+        })
+}
+
+/// Index and value of the minimum element; `None` on empty input or if all
+/// elements are NaN.
+pub fn argmin(v: &[f64]) -> Option<(usize, f64)> {
+    argmax(&v.iter().map(|x| -x).collect::<Vec<_>>()).map(|(i, x)| (i, -x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norm_and_normalize() {
+        let mut v = vec![3.0, 4.0];
+        assert!((norm(&v) - 5.0).abs() < 1e-12);
+        normalize(&mut v);
+        assert!((norm(&v) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_zero_vector_is_noop() {
+        let mut v = vec![0.0, 0.0];
+        normalize(&mut v);
+        assert_eq!(v, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn cosine_basic_cases() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert!(cosine(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-12);
+        assert!((cosine(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn cosine_scale_invariant() {
+        let a = [0.3, -0.7, 0.2];
+        let b = [1.1, 0.4, -0.9];
+        let scaled: Vec<f64> = a.iter().map(|x| x * 42.0).collect();
+        assert!((cosine(&a, &b) - cosine(&scaled, &b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distances() {
+        assert!((euclidean(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert!((sq_euclidean(&[1.0], &[4.0]) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mse_known_value() {
+        assert!((mse(&[1.0, 2.0], &[3.0, 4.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(mse(&[], &[]), 0.0);
+        assert_eq!(mse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = vec![1.0, 1.0];
+        axpy(&mut a, 2.0, &[3.0, -1.0]);
+        assert_eq!(a, vec![7.0, -1.0]);
+    }
+
+    #[test]
+    fn argmax_argmin() {
+        let v = [3.0, -1.0, 7.0, 2.0];
+        assert_eq!(argmax(&v), Some((2, 7.0)));
+        assert_eq!(argmin(&v), Some((1, -1.0)));
+        assert_eq!(argmax(&[]), None);
+    }
+
+    #[test]
+    fn argmax_skips_nan() {
+        let v = [1.0, f64::NAN, 0.5];
+        assert_eq!(argmax(&v), Some((0, 1.0)));
+    }
+}

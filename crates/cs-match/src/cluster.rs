@@ -1,0 +1,136 @@
+//! CLUSTER: k-means blocking per schema pair.
+//!
+//! For every schema pair, the union of their signatures is clustered with
+//! k-means; cross-schema pairs that land in the same cluster become
+//! candidate linkages (Sahay et al. / JedAI-style attribute blocking).
+
+use crate::kmeans::KMeans;
+use crate::{CandidatePair, ElementSet, Matcher};
+
+/// k-means blocking matcher.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterMatcher {
+    k: usize,
+    seed: u64,
+}
+
+impl ClusterMatcher {
+    /// Creates a matcher with `k` clusters and a deterministic seed.
+    pub fn new(k: usize) -> Self {
+        Self { k, seed: 0xC1_05_7E_12 }
+    }
+
+    /// Overrides the seed (for robustness experiments).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The configured cluster count.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl Matcher for ClusterMatcher {
+    fn name(&self) -> String {
+        format!("CLUSTER({})", self.k)
+    }
+
+    fn match_pairs(&self, sets: &[ElementSet]) -> Vec<CandidatePair> {
+        let mut out = Vec::new();
+        for i in 0..sets.len() {
+            for j in (i + 1)..sets.len() {
+                let (x, y) = (&sets[i], &sets[j]);
+                if x.is_empty() || y.is_empty() {
+                    continue;
+                }
+                let stacked = x.signatures.vstack(&y.signatures);
+                let km = KMeans::fit(&stacked, self.k, self.seed);
+                let assign = km.assignments();
+                let (xa, ya) = assign.split_at(x.len());
+                for (xi, &cx) in xa.iter().enumerate() {
+                    for (yi, &cy) in ya.iter().enumerate() {
+                        if cx == cy {
+                            out.push(CandidatePair::new(x.ids[xi], y.ids[yi]));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_linalg::{Matrix, Xoshiro256};
+    use cs_schema::ElementId;
+
+    /// Two schemas whose elements form two shared semantic blobs.
+    fn two_blob_sets() -> Vec<ElementSet> {
+        let mut rng = Xoshiro256::seed_from(3);
+        let blob = |cx: f64, cy: f64, n: usize, rng: &mut Xoshiro256| -> Vec<Vec<f64>> {
+            (0..n)
+                .map(|_| vec![cx + rng.next_gaussian() * 0.1, cy + rng.next_gaussian() * 0.1])
+                .collect()
+        };
+        let mut s0 = blob(0.0, 0.0, 4, &mut rng);
+        s0.extend(blob(5.0, 5.0, 4, &mut rng));
+        let mut s1 = blob(0.0, 0.0, 3, &mut rng);
+        s1.extend(blob(5.0, 5.0, 3, &mut rng));
+        vec![
+            ElementSet::full(0, Matrix::from_rows(&s0)),
+            ElementSet::full(1, Matrix::from_rows(&s1)),
+        ]
+    }
+
+    #[test]
+    fn same_blob_elements_are_linked() {
+        let pairs = ClusterMatcher::new(2).match_pairs(&two_blob_sets());
+        // Each blob: 4×3 cross pairs; two blobs → 24 pairs total.
+        assert_eq!(pairs.len(), 24);
+        // No cross-blob linkage.
+        let cross_blob = CandidatePair::new(ElementId::new(0, 0), ElementId::new(1, 3));
+        assert!(!pairs.contains(&cross_blob));
+        let within = CandidatePair::new(ElementId::new(0, 0), ElementId::new(1, 0));
+        assert!(pairs.contains(&within));
+    }
+
+    #[test]
+    fn more_clusters_generate_fewer_pairs() {
+        let sets = two_blob_sets();
+        let few = ClusterMatcher::new(2).match_pairs(&sets).len();
+        let many = ClusterMatcher::new(6).match_pairs(&sets).len();
+        assert!(many <= few, "{many} vs {few}");
+    }
+
+    #[test]
+    fn single_cluster_is_cartesian() {
+        let sets = two_blob_sets();
+        let pairs = ClusterMatcher::new(1).match_pairs(&sets);
+        assert_eq!(pairs.len(), 8 * 6);
+    }
+
+    #[test]
+    fn empty_set_is_skipped() {
+        let mut sets = two_blob_sets();
+        sets.push(ElementSet::full(2, Matrix::zeros(0, 2)));
+        let pairs = ClusterMatcher::new(2).match_pairs(&sets);
+        assert_eq!(pairs.len(), 24);
+    }
+
+    #[test]
+    fn name_includes_k() {
+        assert_eq!(ClusterMatcher::new(5).name(), "CLUSTER(5)");
+    }
+
+    #[test]
+    fn deterministic() {
+        let sets = two_blob_sets();
+        let a = ClusterMatcher::new(3).match_pairs(&sets);
+        let b = ClusterMatcher::new(3).match_pairs(&sets);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,212 @@
+//! Name-based string-similarity matching — the classic element-level
+//! baseline (Section 2.2: "exclusively relying on string similarity …
+//! suffers from labeling conflicts"). Provided to let users compare
+//! lexical matching against the semantic signature matchers on the same
+//! datasets, and to demonstrate exactly the labeling-conflict failure the
+//! paper motivates with (`CNAME` of a car vs `CNAME` of a client).
+
+use crate::{CandidatePair, Matcher};
+use cs_schema::ElementId;
+
+/// The string measure a [`NameMatcher`] applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NameMeasure {
+    /// Normalized Levenshtein similarity.
+    Levenshtein,
+    /// Jaro–Winkler similarity.
+    JaroWinkler,
+    /// Jaccard similarity over character trigrams.
+    TrigramJaccard,
+}
+
+impl NameMeasure {
+    /// Evaluates the measure on two names.
+    pub fn similarity(self, a: &str, b: &str) -> f64 {
+        match self {
+            NameMeasure::Levenshtein => cs_embed::textsim::levenshtein_similarity(a, b),
+            NameMeasure::JaroWinkler => cs_embed::textsim::jaro_winkler(a, b),
+            NameMeasure::TrigramJaccard => cs_embed::textsim::ngram_jaccard(a, b, 3),
+        }
+    }
+}
+
+/// One schema's elements with their display names (signatures are not
+/// needed for lexical matching).
+#[derive(Debug, Clone)]
+pub struct NamedSet {
+    /// Schema index in the catalog.
+    pub schema: usize,
+    /// Element ids aligned with `names`.
+    pub ids: Vec<ElementId>,
+    /// Uppercased element names.
+    pub names: Vec<String>,
+}
+
+impl NamedSet {
+    /// Builds a set; names are upper-cased for case-insensitive matching.
+    pub fn new(schema: usize, ids: Vec<ElementId>, names: Vec<String>) -> Self {
+        assert_eq!(ids.len(), names.len(), "ids/names misaligned");
+        let names = names.into_iter().map(|n| n.to_uppercase()).collect();
+        Self { schema, ids, names }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+/// Lexical name matcher: pairs whose name similarity meets the threshold.
+#[derive(Debug, Clone, Copy)]
+pub struct NameMatcher {
+    measure: NameMeasure,
+    threshold: f64,
+}
+
+impl NameMatcher {
+    /// Creates a matcher; threshold in `[0, 1]`.
+    pub fn new(measure: NameMeasure, threshold: f64) -> Self {
+        assert!((0.0..=1.0).contains(&threshold), "threshold must lie in [0, 1]");
+        Self { measure, threshold }
+    }
+
+    /// Display name, e.g. `NAME[JaroWinkler](0.9)`.
+    pub fn name(&self) -> String {
+        format!("NAME[{:?}]({})", self.measure, self.threshold)
+    }
+
+    /// Generates candidate pairs across every pair of named sets.
+    pub fn match_names(&self, sets: &[NamedSet]) -> Vec<CandidatePair> {
+        let mut out = Vec::new();
+        for i in 0..sets.len() {
+            for j in (i + 1)..sets.len() {
+                for (xi, xname) in sets[i].names.iter().enumerate() {
+                    for (yi, yname) in sets[j].names.iter().enumerate() {
+                        if self.measure.similarity(xname, yname) >= self.threshold {
+                            out.push(CandidatePair::new(sets[i].ids[xi], sets[j].ids[yi]));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Adapter: a [`NameMatcher`] over [`crate::ElementSet`]s cannot exist
+/// (signatures carry no names), so lexical matching plugs into generic
+/// pipelines through this wrapper holding its own name data.
+#[derive(Debug, Clone)]
+pub struct NameMatcherOverSets {
+    matcher: NameMatcher,
+    sets: Vec<NamedSet>,
+}
+
+impl NameMatcherOverSets {
+    /// Bundles a matcher with its name data.
+    pub fn new(matcher: NameMatcher, sets: Vec<NamedSet>) -> Self {
+        Self { matcher, sets }
+    }
+}
+
+impl Matcher for NameMatcherOverSets {
+    fn name(&self) -> String {
+        self.matcher.name()
+    }
+
+    fn match_pairs(&self, _sets: &[crate::ElementSet]) -> Vec<CandidatePair> {
+        // Signature sets are ignored; the name data was captured at
+        // construction. Kept-element filtering must therefore be applied
+        // when building the NamedSets.
+        self.matcher.match_names(&self.sets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sets() -> Vec<NamedSet> {
+        vec![
+            NamedSet::new(
+                0,
+                vec![ElementId::new(0, 0), ElementId::new(0, 1)],
+                vec!["CUSTOMER_ID".into(), "ORDER_DATE".into()],
+            ),
+            NamedSet::new(
+                1,
+                vec![ElementId::new(1, 0), ElementId::new(1, 1), ElementId::new(1, 2)],
+                vec!["customerid".into(), "ORDERDATE".into(), "LAP_TIME".into()],
+            ),
+        ]
+    }
+
+    #[test]
+    fn close_spellings_match() {
+        let pairs = NameMatcher::new(NameMeasure::Levenshtein, 0.8).match_names(&sets());
+        assert!(pairs.contains(&CandidatePair::new(ElementId::new(0, 0), ElementId::new(1, 0))));
+        assert!(pairs.contains(&CandidatePair::new(ElementId::new(0, 1), ElementId::new(1, 1))));
+        assert_eq!(pairs.len(), 2);
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let s = vec![
+            NamedSet::new(0, vec![ElementId::new(0, 0)], vec!["City".into()]),
+            NamedSet::new(1, vec![ElementId::new(1, 0)], vec!["CITY".into()]),
+        ];
+        let pairs = NameMatcher::new(NameMeasure::JaroWinkler, 0.99).match_names(&s);
+        assert_eq!(pairs.len(), 1);
+    }
+
+    #[test]
+    fn measures_differ_in_leniency() {
+        let lev = NameMatcher::new(NameMeasure::Levenshtein, 0.7).match_names(&sets());
+        let tri = NameMatcher::new(NameMeasure::TrigramJaccard, 0.7).match_names(&sets());
+        // Both find the near-duplicates; neither links LAP_TIME.
+        for pairs in [&lev, &tri] {
+            assert!(pairs
+                .iter()
+                .all(|p| p.b != ElementId::new(1, 2)));
+        }
+    }
+
+    #[test]
+    fn labeling_conflict_demo() {
+        // The paper's CNAME problem: identical names, different semantics —
+        // a lexical matcher happily links them.
+        let s = vec![
+            NamedSet::new(0, vec![ElementId::new(0, 0)], vec!["CNAME".into()]),
+            NamedSet::new(1, vec![ElementId::new(1, 0)], vec!["CNAME".into()]),
+        ];
+        let pairs = NameMatcher::new(NameMeasure::Levenshtein, 0.99).match_names(&s);
+        assert_eq!(pairs.len(), 1, "lexical matching cannot see the semantic clash");
+    }
+
+    #[test]
+    fn adapter_implements_matcher() {
+        let m = NameMatcherOverSets::new(
+            NameMatcher::new(NameMeasure::Levenshtein, 0.8),
+            sets(),
+        );
+        assert!(m.name().contains("Levenshtein"));
+        assert_eq!(m.match_pairs(&[]).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn bad_threshold_panics() {
+        NameMatcher::new(NameMeasure::Levenshtein, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned")]
+    fn misaligned_named_set_panics() {
+        NamedSet::new(0, vec![ElementId::new(0, 0)], vec![]);
+    }
+}

@@ -1,0 +1,130 @@
+//! SIM: exhaustive cosine-threshold matching.
+//!
+//! Enumerates the full Cartesian product of every schema pair (the
+//! "Preparation" module of Zhang et al.) and keeps pairs whose cosine
+//! similarity meets the threshold `t`.
+
+use crate::{CandidatePair, ElementSet, Matcher};
+use cs_linalg::vecops::cosine;
+
+/// Cosine-threshold matcher.
+#[derive(Debug, Clone, Copy)]
+pub struct SimMatcher {
+    threshold: f64,
+}
+
+impl SimMatcher {
+    /// Creates a matcher with threshold `t ∈ [-1, 1]`.
+    pub fn new(threshold: f64) -> Self {
+        assert!(
+            (-1.0..=1.0).contains(&threshold),
+            "cosine threshold must lie in [-1, 1]"
+        );
+        Self { threshold }
+    }
+
+    /// The configured threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+}
+
+impl Matcher for SimMatcher {
+    fn name(&self) -> String {
+        format!("SIM({})", self.threshold)
+    }
+
+    fn match_pairs(&self, sets: &[ElementSet]) -> Vec<CandidatePair> {
+        let mut out = Vec::new();
+        for i in 0..sets.len() {
+            for j in (i + 1)..sets.len() {
+                let (x, y) = (&sets[i], &sets[j]);
+                for (xi, xid) in x.ids.iter().enumerate() {
+                    let xrow = x.signatures.row(xi);
+                    for (yi, yid) in y.ids.iter().enumerate() {
+                        if cosine(xrow, y.signatures.row(yi)) >= self.threshold {
+                            out.push(CandidatePair::new(*xid, *yid));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_linalg::Matrix;
+
+    fn sets() -> Vec<ElementSet> {
+        // Schema 0: two nearly orthogonal unit vectors.
+        let s0 = Matrix::from_rows(&[vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0]]);
+        // Schema 1: one close to s0[0], one oblique, one orthogonal to both.
+        let s1 = Matrix::from_rows(&[
+            vec![0.95, 0.05, 0.0],
+            vec![0.7, 0.7, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ]);
+        vec![ElementSet::full(0, s0), ElementSet::full(1, s1)]
+    }
+
+    #[test]
+    fn high_threshold_keeps_only_near_duplicates() {
+        let pairs = SimMatcher::new(0.9).match_pairs(&sets());
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].a, cs_schema::ElementId::new(0, 0));
+        assert_eq!(pairs[0].b, cs_schema::ElementId::new(1, 0));
+    }
+
+    #[test]
+    fn lower_threshold_is_superset() {
+        let hi: std::collections::HashSet<_> =
+            SimMatcher::new(0.8).match_pairs(&sets()).into_iter().collect();
+        let lo: std::collections::HashSet<_> =
+            SimMatcher::new(0.4).match_pairs(&sets()).into_iter().collect();
+        assert!(hi.is_subset(&lo));
+        assert!(lo.len() > hi.len());
+    }
+
+    #[test]
+    fn threshold_minus_one_enumerates_cartesian() {
+        let pairs = SimMatcher::new(-1.0).match_pairs(&sets());
+        assert_eq!(pairs.len(), 2 * 3);
+    }
+
+    #[test]
+    fn three_schemas_cover_all_pairs() {
+        let mut s = sets();
+        s.push(ElementSet::full(
+            2,
+            Matrix::from_rows(&[vec![1.0, 0.0, 0.0]]),
+        ));
+        let pairs = SimMatcher::new(-1.0).match_pairs(&s);
+        // 2·3 + 2·1 + 3·1 = 11.
+        assert_eq!(pairs.len(), 11);
+    }
+
+    #[test]
+    fn empty_sets_yield_nothing() {
+        let empty = vec![
+            ElementSet::full(0, Matrix::zeros(0, 3)),
+            ElementSet::full(1, Matrix::zeros(0, 3)),
+        ];
+        assert!(SimMatcher::new(0.5).match_pairs(&empty).is_empty());
+    }
+
+    #[test]
+    fn name_and_threshold() {
+        let m = SimMatcher::new(0.6);
+        assert_eq!(m.name(), "SIM(0.6)");
+        assert_eq!(m.threshold(), 0.6);
+    }
+
+    #[test]
+    #[should_panic(expected = "cosine threshold")]
+    fn out_of_range_threshold_panics() {
+        SimMatcher::new(1.5);
+    }
+}

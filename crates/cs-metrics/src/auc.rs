@@ -1,0 +1,71 @@
+//! Trapezoidal area under a curve.
+
+/// Trapezoidal integral of `ys` over `xs`.
+///
+/// The points are sorted by `x` internally (stable for ties), so callers
+/// can pass sweep outputs in any order. Fewer than two points integrate
+/// to 0.
+///
+/// # Panics
+/// If the slices differ in length or contain non-finite values.
+pub fn trapezoid(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
+    assert!(
+        xs.iter().chain(ys.iter()).all(|v| v.is_finite()),
+        "non-finite curve point"
+    );
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mut order: Vec<usize> = (0..xs.len()).collect();
+    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("finite").then(a.cmp(&b)));
+    let mut area = 0.0;
+    for w in order.windows(2) {
+        let (i, j) = (w[0], w[1]);
+        area += (xs[j] - xs[i]) * (ys[i] + ys[j]) / 2.0;
+    }
+    area
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangle_and_triangle() {
+        assert!((trapezoid(&[0.0, 1.0], &[1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((trapezoid(&[0.0, 1.0], &[0.0, 1.0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn order_independent() {
+        let a = trapezoid(&[0.0, 0.5, 1.0], &[0.0, 0.8, 1.0]);
+        let b = trapezoid(&[1.0, 0.0, 0.5], &[1.0, 0.0, 0.8]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(trapezoid(&[], &[]), 0.0);
+        assert_eq!(trapezoid(&[0.5], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn partial_range_integration() {
+        // Curve stopping at x = 0.75 integrates only the observed range.
+        let area = trapezoid(&[0.0, 0.75], &[1.0, 1.0]);
+        assert!((area - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn nan_rejected() {
+        trapezoid(&[0.0, f64::NAN], &[0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_rejected() {
+        trapezoid(&[0.0], &[]);
+    }
+}

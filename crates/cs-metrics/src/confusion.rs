@@ -1,0 +1,135 @@
+//! Binary confusion counts and the derived rates.
+
+/// Confusion counts for binary linkability prediction. The positive class
+/// is *linkable* (kept), following the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BinaryConfusion {
+    /// Linkable predicted linkable.
+    pub tp: usize,
+    /// Unlinkable predicted linkable.
+    pub fp: usize,
+    /// Unlinkable predicted unlinkable.
+    pub tn: usize,
+    /// Linkable predicted unlinkable.
+    pub fn_: usize,
+}
+
+impl BinaryConfusion {
+    /// Tallies predictions against ground truth.
+    ///
+    /// # Panics
+    /// If the slices differ in length.
+    pub fn from_labels(predicted: &[bool], truth: &[bool]) -> Self {
+        assert_eq!(predicted.len(), truth.len(), "label length mismatch");
+        let mut c = Self::default();
+        for (&p, &t) in predicted.iter().zip(truth.iter()) {
+            match (p, t) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// `(TP + TN) / total`; 0 on empty input.
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.tp + self.tn, self.total())
+    }
+
+    /// `TP / (TP + FP)`; 0 when nothing was predicted positive.
+    pub fn precision(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// `TP / (TP + FN)` — also the true positive rate; 0 when no positives
+    /// exist.
+    pub fn recall(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// Alias for [`Self::recall`] in ROC contexts.
+    pub fn tpr(&self) -> f64 {
+        self.recall()
+    }
+
+    /// `FP / (FP + TN)`; 0 when no negatives exist.
+    pub fn fpr(&self) -> f64 {
+        ratio(self.fp, self.fp + self.tn)
+    }
+
+    /// Harmonic mean of precision and recall; 0 when both are 0.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_labels_tallies() {
+        let pred = [true, true, false, false, true];
+        let truth = [true, false, false, true, true];
+        let c = BinaryConfusion::from_labels(&pred, &truth);
+        assert_eq!(c, BinaryConfusion { tp: 2, fp: 1, tn: 1, fn_: 1 });
+        assert_eq!(c.total(), 5);
+    }
+
+    #[test]
+    fn derived_rates() {
+        let c = BinaryConfusion { tp: 6, fp: 2, tn: 8, fn_: 4 };
+        assert!((c.accuracy() - 0.7).abs() < 1e-12);
+        assert!((c.precision() - 0.75).abs() < 1e-12);
+        assert!((c.recall() - 0.6).abs() < 1e-12);
+        assert!((c.fpr() - 0.2).abs() < 1e-12);
+        assert!((c.f1() - 2.0 * 0.75 * 0.6 / 1.35).abs() < 1e-12);
+        assert_eq!(c.tpr(), c.recall());
+    }
+
+    #[test]
+    fn division_by_zero_guards() {
+        let empty = BinaryConfusion::default();
+        assert_eq!(empty.accuracy(), 0.0);
+        assert_eq!(empty.precision(), 0.0);
+        assert_eq!(empty.recall(), 0.0);
+        assert_eq!(empty.fpr(), 0.0);
+        assert_eq!(empty.f1(), 0.0);
+    }
+
+    #[test]
+    fn perfect_prediction() {
+        let truth = [true, false, true];
+        let c = BinaryConfusion::from_labels(&truth, &truth);
+        assert_eq!(c.accuracy(), 1.0);
+        assert_eq!(c.f1(), 1.0);
+        assert_eq!(c.fpr(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        BinaryConfusion::from_labels(&[true], &[true, false]);
+    }
+}

@@ -1,0 +1,281 @@
+//! Hyper-parameter sweep curves and their AUC summaries.
+//!
+//! A [`SweepCurve`] holds one [`BinaryConfusion`] per grid value of the
+//! scoping parameter (`p` for global scoping, `v` for collaborative
+//! scoping). From it the four Table-4 metrics are derived. Because the
+//! optimal parameter is unknown, the paper summarizes whole sweeps, not
+//! single operating points.
+
+use crate::auc::trapezoid;
+use crate::confusion::BinaryConfusion;
+
+/// One grid point of a sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Parameter value (`p` or `v`).
+    pub param: f64,
+    /// Confusion at that parameter.
+    pub confusion: BinaryConfusion,
+}
+
+/// One point of a ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RocPoint {
+    /// False positive rate.
+    pub fpr: f64,
+    /// True positive rate.
+    pub tpr: f64,
+}
+
+/// A full hyper-parameter sweep.
+#[derive(Debug, Clone, Default)]
+pub struct SweepCurve {
+    points: Vec<SweepPoint>,
+}
+
+impl SweepCurve {
+    /// Creates an empty curve.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from points.
+    pub fn from_points(points: Vec<SweepPoint>) -> Self {
+        Self { points }
+    }
+
+    /// Appends one grid point.
+    pub fn push(&mut self, param: f64, confusion: BinaryConfusion) {
+        self.points.push(SweepPoint { param, confusion });
+    }
+
+    /// The grid points.
+    pub fn points(&self) -> &[SweepPoint] {
+        &self.points
+    }
+
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if no points were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// AUC of a per-point statistic over the **normalized** parameter range
+    /// (so sweeps over different grids are comparable). Returns a value in
+    /// `[0, 1]`.
+    fn auc_over_param(&self, stat: impl Fn(&BinaryConfusion) -> f64) -> f64 {
+        if self.points.len() < 2 {
+            return 0.0;
+        }
+        let xs: Vec<f64> = self.points.iter().map(|p| p.param).collect();
+        let ys: Vec<f64> = self.points.iter().map(|p| stat(&p.confusion)).collect();
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let span = hi - lo;
+        if span <= 0.0 {
+            return 0.0;
+        }
+        let normalized: Vec<f64> = xs.iter().map(|x| (x - lo) / span).collect();
+        trapezoid(&normalized, &ys)
+    }
+
+    /// AUC-F1: F1 integrated over the parameter grid.
+    pub fn auc_f1(&self) -> f64 {
+        self.auc_over_param(BinaryConfusion::f1)
+    }
+
+    /// AUC of accuracy over the grid (plotted in Figures 5/6 (a)–(b)).
+    pub fn auc_accuracy(&self) -> f64 {
+        self.auc_over_param(BinaryConfusion::accuracy)
+    }
+
+    /// The ROC points of this sweep, sorted ascending by FPR, with the
+    /// origin prepended.
+    pub fn roc_points(&self) -> Vec<RocPoint> {
+        let mut pts: Vec<RocPoint> = self
+            .points
+            .iter()
+            .map(|p| RocPoint { fpr: p.confusion.fpr(), tpr: p.confusion.tpr() })
+            .collect();
+        pts.push(RocPoint { fpr: 0.0, tpr: 0.0 });
+        pts.sort_by(|a, b| {
+            a.fpr
+                .partial_cmp(&b.fpr)
+                .expect("finite")
+                .then(a.tpr.partial_cmp(&b.tpr).expect("finite"))
+        });
+        pts.dedup_by(|a, b| a == b);
+        pts
+    }
+
+    /// AUC-ROC over the **observed** FPR range. Deliberately not
+    /// extrapolated to FPR = 1: a method whose sweep never produces high
+    /// FPR (like collaborative scoping) loses that area — the caveat the
+    /// paper discusses in Section 4.2.
+    pub fn auc_roc(&self) -> f64 {
+        let pts = self.roc_points();
+        let xs: Vec<f64> = pts.iter().map(|p| p.fpr).collect();
+        let ys: Vec<f64> = pts.iter().map(|p| p.tpr).collect();
+        trapezoid(&xs, &ys)
+    }
+
+    /// AUC-ROC′: the monotonically sorted, interpolated, range-normalized
+    /// ROC (footnote 12's `splrep` smoothing analog). Non-monotone dips
+    /// from sweep fluctuation are removed by a running maximum and the FPR
+    /// axis is renormalized to the observed maximum, measuring "how quickly
+    /// the curve converges to a high TPR".
+    pub fn auc_roc_smoothed(&self) -> f64 {
+        let pts = self.roc_points();
+        let max_fpr = pts.iter().map(|p| p.fpr).fold(0.0, f64::max);
+        if max_fpr <= 0.0 {
+            return 0.0;
+        }
+        // Monotone envelope: TPR as running max over increasing FPR.
+        let mut running = 0.0f64;
+        let mut xs = Vec::with_capacity(pts.len());
+        let mut ys = Vec::with_capacity(pts.len());
+        for p in &pts {
+            running = running.max(p.tpr);
+            xs.push(p.fpr / max_fpr);
+            ys.push(running);
+        }
+        trapezoid(&xs, &ys)
+    }
+
+    /// The precision-recall points, sorted ascending by recall, with the
+    /// zero-recall anchor at the highest observed precision.
+    pub fn pr_points(&self) -> Vec<(f64, f64)> {
+        let mut pts: Vec<(f64, f64)> = self
+            .points
+            .iter()
+            .map(|p| (p.confusion.recall(), p.confusion.precision()))
+            .collect();
+        let max_precision = pts.iter().map(|&(_, p)| p).fold(0.0, f64::max);
+        pts.push((0.0, max_precision));
+        pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(b.1.partial_cmp(&a.1).expect("finite")));
+        pts.dedup();
+        pts
+    }
+
+    /// AUC-PR over the observed recall range — the paper's primary metric
+    /// (robust to the linkable/unlinkable class imbalance).
+    pub fn auc_pr(&self) -> f64 {
+        let pts = self.pr_points();
+        let xs: Vec<f64> = pts.iter().map(|&(r, _)| r).collect();
+        let ys: Vec<f64> = pts.iter().map(|&(_, p)| p).collect();
+        trapezoid(&xs, &ys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn confusion(tp: usize, fp: usize, tn: usize, fn_: usize) -> BinaryConfusion {
+        BinaryConfusion { tp, fp, tn, fn_ }
+    }
+
+    /// A sweep emulating a perfect ranker over 10 positives / 10 negatives:
+    /// positives are all kept before any negative.
+    fn perfect_sweep() -> SweepCurve {
+        let mut c = SweepCurve::new();
+        for kept in 0..=20usize {
+            let tp = kept.min(10);
+            let fp = kept.saturating_sub(10);
+            c.push(kept as f64 / 20.0, confusion(tp, fp, 10 - fp, 10 - tp));
+        }
+        c
+    }
+
+    /// A random ranker: keeps positives and negatives proportionally.
+    fn random_sweep() -> SweepCurve {
+        let mut c = SweepCurve::new();
+        for kept in 0..=10usize {
+            c.push(kept as f64 / 10.0, confusion(kept, kept, 10 - kept, 10 - kept));
+        }
+        c
+    }
+
+    #[test]
+    fn perfect_ranker_auc_roc_is_one() {
+        let auc = perfect_sweep().auc_roc();
+        assert!((auc - 1.0).abs() < 1e-9, "{auc}");
+    }
+
+    #[test]
+    fn random_ranker_auc_roc_is_half() {
+        let auc = random_sweep().auc_roc();
+        assert!((auc - 0.5).abs() < 1e-9, "{auc}");
+    }
+
+    #[test]
+    fn truncated_fpr_penalizes_roc_but_not_smoothed() {
+        // A method that is perfect but never exceeds FPR = 0.5.
+        let mut c = SweepCurve::new();
+        for kept in 0..=15usize {
+            let tp = kept.min(10);
+            let fp = kept.saturating_sub(10); // at most 5 of 10 negatives
+            c.push(kept as f64 / 15.0, confusion(tp, fp, 10 - fp, 10 - tp));
+        }
+        let roc = c.auc_roc();
+        let roc_smooth = c.auc_roc_smoothed();
+        assert!(roc < 0.6, "observed-range AUC is penalized: {roc}");
+        assert!(roc_smooth > 0.95, "normalized AUC recovers: {roc_smooth}");
+    }
+
+    #[test]
+    fn auc_pr_perfect_vs_random() {
+        let perfect = perfect_sweep().auc_pr();
+        let random = random_sweep().auc_pr();
+        assert!(perfect > 0.95, "{perfect}");
+        assert!((random - 0.5).abs() < 0.05, "{random}");
+    }
+
+    #[test]
+    fn auc_f1_normalizes_param_range() {
+        // Same confusions on two different grids must give the same AUC-F1.
+        let mut a = SweepCurve::new();
+        let mut b = SweepCurve::new();
+        for i in 0..=10usize {
+            let c = confusion(i, 0, 10, 10 - i);
+            a.push(i as f64 / 10.0, c);
+            b.push(0.9 - 0.8 * (i as f64 / 10.0), c); // v-style reversed grid
+        }
+        assert!((a.auc_f1() - b.auc_f1()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_single_point_curves() {
+        let empty = SweepCurve::new();
+        assert!(empty.is_empty());
+        assert_eq!(empty.auc_f1(), 0.0);
+        assert_eq!(empty.auc_roc(), 0.0);
+        let mut single = SweepCurve::new();
+        single.push(0.5, confusion(1, 1, 1, 1));
+        assert_eq!(single.auc_f1(), 0.0);
+        assert_eq!(single.len(), 1);
+    }
+
+    #[test]
+    fn roc_points_sorted_and_deduped() {
+        let c = perfect_sweep();
+        let pts = c.roc_points();
+        for w in pts.windows(2) {
+            assert!(w[0].fpr <= w[1].fpr);
+        }
+        assert_eq!(pts[0], RocPoint { fpr: 0.0, tpr: 0.0 });
+    }
+
+    #[test]
+    fn metric_ranges_are_bounded() {
+        for curve in [perfect_sweep(), random_sweep()] {
+            for m in [curve.auc_f1(), curve.auc_roc(), curve.auc_roc_smoothed(), curve.auc_pr(), curve.auc_accuracy()] {
+                assert!((0.0..=1.0 + 1e-9).contains(&m), "{m}");
+            }
+        }
+    }
+}

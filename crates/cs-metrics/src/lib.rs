@@ -1,0 +1,27 @@
+//! # cs-metrics
+//!
+//! Evaluation metrics for scoping and matching, matching Section 4.2 of
+//! the paper:
+//!
+//! - [`BinaryConfusion`] — accuracy / precision / recall / F1 over binary
+//!   linkability predictions,
+//! - [`SweepCurve`] — a hyper-parameter sweep (`p` or `v` grid) of
+//!   confusions, from which the four AUC summaries are computed:
+//!   **AUC-F1** (F1 integrated over the parameter range), **AUC-ROC**
+//!   (trapezoid over the observed ROC points — deliberately *not*
+//!   extrapolated to FPR = 1, reproducing the paper's caveat), **AUC-ROC′**
+//!   (monotonically sorted, interpolated, and range-normalized ROC), and
+//!   **AUC-PR** (precision-recall area, the paper's primary metric),
+//! - [`MatchQuality`] — PQ / PC / F1 / RR for linkage generation.
+//!
+//! This crate is pure math: no dependency on the schema or matcher types.
+
+pub mod auc;
+pub mod confusion;
+pub mod curves;
+pub mod matchmetrics;
+
+pub use auc::trapezoid;
+pub use confusion::BinaryConfusion;
+pub use curves::{RocPoint, SweepCurve, SweepPoint};
+pub use matchmetrics::{match_quality, MatchQuality};

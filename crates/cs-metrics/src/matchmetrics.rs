@@ -1,0 +1,114 @@
+//! Matching-quality metrics: PQ, PC, F1, RR (Section 4.2, "Matching").
+
+/// Quality of one linkage-generation run `A(S')` against ground truth
+/// `L(S)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchQuality {
+    /// Pair Quality (precision): `|A(S') ∩ L(S)| / |A(S')|`.
+    pub pq: f64,
+    /// Pair Completeness (recall): `|A(S') ∩ L(S)| / |L(S)|`.
+    pub pc: f64,
+    /// Harmonic mean of PQ and PC.
+    pub f1: f64,
+    /// Reduction Ratio: `1 − |A(S')| / cartesian`.
+    pub rr: f64,
+    /// `|A(S')|` — generated candidate pairs.
+    pub candidates: usize,
+    /// `|A(S') ∩ L(S)|` — true linkages found.
+    pub true_positives: usize,
+}
+
+/// Computes PQ / PC / F1 / RR from raw counts.
+///
+/// * `candidates` — number of pairs the matcher generated,
+/// * `true_positives` — of those, how many are annotated linkages,
+/// * `truth_size` — `|L(S)|`,
+/// * `cartesian` — the pairwise comparison count of the *original* schemas
+///   (Table 3's Cartesian sizes), the RR denominator.
+///
+/// # Panics
+/// If `true_positives` exceeds `candidates` or `truth_size`.
+pub fn match_quality(
+    candidates: usize,
+    true_positives: usize,
+    truth_size: usize,
+    cartesian: usize,
+) -> MatchQuality {
+    assert!(true_positives <= candidates, "TP cannot exceed candidates");
+    assert!(true_positives <= truth_size, "TP cannot exceed the truth size");
+    let pq = if candidates == 0 {
+        0.0
+    } else {
+        true_positives as f64 / candidates as f64
+    };
+    let pc = if truth_size == 0 {
+        0.0
+    } else {
+        true_positives as f64 / truth_size as f64
+    };
+    let f1 = if pq + pc == 0.0 { 0.0 } else { 2.0 * pq * pc / (pq + pc) };
+    let rr = if cartesian == 0 {
+        0.0
+    } else {
+        1.0 - candidates as f64 / cartesian as f64
+    };
+    MatchQuality { pq, pc, f1, rr, candidates, true_positives }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        let q = match_quality(50, 30, 40, 1000);
+        assert!((q.pq - 0.6).abs() < 1e-12);
+        assert!((q.pc - 0.75).abs() < 1e-12);
+        assert!((q.f1 - 2.0 * 0.6 * 0.75 / 1.35).abs() < 1e-12);
+        assert!((q.rr - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_matcher() {
+        let q = match_quality(40, 40, 40, 1000);
+        assert_eq!(q.pq, 1.0);
+        assert_eq!(q.pc, 1.0);
+        assert_eq!(q.f1, 1.0);
+    }
+
+    #[test]
+    fn empty_candidate_set() {
+        let q = match_quality(0, 0, 40, 1000);
+        assert_eq!(q.pq, 0.0);
+        assert_eq!(q.pc, 0.0);
+        assert_eq!(q.f1, 0.0);
+        assert_eq!(q.rr, 1.0);
+    }
+
+    #[test]
+    fn exhaustive_matcher_has_zero_rr() {
+        let q = match_quality(1000, 40, 40, 1000);
+        assert_eq!(q.rr, 0.0);
+        assert_eq!(q.pc, 1.0);
+    }
+
+    #[test]
+    fn zero_denominators() {
+        let q = match_quality(0, 0, 0, 0);
+        assert_eq!(q.pq, 0.0);
+        assert_eq!(q.pc, 0.0);
+        assert_eq!(q.rr, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed candidates")]
+    fn tp_exceeding_candidates_panics() {
+        match_quality(5, 6, 10, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed the truth")]
+    fn tp_exceeding_truth_panics() {
+        match_quality(10, 6, 5, 100);
+    }
+}

@@ -1,0 +1,71 @@
+//! Activation functions with their derivatives.
+
+/// Element-wise activation applied after a dense layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Rectified linear unit: `max(0, x)`.
+    Relu,
+    /// Identity (linear output layer).
+    Identity,
+}
+
+impl Activation {
+    /// Applies the activation to one value.
+    #[inline]
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Identity => x,
+        }
+    }
+
+    /// Derivative with respect to the *pre-activation* value.
+    #[inline]
+    pub fn derivative(self, pre_activation: f64) -> f64 {
+        match self {
+            Activation::Relu => {
+                if pre_activation > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Identity => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_values() {
+        assert_eq!(Activation::Relu.apply(3.0), 3.0);
+        assert_eq!(Activation::Relu.apply(-3.0), 0.0);
+        assert_eq!(Activation::Relu.apply(0.0), 0.0);
+    }
+
+    #[test]
+    fn relu_derivative() {
+        assert_eq!(Activation::Relu.derivative(2.0), 1.0);
+        assert_eq!(Activation::Relu.derivative(-2.0), 0.0);
+    }
+
+    #[test]
+    fn identity_passthrough() {
+        assert_eq!(Activation::Identity.apply(-7.5), -7.5);
+        assert_eq!(Activation::Identity.derivative(-7.5), 1.0);
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let h = 1e-7;
+        for act in [Activation::Relu, Activation::Identity] {
+            for x in [-1.3_f64, 0.4, 2.2] {
+                let numeric = (act.apply(x + h) - act.apply(x - h)) / (2.0 * h);
+                assert!((numeric - act.derivative(x)).abs() < 1e-5);
+            }
+        }
+    }
+}

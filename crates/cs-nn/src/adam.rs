@@ -1,0 +1,108 @@
+//! The Adam optimizer (Kingma & Ba, 2015) over flat parameter slices.
+
+/// Adam state for one parameter tensor (stored flat).
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    /// First-moment estimates.
+    m: Vec<f64>,
+    /// Second-moment estimates.
+    v: Vec<f64>,
+    /// Step counter.
+    t: u64,
+}
+
+impl Adam {
+    /// Standard hyper-parameters: `β₁ = 0.9`, `β₂ = 0.999`, `ε = 1e-8`.
+    pub fn new(param_count: usize, lr: f64) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m: vec![0.0; param_count],
+            v: vec![0.0; param_count],
+            t: 0,
+        }
+    }
+
+    /// Applies one bias-corrected Adam update in place.
+    ///
+    /// # Panics
+    /// If `params` and `grads` lengths differ from the state size.
+    pub fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), self.m.len(), "param count mismatch");
+        assert_eq!(grads.len(), self.m.len(), "grad count mismatch");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let g = grads[i];
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = self.m[i] / b1t;
+            let v_hat = self.v[i] / b2t;
+            params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic() {
+        // f(x) = (x − 3)²; ∇f = 2(x − 3).
+        let mut x = vec![0.0];
+        let mut opt = Adam::new(1, 0.1);
+        for _ in 0..500 {
+            let g = vec![2.0 * (x[0] - 3.0)];
+            opt.step(&mut x, &g);
+        }
+        assert!((x[0] - 3.0).abs() < 1e-3, "x = {}", x[0]);
+        assert_eq!(opt.steps(), 500);
+    }
+
+    #[test]
+    fn first_step_size_is_learning_rate() {
+        // With bias correction, the first step has magnitude ≈ lr.
+        let mut x = vec![0.0];
+        let mut opt = Adam::new(1, 0.05);
+        opt.step(&mut x, &[10.0]);
+        assert!((x[0] + 0.05).abs() < 1e-6, "x = {}", x[0]);
+    }
+
+    #[test]
+    fn handles_multidimensional_params() {
+        // f(x, y) = x² + 10y².
+        let mut p = vec![5.0, -4.0];
+        let mut opt = Adam::new(2, 0.2);
+        for _ in 0..800 {
+            let g = vec![2.0 * p[0], 20.0 * p[1]];
+            opt.step(&mut p, &g);
+        }
+        assert!(p[0].abs() < 1e-2 && p[1].abs() < 1e-2, "{p:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "param count mismatch")]
+    fn size_mismatch_panics() {
+        Adam::new(2, 0.1).step(&mut [0.0], &[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn non_positive_lr_panics() {
+        Adam::new(1, 0.0);
+    }
+}

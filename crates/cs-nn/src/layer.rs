@@ -1,0 +1,192 @@
+//! Dense (fully connected) layers.
+
+use crate::activation::Activation;
+use cs_linalg::{Matrix, Xoshiro256};
+
+/// A dense layer `y = act(x·W + b)` with `W: in × out`, operating on
+/// row-major batches (`batch × in`).
+#[derive(Debug, Clone)]
+pub struct Dense {
+    /// Weights, `input_dim × output_dim`.
+    pub weights: Matrix,
+    /// Biases, one per output unit.
+    pub biases: Vec<f64>,
+    /// Activation applied element-wise.
+    pub activation: Activation,
+}
+
+/// Cached values from a forward pass needed by backprop.
+#[derive(Debug, Clone)]
+pub struct DenseCache {
+    /// Layer input (`batch × in`).
+    pub input: Matrix,
+    /// Pre-activation values (`batch × out`).
+    pub pre_activation: Matrix,
+}
+
+/// Parameter gradients produced by a backward pass.
+#[derive(Debug, Clone)]
+pub struct DenseGrads {
+    /// `∂L/∂W`, same shape as the weights.
+    pub weights: Matrix,
+    /// `∂L/∂b`.
+    pub biases: Vec<f64>,
+}
+
+impl Dense {
+    /// He-initialized layer (appropriate for ReLU nets), seeded.
+    pub fn he_init(input_dim: usize, output_dim: usize, activation: Activation, rng: &mut Xoshiro256) -> Self {
+        assert!(input_dim > 0 && output_dim > 0, "layer dims must be positive");
+        let scale = (2.0 / input_dim as f64).sqrt();
+        let weights = Matrix::from_fn(input_dim, output_dim, |_, _| rng.next_gaussian() * scale);
+        Self { weights, biases: vec![0.0; output_dim], activation }
+    }
+
+    /// Number of inputs.
+    pub fn input_dim(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Number of outputs.
+    pub fn output_dim(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Forward pass over a batch; returns `(output, cache)`.
+    pub fn forward(&self, input: &Matrix) -> (Matrix, DenseCache) {
+        assert_eq!(input.cols(), self.input_dim(), "input dim mismatch");
+        let mut pre = input.matmul(&self.weights);
+        for i in 0..pre.rows() {
+            for (x, &b) in pre.row_mut(i).iter_mut().zip(self.biases.iter()) {
+                *x += b;
+            }
+        }
+        let out = pre.map(|x| self.activation.apply(x));
+        (out, DenseCache { input: input.clone(), pre_activation: pre })
+    }
+
+    /// Backward pass: consumes `∂L/∂output`, returns `(∂L/∂input, grads)`.
+    pub fn backward(&self, cache: &DenseCache, grad_output: &Matrix) -> (Matrix, DenseGrads) {
+        assert_eq!(grad_output.shape(), cache.pre_activation.shape());
+        // δ = ∂L/∂pre = grad_output ⊙ act'(pre).
+        let delta = grad_output.zip_with(&cache.pre_activation, |g, p| {
+            g * self.activation.derivative(p)
+        });
+        // ∂L/∂W = inputᵀ · δ ; ∂L/∂b = column sums of δ ; ∂L/∂input = δ · Wᵀ.
+        let grad_w = cache.input.transpose().matmul(&delta);
+        let mut grad_b = vec![0.0; self.output_dim()];
+        for row in delta.rows_iter() {
+            for (acc, &d) in grad_b.iter_mut().zip(row.iter()) {
+                *acc += d;
+            }
+        }
+        let grad_input = delta.matmul_transposed(&self.weights);
+        (grad_input, DenseGrads { weights: grad_w, biases: grad_b })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_layer() -> Dense {
+        Dense {
+            weights: Matrix::from_rows(&[vec![1.0, -1.0], vec![0.5, 2.0]]),
+            biases: vec![0.1, -0.2],
+            activation: Activation::Identity,
+        }
+    }
+
+    #[test]
+    fn forward_known_values() {
+        let layer = tiny_layer();
+        let x = Matrix::from_rows(&[vec![2.0, 1.0]]);
+        let (y, _) = layer.forward(&x);
+        // [2·1+1·0.5+0.1, 2·(−1)+1·2−0.2] = [2.6, −0.2].
+        assert!((y[(0, 0)] - 2.6).abs() < 1e-12);
+        assert!((y[(0, 1)] + 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relu_clamps_forward() {
+        let mut layer = tiny_layer();
+        layer.activation = Activation::Relu;
+        let x = Matrix::from_rows(&[vec![2.0, 1.0]]);
+        let (y, _) = layer.forward(&x);
+        assert!((y[(0, 1)] - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn he_init_scale() {
+        let mut rng = Xoshiro256::seed_from(1);
+        let layer = Dense::he_init(400, 50, Activation::Relu, &mut rng);
+        let var: f64 = layer
+            .weights
+            .as_slice()
+            .iter()
+            .map(|w| w * w)
+            .sum::<f64>()
+            / (400.0 * 50.0);
+        let expected = 2.0 / 400.0;
+        assert!((var - expected).abs() < expected * 0.2, "var {var}");
+        assert!(layer.biases.iter().all(|&b| b == 0.0));
+    }
+
+    #[test]
+    fn backward_gradients_match_finite_difference() {
+        let mut rng = Xoshiro256::seed_from(3);
+        let layer = Dense::he_init(4, 3, Activation::Relu, &mut rng);
+        let x = Matrix::from_fn(2, 4, |_, _| rng.next_gaussian());
+        let target = Matrix::from_fn(2, 3, |_, _| rng.next_gaussian());
+
+        // L = ½ Σ (y − t)²; ∂L/∂y = y − t.
+        let loss = |l: &Dense| -> f64 {
+            let (y, _) = l.forward(&x);
+            y.sub(&target).as_slice().iter().map(|d| d * d).sum::<f64>() / 2.0
+        };
+        let (y, cache) = layer.forward(&x);
+        let grad_out = y.sub(&target);
+        let (grad_in, grads) = layer.backward(&cache, &grad_out);
+
+        let h = 1e-6;
+        // Check a few weight gradients.
+        for &(i, j) in &[(0usize, 0usize), (1, 2), (3, 1)] {
+            let mut plus = layer.clone();
+            plus.weights[(i, j)] += h;
+            let mut minus = layer.clone();
+            minus.weights[(i, j)] -= h;
+            let numeric = (loss(&plus) - loss(&minus)) / (2.0 * h);
+            assert!(
+                (numeric - grads.weights[(i, j)]).abs() < 1e-4,
+                "dW[{i},{j}]: numeric {numeric} vs analytic {}",
+                grads.weights[(i, j)]
+            );
+        }
+        // Check a bias gradient.
+        let mut plus = layer.clone();
+        plus.biases[1] += h;
+        let mut minus = layer.clone();
+        minus.biases[1] -= h;
+        let numeric = (loss(&plus) - loss(&minus)) / (2.0 * h);
+        assert!((numeric - grads.biases[1]).abs() < 1e-4);
+
+        // Check input gradient via perturbing x.
+        let loss_at = |xp: &Matrix| -> f64 {
+            let (y, _) = layer.forward(xp);
+            y.sub(&target).as_slice().iter().map(|d| d * d).sum::<f64>() / 2.0
+        };
+        let mut xp = x.clone();
+        xp[(0, 2)] += h;
+        let mut xm = x.clone();
+        xm[(0, 2)] -= h;
+        let numeric = (loss_at(&xp) - loss_at(&xm)) / (2.0 * h);
+        assert!((numeric - grad_in[(0, 2)]).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "input dim mismatch")]
+    fn wrong_input_dim_panics() {
+        let layer = tiny_layer();
+        layer.forward(&Matrix::zeros(1, 3));
+    }
+}

@@ -1,0 +1,28 @@
+//! # cs-nn
+//!
+//! A from-scratch dense neural network — just enough deep learning to
+//! reproduce the paper's **autoencoder scoping baseline** (Section 4.1):
+//! a fully dense `768|100|10|100|768` network with ReLU activations, Adam
+//! optimization, and MSE loss, trained as a self-supervised reconstructor
+//! whose per-row reconstruction error is the outlier score. The paper
+//! ensembles 100 independently initialized trainings and sums the scores;
+//! [`ensemble_scores`](train::ensemble_scores) implements that.
+//!
+//! Modules:
+//! - [`layer`] — dense layers with forward/backward passes,
+//! - [`activation`] — ReLU / identity,
+//! - [`adam`] — the Adam optimizer,
+//! - [`mlp`] — the multi-layer perceptron container,
+//! - [`train`] — MSE training loop and ensemble scoring.
+
+pub mod activation;
+pub mod adam;
+pub mod layer;
+pub mod mlp;
+pub mod train;
+
+pub use activation::Activation;
+pub use adam::Adam;
+pub use layer::Dense;
+pub use mlp::Mlp;
+pub use train::{ensemble_scores, train_autoencoder, TrainConfig};

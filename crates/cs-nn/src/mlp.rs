@@ -1,0 +1,207 @@
+//! Multi-layer perceptron: a stack of [`Dense`] layers.
+
+use crate::activation::Activation;
+use crate::layer::{Dense, DenseCache, DenseGrads};
+use cs_linalg::{Matrix, Xoshiro256};
+
+/// A feed-forward network. For the paper's autoencoder baseline the layout
+/// is `768 | 100 | 10 | 100 | 768` with ReLU on hidden layers and a linear
+/// output.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Builds an MLP from a layer-size spec, e.g. `[768, 100, 10, 100, 768]`.
+    /// Hidden layers get ReLU, the output layer is linear.
+    pub fn new(sizes: &[usize], rng: &mut Xoshiro256) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        let layers = sizes
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| {
+                let act = if i + 2 == sizes.len() {
+                    Activation::Identity
+                } else {
+                    Activation::Relu
+                };
+                Dense::he_init(w[0], w[1], act, rng)
+            })
+            .collect();
+        Self { layers }
+    }
+
+    /// The symmetric autoencoder layout the paper configures in Keras.
+    pub fn paper_autoencoder(dim: usize, rng: &mut Xoshiro256) -> Self {
+        Self::new(&[dim, 100, 10, 100, dim], rng)
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].input_dim()
+    }
+
+    /// Output dimensionality.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").output_dim()
+    }
+
+    /// The layers.
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
+    /// Forward pass returning only the output.
+    pub fn forward(&self, input: &Matrix) -> Matrix {
+        let mut x = input.clone();
+        for layer in &self.layers {
+            let (y, _) = layer.forward(&x);
+            x = y;
+        }
+        x
+    }
+
+    /// Forward pass keeping per-layer caches for backprop.
+    pub fn forward_cached(&self, input: &Matrix) -> (Matrix, Vec<DenseCache>) {
+        let mut x = input.clone();
+        let mut caches = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            let (y, cache) = layer.forward(&x);
+            caches.push(cache);
+            x = y;
+        }
+        (x, caches)
+    }
+
+    /// Backward pass from `∂L/∂output`; returns per-layer gradients.
+    pub fn backward(&self, caches: &[DenseCache], grad_output: &Matrix) -> Vec<DenseGrads> {
+        assert_eq!(caches.len(), self.layers.len());
+        let mut grads = Vec::with_capacity(self.layers.len());
+        let mut grad = grad_output.clone();
+        for (layer, cache) in self.layers.iter().zip(caches.iter()).rev() {
+            let (grad_in, g) = layer.backward(cache, &grad);
+            grads.push(g);
+            grad = grad_in;
+        }
+        grads.reverse();
+        grads
+    }
+
+    /// Flattens all parameters into one vector (weights then biases, layer
+    /// by layer) — the layout the Adam optimizer steps over.
+    pub fn parameters(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        for l in &self.layers {
+            out.extend_from_slice(l.weights.as_slice());
+            out.extend_from_slice(&l.biases);
+        }
+        out
+    }
+
+    /// Writes a flat parameter vector back into the layers.
+    pub fn set_parameters(&mut self, flat: &[f64]) {
+        let mut offset = 0;
+        for l in &mut self.layers {
+            let w_len = l.weights.as_slice().len();
+            l.weights
+                .as_mut_slice()
+                .copy_from_slice(&flat[offset..offset + w_len]);
+            offset += w_len;
+            let b_len = l.biases.len();
+            l.biases.copy_from_slice(&flat[offset..offset + b_len]);
+            offset += b_len;
+        }
+        assert_eq!(offset, flat.len(), "parameter vector length mismatch");
+    }
+
+    /// Flattens gradients with the same layout as [`Mlp::parameters`].
+    pub fn flatten_grads(grads: &[DenseGrads]) -> Vec<f64> {
+        let mut out = Vec::new();
+        for g in grads {
+            out.extend_from_slice(g.weights.as_slice());
+            out.extend_from_slice(&g.biases);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_and_activations() {
+        let mut rng = Xoshiro256::seed_from(1);
+        let mlp = Mlp::paper_autoencoder(768, &mut rng);
+        assert_eq!(mlp.layers().len(), 4);
+        assert_eq!(mlp.input_dim(), 768);
+        assert_eq!(mlp.output_dim(), 768);
+        assert_eq!(mlp.layers()[0].output_dim(), 100);
+        assert_eq!(mlp.layers()[1].output_dim(), 10);
+        assert_eq!(mlp.layers()[2].output_dim(), 100);
+        assert_eq!(mlp.layers()[3].activation, Activation::Identity);
+        assert_eq!(mlp.layers()[0].activation, Activation::Relu);
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = Xoshiro256::seed_from(2);
+        let mlp = Mlp::new(&[6, 4, 3], &mut rng);
+        let x = Matrix::from_fn(5, 6, |_, _| rng.next_gaussian());
+        let y = mlp.forward(&x);
+        assert_eq!(y.shape(), (5, 3));
+    }
+
+    #[test]
+    fn parameter_roundtrip() {
+        let mut rng = Xoshiro256::seed_from(3);
+        let mut mlp = Mlp::new(&[4, 3, 2], &mut rng);
+        let params = mlp.parameters();
+        assert_eq!(params.len(), 4 * 3 + 3 + 3 * 2 + 2);
+        let doubled: Vec<f64> = params.iter().map(|p| p * 2.0).collect();
+        mlp.set_parameters(&doubled);
+        assert_eq!(mlp.parameters(), doubled);
+    }
+
+    #[test]
+    fn backward_matches_finite_difference_end_to_end() {
+        let mut rng = Xoshiro256::seed_from(4);
+        let mlp = Mlp::new(&[3, 4, 2], &mut rng);
+        let x = Matrix::from_fn(2, 3, |_, _| rng.next_gaussian());
+        let t = Matrix::from_fn(2, 2, |_, _| rng.next_gaussian());
+
+        let loss = |m: &Mlp| -> f64 {
+            let y = m.forward(&x);
+            y.sub(&t).as_slice().iter().map(|d| d * d).sum::<f64>() / 2.0
+        };
+        let (y, caches) = mlp.forward_cached(&x);
+        let grads = mlp.backward(&caches, &y.sub(&t));
+        let flat = Mlp::flatten_grads(&grads);
+        let params = mlp.parameters();
+
+        let h = 1e-6;
+        // Probe several random parameter indices.
+        for &idx in &[0usize, 5, 11, params.len() - 1, params.len() / 2] {
+            let mut plus = mlp.clone();
+            let mut p = params.clone();
+            p[idx] += h;
+            plus.set_parameters(&p);
+            let mut minus = mlp.clone();
+            p[idx] -= 2.0 * h;
+            minus.set_parameters(&p);
+            let numeric = (loss(&plus) - loss(&minus)) / (2.0 * h);
+            assert!(
+                (numeric - flat[idx]).abs() < 1e-4,
+                "param {idx}: numeric {numeric} vs analytic {}",
+                flat[idx]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn single_size_panics() {
+        Mlp::new(&[5], &mut Xoshiro256::seed_from(1));
+    }
+}

@@ -1,0 +1,187 @@
+//! Autoencoder training and ensemble outlier scoring.
+//!
+//! The paper's baseline (Section 4.1): a dense `768|100|10|100|768`
+//! autoencoder, MSE loss ("due to its outlier sensitivity"), Adam,
+//! trained 100 times from independent initializations for 50 epochs each,
+//! with the per-element outlier score being the **sum** of each run's
+//! reconstruction error.
+
+use crate::adam::Adam;
+use crate::mlp::Mlp;
+use cs_linalg::vecops::mse;
+use cs_linalg::{Matrix, Xoshiro256};
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainConfig {
+    /// Hidden layout between input and output (the paper: `[100, 10, 100]`).
+    pub hidden: Vec<usize>,
+    /// Number of epochs per run (the paper: 50).
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Base RNG seed (each ensemble run offsets it).
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            hidden: vec![100, 10, 100],
+            epochs: 50,
+            batch_size: 32,
+            learning_rate: 1e-3,
+            seed: 0x5EED_AE00,
+        }
+    }
+}
+
+/// Trains one autoencoder to reconstruct `data` and returns it.
+pub fn train_autoencoder(data: &Matrix, config: &TrainConfig) -> Mlp {
+    assert!(data.rows() > 0 && data.cols() > 0, "cannot train on empty data");
+    let mut sizes = Vec::with_capacity(config.hidden.len() + 2);
+    sizes.push(data.cols());
+    sizes.extend_from_slice(&config.hidden);
+    sizes.push(data.cols());
+
+    let mut rng = Xoshiro256::seed_from(config.seed);
+    let mut mlp = Mlp::new(&sizes, &mut rng);
+    let mut params = mlp.parameters();
+    let mut opt = Adam::new(params.len(), config.learning_rate);
+
+    let n = data.rows();
+    let mut order: Vec<usize> = (0..n).collect();
+    for _ in 0..config.epochs {
+        rng.shuffle(&mut order);
+        for chunk in order.chunks(config.batch_size.max(1)) {
+            let batch = data.select_rows(chunk);
+            let (out, caches) = mlp.forward_cached(&batch);
+            // L = mean over batch elements of squared error; ∂L/∂out scaled
+            // accordingly keeps gradients batch-size independent.
+            let scale = 2.0 / (batch.rows() * batch.cols()) as f64;
+            let grad_out = out.sub(&batch).scale(scale);
+            let grads = mlp.backward(&caches, &grad_out);
+            let flat = Mlp::flatten_grads(&grads);
+            opt.step(&mut params, &flat);
+            mlp.set_parameters(&params);
+        }
+    }
+    mlp
+}
+
+/// Per-row reconstruction MSE of a trained network.
+pub fn reconstruction_errors(mlp: &Mlp, data: &Matrix) -> Vec<f64> {
+    let out = mlp.forward(data);
+    data.rows_iter()
+        .zip(out.rows_iter())
+        .map(|(a, b)| mse(a, b))
+        .collect()
+}
+
+/// Ensemble outlier scores: trains `runs` autoencoders from independent
+/// seeds and sums the per-row reconstruction errors (the paper's "variant
+/// of ensemble training").
+pub fn ensemble_scores(data: &Matrix, config: &TrainConfig, runs: usize) -> Vec<f64> {
+    assert!(runs > 0, "need at least one run");
+    let mut scores = vec![0.0; data.rows()];
+    for run in 0..runs {
+        let cfg = TrainConfig { seed: config.seed.wrapping_add(run as u64 * 0x9E37), ..config.clone() };
+        let mlp = train_autoencoder(data, &cfg);
+        for (acc, e) in scores.iter_mut().zip(reconstruction_errors(&mlp, data)) {
+            *acc += e;
+        }
+    }
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Quick config for tests: small net, few epochs.
+    fn quick() -> TrainConfig {
+        TrainConfig {
+            hidden: vec![8, 2, 8],
+            epochs: 120,
+            batch_size: 16,
+            learning_rate: 5e-3,
+            seed: 7,
+        }
+    }
+
+    /// Low-rank data: points near a 2-d subspace of R^10 plus tiny noise.
+    fn low_rank_data(n: usize, seed: u64) -> Matrix {
+        let mut rng = Xoshiro256::seed_from(seed);
+        let b1: Vec<f64> = (0..10).map(|_| rng.next_gaussian()).collect();
+        let b2: Vec<f64> = (0..10).map(|_| rng.next_gaussian()).collect();
+        Matrix::from_fn(n, 10, |i, j| {
+            let _ = i;
+            let a = ((i * 37 + 11) % 17) as f64 / 17.0 - 0.5;
+            let b = ((i * 53 + 5) % 23) as f64 / 23.0 - 0.5;
+            a * b1[j] + b * b2[j]
+        })
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let data = low_rank_data(40, 1);
+        let cfg = quick();
+        // Untrained network baseline.
+        let mut rng = Xoshiro256::seed_from(cfg.seed);
+        let untrained = Mlp::new(&[10, 8, 2, 8, 10], &mut rng);
+        let before: f64 = reconstruction_errors(&untrained, &data).iter().sum();
+        let trained = train_autoencoder(&data, &cfg);
+        let after: f64 = reconstruction_errors(&trained, &data).iter().sum();
+        assert!(after < before * 0.5, "before {before}, after {after}");
+    }
+
+    #[test]
+    fn outlier_scores_higher_for_off_manifold_point() {
+        let mut data = low_rank_data(60, 2);
+        // Replace the last row with an off-manifold outlier.
+        let last = data.rows() - 1;
+        for j in 0..data.cols() {
+            data[(last, j)] = if j % 2 == 0 { 3.0 } else { -3.0 };
+        }
+        let trained = train_autoencoder(&data, &quick());
+        let errors = reconstruction_errors(&trained, &data);
+        let inlier_mean: f64 =
+            errors[..last].iter().sum::<f64>() / (errors.len() - 1) as f64;
+        assert!(
+            errors[last] > inlier_mean * 3.0,
+            "outlier {} vs inlier mean {}",
+            errors[last],
+            inlier_mean
+        );
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let data = low_rank_data(20, 3);
+        let cfg = TrainConfig { epochs: 5, ..quick() };
+        let a = train_autoencoder(&data, &cfg);
+        let b = train_autoencoder(&data, &cfg);
+        assert_eq!(a.parameters(), b.parameters());
+    }
+
+    #[test]
+    fn ensemble_accumulates_runs() {
+        let data = low_rank_data(15, 4);
+        let cfg = TrainConfig { epochs: 3, ..quick() };
+        let one = ensemble_scores(&data, &cfg, 1);
+        let three = ensemble_scores(&data, &cfg, 3);
+        assert_eq!(one.len(), data.rows());
+        // Summed scores grow with runs.
+        let s1: f64 = one.iter().sum();
+        let s3: f64 = three.iter().sum();
+        assert!(s3 > s1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty data")]
+    fn empty_data_panics() {
+        train_autoencoder(&Matrix::zeros(0, 5), &quick());
+    }
+}

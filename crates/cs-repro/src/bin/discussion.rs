@@ -1,0 +1,50 @@
+//! Regenerates the Section 4.4 discussion numbers: the pre-processing
+//! trade-off (encoder–decoder pass operations vs Cartesian comparisons)
+//! and the minimum-variance pruning floor.
+
+use cs_core::CollaborativeScoper;
+use cs_repro::experiments::dataset_signatures;
+
+fn main() {
+    for ds in [cs_datasets::oc3(), cs_datasets::oc3_fo()] {
+        let signatures = dataset_signatures(&ds);
+        let cartesian = ds.catalog.cartesian_element_pairs();
+
+        // Pass-operation accounting (any valid v gives the same counts).
+        let run = CollaborativeScoper::new(0.8).run(&signatures).expect("valid dataset");
+        println!(
+            "{}: {} encoder-decoder pass operations vs {} Cartesian comparisons = {:.2}%",
+            ds.name,
+            run.cost.pass_operations,
+            cartesian,
+            100.0 * run.cost.fraction_of(cartesian),
+        );
+
+        // Pruning floor at the lowest variance the paper probes (v = 0.01).
+        let floor = CollaborativeScoper::new(0.01).run(&signatures).expect("valid dataset");
+        let pruned = floor.outcome.pruned_count();
+        println!(
+            "{}: at v=0.01, {} of {} elements pruned ({:.2}%)",
+            ds.name,
+            pruned,
+            floor.outcome.len(),
+            100.0 * pruned as f64 / floor.outcome.len() as f64,
+        );
+
+        // How many of the floor-pruned elements are true negatives.
+        let labels = ds.labels();
+        let false_prunes = floor
+            .outcome
+            .decisions
+            .iter()
+            .zip(labels.iter())
+            .filter(|(&kept, &linkable)| !kept && linkable)
+            .count();
+        println!(
+            "{}: of those, {} are linkable (falsely pruned), {} are true negatives\n",
+            ds.name,
+            false_prunes,
+            pruned - false_prunes,
+        );
+    }
+}

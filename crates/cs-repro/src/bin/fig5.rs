@@ -1,0 +1,6 @@
+//! Regenerates Figure 5: best scoping vs collaborative scoping curves on
+//! the OC3 schemas (metrics, ROC/ROC', PR).
+
+fn main() {
+    cs_repro::figures::run_figure("fig5", &cs_datasets::oc3(), 50);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 6: best scoping vs collaborative scoping curves on
+//! the OC3-FO schemas (metrics, ROC/ROC', PR).
+
+fn main() {
+    cs_repro::figures::run_figure("fig6", &cs_datasets::oc3_fo(), 50);
+}

@@ -1,0 +1,85 @@
+//! Regenerates Figure 7: the PQ / PC / F1 / RR ablation of SIM, CLUSTER,
+//! and LSH matchers on original (SOTA) vs collaboratively streamlined
+//! schemas over the explained-variance range.
+//!
+//! Usage: `fig7 [--steps N]` (default 20 grid points — the plots need
+//! fewer points than the AUC integrals).
+
+use cs_repro::ablation::fig7_ablation;
+use cs_repro::csv::{fmt_f64, CsvTable};
+use cs_repro::report::render_table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let steps: usize = args
+        .iter()
+        .position(|a| a == "--steps")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+
+    let mut csv = CsvTable::new(&["dataset", "matcher", "v", "pq", "pc", "f1", "rr", "candidates"]);
+    for (panel, ds) in [("(a-d)", cs_datasets::oc3()), ("(e-h)", cs_datasets::oc3_fo())] {
+        println!("Figure 7 {panel} — {} (grid {steps})\n", ds.name);
+        let points = fig7_ablation(&ds, steps);
+
+        // Console: SOTA row and three sampled v rows per matcher.
+        let mut rows = Vec::new();
+        let matchers: Vec<String> = {
+            let mut seen = Vec::new();
+            for p in &points {
+                if !seen.contains(&p.matcher) {
+                    seen.push(p.matcher.clone());
+                }
+            }
+            seen
+        };
+        for m in &matchers {
+            let series: Vec<_> = points.iter().filter(|p| &p.matcher == m).collect();
+            let sota = series.iter().find(|p| p.v.is_none()).expect("SOTA row");
+            rows.push(vec![
+                format!("{m} SOTA"),
+                format!("{:.3}", sota.quality.pq),
+                format!("{:.3}", sota.quality.pc),
+                format!("{:.3}", sota.quality.f1),
+                format!("{:.3}", sota.quality.rr),
+            ]);
+            for target in [0.9, 0.6, 0.2] {
+                if let Some(p) = series
+                    .iter()
+                    .filter(|p| p.v.is_some())
+                    .min_by(|a, b| {
+                        let da = (a.v.unwrap() - target).abs();
+                        let db = (b.v.unwrap() - target).abs();
+                        da.partial_cmp(&db).expect("finite")
+                    })
+                {
+                    rows.push(vec![
+                        format!("{m} v={:.2}", p.v.unwrap()),
+                        format!("{:.3}", p.quality.pq),
+                        format!("{:.3}", p.quality.pc),
+                        format!("{:.3}", p.quality.f1),
+                        format!("{:.3}", p.quality.rr),
+                    ]);
+                }
+            }
+        }
+        println!("{}", render_table(&["Matcher", "PQ", "PC", "F1", "RR"], &rows));
+
+        for p in &points {
+            csv.push_row(vec![
+                ds.name.clone(),
+                p.matcher.clone(),
+                p.v.map(fmt_f64).unwrap_or_else(|| "SOTA".into()),
+                fmt_f64(p.quality.pq),
+                fmt_f64(p.quality.pc),
+                fmt_f64(p.quality.f1),
+                fmt_f64(p.quality.rr),
+                p.quality.candidates.to_string(),
+            ]);
+        }
+    }
+    let path = format!("{}/fig7.csv", cs_repro::RESULTS_DIR);
+    csv.write_to(&path).expect("write results CSV");
+    println!("written: {path}");
+}

@@ -1,0 +1,190 @@
+//! `scope` — the user-facing CLI: DDL files in, linkability verdicts out.
+//!
+//! ```text
+//! scope --ddl path/a.sql --ddl path/b.sql [--ddl ...] \
+//!       [--v 0.8] [--format text|json|csv] [--names-only] [--lexicon words.txt]
+//! ```
+//!
+//! Each `--ddl` file contributes one schema (named after the file stem).
+//! The tool runs the full collaborative-scoping pipeline and prints one
+//! verdict per table/attribute. Exit code 2 on usage errors, 1 on
+//! pipeline errors.
+
+use cs_core::{encode_catalog_with, CollaborativeScoper};
+use cs_embed::SignatureEncoder;
+use cs_schema::{parse_schema, Catalog, SerializeOptions};
+use std::process::ExitCode;
+
+struct Args {
+    ddl_paths: Vec<String>,
+    v: f64,
+    format: String,
+    names_only: bool,
+    lexicon_path: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        ddl_paths: Vec::new(),
+        v: 0.8,
+        format: "text".into(),
+        names_only: false,
+        lexicon_path: None,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--ddl" => args
+                .ddl_paths
+                .push(iter.next().ok_or("--ddl needs a path")?),
+            "--v" => {
+                args.v = iter
+                    .next()
+                    .ok_or("--v needs a value")?
+                    .parse()
+                    .map_err(|_| "--v needs a float".to_string())?
+            }
+            "--format" => {
+                args.format = iter.next().ok_or("--format needs text|json|csv")?;
+                if !["text", "json", "csv"].contains(&args.format.as_str()) {
+                    return Err(format!("unknown format {}", args.format));
+                }
+            }
+            "--names-only" => args.names_only = true,
+            "--lexicon" => args.lexicon_path = Some(iter.next().ok_or("--lexicon needs a path")?),
+            "--help" | "-h" => {
+                return Err("usage: scope --ddl a.sql --ddl b.sql [--v 0.8] \
+                            [--format text|json|csv] [--names-only] [--lexicon words.txt]"
+                    .into())
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    if args.ddl_paths.len() < 2 {
+        return Err("need at least two --ddl schemas to scope collaboratively".into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut catalog = Catalog::new();
+    for path in &args.ddl_paths {
+        let ddl = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let stem = std::path::Path::new(path)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.clone());
+        match parse_schema(&stem, &ddl) {
+            Ok(schema) => {
+                catalog.push(schema);
+            }
+            Err(e) => {
+                eprintln!("cannot parse {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let opts = if args.names_only {
+        SerializeOptions::names_only()
+    } else {
+        SerializeOptions::default()
+    };
+    let encoder = match &args.lexicon_path {
+        None => SignatureEncoder::default(),
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match cs_embed::Lexicon::default_with_extensions(&text) {
+                Ok(lexicon) => SignatureEncoder::new(cs_embed::EncoderConfig::default(), lexicon),
+                Err(e) => {
+                    eprintln!("invalid lexicon {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    let signatures = encode_catalog_with(&encoder, &catalog, &opts);
+    let run = match CollaborativeScoper::new(args.v).run(&signatures) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("scoping failed: {e}");
+            return ExitCode::from(1);
+        }
+    };
+
+    match args.format.as_str() {
+        "json" => {
+            let items: Vec<serde_json::Value> = run
+                .outcome
+                .element_ids
+                .iter()
+                .enumerate()
+                .map(|(i, id)| {
+                    serde_json::json!({
+                        "element": catalog.info(*id).qualified_name,
+                        "schema": catalog.schema(id.schema).name,
+                        "linkable": run.outcome.decisions[i],
+                        "votes": run.accept_votes[i],
+                        "margin": run.best_margin[i],
+                    })
+                })
+                .collect();
+            let doc = serde_json::json!({
+                "v": args.v,
+                "kept": run.outcome.kept_count(),
+                "total": run.outcome.len(),
+                "elements": items,
+            });
+            println!("{}", serde_json::to_string_pretty(&doc).expect("serializable"));
+        }
+        "csv" => {
+            println!("element,schema,linkable,votes,margin");
+            for (i, id) in run.outcome.element_ids.iter().enumerate() {
+                println!(
+                    "{},{},{},{},{:.6}",
+                    catalog.info(*id).qualified_name,
+                    catalog.schema(id.schema).name,
+                    run.outcome.decisions[i],
+                    run.accept_votes[i],
+                    run.best_margin[i]
+                );
+            }
+        }
+        _ => {
+            println!(
+                "collaborative scoping at v={}: kept {}/{} elements\n",
+                args.v,
+                run.outcome.kept_count(),
+                run.outcome.len()
+            );
+            for (i, id) in run.outcome.element_ids.iter().enumerate() {
+                println!(
+                    "{} {}",
+                    if run.outcome.decisions[i] { "keep " } else { "prune" },
+                    catalog.info(*id).qualified_name
+                );
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,355 @@
+//! Multi-schema catalog with a stable global element enumeration.
+//!
+//! Every numeric artifact in the workspace (signature matrices, outlier
+//! scores, streamlined keep-sets) is indexed by the order this catalog
+//! assigns: schemas in insertion order, elements within a schema in the
+//! canonical order of [`Schema::element_refs`] (attributes first, then
+//! tables). [`ElementId`] is a global handle valid for one catalog.
+
+use crate::model::{ElementRef, Schema};
+use serde::{Deserialize, Serialize};
+
+/// Global element handle: `(schema index, element index within schema)`.
+///
+/// `element` indexes into the canonical per-schema enumeration, *not* into
+/// any table's attribute list; resolve it through [`Catalog::info`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ElementId {
+    /// Index of the schema in the catalog.
+    pub schema: usize,
+    /// Index of the element within that schema's canonical enumeration.
+    pub element: usize,
+}
+
+impl ElementId {
+    /// Convenience constructor.
+    pub fn new(schema: usize, element: usize) -> Self {
+        Self { schema, element }
+    }
+}
+
+/// Resolved view of one element: where it lives and what it is.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElementInfo {
+    /// Global handle.
+    pub id: ElementId,
+    /// Schema-local address.
+    pub element: ElementRef,
+    /// Qualified display name (`SCHEMA.TABLE.ATTR` or `SCHEMA.TABLE`).
+    pub qualified_name: String,
+}
+
+/// An ordered collection of schemas to be matched together — the paper's
+/// `S = (S_1, …, S_k)`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Catalog {
+    schemas: Vec<Schema>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a catalog from schemas in matching order.
+    pub fn from_schemas(schemas: Vec<Schema>) -> Self {
+        Self { schemas }
+    }
+
+    /// Appends a schema and returns its index.
+    pub fn push(&mut self, schema: Schema) -> usize {
+        self.schemas.push(schema);
+        self.schemas.len() - 1
+    }
+
+    /// The schemas, in order.
+    pub fn schemas(&self) -> &[Schema] {
+        &self.schemas
+    }
+
+    /// Number of schemas.
+    pub fn schema_count(&self) -> usize {
+        self.schemas.len()
+    }
+
+    /// Borrow a schema by index.
+    pub fn schema(&self, idx: usize) -> &Schema {
+        &self.schemas[idx]
+    }
+
+    /// Finds a schema index by case-insensitive name.
+    pub fn schema_by_name(&self, name: &str) -> Option<usize> {
+        self.schemas
+            .iter()
+            .position(|s| s.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Total element count across all schemas — `|S|` in the paper.
+    pub fn element_count(&self) -> usize {
+        self.schemas.iter().map(Schema::element_count).sum()
+    }
+
+    /// Element ids of one schema, in canonical order.
+    pub fn schema_element_ids(&self, schema: usize) -> Vec<ElementId> {
+        (0..self.schemas[schema].element_count())
+            .map(|e| ElementId::new(schema, e))
+            .collect()
+    }
+
+    /// Every element id in the catalog, schema by schema.
+    pub fn all_element_ids(&self) -> Vec<ElementId> {
+        (0..self.schemas.len())
+            .flat_map(|s| self.schema_element_ids(s))
+            .collect()
+    }
+
+    /// Resolves an element id to its schema-local address.
+    ///
+    /// # Panics
+    /// If the id does not belong to this catalog.
+    pub fn element_ref(&self, id: ElementId) -> ElementRef {
+        let refs = self.schemas[id.schema].element_refs();
+        refs[id.element]
+    }
+
+    /// Full resolved info for an element id.
+    pub fn info(&self, id: ElementId) -> ElementInfo {
+        let schema = &self.schemas[id.schema];
+        let element = self.element_ref(id);
+        ElementInfo {
+            id,
+            element,
+            qualified_name: format!("{}.{}", schema.name, schema.element_name(element)),
+        }
+    }
+
+    /// Looks up the id of a table element by names.
+    pub fn table_id(&self, schema_name: &str, table_name: &str) -> Option<ElementId> {
+        let si = self.schema_by_name(schema_name)?;
+        let schema = &self.schemas[si];
+        let (ti, _) = schema.table(table_name)?;
+        let offset = schema.attribute_count();
+        // Tables come after all attributes in the canonical order, in table order.
+        Some(ElementId::new(si, offset + ti))
+    }
+
+    /// Looks up the id of an attribute element by names.
+    pub fn attribute_id(
+        &self,
+        schema_name: &str,
+        table_name: &str,
+        attr_name: &str,
+    ) -> Option<ElementId> {
+        let si = self.schema_by_name(schema_name)?;
+        let schema = &self.schemas[si];
+        let (ti, table) = schema.table(table_name)?;
+        let (ai, _) = table.attribute(attr_name)?;
+        // Attributes are enumerated grouped by table, declaration order.
+        let offset: usize = schema
+            .tables
+            .iter()
+            .take(ti)
+            .map(|t| t.attributes.len())
+            .sum();
+        Some(ElementId::new(si, offset + ai))
+    }
+
+    /// The Cartesian-product size of pairwise **table** comparisons across
+    /// all schema pairs (Table 3, "Cartesian Product Table").
+    pub fn cartesian_table_pairs(&self) -> usize {
+        self.cartesian_pairs(|s| s.table_count())
+    }
+
+    /// The Cartesian-product size of pairwise **attribute** comparisons
+    /// across all schema pairs (Table 3, "Cartesian Product Attr.").
+    pub fn cartesian_attribute_pairs(&self) -> usize {
+        self.cartesian_pairs(|s| s.attribute_count())
+    }
+
+    /// Total pairwise element comparisons (tables + attributes).
+    pub fn cartesian_element_pairs(&self) -> usize {
+        self.cartesian_table_pairs() + self.cartesian_attribute_pairs()
+    }
+
+    fn cartesian_pairs(&self, count: impl Fn(&Schema) -> usize) -> usize {
+        let counts: Vec<usize> = self.schemas.iter().map(count).collect();
+        let mut total = 0;
+        for i in 0..counts.len() {
+            for j in (i + 1)..counts.len() {
+                total += counts[i] * counts[j];
+            }
+        }
+        total
+    }
+
+    /// Builds a new catalog containing only the elements in `keep`
+    /// (streamlined schemas `S'`). Tables are retained if the table element
+    /// itself is kept **or** any of its attributes is kept; attributes are
+    /// retained only if kept. Empty schemas stay in place so indices remain
+    /// aligned with the original catalog.
+    pub fn project(&self, keep: &std::collections::HashSet<ElementId>) -> Catalog {
+        let mut schemas = Vec::with_capacity(self.schemas.len());
+        for (si, schema) in self.schemas.iter().enumerate() {
+            let refs = schema.element_refs();
+            let kept: std::collections::HashSet<ElementRef> = refs
+                .iter()
+                .enumerate()
+                .filter(|(ei, _)| keep.contains(&ElementId::new(si, *ei)))
+                .map(|(_, r)| *r)
+                .collect();
+            let mut tables = Vec::new();
+            for (ti, table) in schema.tables.iter().enumerate() {
+                let attrs: Vec<_> = table
+                    .attributes
+                    .iter()
+                    .enumerate()
+                    .filter(|(ai, _)| {
+                        kept.contains(&ElementRef::Attribute { table: ti, attribute: *ai })
+                    })
+                    .map(|(_, a)| a.clone())
+                    .collect();
+                let table_kept = kept.contains(&ElementRef::Table { table: ti });
+                if table_kept || !attrs.is_empty() {
+                    tables.push(crate::model::Table::new(table.name.clone(), attrs));
+                }
+            }
+            schemas.push(Schema::new(schema.name.clone(), tables));
+        }
+        Catalog::from_schemas(schemas)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Attribute, Constraint, DataType, Table};
+    use std::collections::HashSet;
+
+    fn two_schema_catalog() -> Catalog {
+        let s1 = Schema::new(
+            "S1",
+            vec![Table::new(
+                "CLIENT",
+                vec![
+                    Attribute::new("CID", DataType::Integer, Constraint::PrimaryKey),
+                    Attribute::plain("NAME", DataType::Varchar(None)),
+                ],
+            )],
+        );
+        let s2 = Schema::new(
+            "S2",
+            vec![
+                Table::new(
+                    "CUSTOMER",
+                    vec![
+                        Attribute::new("ID", DataType::Integer, Constraint::PrimaryKey),
+                        Attribute::plain("FIRST_NAME", DataType::Varchar(None)),
+                        Attribute::plain("LAST_NAME", DataType::Varchar(None)),
+                    ],
+                ),
+                Table::new(
+                    "SHIPMENTS",
+                    vec![Attribute::plain("DELIVERY_TIME", DataType::DateTime)],
+                ),
+            ],
+        );
+        Catalog::from_schemas(vec![s1, s2])
+    }
+
+    #[test]
+    fn counts_and_enumeration() {
+        let c = two_schema_catalog();
+        assert_eq!(c.schema_count(), 2);
+        assert_eq!(c.element_count(), 3 + 6);
+        assert_eq!(c.all_element_ids().len(), 9);
+        assert_eq!(c.schema_element_ids(0).len(), 3);
+    }
+
+    #[test]
+    fn table_and_attribute_ids_resolve() {
+        let c = two_schema_catalog();
+        let t = c.table_id("S2", "SHIPMENTS").unwrap();
+        assert!(c.element_ref(t).is_table());
+        assert_eq!(c.info(t).qualified_name, "S2.SHIPMENTS");
+
+        let a = c.attribute_id("S2", "CUSTOMER", "LAST_NAME").unwrap();
+        assert!(c.element_ref(a).is_attribute());
+        assert_eq!(c.info(a).qualified_name, "S2.CUSTOMER.LAST_NAME");
+        // Attribute ids are schema-canonical: CUSTOMER has 3 attrs, index 2.
+        assert_eq!(a.element, 2);
+
+        // SHIPMENTS.DELIVERY_TIME comes after CUSTOMER's attributes.
+        let d = c.attribute_id("S2", "SHIPMENTS", "DELIVERY_TIME").unwrap();
+        assert_eq!(d.element, 3);
+        // Tables come after all 4 attributes.
+        let cust = c.table_id("S2", "CUSTOMER").unwrap();
+        assert_eq!(cust.element, 4);
+    }
+
+    #[test]
+    fn missing_lookups_return_none() {
+        let c = two_schema_catalog();
+        assert!(c.table_id("S9", "CLIENT").is_none());
+        assert!(c.table_id("S1", "NOPE").is_none());
+        assert!(c.attribute_id("S1", "CLIENT", "NOPE").is_none());
+    }
+
+    #[test]
+    fn cartesian_sizes() {
+        let c = two_schema_catalog();
+        // tables: 1×2; attrs: 2×4.
+        assert_eq!(c.cartesian_table_pairs(), 2);
+        assert_eq!(c.cartesian_attribute_pairs(), 8);
+        assert_eq!(c.cartesian_element_pairs(), 10);
+    }
+
+    #[test]
+    fn cartesian_with_three_schemas() {
+        let mut c = two_schema_catalog();
+        c.push(Schema::new(
+            "S3",
+            vec![Table::new("X", vec![Attribute::plain("A", DataType::Integer)])],
+        ));
+        // tables 1,2,1 → 1·2 + 1·1 + 2·1 = 5.
+        assert_eq!(c.cartesian_table_pairs(), 5);
+    }
+
+    #[test]
+    fn project_keeps_selected_elements() {
+        let c = two_schema_catalog();
+        let keep: HashSet<ElementId> = [
+            c.attribute_id("S1", "CLIENT", "NAME").unwrap(),
+            c.attribute_id("S2", "CUSTOMER", "FIRST_NAME").unwrap(),
+            c.table_id("S2", "CUSTOMER").unwrap(),
+        ]
+        .into_iter()
+        .collect();
+        let p = c.project(&keep);
+        assert_eq!(p.schema_count(), 2);
+        // CLIENT retained because one attribute was kept.
+        assert_eq!(p.schema(0).table_count(), 1);
+        assert_eq!(p.schema(0).attribute_count(), 1);
+        // SHIPMENTS fully dropped.
+        assert_eq!(p.schema(1).table_count(), 1);
+        assert_eq!(p.schema(1).tables[0].attributes.len(), 1);
+        assert_eq!(p.element_count(), 4);
+    }
+
+    #[test]
+    fn project_empty_keep_gives_empty_schemas() {
+        let c = two_schema_catalog();
+        let p = c.project(&HashSet::new());
+        assert_eq!(p.schema_count(), 2);
+        assert_eq!(p.element_count(), 0);
+    }
+
+    #[test]
+    fn project_kept_table_without_attributes_survives() {
+        let c = two_schema_catalog();
+        let keep: HashSet<ElementId> = [c.table_id("S1", "CLIENT").unwrap()].into_iter().collect();
+        let p = c.project(&keep);
+        assert_eq!(p.schema(0).table_count(), 1);
+        assert_eq!(p.schema(0).attribute_count(), 0);
+    }
+}

@@ -1,0 +1,699 @@
+//! A small SQL DDL parser.
+//!
+//! The datasets in `cs-datasets` are stored as plain `CREATE TABLE` scripts
+//! (like the paper's artifact repository stores vendor schemas), so this
+//! module implements enough of SQL DDL to load them: `CREATE TABLE` with
+//! column definitions, inline `PRIMARY KEY` / `REFERENCES` / `NOT NULL` /
+//! `DEFAULT` / `AUTO_INCREMENT` clauses, and table-level `PRIMARY KEY (…)`,
+//! `FOREIGN KEY (…) REFERENCES …`, `UNIQUE (…)`, and `CONSTRAINT` clauses.
+//! Comments (`--` and `/* */`) and quoted identifiers are handled.
+//!
+//! The parser is a hand-written tokenizer + recursive descent over the
+//! token stream; errors carry the offending line.
+
+use crate::model::{Attribute, Constraint, DataType, Schema, Table};
+
+/// Error from [`parse_schema`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DdlError {
+    /// 1-based line where the error was detected.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for DdlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DDL error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for DdlError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Number(String),
+    StrLit(String),
+    LParen,
+    RParen,
+    Comma,
+    Semi,
+    Dot,
+    Other(char),
+}
+
+#[derive(Debug, Clone)]
+struct Spanned {
+    tok: Tok,
+    line: usize,
+}
+
+fn tokenize(input: &str) -> Result<Vec<Spanned>, DdlError> {
+    let mut out = Vec::new();
+    let mut chars = input.chars().peekable();
+    let mut line = 1usize;
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '-' => {
+                chars.next();
+                if chars.peek() == Some(&'-') {
+                    // line comment
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            line += 1;
+                            break;
+                        }
+                    }
+                } else {
+                    out.push(Spanned { tok: Tok::Other('-'), line });
+                }
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'*') {
+                    chars.next();
+                    let mut prev = ' ';
+                    loop {
+                        match chars.next() {
+                            Some('\n') => {
+                                line += 1;
+                                prev = '\n';
+                            }
+                            Some('/') if prev == '*' => break,
+                            Some(c) => prev = c,
+                            None => {
+                                return Err(DdlError {
+                                    line,
+                                    message: "unterminated block comment".into(),
+                                })
+                            }
+                        }
+                    }
+                } else {
+                    out.push(Spanned { tok: Tok::Other('/'), line });
+                }
+            }
+            '\'' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('\'') => break,
+                        Some('\n') => {
+                            line += 1;
+                            s.push('\n');
+                        }
+                        Some(c) => s.push(c),
+                        None => {
+                            return Err(DdlError { line, message: "unterminated string".into() })
+                        }
+                    }
+                }
+                out.push(Spanned { tok: Tok::StrLit(s), line });
+            }
+            '"' | '`' | '[' => {
+                let close = match c {
+                    '"' => '"',
+                    '`' => '`',
+                    _ => ']',
+                };
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some(c) if c == close => break,
+                        Some('\n') => {
+                            return Err(DdlError {
+                                line,
+                                message: "newline in quoted identifier".into(),
+                            })
+                        }
+                        Some(c) => s.push(c),
+                        None => {
+                            return Err(DdlError {
+                                line,
+                                message: "unterminated quoted identifier".into(),
+                            })
+                        }
+                    }
+                }
+                out.push(Spanned { tok: Tok::Ident(s), line });
+            }
+            '(' => {
+                chars.next();
+                out.push(Spanned { tok: Tok::LParen, line });
+            }
+            ')' => {
+                chars.next();
+                out.push(Spanned { tok: Tok::RParen, line });
+            }
+            ',' => {
+                chars.next();
+                out.push(Spanned { tok: Tok::Comma, line });
+            }
+            ';' => {
+                chars.next();
+                out.push(Spanned { tok: Tok::Semi, line });
+            }
+            '.' => {
+                chars.next();
+                out.push(Spanned { tok: Tok::Dot, line });
+            }
+            c if c.is_ascii_digit() => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Spanned { tok: Tok::Number(s), line });
+            }
+            c if c.is_alphanumeric() || c == '_' || c == '$' || c == '#' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' || d == '$' || d == '#' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Spanned { tok: Tok::Ident(s), line });
+            }
+            other => {
+                chars.next();
+                out.push(Spanned { tok: Tok::Other(other), line });
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|s| s.line)
+            .unwrap_or(0)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|s| s.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> DdlError {
+        DdlError { line: self.line(), message: message.into() }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if let Some(Tok::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn expect_ident(&mut self) -> Result<String, DdlError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<(), DdlError> {
+        match self.next() {
+            Some(t) if t == tok => Ok(()),
+            other => Err(self.err(format!("expected {tok:?}, found {other:?}"))),
+        }
+    }
+
+    /// Skips to (and past) the matching closing parenthesis; assumes the
+    /// opening one was already consumed.
+    fn skip_parens(&mut self) -> Result<(), DdlError> {
+        let mut depth = 1usize;
+        loop {
+            match self.next() {
+                Some(Tok::LParen) => depth += 1,
+                Some(Tok::RParen) => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Ok(());
+                    }
+                }
+                Some(_) => {}
+                None => return Err(self.err("unbalanced parentheses")),
+            }
+        }
+    }
+
+    /// Skips tokens until the next top-level comma or the closing paren of
+    /// the column list (which is not consumed).
+    fn skip_to_column_end(&mut self) -> Result<(), DdlError> {
+        loop {
+            match self.peek() {
+                Some(Tok::Comma) | Some(Tok::RParen) | None => return Ok(()),
+                Some(Tok::LParen) => {
+                    self.next();
+                    self.skip_parens()?;
+                }
+                _ => {
+                    self.next();
+                }
+            }
+        }
+    }
+}
+
+/// Parses a possibly qualified name (`schema.table`) and returns the last
+/// segment.
+fn parse_qualified_name(p: &mut Parser) -> Result<String, DdlError> {
+    let mut name = p.expect_ident()?;
+    while matches!(p.peek(), Some(Tok::Dot)) {
+        p.next();
+        name = p.expect_ident()?;
+    }
+    Ok(name)
+}
+
+fn map_data_type(name: &str, args: &[String]) -> DataType {
+    let upper = name.to_ascii_uppercase();
+    match upper.as_str() {
+        "INT" | "INTEGER" | "BIGINT" | "SMALLINT" | "TINYINT" | "MEDIUMINT" | "SERIAL" => {
+            DataType::Integer
+        }
+        "NUMBER" | "NUMERIC" | "DECIMAL" | "DEC" => {
+            // Oracle NUMBER without scale (or scale 0) is an integer family.
+            match args {
+                [] => DataType::Integer,
+                [_p] => DataType::Integer,
+                [_p, s] if s == "0" => DataType::Integer,
+                _ => DataType::Decimal,
+            }
+        }
+        "FLOAT" | "DOUBLE" | "REAL" | "BINARY_DOUBLE" | "BINARY_FLOAT" => DataType::Float,
+        "VARCHAR" | "VARCHAR2" | "NVARCHAR" | "NVARCHAR2" | "CHARACTER" => {
+            DataType::Varchar(args.first().and_then(|a| a.parse().ok()))
+        }
+        "CHAR" | "NCHAR" => DataType::Char(args.first().and_then(|a| a.parse().ok())),
+        "TEXT" | "CLOB" | "NCLOB" | "LONGTEXT" | "MEDIUMTEXT" | "TINYTEXT" => DataType::Text,
+        "DATE" => DataType::Date,
+        "DATETIME" => DataType::DateTime,
+        "TIMESTAMP" => DataType::Timestamp,
+        "TIME" => DataType::Time,
+        "BOOLEAN" | "BOOL" | "BIT" => DataType::Boolean,
+        "BLOB" | "LONGBLOB" | "MEDIUMBLOB" | "VARBINARY" | "BINARY" | "RAW" | "BYTEA" => {
+            DataType::Blob
+        }
+        _ => DataType::Other(upper),
+    }
+}
+
+fn parse_column(p: &mut Parser) -> Result<Attribute, DdlError> {
+    let name = p.expect_ident()?;
+    let type_name = p.expect_ident()?;
+    // Optional type arguments: (10), (10, 2), (10 CHAR)…
+    let mut args = Vec::new();
+    if matches!(p.peek(), Some(Tok::LParen)) {
+        p.next();
+        loop {
+            match p.next() {
+                Some(Tok::Number(n)) => args.push(n),
+                Some(Tok::Ident(_)) => {} // e.g. `10 CHAR`, `MAX`
+                Some(Tok::Comma) => {}
+                Some(Tok::RParen) => break,
+                other => return Err(p.err(format!("unexpected token in type args: {other:?}"))),
+            }
+        }
+    }
+    // Multi-word types: `DOUBLE PRECISION`, `TIMESTAMP WITH TIME ZONE`…
+    // handled by ignoring trailing modifiers below.
+    let mut constraint = Constraint::None;
+    loop {
+        match p.peek() {
+            Some(Tok::Comma) | Some(Tok::RParen) | None => break,
+            Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("PRIMARY") => {
+                p.next();
+                if !p.eat_keyword("KEY") {
+                    return Err(p.err("expected KEY after PRIMARY"));
+                }
+                constraint = Constraint::PrimaryKey;
+            }
+            Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("REFERENCES") => {
+                p.next();
+                parse_qualified_name(p)?;
+                if matches!(p.peek(), Some(Tok::LParen)) {
+                    p.next();
+                    p.skip_parens()?;
+                }
+                if constraint == Constraint::None {
+                    constraint = Constraint::ForeignKey;
+                }
+            }
+            Some(Tok::LParen) => {
+                p.next();
+                p.skip_parens()?;
+            }
+            _ => {
+                p.next();
+            }
+        }
+    }
+    Ok(Attribute::new(name, map_data_type(&type_name, &args), constraint))
+}
+
+/// Names listed in a parenthesized column list: `(A, B, C)`.
+fn parse_name_list(p: &mut Parser) -> Result<Vec<String>, DdlError> {
+    p.expect(Tok::LParen)?;
+    let mut names = Vec::new();
+    loop {
+        match p.next() {
+            Some(Tok::Ident(s)) => names.push(s),
+            other => return Err(p.err(format!("expected column name, found {other:?}"))),
+        }
+        match p.next() {
+            Some(Tok::Comma) => continue,
+            Some(Tok::RParen) => break,
+            other => return Err(p.err(format!("expected , or ), found {other:?}"))),
+        }
+    }
+    Ok(names)
+}
+
+/// Table-level constraint effects applied after all columns are parsed.
+#[derive(Default)]
+struct PendingConstraints {
+    primary: Vec<String>,
+    foreign: Vec<String>,
+}
+
+fn parse_table_constraint(p: &mut Parser, pending: &mut PendingConstraints) -> Result<(), DdlError> {
+    if p.eat_keyword("CONSTRAINT") {
+        let _name = p.expect_ident()?;
+    }
+    if p.eat_keyword("PRIMARY") {
+        if !p.eat_keyword("KEY") {
+            return Err(p.err("expected KEY after PRIMARY"));
+        }
+        pending.primary.extend(parse_name_list(p)?);
+        p.skip_to_column_end()?;
+        return Ok(());
+    }
+    if p.eat_keyword("FOREIGN") {
+        if !p.eat_keyword("KEY") {
+            return Err(p.err("expected KEY after FOREIGN"));
+        }
+        pending.foreign.extend(parse_name_list(p)?);
+        // REFERENCES table (cols) [ON DELETE …]
+        p.skip_to_column_end()?;
+        return Ok(());
+    }
+    // UNIQUE, CHECK, INDEX, KEY … — skip entirely.
+    p.skip_to_column_end()
+}
+
+/// Parses a full DDL script into a [`Schema`] with the given name.
+///
+/// Statements other than `CREATE TABLE` (e.g. `CREATE INDEX`, `INSERT`,
+/// `DROP`) are skipped.
+pub fn parse_schema(name: &str, ddl: &str) -> Result<Schema, DdlError> {
+    let toks = tokenize(ddl)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut tables = Vec::new();
+
+    while p.peek().is_some() {
+        if !p.peek_keyword("CREATE") {
+            // Skip one statement.
+            while let Some(t) = p.next() {
+                if t == Tok::Semi {
+                    break;
+                }
+                if t == Tok::LParen {
+                    p.skip_parens()?;
+                }
+            }
+            continue;
+        }
+        p.next(); // CREATE
+        if !p.eat_keyword("TABLE") {
+            // CREATE INDEX / VIEW / …: skip statement.
+            while let Some(t) = p.next() {
+                if t == Tok::Semi {
+                    break;
+                }
+                if t == Tok::LParen {
+                    p.skip_parens()?;
+                }
+            }
+            continue;
+        }
+        if p.eat_keyword("IF") {
+            p.eat_keyword("NOT");
+            p.eat_keyword("EXISTS");
+        }
+        let table_name = parse_qualified_name(&mut p)?;
+        p.expect(Tok::LParen)?;
+
+        let mut attributes: Vec<Attribute> = Vec::new();
+        let mut pending = PendingConstraints::default();
+        loop {
+            let is_constraint = matches!(p.peek(), Some(Tok::Ident(s)) if {
+                let u = s.to_ascii_uppercase();
+                matches!(u.as_str(), "PRIMARY" | "FOREIGN" | "CONSTRAINT" | "UNIQUE" | "CHECK" | "INDEX" | "KEY" | "FULLTEXT")
+            });
+            if is_constraint {
+                parse_table_constraint(&mut p, &mut pending)?;
+            } else {
+                attributes.push(parse_column(&mut p)?);
+            }
+            match p.next() {
+                Some(Tok::Comma) => continue,
+                Some(Tok::RParen) => break,
+                other => return Err(p.err(format!("expected , or ) in column list, found {other:?}"))),
+            }
+        }
+        // Trailing table options (ENGINE=…, TABLESPACE …) up to `;`.
+        while let Some(t) = p.peek() {
+            if *t == Tok::Semi {
+                p.next();
+                break;
+            }
+            if *t == Tok::LParen {
+                p.next();
+                p.skip_parens()?;
+            } else {
+                p.next();
+            }
+        }
+
+        // Apply table-level key constraints to columns.
+        for a in &mut attributes {
+            if pending.primary.iter().any(|n| n.eq_ignore_ascii_case(&a.name)) {
+                a.constraint = Constraint::PrimaryKey;
+            } else if pending.foreign.iter().any(|n| n.eq_ignore_ascii_case(&a.name))
+                && a.constraint == Constraint::None
+            {
+                a.constraint = Constraint::ForeignKey;
+            }
+        }
+        tables.push(Table::new(table_name, attributes));
+    }
+
+    Ok(Schema::new(name, tables))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_table() {
+        let schema = parse_schema(
+            "S",
+            "CREATE TABLE client (cid INT PRIMARY KEY, name VARCHAR(100), address VARCHAR(255));",
+        )
+        .unwrap();
+        assert_eq!(schema.table_count(), 1);
+        let t = &schema.tables[0];
+        assert_eq!(t.name, "client");
+        assert_eq!(t.attributes.len(), 3);
+        assert_eq!(t.attributes[0].constraint, Constraint::PrimaryKey);
+        assert_eq!(t.attributes[1].data_type, DataType::Varchar(Some(100)));
+    }
+
+    #[test]
+    fn parses_inline_references_as_fk() {
+        let schema = parse_schema(
+            "S",
+            "CREATE TABLE orders (oid INT PRIMARY KEY, cid INT REFERENCES client(cid));",
+        )
+        .unwrap();
+        assert_eq!(schema.tables[0].attributes[1].constraint, Constraint::ForeignKey);
+    }
+
+    #[test]
+    fn parses_table_level_keys() {
+        let ddl = "
+            CREATE TABLE order_items (
+                order_id INT NOT NULL,
+                item_id INT NOT NULL,
+                product_id INT,
+                quantity DECIMAL(10,2),
+                PRIMARY KEY (order_id, item_id),
+                FOREIGN KEY (product_id) REFERENCES products(id) ON DELETE CASCADE
+            );";
+        let schema = parse_schema("S", ddl).unwrap();
+        let t = &schema.tables[0];
+        assert_eq!(t.attributes[0].constraint, Constraint::PrimaryKey);
+        assert_eq!(t.attributes[1].constraint, Constraint::PrimaryKey);
+        assert_eq!(t.attributes[2].constraint, Constraint::ForeignKey);
+        assert_eq!(t.attributes[3].constraint, Constraint::None);
+        assert_eq!(t.attributes[3].data_type, DataType::Decimal);
+    }
+
+    #[test]
+    fn oracle_number_mapping() {
+        let schema = parse_schema(
+            "S",
+            "CREATE TABLE t (a NUMBER, b NUMBER(10), c NUMBER(10,0), d NUMBER(10,2));",
+        )
+        .unwrap();
+        let attrs = &schema.tables[0].attributes;
+        assert_eq!(attrs[0].data_type, DataType::Integer);
+        assert_eq!(attrs[1].data_type, DataType::Integer);
+        assert_eq!(attrs[2].data_type, DataType::Integer);
+        assert_eq!(attrs[3].data_type, DataType::Decimal);
+    }
+
+    #[test]
+    fn comments_and_quoting() {
+        let ddl = "
+            -- header comment
+            /* block
+               comment */
+            CREATE TABLE \"Quoted Table\" (
+                `col one` INT, -- trailing
+                [col2] VARCHAR2(30 CHAR)
+            );";
+        let schema = parse_schema("S", ddl).unwrap();
+        let t = &schema.tables[0];
+        assert_eq!(t.name, "Quoted Table");
+        assert_eq!(t.attributes[0].name, "col one");
+        assert_eq!(t.attributes[1].data_type, DataType::Varchar(Some(30)));
+    }
+
+    #[test]
+    fn skips_non_table_statements() {
+        let ddl = "
+            DROP TABLE IF EXISTS t;
+            CREATE INDEX idx ON t(a);
+            CREATE TABLE t (a INT);
+            INSERT INTO t VALUES (1);
+        ";
+        let schema = parse_schema("S", ddl).unwrap();
+        assert_eq!(schema.table_count(), 1);
+        assert_eq!(schema.tables[0].attributes.len(), 1);
+    }
+
+    #[test]
+    fn qualified_table_names() {
+        let schema = parse_schema("S", "CREATE TABLE co.orders (id INT);").unwrap();
+        assert_eq!(schema.tables[0].name, "orders");
+    }
+
+    #[test]
+    fn multiple_tables_and_types() {
+        let ddl = "
+            CREATE TABLE a (x DATE, y DATETIME, z TIMESTAMP, w TIME);
+            CREATE TABLE b (x TEXT, y BLOB, z BOOLEAN, v FLOAT, u GEOMETRY);
+        ";
+        let schema = parse_schema("S", ddl).unwrap();
+        assert_eq!(schema.table_count(), 2);
+        let a = &schema.tables[0].attributes;
+        assert_eq!(a[0].data_type, DataType::Date);
+        assert_eq!(a[1].data_type, DataType::DateTime);
+        assert_eq!(a[2].data_type, DataType::Timestamp);
+        assert_eq!(a[3].data_type, DataType::Time);
+        let b = &schema.tables[1].attributes;
+        assert_eq!(b[0].data_type, DataType::Text);
+        assert_eq!(b[1].data_type, DataType::Blob);
+        assert_eq!(b[2].data_type, DataType::Boolean);
+        assert_eq!(b[3].data_type, DataType::Float);
+        assert_eq!(b[4].data_type, DataType::Other("GEOMETRY".into()));
+    }
+
+    #[test]
+    fn mysql_table_options_and_defaults() {
+        let ddl = "
+            CREATE TABLE IF NOT EXISTS products (
+                id INT AUTO_INCREMENT PRIMARY KEY,
+                name VARCHAR(70) NOT NULL DEFAULT 'unknown',
+                price DECIMAL(10,2) DEFAULT 0.0,
+                UNIQUE (name)
+            ) ENGINE=InnoDB DEFAULT CHARSET=utf8;
+        ";
+        let schema = parse_schema("S", ddl).unwrap();
+        let t = &schema.tables[0];
+        assert_eq!(t.attributes.len(), 3);
+        assert_eq!(t.attributes[0].constraint, Constraint::PrimaryKey);
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse_schema("S", "CREATE TABLE t (\n  a INT,\n  ,\n);").unwrap_err();
+        assert!(err.line >= 3, "line was {}", err.line);
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(parse_schema("S", "/* nope").is_err());
+    }
+
+    #[test]
+    fn constraint_clause_named_fk() {
+        let ddl = "
+            CREATE TABLE t (
+                a INT,
+                b INT,
+                CONSTRAINT fk_b FOREIGN KEY (b) REFERENCES other(b)
+            );";
+        let schema = parse_schema("S", ddl).unwrap();
+        assert_eq!(schema.tables[0].attributes[1].constraint, Constraint::ForeignKey);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_schema() {
+        let schema = parse_schema("S", "   -- nothing here\n").unwrap();
+        assert_eq!(schema.table_count(), 0);
+        assert_eq!(schema.element_count(), 0);
+    }
+}

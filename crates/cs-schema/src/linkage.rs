@@ -1,0 +1,333 @@
+//! Ground-truth linkages and linkability labels.
+//!
+//! Implements the paper's Section 2.1: the inter-linkage set `L(S)` over a
+//! catalog, the binary **linkability** label it induces on every element
+//! (Definition 1), and the **unlinkable overhead** statistic
+//! `(|S| − |S'|)/|S'|`.
+
+use crate::catalog::{Catalog, ElementId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Linkage type taxonomy from Section 2.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkageKind {
+    /// One-to-one identical semantics (e.g. `NAME ≅ CNAME`).
+    InterIdentical,
+    /// Partial / one-to-many semantics (e.g. `ADDRESS ⊐ CITY`,
+    /// `FIRST_NAME + LAST_NAME ≅ NAME`), including sub-typed table pairs.
+    InterSubTyped,
+}
+
+/// One annotated linkage between elements of two *different* schemas.
+///
+/// Pairs are symmetric; [`LinkagePair::new`] normalizes the order so the
+/// smaller [`ElementId`] comes first, making pairs hashable set members.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LinkagePair {
+    /// Lexicographically smaller endpoint.
+    pub a: ElementId,
+    /// Lexicographically larger endpoint.
+    pub b: ElementId,
+    /// Linkage type.
+    pub kind: LinkageKind,
+}
+
+impl LinkagePair {
+    /// Creates a normalized pair.
+    ///
+    /// # Panics
+    /// If both endpoints belong to the same schema — `L(S)` is defined over
+    /// *inter*-schema correspondences only (`k ≠ m`).
+    pub fn new(a: ElementId, b: ElementId, kind: LinkageKind) -> Self {
+        assert_ne!(a.schema, b.schema, "linkages connect different schemas");
+        if a <= b {
+            Self { a, b, kind }
+        } else {
+            Self { a: b, b: a, kind }
+        }
+    }
+
+    /// True if `id` is one of the endpoints.
+    pub fn touches(&self, id: ElementId) -> bool {
+        self.a == id || self.b == id
+    }
+
+    /// True if the pair connects the two given schemas (in either order).
+    pub fn connects(&self, schema_x: usize, schema_y: usize) -> bool {
+        (self.a.schema == schema_x && self.b.schema == schema_y)
+            || (self.a.schema == schema_y && self.b.schema == schema_x)
+    }
+}
+
+/// The annotated ground-truth linkage set `L(S)` for a catalog.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LinkageSet {
+    pairs: HashSet<LinkagePair>,
+}
+
+impl LinkageSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a set from pairs (normalizing and deduplicating).
+    pub fn from_pairs(pairs: impl IntoIterator<Item = LinkagePair>) -> Self {
+        Self { pairs: pairs.into_iter().collect() }
+    }
+
+    /// Inserts a pair; returns false if it was already present.
+    pub fn insert(&mut self, pair: LinkagePair) -> bool {
+        self.pairs.insert(pair)
+    }
+
+    /// Number of annotated pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True if no pairs are annotated.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Iterator over the pairs.
+    pub fn iter(&self) -> impl Iterator<Item = &LinkagePair> {
+        self.pairs.iter()
+    }
+
+    /// True if the (unordered) element pair is annotated, regardless of kind.
+    pub fn contains_pair(&self, x: ElementId, y: ElementId) -> bool {
+        if x.schema == y.schema {
+            return false;
+        }
+        let (a, b) = if x <= y { (x, y) } else { (y, x) };
+        self.pairs.contains(&LinkagePair { a, b, kind: LinkageKind::InterIdentical })
+            || self.pairs.contains(&LinkagePair { a, b, kind: LinkageKind::InterSubTyped })
+    }
+
+    /// The set of linkable elements (Definition 1): every element occurring
+    /// in at least one pair.
+    pub fn linkable_elements(&self) -> HashSet<ElementId> {
+        let mut set = HashSet::with_capacity(self.pairs.len() * 2);
+        for p in &self.pairs {
+            set.insert(p.a);
+            set.insert(p.b);
+        }
+        set
+    }
+
+    /// True if the element occurs in any pair.
+    pub fn is_linkable(&self, id: ElementId) -> bool {
+        self.pairs.iter().any(|p| p.touches(id))
+    }
+
+    /// Linkability labels for every element of the catalog, in global
+    /// enumeration order (the label vector scoping is evaluated against).
+    pub fn labels(&self, catalog: &Catalog) -> Vec<bool> {
+        let linkable = self.linkable_elements();
+        catalog
+            .all_element_ids()
+            .into_iter()
+            .map(|id| linkable.contains(&id))
+            .collect()
+    }
+
+    /// Count of pairs by kind.
+    pub fn count_kind(&self, kind: LinkageKind) -> usize {
+        self.pairs.iter().filter(|p| p.kind == kind).count()
+    }
+
+    /// Count of pairs of a kind connecting two specific schemas.
+    pub fn count_between(&self, schema_x: usize, schema_y: usize, kind: LinkageKind) -> usize {
+        self.pairs
+            .iter()
+            .filter(|p| p.kind == kind && p.connects(schema_x, schema_y))
+            .count()
+    }
+
+    /// Per-schema linkable element counts (Table 2's "Linkable" column).
+    pub fn linkable_per_schema(&self, catalog: &Catalog) -> Vec<usize> {
+        let linkable = self.linkable_elements();
+        (0..catalog.schema_count())
+            .map(|s| {
+                catalog
+                    .schema_element_ids(s)
+                    .into_iter()
+                    .filter(|id| linkable.contains(id))
+                    .count()
+            })
+            .collect()
+    }
+
+    /// The paper's unlinkable-overhead statistic `(|S| − |S'|)/|S'|`,
+    /// where `|S'|` is the number of linkable elements. Returns `None`
+    /// when nothing is linkable (division by zero).
+    pub fn unlinkable_overhead(&self, catalog: &Catalog) -> Option<f64> {
+        let total = catalog.element_count();
+        let linkable = self.linkable_elements().len();
+        (linkable > 0).then(|| (total - linkable) as f64 / linkable as f64)
+    }
+
+    /// Restricts the set to pairs whose *both* endpoints survive in `keep`
+    /// — used to quantify what pruning destroys.
+    pub fn restricted_to(&self, keep: &HashSet<ElementId>) -> LinkageSet {
+        LinkageSet {
+            pairs: self
+                .pairs
+                .iter()
+                .filter(|p| keep.contains(&p.a) && keep.contains(&p.b))
+                .copied()
+                .collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a LinkageSet {
+    type Item = &'a LinkagePair;
+    type IntoIter = std::collections::hash_set::Iter<'a, LinkagePair>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.pairs.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Attribute, DataType, Schema, Table};
+
+    fn catalog() -> Catalog {
+        let make = |schema: &str, table: &str, attrs: &[&str]| {
+            Schema::new(
+                schema,
+                vec![Table::new(
+                    table,
+                    attrs
+                        .iter()
+                        .map(|a| Attribute::plain(*a, DataType::Varchar(None)))
+                        .collect(),
+                )],
+            )
+        };
+        Catalog::from_schemas(vec![
+            make("S1", "CLIENT", &["CID", "NAME", "ADDRESS"]),
+            make("S2", "CUSTOMER", &["ID", "FIRST_NAME", "LAST_NAME", "DOB"]),
+            make("S3", "CAR", &["CAR_ID", "CNAME"]),
+        ])
+    }
+
+    fn id(c: &Catalog, s: &str, t: &str, a: &str) -> ElementId {
+        c.attribute_id(s, t, a).unwrap()
+    }
+
+    #[test]
+    fn pair_normalization_and_symmetry() {
+        let c = catalog();
+        let x = id(&c, "S1", "CLIENT", "NAME");
+        let y = id(&c, "S2", "CUSTOMER", "FIRST_NAME");
+        let p1 = LinkagePair::new(x, y, LinkageKind::InterSubTyped);
+        let p2 = LinkagePair::new(y, x, LinkageKind::InterSubTyped);
+        assert_eq!(p1, p2);
+        let set = LinkageSet::from_pairs([p1, p2]);
+        assert_eq!(set.len(), 1);
+        assert!(set.contains_pair(y, x));
+    }
+
+    #[test]
+    #[should_panic(expected = "different schemas")]
+    fn intra_schema_pair_panics() {
+        let c = catalog();
+        let x = id(&c, "S1", "CLIENT", "NAME");
+        let y = id(&c, "S1", "CLIENT", "CID");
+        LinkagePair::new(x, y, LinkageKind::InterIdentical);
+    }
+
+    #[test]
+    fn linkability_labels() {
+        let c = catalog();
+        let mut set = LinkageSet::new();
+        set.insert(LinkagePair::new(
+            id(&c, "S1", "CLIENT", "NAME"),
+            id(&c, "S2", "CUSTOMER", "FIRST_NAME"),
+            LinkageKind::InterSubTyped,
+        ));
+        set.insert(LinkagePair::new(
+            c.table_id("S1", "CLIENT").unwrap(),
+            c.table_id("S2", "CUSTOMER").unwrap(),
+            LinkageKind::InterSubTyped,
+        ));
+        assert!(set.is_linkable(id(&c, "S1", "CLIENT", "NAME")));
+        assert!(!set.is_linkable(id(&c, "S2", "CUSTOMER", "DOB")));
+        let labels = set.labels(&c);
+        assert_eq!(labels.len(), c.element_count());
+        assert_eq!(labels.iter().filter(|&&l| l).count(), 4);
+    }
+
+    #[test]
+    fn per_schema_counts_and_overhead() {
+        let c = catalog();
+        let mut set = LinkageSet::new();
+        set.insert(LinkagePair::new(
+            id(&c, "S1", "CLIENT", "NAME"),
+            id(&c, "S2", "CUSTOMER", "FIRST_NAME"),
+            LinkageKind::InterSubTyped,
+        ));
+        set.insert(LinkagePair::new(
+            id(&c, "S1", "CLIENT", "NAME"),
+            id(&c, "S2", "CUSTOMER", "LAST_NAME"),
+            LinkageKind::InterSubTyped,
+        ));
+        let per = set.linkable_per_schema(&c);
+        assert_eq!(per, vec![1, 2, 0]);
+        // 12 elements total (3+1, 4+1, 2+1), 3 linkable → (12-3)/3 = 3.0.
+        let oh = set.unlinkable_overhead(&c).unwrap();
+        assert!((oh - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_none_when_nothing_linkable() {
+        let c = catalog();
+        assert!(LinkageSet::new().unlinkable_overhead(&c).is_none());
+    }
+
+    #[test]
+    fn count_by_kind_and_schema_pair() {
+        let c = catalog();
+        let mut set = LinkageSet::new();
+        set.insert(LinkagePair::new(
+            id(&c, "S1", "CLIENT", "CID"),
+            id(&c, "S2", "CUSTOMER", "ID"),
+            LinkageKind::InterIdentical,
+        ));
+        set.insert(LinkagePair::new(
+            id(&c, "S1", "CLIENT", "NAME"),
+            id(&c, "S2", "CUSTOMER", "FIRST_NAME"),
+            LinkageKind::InterSubTyped,
+        ));
+        set.insert(LinkagePair::new(
+            id(&c, "S1", "CLIENT", "NAME"),
+            id(&c, "S3", "CAR", "CNAME"),
+            LinkageKind::InterIdentical,
+        ));
+        assert_eq!(set.count_kind(LinkageKind::InterIdentical), 2);
+        assert_eq!(set.count_kind(LinkageKind::InterSubTyped), 1);
+        assert_eq!(set.count_between(0, 1, LinkageKind::InterIdentical), 1);
+        assert_eq!(set.count_between(1, 0, LinkageKind::InterIdentical), 1);
+        assert_eq!(set.count_between(0, 2, LinkageKind::InterIdentical), 1);
+        assert_eq!(set.count_between(1, 2, LinkageKind::InterIdentical), 0);
+    }
+
+    #[test]
+    fn restriction_drops_broken_pairs() {
+        let c = catalog();
+        let x = id(&c, "S1", "CLIENT", "NAME");
+        let y = id(&c, "S2", "CUSTOMER", "FIRST_NAME");
+        let set = LinkageSet::from_pairs([LinkagePair::new(x, y, LinkageKind::InterSubTyped)]);
+        let keep_both: HashSet<ElementId> = [x, y].into_iter().collect();
+        assert_eq!(set.restricted_to(&keep_both).len(), 1);
+        let keep_one: HashSet<ElementId> = [x].into_iter().collect();
+        assert_eq!(set.restricted_to(&keep_one).len(), 0);
+    }
+}

@@ -1,0 +1,342 @@
+//! Core metadata objects: schemas, tables, attributes.
+//!
+//! The paper's linkability problem treats **both tables and attributes** as
+//! first-class "schema elements" that receive signatures, so the model also
+//! defines [`ElementRef`], a schema-local address that names either.
+
+use serde::{Deserialize, Serialize};
+
+/// SQL data type of an attribute, reduced to the families that matter for
+/// metadata serialization. Anything exotic is preserved in `Other`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// Whole numbers (`INT`, `INTEGER`, `BIGINT`, `SMALLINT`, `NUMBER` in
+    /// Oracle without scale).
+    Integer,
+    /// Fixed-point numbers (`DECIMAL`, `NUMERIC`, Oracle `NUMBER(p,s)`).
+    Decimal,
+    /// Floating-point numbers (`FLOAT`, `DOUBLE`, `REAL`).
+    Float,
+    /// Variable-length strings; the optional length is kept for round-trips.
+    Varchar(Option<u32>),
+    /// Fixed-length strings.
+    Char(Option<u32>),
+    /// Unbounded text (`TEXT`, `CLOB`, `NCLOB`).
+    Text,
+    /// Calendar dates.
+    Date,
+    /// Date + time without timezone (`DATETIME`, Oracle `DATE` is mapped by
+    /// the dataset DDL to this when it carries time).
+    DateTime,
+    /// Timestamps (`TIMESTAMP`, with or without timezone).
+    Timestamp,
+    /// Time of day.
+    Time,
+    /// Booleans.
+    Boolean,
+    /// Binary blobs (`BLOB`, `VARBINARY`).
+    Blob,
+    /// Anything else, verbatim.
+    Other(String),
+}
+
+impl DataType {
+    /// Canonical single-word spelling used by the `T^a` serialization (the
+    /// paper serializes e.g. `NUMBER PRIMARY KEY`; we canonicalize families
+    /// so ORACLE `NUMBER` and MySQL `INT` both read `INTEGER`).
+    pub fn canonical_word(&self) -> &str {
+        match self {
+            DataType::Integer => "INTEGER",
+            DataType::Decimal => "DECIMAL",
+            DataType::Float => "FLOAT",
+            DataType::Varchar(_) => "VARCHAR",
+            DataType::Char(_) => "CHAR",
+            DataType::Text => "TEXT",
+            DataType::Date => "DATE",
+            DataType::DateTime => "DATETIME",
+            DataType::Timestamp => "TIMESTAMP",
+            DataType::Time => "TIME",
+            DataType::Boolean => "BOOLEAN",
+            DataType::Blob => "BLOB",
+            DataType::Other(s) => s,
+        }
+    }
+
+    /// True for the numeric families.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, DataType::Integer | DataType::Decimal | DataType::Float)
+    }
+
+    /// True for the textual families.
+    pub fn is_textual(&self) -> bool {
+        matches!(
+            self,
+            DataType::Varchar(_) | DataType::Char(_) | DataType::Text
+        )
+    }
+
+    /// True for the temporal families.
+    pub fn is_temporal(&self) -> bool {
+        matches!(
+            self,
+            DataType::Date | DataType::DateTime | DataType::Timestamp | DataType::Time
+        )
+    }
+}
+
+/// Key constraint on an attribute. The paper restricts constraints to
+/// `PRIMARY KEY` / `FOREIGN KEY` (the FK reference target is dropped from
+/// the serialization, Section 2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Constraint {
+    /// No key constraint.
+    #[default]
+    None,
+    /// Member of the primary key.
+    PrimaryKey,
+    /// Foreign-key column.
+    ForeignKey,
+}
+
+impl Constraint {
+    /// The serialization suffix: empty, `PRIMARY KEY`, or `FOREIGN KEY`.
+    pub fn words(&self) -> &'static str {
+        match self {
+            Constraint::None => "",
+            Constraint::PrimaryKey => "PRIMARY KEY",
+            Constraint::ForeignKey => "FOREIGN KEY",
+        }
+    }
+}
+
+/// Attribute metadata: `a = (an, tn, d, c)` in the paper's notation — the
+/// table name is carried by the owning [`Table`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Attribute {
+    /// Attribute (column) name as declared.
+    pub name: String,
+    /// Data type.
+    pub data_type: DataType,
+    /// Key constraint.
+    pub constraint: Constraint,
+}
+
+impl Attribute {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, data_type: DataType, constraint: Constraint) -> Self {
+        Self { name: name.into(), data_type, constraint }
+    }
+
+    /// Unconstrained attribute.
+    pub fn plain(name: impl Into<String>, data_type: DataType) -> Self {
+        Self::new(name, data_type, Constraint::None)
+    }
+}
+
+/// Table metadata: name plus its attributes, in declaration order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table name as declared.
+    pub name: String,
+    /// Attributes in declaration order.
+    pub attributes: Vec<Attribute>,
+}
+
+impl Table {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, attributes: Vec<Attribute>) -> Self {
+        Self { name: name.into(), attributes }
+    }
+
+    /// Looks up an attribute by case-insensitive name.
+    pub fn attribute(&self, name: &str) -> Option<(usize, &Attribute)> {
+        self.attributes
+            .iter()
+            .enumerate()
+            .find(|(_, a)| a.name.eq_ignore_ascii_case(name))
+    }
+}
+
+/// A relational schema: a named set of tables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schema {
+    /// Schema name (e.g. `OC-Oracle`).
+    pub name: String,
+    /// Tables in declaration order.
+    pub tables: Vec<Table>,
+}
+
+impl Schema {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, tables: Vec<Table>) -> Self {
+        Self { name: name.into(), tables }
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Total number of attributes across all tables.
+    pub fn attribute_count(&self) -> usize {
+        self.tables.iter().map(|t| t.attributes.len()).sum()
+    }
+
+    /// Total number of schema elements (attributes + tables) — the unit of
+    /// the linkability problem.
+    pub fn element_count(&self) -> usize {
+        self.attribute_count() + self.table_count()
+    }
+
+    /// Looks up a table by case-insensitive name.
+    pub fn table(&self, name: &str) -> Option<(usize, &Table)> {
+        self.tables
+            .iter()
+            .enumerate()
+            .find(|(_, t)| t.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Enumerates every element of this schema in the canonical order used
+    /// by signature matrices: all attributes (grouped by table, declaration
+    /// order), then all tables.
+    pub fn element_refs(&self) -> Vec<ElementRef> {
+        let mut out = Vec::with_capacity(self.element_count());
+        for (ti, table) in self.tables.iter().enumerate() {
+            for ai in 0..table.attributes.len() {
+                out.push(ElementRef::Attribute { table: ti, attribute: ai });
+            }
+        }
+        for ti in 0..self.tables.len() {
+            out.push(ElementRef::Table { table: ti });
+        }
+        out
+    }
+
+    /// Resolves an [`ElementRef`] to a human-readable qualified name like
+    /// `ORDERS.ORDER_ID` or `ORDERS` — used in reports and error messages.
+    pub fn element_name(&self, r: ElementRef) -> String {
+        match r {
+            ElementRef::Table { table } => self.tables[table].name.clone(),
+            ElementRef::Attribute { table, attribute } => {
+                let t = &self.tables[table];
+                format!("{}.{}", t.name, t.attributes[attribute].name)
+            }
+        }
+    }
+}
+
+/// Schema-local address of an element (an attribute or a table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ElementRef {
+    /// The attribute at `attributes[attribute]` of `tables[table]`.
+    Attribute {
+        /// Index into [`Schema::tables`].
+        table: usize,
+        /// Index into [`Table::attributes`].
+        attribute: usize,
+    },
+    /// The table at `tables[table]`.
+    Table {
+        /// Index into [`Schema::tables`].
+        table: usize,
+    },
+}
+
+impl ElementRef {
+    /// True if this references a table.
+    pub fn is_table(&self) -> bool {
+        matches!(self, ElementRef::Table { .. })
+    }
+
+    /// True if this references an attribute.
+    pub fn is_attribute(&self) -> bool {
+        matches!(self, ElementRef::Attribute { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_schema() -> Schema {
+        Schema::new(
+            "S1",
+            vec![
+                Table::new(
+                    "CLIENT",
+                    vec![
+                        Attribute::new("CID", DataType::Integer, Constraint::PrimaryKey),
+                        Attribute::plain("NAME", DataType::Varchar(Some(100))),
+                        Attribute::plain("ADDRESS", DataType::Varchar(None)),
+                        Attribute::plain("PHONE", DataType::Varchar(Some(20))),
+                    ],
+                ),
+                Table::new(
+                    "ORDERS",
+                    vec![
+                        Attribute::new("OID", DataType::Integer, Constraint::PrimaryKey),
+                        Attribute::new("CID", DataType::Integer, Constraint::ForeignKey),
+                    ],
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn counts() {
+        let s = sample_schema();
+        assert_eq!(s.table_count(), 2);
+        assert_eq!(s.attribute_count(), 6);
+        assert_eq!(s.element_count(), 8);
+    }
+
+    #[test]
+    fn element_order_attributes_then_tables() {
+        let s = sample_schema();
+        let refs = s.element_refs();
+        assert_eq!(refs.len(), 8);
+        assert!(refs[..6].iter().all(ElementRef::is_attribute));
+        assert!(refs[6..].iter().all(ElementRef::is_table));
+        assert_eq!(refs[0], ElementRef::Attribute { table: 0, attribute: 0 });
+        assert_eq!(refs[4], ElementRef::Attribute { table: 1, attribute: 0 });
+        assert_eq!(refs[6], ElementRef::Table { table: 0 });
+    }
+
+    #[test]
+    fn element_names() {
+        let s = sample_schema();
+        assert_eq!(
+            s.element_name(ElementRef::Attribute { table: 0, attribute: 2 }),
+            "CLIENT.ADDRESS"
+        );
+        assert_eq!(s.element_name(ElementRef::Table { table: 1 }), "ORDERS");
+    }
+
+    #[test]
+    fn lookups_are_case_insensitive() {
+        let s = sample_schema();
+        let (idx, t) = s.table("client").unwrap();
+        assert_eq!(idx, 0);
+        let (aidx, a) = t.attribute("phone").unwrap();
+        assert_eq!(aidx, 3);
+        assert_eq!(a.name, "PHONE");
+        assert!(s.table("NOPE").is_none());
+    }
+
+    #[test]
+    fn datatype_classification() {
+        assert!(DataType::Integer.is_numeric());
+        assert!(DataType::Varchar(None).is_textual());
+        assert!(DataType::Timestamp.is_temporal());
+        assert!(!DataType::Boolean.is_numeric());
+        assert_eq!(DataType::Other("GEOMETRY".into()).canonical_word(), "GEOMETRY");
+    }
+
+    #[test]
+    fn constraint_words() {
+        assert_eq!(Constraint::PrimaryKey.words(), "PRIMARY KEY");
+        assert_eq!(Constraint::ForeignKey.words(), "FOREIGN KEY");
+        assert_eq!(Constraint::None.words(), "");
+        assert_eq!(Constraint::default(), Constraint::None);
+    }
+}
