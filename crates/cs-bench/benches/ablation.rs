@@ -2,7 +2,8 @@
 //! each alternative. (The *quality* side is reported by the
 //! `cs-repro --bin ablation` binary.)
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cs_bench::harness::{BenchmarkId, Criterion};
+use cs_bench::{criterion_group, criterion_main};
 use cs_core::{CollaborativeScoper, CollaborativeSweep, CombinationRule};
 use cs_linalg::{Matrix, Svd, Xoshiro256};
 use cs_schema::SerializeOptions;

@@ -2,15 +2,14 @@
 //! schemas. The reduction ratio translates directly into wall-clock
 //! savings for every matcher family.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cs_bench::harness::{BenchmarkId, Criterion};
+use cs_bench::{criterion_group, criterion_main};
 use cs_core::CollaborativeScoper;
 use cs_match::{ClusterMatcher, ElementSet, LshMatcher, Matcher, SimMatcher};
 use std::hint::black_box;
 
 /// Builds (original, streamlined) attribute element sets for a dataset.
-fn element_sets(
-    ds: &cs_datasets::Dataset,
-) -> (Vec<ElementSet>, Vec<ElementSet>) {
+fn element_sets(ds: &cs_datasets::Dataset) -> (Vec<ElementSet>, Vec<ElementSet>) {
     let encoder = cs_embed::SignatureEncoder::default();
     let sigs = cs_core::encode_catalog(&encoder, &ds.catalog);
     let original: Vec<ElementSet> = (0..sigs.schema_count())
@@ -35,7 +34,10 @@ fn bench_matchers(c: &mut Criterion) {
         Box::new(ClusterMatcher::new(5)),
         Box::new(LshMatcher::new(5)),
     ];
-    for (name, ds) in [("oc3", cs_datasets::oc3()), ("oc3-fo", cs_datasets::oc3_fo())] {
+    for (name, ds) in [
+        ("oc3", cs_datasets::oc3()),
+        ("oc3-fo", cs_datasets::oc3_fo()),
+    ] {
         let (original, streamlined) = element_sets(&ds);
         for matcher in &matchers {
             group.bench_function(

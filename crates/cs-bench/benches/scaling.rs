@@ -2,7 +2,8 @@
 //! `|S|²` while collaborative scoping scales with the per-schema
 //! `Σ|S_k|²` — the gap widens as elements spread over more schemas.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cs_bench::harness::{BenchmarkId, Criterion, Throughput};
+use cs_bench::{criterion_group, criterion_main};
 use cs_core::{CollaborativeScoper, GlobalScoper};
 use cs_datasets::synthetic::{generate, SyntheticConfig};
 use cs_oda::{LofDetector, PcaDetector};
@@ -35,27 +36,17 @@ fn bench_total_size_scaling(c: &mut Criterion) {
         let sigs = synthetic_signatures(4, per_schema, 7);
         let total = sigs.total_len();
         group.throughput(Throughput::Elements(total as u64));
-        group.bench_with_input(
-            BenchmarkId::new("global_pca", total),
-            &sigs,
-            |b, s| {
-                let scoper = GlobalScoper::new(PcaDetector::with_variance(0.5));
-                b.iter(|| black_box(scoper.scores(s).unwrap()))
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("global_lof", total),
-            &sigs,
-            |b, s| {
-                let scoper = GlobalScoper::new(LofDetector::default());
-                b.iter(|| black_box(scoper.scores(s).unwrap()))
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("collaborative", total),
-            &sigs,
-            |b, s| b.iter(|| black_box(CollaborativeScoper::new(0.8).run(s).unwrap())),
-        );
+        group.bench_with_input(BenchmarkId::new("global_pca", total), &sigs, |b, s| {
+            let scoper = GlobalScoper::new(PcaDetector::with_variance(0.5));
+            b.iter(|| black_box(scoper.scores(s).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("global_lof", total), &sigs, |b, s| {
+            let scoper = GlobalScoper::new(LofDetector::default());
+            b.iter(|| black_box(scoper.scores(s).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("collaborative", total), &sigs, |b, s| {
+            b.iter(|| black_box(CollaborativeScoper::new(0.8).run(s).unwrap()))
+        });
     }
     group.finish();
 }
@@ -68,11 +59,9 @@ fn bench_schema_count_scaling(c: &mut Criterion) {
     for schemas in [2usize, 4, 8] {
         let per_schema = 200 / schemas;
         let sigs = synthetic_signatures(schemas, per_schema, 11);
-        group.bench_with_input(
-            BenchmarkId::new("collaborative", schemas),
-            &sigs,
-            |b, s| b.iter(|| black_box(CollaborativeScoper::new(0.8).run(s).unwrap())),
-        );
+        group.bench_with_input(BenchmarkId::new("collaborative", schemas), &sigs, |b, s| {
+            b.iter(|| black_box(CollaborativeScoper::new(0.8).run(s).unwrap()))
+        });
         group.bench_with_input(BenchmarkId::new("global_pca", schemas), &sigs, |b, s| {
             let scoper = GlobalScoper::new(PcaDetector::with_variance(0.5));
             b.iter(|| black_box(scoper.scores(s).unwrap()))
@@ -81,5 +70,9 @@ fn bench_schema_count_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_total_size_scaling, bench_schema_count_scaling);
+criterion_group!(
+    benches,
+    bench_total_size_scaling,
+    bench_schema_count_scaling
+);
 criterion_main!(benches);

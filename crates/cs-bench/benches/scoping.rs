@@ -4,7 +4,8 @@
 //! `Σ|S_k|²` beat the unified `|S|²` (Section 3, "Computational
 //! Complexity").
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cs_bench::harness::{BenchmarkId, Criterion};
+use cs_bench::{criterion_group, criterion_main};
 use cs_core::{CollaborativeScoper, CollaborativeSweep, GlobalScoper};
 use cs_oda::{LofDetector, OutlierDetector, PcaDetector, ZScoreDetector};
 use std::hint::black_box;
@@ -12,7 +13,10 @@ use std::hint::black_box;
 fn bench_global_detectors(c: &mut Criterion) {
     let mut group = c.benchmark_group("table4/global_scoping");
     group.sample_size(10);
-    for (name, ds) in [("oc3", cs_datasets::oc3()), ("oc3-fo", cs_datasets::oc3_fo())] {
+    for (name, ds) in [
+        ("oc3", cs_datasets::oc3()),
+        ("oc3-fo", cs_datasets::oc3_fo()),
+    ] {
         let encoder = cs_embed::SignatureEncoder::default();
         let sigs = cs_core::encode_catalog(&encoder, &ds.catalog);
         let unified = sigs.unified();
@@ -32,7 +36,10 @@ fn bench_global_detectors(c: &mut Criterion) {
 fn bench_collaborative(c: &mut Criterion) {
     let mut group = c.benchmark_group("table4/collaborative");
     group.sample_size(10);
-    for (name, ds) in [("oc3", cs_datasets::oc3()), ("oc3-fo", cs_datasets::oc3_fo())] {
+    for (name, ds) in [
+        ("oc3", cs_datasets::oc3()),
+        ("oc3-fo", cs_datasets::oc3_fo()),
+    ] {
         let encoder = cs_embed::SignatureEncoder::default();
         let sigs = cs_core::encode_catalog(&encoder, &ds.catalog);
         group.bench_with_input(BenchmarkId::new("run_v08", name), &sigs, |b, s| {
@@ -57,7 +64,10 @@ fn bench_collaborative(c: &mut Criterion) {
 fn bench_phase1_encoding(c: &mut Criterion) {
     let mut group = c.benchmark_group("table4/phase1_signatures");
     group.sample_size(10);
-    for (name, ds) in [("oc3", cs_datasets::oc3()), ("oc3-fo", cs_datasets::oc3_fo())] {
+    for (name, ds) in [
+        ("oc3", cs_datasets::oc3()),
+        ("oc3-fo", cs_datasets::oc3_fo()),
+    ] {
         group.bench_function(BenchmarkId::new("encode_catalog", name), |b| {
             b.iter(|| {
                 // Fresh encoder per iteration: includes token-cache build-up,

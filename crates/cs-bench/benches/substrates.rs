@@ -1,6 +1,7 @@
 //! Substrate microbenches: the building blocks every experiment rests on.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cs_bench::harness::{BenchmarkId, Criterion, Throughput};
+use cs_bench::{criterion_group, criterion_main};
 use cs_linalg::pca::ExplainedVariance;
 use cs_linalg::{Matrix, Pca, Xoshiro256};
 use cs_match::{FlatIndex, HyperplaneLsh, KMeans};
@@ -111,7 +112,10 @@ fn bench_autoencoder_training(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrates/autoencoder");
     group.sample_size(10);
     let data = random_matrix(160, 768, 13);
-    let config = TrainConfig { epochs: 1, ..TrainConfig::default() };
+    let config = TrainConfig {
+        epochs: 1,
+        ..TrainConfig::default()
+    };
     group.bench_function("one_epoch_768_100_10", |b| {
         b.iter(|| black_box(train_autoencoder(&data, &config)))
     });

@@ -1,0 +1,308 @@
+//! A small criterion-compatible benchmark harness.
+//!
+//! The workspace's hermetic dependency policy (DESIGN.md §6) forbids the
+//! external `criterion` crate, so the bench targets run on this drop-in
+//! subset instead: the same `Criterion` / `benchmark_group` /
+//! `BenchmarkId` / `Throughput` / `Bencher::iter` vocabulary and the same
+//! `criterion_group!` / `criterion_main!` macros, implemented on
+//! `std::time::Instant`. Bench files only change their import lines.
+//!
+//! Measurement model: each benchmark is calibrated so one sample takes at
+//! least [`TARGET_SAMPLE`], then `sample_size` samples are collected and
+//! the median / min / max per-iteration times are reported. That is enough
+//! for the relative comparisons the paper's tables make (cached sweep vs
+//! re-run, gram vs jacobi, original vs streamlined); it does not attempt
+//! criterion's outlier analysis.
+
+use std::time::{Duration, Instant};
+
+/// Minimum wall-clock time one measured sample should cover.
+const TARGET_SAMPLE: Duration = Duration::from_millis(5);
+
+/// Entry point handed to every benchmark function.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Units for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `function/parameter` id, mirroring criterion's formatting.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares how much work one iteration performs, enabling
+    /// rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let stats = measure(self.sample_size, &mut f);
+        report(&self.name, &id.id, &stats, self.throughput);
+        self
+    }
+
+    /// Benchmarks a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (parity with criterion; reporting is immediate).
+    pub fn finish(&mut self) {}
+}
+
+/// Runs the timed closure; handed to benchmark bodies.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `routine`, keeping each result alive until
+    /// the clock stops so the work is not optimized away.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+struct Stats {
+    median: Duration,
+    min: Duration,
+    max: Duration,
+    iters_per_sample: u64,
+}
+
+fn run_sample<F: FnMut(&mut Bencher)>(iters: u64, f: &mut F) -> Duration {
+    let mut bencher = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    bencher.elapsed
+}
+
+fn measure<F: FnMut(&mut Bencher)>(sample_size: usize, f: &mut F) -> Stats {
+    // Calibrate: grow the per-sample iteration count until one sample
+    // covers TARGET_SAMPLE (also serves as warm-up).
+    let mut iters: u64 = 1;
+    loop {
+        let elapsed = run_sample(iters, f);
+        if elapsed >= TARGET_SAMPLE || iters >= 1 << 20 {
+            break;
+        }
+        // At least double; overshoot toward the target based on the
+        // observed rate to converge in few steps.
+        let scaled = if elapsed.is_zero() {
+            iters * 16
+        } else {
+            (TARGET_SAMPLE.as_nanos() as u64 / elapsed.as_nanos().max(1) as u64)
+                .saturating_add(1)
+                .saturating_mul(iters)
+        };
+        iters = scaled.max(iters * 2).min(1 << 20);
+    }
+
+    let mut samples: Vec<Duration> = (0..sample_size).map(|_| run_sample(iters, f)).collect();
+    samples.sort();
+    Stats {
+        median: samples[samples.len() / 2] / iters as u32,
+        min: samples[0] / iters as u32,
+        max: samples[samples.len() - 1] / iters as u32,
+        iters_per_sample: iters,
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+fn report(group: &str, id: &str, stats: &Stats, throughput: Option<Throughput>) {
+    let rate = throughput
+        .map(|t| {
+            let (count, unit) = match t {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            let per_sec = count as f64 / stats.median.as_secs_f64().max(f64::MIN_POSITIVE);
+            format!("  thrpt: {per_sec:.0} {unit}/s")
+        })
+        .unwrap_or_default();
+    println!(
+        "{group}/{id:<40} time: [{} {} {}]  ({} iters/sample){rate}",
+        format_duration(stats.min),
+        format_duration(stats.median),
+        format_duration(stats.max),
+        stats.iters_per_sample,
+    );
+}
+
+/// Declares a benchmark group function, criterion-style:
+/// `criterion_group!(benches, bench_a, bench_b);` defines `fn benches()`
+/// that runs each target against a fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::harness::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("rule", "any").id, "rule/any");
+        assert_eq!(BenchmarkId::from_parameter(64).id, "64");
+        assert_eq!(BenchmarkId::from("plain").id, "plain");
+    }
+
+    #[test]
+    fn measure_produces_ordered_stats() {
+        let mut work = |b: &mut Bencher| b.iter(|| (0..100).sum::<u64>());
+        let stats = measure(5, &mut work);
+        assert!(stats.min <= stats.median && stats.median <= stats.max);
+        assert!(stats.iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn groups_run_functions_end_to_end() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("harness/self_test");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(100));
+        let mut calls = 0usize;
+        group.bench_function("sum", |b| {
+            calls += 1;
+            b.iter(|| (0..100).sum::<u64>());
+        });
+        group.bench_with_input(BenchmarkId::new("sum_n", 50), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        group.finish();
+        assert!(calls >= 2, "calibration + samples should call the body");
+    }
+
+    #[test]
+    fn durations_format_across_scales() {
+        assert_eq!(format_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(format_duration(Duration::from_micros(12)), "12.00 µs");
+        assert_eq!(format_duration(Duration::from_millis(12)), "12.00 ms");
+        assert_eq!(format_duration(Duration::from_secs(2)), "2.00 s");
+    }
+}

@@ -1,8 +1,11 @@
 //! # cs-bench
 //!
-//! Criterion benchmark host crate. The library itself only exposes small
-//! shared helpers for the bench targets in `benches/`; run them with
-//! `cargo bench -p cs-bench`.
+//! Benchmark host crate. The bench targets in `benches/` run on the
+//! in-workspace criterion-compatible [`harness`] (hermetic dependency
+//! policy: no external crates) and are gated behind the `bench` feature:
+//! `cargo bench -p cs-bench --features bench`.
+
+pub mod harness;
 
 /// Standard explained-variance sweep used across bench targets, mirroring
 /// the paper's `v ∈ (1..0)` grid.

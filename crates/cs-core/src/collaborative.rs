@@ -75,18 +75,87 @@ pub struct CollaborativeRun {
     pub cost: CostReport,
 }
 
+/// Configures a [`CollaborativeScoper`], validating up front.
+///
+/// ```
+/// use cs_core::collaborative::{CollaborativeScoper, CombinationRule};
+///
+/// let scoper = CollaborativeScoper::builder()
+///     .explained_variance(0.85)
+///     .combination(CombinationRule::Any)
+///     .parallel(true)
+///     .build()
+///     .unwrap();
+/// assert_eq!(scoper.variance(), 0.85);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct CollaborativeScoperBuilder {
+    v: f64,
+    rule: CombinationRule,
+    parallel: bool,
+}
+
+impl CollaborativeScoperBuilder {
+    /// Sets the global explained-variance knob `v ∈ (0, 1]`.
+    pub fn explained_variance(mut self, v: f64) -> Self {
+        self.v = v;
+        self
+    }
+
+    /// Sets how foreign-model verdicts are combined.
+    pub fn combination(mut self, rule: CombinationRule) -> Self {
+        self.rule = rule;
+        self
+    }
+
+    /// Whether training/assessment fan out across threads (on by default;
+    /// off gives the same results on one thread).
+    pub fn parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Validates the configuration; an out-of-range `v` is
+    /// [`ScopingError::InvalidVariance`], never a panic.
+    pub fn build(self) -> Result<CollaborativeScoper, ScopingError> {
+        if ExplainedVariance::new(self.v).is_none() {
+            return Err(ScopingError::InvalidVariance { value: self.v });
+        }
+        Ok(CollaborativeScoper {
+            v: self.v,
+            rule: self.rule,
+            parallel: self.parallel,
+        })
+    }
+}
+
 /// The collaborative scoper: one global explained-variance knob.
 #[derive(Debug, Clone, Copy)]
 pub struct CollaborativeScoper {
     v: f64,
     rule: CombinationRule,
+    parallel: bool,
 }
 
 impl CollaborativeScoper {
     /// Creates a scoper at explained variance `v ∈ (0, 1]` with the paper's
-    /// ANY-model combination rule. Validation happens in [`Self::run`].
+    /// ANY-model combination rule. Validation happens in [`Self::run`];
+    /// use [`Self::builder`] to validate up front.
     pub fn new(v: f64) -> Self {
-        Self { v, rule: CombinationRule::Any }
+        Self {
+            v,
+            rule: CombinationRule::Any,
+            parallel: true,
+        }
+    }
+
+    /// Starts building a scoper with validated configuration.
+    pub fn builder() -> CollaborativeScoperBuilder {
+        CollaborativeScoperBuilder {
+            v: 0.8,
+            rule: CombinationRule::Any,
+            parallel: true,
+        }
     }
 
     /// Overrides the combination rule (ablation).
@@ -100,6 +169,11 @@ impl CollaborativeScoper {
         self.v
     }
 
+    /// Whether per-schema work fans out across threads.
+    pub fn is_parallel(&self) -> bool {
+        self.parallel
+    }
+
     /// Trains one local model per schema, in parallel (phase II for the
     /// whole catalog).
     pub fn train_models(
@@ -107,26 +181,16 @@ impl CollaborativeScoper {
         signatures: &SchemaSignatures,
     ) -> Result<Vec<LocalModel>, ScopingError> {
         let v = ExplainedVariance::new(self.v)
-            .ok_or(ScopingError::InvalidParameter { name: "v", value: self.v })?;
+            .ok_or(ScopingError::InvalidVariance { value: self.v })?;
         let k = signatures.schema_count();
         if k < 2 {
             return Err(ScopingError::TooFewSchemas { found: k });
         }
-        let mut slots: Vec<Option<Result<LocalModel, ScopingError>>> = Vec::new();
-        slots.resize_with(k, || None);
-        crossbeam::thread::scope(|scope| {
-            for (idx, slot) in slots.iter_mut().enumerate() {
-                let sigs = signatures.schema(idx);
-                scope.spawn(move |_| {
-                    *slot = Some(LocalModel::train(idx, sigs, v));
-                });
-            }
+        per_schema_slots(k, self.parallel, |idx| {
+            LocalModel::train(idx, signatures.schema(idx), v)
         })
-        .expect("training thread panicked");
-        slots
-            .into_iter()
-            .map(|s| s.expect("every slot is filled"))
-            .collect()
+        .into_iter()
+        .collect()
     }
 
     /// Runs the full collaborative assessment (Algorithm 2 per schema).
@@ -135,38 +199,29 @@ impl CollaborativeScoper {
         let k = signatures.schema_count();
 
         // Per schema: assess against every foreign model (parallel per schema).
-        let mut per_schema: Vec<Option<(Vec<usize>, Vec<f64>)>> = Vec::new();
-        per_schema.resize_with(k, || None);
-        crossbeam::thread::scope(|scope| {
-            for (idx, slot) in per_schema.iter_mut().enumerate() {
-                let sigs = signatures.schema(idx);
-                let models = &models;
-                scope.spawn(move |_| {
-                    let n = sigs.rows();
-                    let mut votes = vec![0usize; n];
-                    let mut margin = vec![f64::INFINITY; n];
-                    for model in models.iter().filter(|m| m.schema_index() != idx) {
-                        let errors = model.reconstruction_errors(sigs);
-                        for (i, e) in errors.into_iter().enumerate() {
-                            let m = e - model.linkability_range();
-                            if m <= 0.0 {
-                                votes[i] += 1;
-                            }
-                            if m < margin[i] {
-                                margin[i] = m;
-                            }
-                        }
+        let per_schema = per_schema_slots(k, self.parallel, |idx| {
+            let sigs = signatures.schema(idx);
+            let n = sigs.rows();
+            let mut votes = vec![0usize; n];
+            let mut margin = vec![f64::INFINITY; n];
+            for model in models.iter().filter(|m| m.schema_index() != idx) {
+                let errors = model.reconstruction_errors(sigs);
+                for (i, e) in errors.into_iter().enumerate() {
+                    let m = e - model.linkability_range();
+                    if m <= 0.0 {
+                        votes[i] += 1;
                     }
-                    *slot = Some((votes, margin));
-                });
+                    if m < margin[i] {
+                        margin[i] = m;
+                    }
+                }
             }
-        })
-        .expect("assessment thread panicked");
+            (votes, margin)
+        });
 
         let mut accept_votes = Vec::with_capacity(signatures.total_len());
         let mut best_margin = Vec::with_capacity(signatures.total_len());
-        for slot in per_schema {
-            let (votes, margin) = slot.expect("every slot is filled");
+        for (votes, margin) in per_schema {
             accept_votes.extend(votes);
             best_margin.extend(margin);
         }
@@ -184,8 +239,42 @@ impl CollaborativeScoper {
             pass_operations: signatures.total_len() * foreign_count,
             models_trained: k,
         };
-        Ok(CollaborativeRun { outcome, accept_votes, best_margin, models, cost })
+        Ok(CollaborativeRun {
+            outcome,
+            accept_votes,
+            best_margin,
+            models,
+            cost,
+        })
     }
+}
+
+/// Fans `work(idx)` out over `k` schema indices with scoped threads (or
+/// runs sequentially when `parallel` is off), returning results in index
+/// order. The per-schema computations are pure, so both paths produce
+/// bit-identical output.
+pub(crate) fn per_schema_slots<T, F>(k: usize, parallel: bool, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if !parallel {
+        return (0..k).map(&work).collect();
+    }
+    let mut slots: Vec<Option<T>> = Vec::new();
+    slots.resize_with(k, || None);
+    std::thread::scope(|scope| {
+        for (idx, slot) in slots.iter_mut().enumerate() {
+            let work = &work;
+            scope.spawn(move || {
+                *slot = Some(work(idx));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot is filled"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -291,8 +380,48 @@ mod tests {
         let sigs = shared_and_disjoint();
         for bad in [0.0, -0.5, 1.5, f64::NAN] {
             let err = CollaborativeScoper::new(bad).run(&sigs).unwrap_err();
-            assert!(matches!(err, ScopingError::InvalidParameter { name: "v", .. }), "{bad}");
+            assert!(matches!(err, ScopingError::InvalidVariance { .. }), "{bad}");
         }
+    }
+
+    #[test]
+    fn builder_validates_variance_up_front() {
+        for bad in [0.0, -0.5, 1.5, f64::NAN] {
+            let err = CollaborativeScoper::builder()
+                .explained_variance(bad)
+                .build()
+                .unwrap_err();
+            assert!(matches!(err, ScopingError::InvalidVariance { .. }), "{bad}");
+        }
+        let built = CollaborativeScoper::builder()
+            .explained_variance(0.9)
+            .combination(CombinationRule::AtLeast(2))
+            .parallel(false)
+            .build()
+            .unwrap();
+        assert_eq!(built.variance(), 0.9);
+        assert!(!built.is_parallel());
+    }
+
+    #[test]
+    fn sequential_mode_matches_parallel_exactly() {
+        let sigs = shared_and_disjoint();
+        let par = CollaborativeScoper::builder()
+            .explained_variance(0.8)
+            .build()
+            .unwrap()
+            .run(&sigs)
+            .unwrap();
+        let seq = CollaborativeScoper::builder()
+            .explained_variance(0.8)
+            .parallel(false)
+            .build()
+            .unwrap()
+            .run(&sigs)
+            .unwrap();
+        assert_eq!(par.outcome, seq.outcome);
+        assert_eq!(par.accept_votes, seq.accept_votes);
+        assert_eq!(par.best_margin, seq.best_margin);
     }
 
     #[test]

@@ -23,6 +23,11 @@ pub enum ScopingError {
         /// Offending value.
         value: f64,
     },
+    /// The explained-variance knob `v` was outside `(0, 1]`.
+    InvalidVariance {
+        /// Offending value.
+        value: f64,
+    },
     /// Numerical decomposition failed.
     Svd(SvdError),
 }
@@ -31,13 +36,19 @@ impl std::fmt::Display for ScopingError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ScopingError::EmptySchema { schema } => {
-                write!(f, "schema #{schema} has no elements to train a local model on")
+                write!(
+                    f,
+                    "schema #{schema} has no elements to train a local model on"
+                )
             }
             ScopingError::TooFewSchemas { found } => {
                 write!(f, "collaborative scoping needs ≥ 2 schemas, found {found}")
             }
             ScopingError::InvalidParameter { name, value } => {
                 write!(f, "parameter {name} = {value} is out of range")
+            }
+            ScopingError::InvalidVariance { value } => {
+                write!(f, "explained variance v = {value} must lie in (0, 1]")
             }
             ScopingError::Svd(e) => write!(f, "decomposition failed: {e}"),
         }
@@ -65,13 +76,21 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(ScopingError::EmptySchema { schema: 2 }.to_string().contains("#2"));
-        assert!(ScopingError::TooFewSchemas { found: 1 }.to_string().contains("found 1"));
-        assert!(
-            ScopingError::InvalidParameter { name: "v", value: 1.5 }
-                .to_string()
-                .contains("v = 1.5")
-        );
+        assert!(ScopingError::EmptySchema { schema: 2 }
+            .to_string()
+            .contains("#2"));
+        assert!(ScopingError::TooFewSchemas { found: 1 }
+            .to_string()
+            .contains("found 1"));
+        assert!(ScopingError::InvalidParameter {
+            name: "p",
+            value: 1.5
+        }
+        .to_string()
+        .contains("p = 1.5"));
+        assert!(ScopingError::InvalidVariance { value: 1.5 }
+            .to_string()
+            .contains("v = 1.5"));
         let svd: ScopingError = SvdError::EmptyMatrix.into();
         assert!(svd.to_string().contains("decomposition"));
     }

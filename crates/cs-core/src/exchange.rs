@@ -6,24 +6,26 @@
 //! provides the wire formats for the exchange:
 //!
 //! - **JSON** ([`to_json`] / [`from_json`]) — human-auditable, the format
-//!   an organization's review process would inspect before publishing,
+//!   an organization's review process would inspect before publishing.
+//!   Documents carry a `format_version` field; absent means version 1.
 //! - **binary** ([`to_bytes`] / [`from_bytes`]) — a compact versioned
 //!   codec (magic `CSEX`, little-endian) for the actual transfer; a
 //!   768-dimensional model with 20 components is ≈135 KB instead of
 //!   ≈420 KB of JSON.
 //!
-//! Both formats validate on ingest: a corrupted or truncated payload is a
-//! typed [`ExchangeError`], never a panic, because the payload crosses a
-//! trust boundary.
+//! Both codecs are implemented in-workspace (the JSON side on
+//! [`crate::json`], the binary side on plain `Vec<u8>` framing) per the
+//! hermetic dependency policy. Both validate on ingest: a corrupted or
+//! truncated payload is a typed [`ExchangeError`], never a panic, because
+//! the payload crosses a trust boundary.
 
+use crate::json::{self, JsonValue};
 use crate::local_model::LocalModel;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use cs_linalg::{Matrix, Pca};
-use serde::{Deserialize, Serialize};
 
 /// Magic prefix of the binary format.
 pub const MAGIC: &[u8; 4] = b"CSEX";
-/// Current binary format version.
+/// Current exchange format version (shared by the binary and JSON framings).
 pub const VERSION: u16 = 1;
 
 /// Errors raised while decoding an exchanged model.
@@ -57,7 +59,7 @@ impl std::error::Error for ExchangeError {}
 
 /// The exchanged form of a local model: exactly the paper's
 /// `M_k = {μ_k, PC_k, l_k}` triple plus provenance.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ModelEnvelope {
     /// Publishing schema's display name (provenance, not identity).
     pub schema_name: String,
@@ -111,9 +113,7 @@ impl ModelEnvelope {
                 self.linkability_range
             )));
         }
-        if self.mean.iter().any(|x| !x.is_finite())
-            || self.components.has_non_finite()
-        {
+        if self.mean.iter().any(|x| !x.is_finite()) || self.components.has_non_finite() {
             return Err(ExchangeError::MalformedShape("non-finite values".into()));
         }
         Ok(())
@@ -142,88 +142,200 @@ impl ModelEnvelope {
     }
 }
 
-/// Serializes an envelope as JSON.
+/// Serializes an envelope as a versioned JSON document.
 pub fn to_json(envelope: &ModelEnvelope) -> Result<String, ExchangeError> {
-    serde_json::to_string(envelope).map_err(|e| ExchangeError::Json(e.to_string()))
+    Ok(envelope_to_value(envelope).write())
+}
+
+fn envelope_to_value(envelope: &ModelEnvelope) -> JsonValue {
+    JsonValue::object(vec![
+        ("format_version", JsonValue::Number(VERSION as f64)),
+        (
+            "schema_name",
+            JsonValue::String(envelope.schema_name.clone()),
+        ),
+        (
+            "schema_index",
+            JsonValue::Number(envelope.schema_index as f64),
+        ),
+        ("dim", JsonValue::Number(envelope.dim as f64)),
+        ("mean", JsonValue::numbers(&envelope.mean)),
+        (
+            "components",
+            JsonValue::object(vec![
+                ("rows", JsonValue::Number(envelope.components.rows() as f64)),
+                ("cols", JsonValue::Number(envelope.components.cols() as f64)),
+                ("data", JsonValue::numbers(envelope.components.as_slice())),
+            ]),
+        ),
+        (
+            "linkability_range",
+            JsonValue::Number(envelope.linkability_range),
+        ),
+    ])
 }
 
 /// Parses and validates an envelope from JSON.
-pub fn from_json(json: &str) -> Result<ModelEnvelope, ExchangeError> {
-    let envelope: ModelEnvelope =
-        serde_json::from_str(json).map_err(|e| ExchangeError::Json(e.to_string()))?;
+pub fn from_json(input: &str) -> Result<ModelEnvelope, ExchangeError> {
+    let doc = json::parse(input).map_err(|e| ExchangeError::Json(e.to_string()))?;
+    // Version envelope: a missing field means version 1 (documents written
+    // before the field existed); anything other than the current version is
+    // an explicit error, not a guess.
+    if let Some(v) = doc.get("format_version") {
+        let v = v
+            .as_usize()
+            .ok_or_else(|| ExchangeError::Json("format_version is not an integer".into()))?;
+        if v != VERSION as usize {
+            return Err(ExchangeError::UnsupportedVersion(
+                v.min(u16::MAX as usize) as u16
+            ));
+        }
+    }
+    let field = |k: &str| {
+        doc.get(k)
+            .ok_or_else(|| ExchangeError::Json(format!("missing field '{k}'")))
+    };
+    let bad = |k: &str| ExchangeError::Json(format!("field '{k}' has the wrong type"));
+
+    let schema_name = field("schema_name")?
+        .as_str()
+        .ok_or_else(|| bad("schema_name"))?;
+    let schema_index = field("schema_index")?
+        .as_usize()
+        .ok_or_else(|| bad("schema_index"))?;
+    let dim = field("dim")?.as_usize().ok_or_else(|| bad("dim"))?;
+    let mean = field("mean")?.as_f64_vec().ok_or_else(|| bad("mean"))?;
+    let comp = field("components")?;
+    let rows = comp
+        .get("rows")
+        .and_then(JsonValue::as_usize)
+        .ok_or_else(|| bad("components.rows"))?;
+    let cols = comp
+        .get("cols")
+        .and_then(JsonValue::as_usize)
+        .ok_or_else(|| bad("components.cols"))?;
+    let data = comp
+        .get("data")
+        .and_then(JsonValue::as_f64_vec)
+        .ok_or_else(|| bad("components.data"))?;
+    if rows.checked_mul(cols) != Some(data.len()) {
+        return Err(ExchangeError::MalformedShape(format!(
+            "components claim {rows}x{cols} but carry {} values",
+            data.len()
+        )));
+    }
+    let linkability_range = field("linkability_range")?
+        .as_f64()
+        .ok_or_else(|| bad("linkability_range"))?;
+
+    let envelope = ModelEnvelope {
+        schema_name: schema_name.to_string(),
+        schema_index,
+        dim,
+        mean,
+        components: Matrix::from_vec(rows, cols, data),
+        linkability_range,
+    };
     envelope.validate()?;
     Ok(envelope)
 }
 
-/// Encodes an envelope in the compact binary format.
-pub fn to_bytes(envelope: &ModelEnvelope) -> Bytes {
-    let mut buf = BytesMut::with_capacity(
+/// Encodes an envelope in the compact binary format (all integers and
+/// floats little-endian).
+pub fn to_bytes(envelope: &ModelEnvelope) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(
         64 + envelope.schema_name.len()
             + 8 * (envelope.mean.len() + envelope.components.as_slice().len()),
     );
-    buf.put_slice(MAGIC);
-    buf.put_u16_le(VERSION);
-    buf.put_u32_le(envelope.schema_index as u32);
-    buf.put_f64_le(envelope.linkability_range);
-    buf.put_u32_le(envelope.schema_name.len() as u32);
-    buf.put_slice(envelope.schema_name.as_bytes());
-    buf.put_u32_le(envelope.dim as u32);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&(envelope.schema_index as u32).to_le_bytes());
+    buf.extend_from_slice(&envelope.linkability_range.to_le_bytes());
+    buf.extend_from_slice(&(envelope.schema_name.len() as u32).to_le_bytes());
+    buf.extend_from_slice(envelope.schema_name.as_bytes());
+    buf.extend_from_slice(&(envelope.dim as u32).to_le_bytes());
     for &x in &envelope.mean {
-        buf.put_f64_le(x);
+        buf.extend_from_slice(&x.to_le_bytes());
     }
-    buf.put_u32_le(envelope.components.rows() as u32);
+    buf.extend_from_slice(&(envelope.components.rows() as u32).to_le_bytes());
     for &x in envelope.components.as_slice() {
-        buf.put_f64_le(x);
+        buf.extend_from_slice(&x.to_le_bytes());
     }
-    buf.freeze()
+    buf
+}
+
+/// A bounds-checked little-endian reader over a byte slice; every read
+/// reports [`ExchangeError::Truncated`] instead of panicking.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ExchangeError> {
+        let end = self.pos.checked_add(n).ok_or(ExchangeError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(ExchangeError::Truncated);
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u16_le(&mut self) -> Result<u16, ExchangeError> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("length 2"),
+        ))
+    }
+
+    fn u32_le(&mut self) -> Result<u32, ExchangeError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("length 4"),
+        ))
+    }
+
+    fn f64_le(&mut self) -> Result<f64, ExchangeError> {
+        Ok(f64::from_le_bytes(
+            self.take(8)?.try_into().expect("length 8"),
+        ))
+    }
+
+    fn f64_vec(&mut self, len: usize) -> Result<Vec<f64>, ExchangeError> {
+        // Validate the whole span up front so a huge declared length fails
+        // before allocation.
+        let raw = self.take(len.checked_mul(8).ok_or(ExchangeError::Truncated)?)?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("length 8")))
+            .collect())
+    }
 }
 
 /// Decodes and validates an envelope from the binary format.
-pub fn from_bytes(mut payload: &[u8]) -> Result<ModelEnvelope, ExchangeError> {
-    fn need(buf: &[u8], n: usize) -> Result<(), ExchangeError> {
-        if buf.remaining() < n {
-            Err(ExchangeError::Truncated)
-        } else {
-            Ok(())
-        }
-    }
-    need(payload, 4)?;
-    let mut magic = [0u8; 4];
-    payload.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
+pub fn from_bytes(payload: &[u8]) -> Result<ModelEnvelope, ExchangeError> {
+    let mut r = Reader {
+        bytes: payload,
+        pos: 0,
+    };
+    if r.take(4)? != MAGIC {
         return Err(ExchangeError::BadMagic);
     }
-    need(payload, 2)?;
-    let version = payload.get_u16_le();
+    let version = r.u16_le()?;
     if version != VERSION {
         return Err(ExchangeError::UnsupportedVersion(version));
     }
-    need(payload, 4 + 8 + 4)?;
-    let schema_index = payload.get_u32_le() as usize;
-    let linkability_range = payload.get_f64_le();
-    let name_len = payload.get_u32_le() as usize;
-    need(payload, name_len)?;
-    let mut name_bytes = vec![0u8; name_len];
-    payload.copy_to_slice(&mut name_bytes);
-    let schema_name = String::from_utf8(name_bytes)
+    let schema_index = r.u32_le()? as usize;
+    let linkability_range = r.f64_le()?;
+    let name_len = r.u32_le()? as usize;
+    let schema_name = String::from_utf8(r.take(name_len)?.to_vec())
         .map_err(|_| ExchangeError::MalformedShape("schema name is not UTF-8".into()))?;
-    need(payload, 4)?;
-    let dim = payload.get_u32_le() as usize;
-    need(payload, dim.checked_mul(8).ok_or(ExchangeError::Truncated)?)?;
-    let mut mean = Vec::with_capacity(dim);
-    for _ in 0..dim {
-        mean.push(payload.get_f64_le());
-    }
-    need(payload, 4)?;
-    let n_components = payload.get_u32_le() as usize;
+    let dim = r.u32_le()? as usize;
+    let mean = r.f64_vec(dim)?;
+    let n_components = r.u32_le()? as usize;
     let n_values = n_components
         .checked_mul(dim)
         .ok_or_else(|| ExchangeError::MalformedShape("component count overflow".into()))?;
-    need(payload, n_values.checked_mul(8).ok_or(ExchangeError::Truncated)?)?;
-    let mut data = Vec::with_capacity(n_values);
-    for _ in 0..n_values {
-        data.push(payload.get_f64_le());
-    }
+    let data = r.f64_vec(n_values)?;
     let envelope = ModelEnvelope {
         schema_name,
         schema_index,
@@ -244,23 +356,14 @@ pub fn from_bytes(mut payload: &[u8]) -> Result<ModelEnvelope, ExchangeError> {
 /// receiving side — by design: the publisher chose the generalization.
 pub fn to_pca(envelope: &ModelEnvelope) -> Result<(Pca, f64), ExchangeError> {
     envelope.validate()?;
-    // Round-trip through the serde representation of Pca, which validates
-    // matrix shape again.
-    #[derive(Serialize)]
-    struct PcaWire<'a> {
-        mean: &'a [f64],
-        components: &'a Matrix,
-        explained_variance_ratio: Vec<f64>,
-        singular_values: Vec<f64>,
-    }
-    let wire = PcaWire {
-        mean: &envelope.mean,
-        components: &envelope.components,
-        explained_variance_ratio: vec![0.0; envelope.components.rows()],
-        singular_values: vec![0.0; envelope.components.rows()],
-    };
-    let json = serde_json::to_string(&wire).map_err(|e| ExchangeError::Json(e.to_string()))?;
-    let pca: Pca = serde_json::from_str(&json).map_err(|e| ExchangeError::Json(e.to_string()))?;
+    let n = envelope.components.rows();
+    let pca = Pca::from_parts(
+        envelope.mean.clone(),
+        envelope.components.clone(),
+        vec![0.0; n],
+        vec![0.0; n],
+    )
+    .map_err(ExchangeError::MalformedShape)?;
     Ok((pca, envelope.linkability_range))
 }
 
@@ -304,6 +407,39 @@ mod tests {
     }
 
     #[test]
+    fn json_roundtrip_is_bit_exact() {
+        let (model, _) = trained_model();
+        let envelope = ModelEnvelope::pack("OC-HANA", &model);
+        let back = from_json(&to_json(&envelope).unwrap()).unwrap();
+        assert_eq!(back.mean, envelope.mean);
+        assert_eq!(back.components, envelope.components);
+        assert_eq!(
+            back.linkability_range.to_bits(),
+            envelope.linkability_range.to_bits()
+        );
+    }
+
+    #[test]
+    fn json_without_format_version_is_accepted_as_v1() {
+        let (model, _) = trained_model();
+        let json = to_json(&ModelEnvelope::pack("X", &model)).unwrap();
+        let legacy = json.replacen("\"format_version\":1,", "", 1);
+        assert!(!legacy.contains("format_version"));
+        assert!(from_json(&legacy).is_ok());
+    }
+
+    #[test]
+    fn json_future_version_is_rejected() {
+        let (model, _) = trained_model();
+        let json = to_json(&ModelEnvelope::pack("X", &model)).unwrap();
+        let future = json.replacen("\"format_version\":1", "\"format_version\":7", 1);
+        assert!(matches!(
+            from_json(&future),
+            Err(ExchangeError::UnsupportedVersion(7))
+        ));
+    }
+
+    #[test]
     fn binary_is_smaller_than_json() {
         let (model, _) = trained_model();
         let envelope = ModelEnvelope::pack("X", &model);
@@ -315,7 +451,7 @@ mod tests {
     #[test]
     fn corrupted_magic_rejected() {
         let (model, _) = trained_model();
-        let mut bytes = to_bytes(&ModelEnvelope::pack("X", &model)).to_vec();
+        let mut bytes = to_bytes(&ModelEnvelope::pack("X", &model));
         bytes[0] = b'Z';
         assert!(matches!(from_bytes(&bytes), Err(ExchangeError::BadMagic)));
     }
@@ -323,9 +459,12 @@ mod tests {
     #[test]
     fn unsupported_version_rejected() {
         let (model, _) = trained_model();
-        let mut bytes = to_bytes(&ModelEnvelope::pack("X", &model)).to_vec();
+        let mut bytes = to_bytes(&ModelEnvelope::pack("X", &model));
         bytes[4] = 99;
-        assert!(matches!(from_bytes(&bytes), Err(ExchangeError::UnsupportedVersion(_))));
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(ExchangeError::UnsupportedVersion(_))
+        ));
     }
 
     #[test]
@@ -355,7 +494,10 @@ mod tests {
         let mut envelope = ModelEnvelope::pack("X", &model);
         envelope.dim = 99;
         let json = to_json(&envelope).unwrap();
-        assert!(matches!(from_json(&json), Err(ExchangeError::MalformedShape(_))));
+        assert!(matches!(
+            from_json(&json),
+            Err(ExchangeError::MalformedShape(_))
+        ));
     }
 
     #[test]
@@ -377,5 +519,7 @@ mod tests {
         let envelope = ModelEnvelope::pack("Bestellungen-Köln-北京", &model);
         let back = from_bytes(&to_bytes(&envelope)).unwrap();
         assert_eq!(back.schema_name, "Bestellungen-Köln-北京");
+        let back_json = from_json(&to_json(&envelope).unwrap()).unwrap();
+        assert_eq!(back_json.schema_name, "Bestellungen-Köln-北京");
     }
 }

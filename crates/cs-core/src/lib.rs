@@ -26,21 +26,34 @@
 pub mod collaborative;
 pub mod error;
 pub mod exchange;
+pub mod json;
 pub mod local_model;
 pub mod nonlinear;
 pub mod outcome;
 pub mod pairwise;
+pub mod scoper;
 pub mod scoping;
 pub mod signatures;
 pub mod sweep;
 
-pub use collaborative::{CollaborativeScoper, CombinationRule, CostReport};
+pub use collaborative::{
+    CollaborativeScoper, CollaborativeScoperBuilder, CombinationRule, CostReport,
+};
 pub use error::ScopingError;
 pub use exchange::{ExchangeError, ModelEnvelope};
 pub use local_model::LocalModel;
 pub use nonlinear::{NeuralCollaborativeScoper, NeuralLocalModel};
 pub use outcome::ScopingOutcome;
 pub use pairwise::SourceToTargetScoper;
+pub use scoper::Scoper;
 pub use scoping::GlobalScoper;
 pub use signatures::{encode_catalog, encode_catalog_with, SchemaSignatures};
 pub use sweep::CollaborativeSweep;
+
+/// The catalog of per-schema signature matrices a [`Scoper`] consumes.
+/// Alias of [`SchemaSignatures`] under the name the unified API uses.
+pub type SignatureCatalog = SchemaSignatures;
+
+/// The explained-variance sweep grid. Alias of [`CollaborativeSweep`]
+/// under the name the unified API uses.
+pub type SweepGrid = CollaborativeSweep;

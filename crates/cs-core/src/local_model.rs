@@ -27,12 +27,18 @@ impl LocalModel {
         v: ExplainedVariance,
     ) -> Result<Self, ScopingError> {
         if signatures.rows() == 0 {
-            return Err(ScopingError::EmptySchema { schema: schema_index });
+            return Err(ScopingError::EmptySchema {
+                schema: schema_index,
+            });
         }
         let pca = Pca::fit(signatures, v)?;
         let own_errors = pca.reconstruction_errors(signatures);
         let linkability_range = own_errors.iter().copied().fold(0.0, f64::max);
-        Ok(Self { schema_index, pca, linkability_range })
+        Ok(Self {
+            schema_index,
+            pca,
+            linkability_range,
+        })
     }
 
     /// Index of the schema this model was trained on.
@@ -115,7 +121,10 @@ mod tests {
         for variance in [0.99, 0.7, 0.4, 0.1] {
             let model = LocalModel::train(0, &data, v(variance)).unwrap();
             let own = model.assess(&data);
-            assert!(own.iter().all(|&b| b), "v={variance}: an own element failed");
+            assert!(
+                own.iter().all(|&b| b),
+                "v={variance}: an own element failed"
+            );
         }
     }
 

@@ -34,7 +34,9 @@ impl NeuralLocalModel {
         config: &TrainConfig,
     ) -> Result<Self, ScopingError> {
         if signatures.rows() == 0 {
-            return Err(ScopingError::EmptySchema { schema: schema_index });
+            return Err(ScopingError::EmptySchema {
+                schema: schema_index,
+            });
         }
         // Per-schema seed offset keeps runs independent yet deterministic.
         let cfg = TrainConfig {
@@ -44,7 +46,11 @@ impl NeuralLocalModel {
         let network = train_autoencoder(signatures, &cfg);
         let own = cs_nn::train::reconstruction_errors(&network, signatures);
         let linkability_range = own.into_iter().fold(0.0, f64::max);
-        Ok(Self { schema_index, network, linkability_range })
+        Ok(Self {
+            schema_index,
+            network,
+            linkability_range,
+        })
     }
 
     /// Index of the schema this model was trained on.
@@ -100,7 +106,10 @@ impl NeuralCollaborativeScoper {
     /// Creates a scoper with the given training configuration and the
     /// paper's ANY combination rule.
     pub fn new(config: TrainConfig) -> Self {
-        Self { config, rule: CombinationRule::Any }
+        Self {
+            config,
+            rule: CombinationRule::Any,
+        }
     }
 
     /// Overrides the combination rule.
@@ -119,21 +128,11 @@ impl NeuralCollaborativeScoper {
         if k < 2 {
             return Err(ScopingError::TooFewSchemas { found: k });
         }
-        let mut slots: Vec<Option<Result<NeuralLocalModel, ScopingError>>> = Vec::new();
-        slots.resize_with(k, || None);
-        crossbeam::thread::scope(|scope| {
-            for (idx, slot) in slots.iter_mut().enumerate() {
-                let sigs = signatures.schema(idx);
-                let config = &self.config;
-                scope.spawn(move |_| {
-                    *slot = Some(NeuralLocalModel::train(idx, sigs, config));
-                });
-            }
-        })
-        .expect("training thread panicked");
-        let models: Vec<NeuralLocalModel> = slots
+        let models: Vec<NeuralLocalModel> =
+            crate::collaborative::per_schema_slots(k, true, |idx| {
+                NeuralLocalModel::train(idx, signatures.schema(idx), &self.config)
+            })
             .into_iter()
-            .map(|s| s.expect("every slot filled"))
             .collect::<Result<_, _>>()?;
 
         let mut accept_votes = Vec::with_capacity(signatures.total_len());
@@ -162,7 +161,12 @@ impl NeuralCollaborativeScoper {
             pass_operations: signatures.total_len() * (k - 1),
             models_trained: k,
         };
-        Ok(NeuralCollaborativeRun { outcome, accept_votes, models, cost })
+        Ok(NeuralCollaborativeRun {
+            outcome,
+            accept_votes,
+            models,
+            cost,
+        })
     }
 }
 
@@ -217,7 +221,9 @@ mod tests {
     #[test]
     fn neural_models_separate_shared_from_alien() {
         let sigs = shared_and_disjoint();
-        let run = NeuralCollaborativeScoper::new(quick_config()).run(&sigs).unwrap();
+        let run = NeuralCollaborativeScoper::new(quick_config())
+            .run(&sigs)
+            .unwrap();
         let kept_a = run.outcome.kept_in_schema(0);
         let kept_b = run.outcome.kept_in_schema(1);
         let kept_alien = run.outcome.kept_in_schema(2);
@@ -244,8 +250,13 @@ mod tests {
     #[test]
     fn deterministic_per_config() {
         let sigs = shared_and_disjoint();
-        let cfg = TrainConfig { epochs: 10, ..quick_config() };
-        let a = NeuralCollaborativeScoper::new(cfg.clone()).run(&sigs).unwrap();
+        let cfg = TrainConfig {
+            epochs: 10,
+            ..quick_config()
+        };
+        let a = NeuralCollaborativeScoper::new(cfg.clone())
+            .run(&sigs)
+            .unwrap();
         let b = NeuralCollaborativeScoper::new(cfg).run(&sigs).unwrap();
         assert_eq!(a.outcome.decisions, b.outcome.decisions);
     }
@@ -273,7 +284,10 @@ mod tests {
     #[test]
     fn cost_report_counts() {
         let sigs = shared_and_disjoint();
-        let cfg = TrainConfig { epochs: 5, ..quick_config() };
+        let cfg = TrainConfig {
+            epochs: 5,
+            ..quick_config()
+        };
         let run = NeuralCollaborativeScoper::new(cfg).run(&sigs).unwrap();
         assert_eq!(run.cost.pass_operations, 60 * 2);
         assert_eq!(run.cost.models_trained, 3);

@@ -20,9 +20,21 @@ pub struct ScopingOutcome {
 
 impl ScopingOutcome {
     /// Creates an outcome; the vectors must be aligned.
-    pub fn new(method: impl Into<String>, element_ids: Vec<ElementId>, decisions: Vec<bool>) -> Self {
-        assert_eq!(element_ids.len(), decisions.len(), "misaligned outcome vectors");
-        Self { method: method.into(), element_ids, decisions }
+    pub fn new(
+        method: impl Into<String>,
+        element_ids: Vec<ElementId>,
+        decisions: Vec<bool>,
+    ) -> Self {
+        assert_eq!(
+            element_ids.len(),
+            decisions.len(),
+            "misaligned outcome vectors"
+        );
+        Self {
+            method: method.into(),
+            element_ids,
+            decisions,
+        }
     }
 
     /// Number of elements assessed.

@@ -46,7 +46,7 @@ impl SourceToTargetScoper {
         target: &Matrix,
     ) -> Result<DirectionalOutcome, ScopingError> {
         let v = ExplainedVariance::new(self.v)
-            .ok_or(ScopingError::InvalidParameter { name: "v", value: self.v })?;
+            .ok_or(ScopingError::InvalidVariance { value: self.v })?;
         if target.rows() == 0 {
             return Err(ScopingError::EmptySchema { schema: 1 });
         }
@@ -71,7 +71,10 @@ impl SourceToTargetScoper {
         source: &Matrix,
         target: &Matrix,
     ) -> Result<(DirectionalOutcome, DirectionalOutcome), ScopingError> {
-        Ok((self.prune_source(source, target)?, self.prune_source(target, source)?))
+        Ok((
+            self.prune_source(source, target)?,
+            self.prune_source(target, source)?,
+        ))
     }
 }
 
@@ -149,7 +152,7 @@ mod tests {
         let m = Matrix::from_rows(&[vec![1.0, 0.0]]);
         assert!(matches!(
             SourceToTargetScoper::new(0.0).prune_source(&m, &m),
-            Err(ScopingError::InvalidParameter { .. })
+            Err(ScopingError::InvalidVariance { .. })
         ));
         assert!(matches!(
             SourceToTargetScoper::new(0.5).prune_source(&m, &Matrix::zeros(0, 2)),

@@ -12,12 +12,35 @@ use cs_oda::OutlierDetector;
 /// Global scoping with a pluggable outlier detector.
 pub struct GlobalScoper<D: OutlierDetector> {
     detector: D,
+    keep_fraction: f64,
 }
 
 impl<D: OutlierDetector> GlobalScoper<D> {
-    /// Wraps a detector.
+    /// Wraps a detector. The default keep fraction (used by the
+    /// [`crate::Scoper`] trait) is the paper's `p = 0.5`; override with
+    /// [`Self::with_keep_fraction`] or pass `p` explicitly to
+    /// [`Self::scope_at`].
     pub fn new(detector: D) -> Self {
-        Self { detector }
+        Self {
+            detector,
+            keep_fraction: 0.5,
+        }
+    }
+
+    /// Sets the keep fraction `p ∈ [0, 1]` used when scoping through the
+    /// [`crate::Scoper`] trait.
+    pub fn with_keep_fraction(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p) && p.is_finite(),
+            "p must lie in [0, 1]"
+        );
+        self.keep_fraction = p;
+        self
+    }
+
+    /// The configured keep fraction.
+    pub fn keep_fraction(&self) -> f64 {
+        self.keep_fraction
     }
 
     /// The wrapped detector.
@@ -34,7 +57,7 @@ impl<D: OutlierDetector> GlobalScoper<D> {
     }
 
     /// Scopes streamlined schemas at threshold `p` (step 1–3 of Section 2.4).
-    pub fn scope(
+    pub fn scope_at(
         &self,
         signatures: &SchemaSignatures,
         p: f64,
@@ -59,7 +82,10 @@ pub fn scope_from_scores(
     scores: &[f64],
     p: f64,
 ) -> ScopingOutcome {
-    assert!((0.0..=1.0).contains(&p) && p.is_finite(), "p must lie in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&p) && p.is_finite(),
+        "p must lie in [0, 1]"
+    );
     let n = scores.len();
     assert_eq!(n, signatures.total_len(), "score/signature count mismatch");
     let keep_count = ((p * n as f64).round() as usize).min(n);
@@ -87,11 +113,7 @@ mod tests {
 
     /// Two "schemas": a tight cluster and one containing an outlier row.
     fn sigs() -> SchemaSignatures {
-        let s1 = Matrix::from_rows(&[
-            vec![0.0, 0.1],
-            vec![0.1, 0.0],
-            vec![0.05, 0.05],
-        ]);
+        let s1 = Matrix::from_rows(&[vec![0.0, 0.1], vec![0.1, 0.0], vec![0.05, 0.05]]);
         let s2 = Matrix::from_rows(&[vec![0.02, 0.03], vec![6.0, 6.0]]);
         SchemaSignatures::from_matrices(vec![s1, s2], vec!["A".into(), "B".into()])
     }
@@ -100,9 +122,9 @@ mod tests {
     fn p_one_keeps_everything_p_zero_keeps_nothing() {
         let scoper = GlobalScoper::new(ZScoreDetector);
         let s = sigs();
-        let all = scoper.scope(&s, 1.0).unwrap();
+        let all = scoper.scope_at(&s, 1.0).unwrap();
         assert_eq!(all.kept_count(), 5);
-        let none = scoper.scope(&s, 0.0).unwrap();
+        let none = scoper.scope_at(&s, 0.0).unwrap();
         assert_eq!(none.kept_count(), 0);
     }
 
@@ -110,10 +132,13 @@ mod tests {
     fn outlier_is_pruned_first() {
         let scoper = GlobalScoper::new(ZScoreDetector);
         let s = sigs();
-        let outcome = scoper.scope(&s, 0.8).unwrap(); // keep 4 of 5
+        let outcome = scoper.scope_at(&s, 0.8).unwrap(); // keep 4 of 5
         assert_eq!(outcome.kept_count(), 4);
         // The outlier row is schema 1, element 1.
-        assert_eq!(outcome.decision_for(cs_schema::ElementId::new(1, 1)), Some(false));
+        assert_eq!(
+            outcome.decision_for(cs_schema::ElementId::new(1, 1)),
+            Some(false)
+        );
     }
 
     #[test]
@@ -121,9 +146,9 @@ mod tests {
         let scoper = GlobalScoper::new(ZScoreDetector);
         let s = sigs();
         // 0.5 of 5 = 2.5 → rounds to 2 (banker-free f64 round: 2.5 → 3).
-        let outcome = scoper.scope(&s, 0.5).unwrap();
+        let outcome = scoper.scope_at(&s, 0.5).unwrap();
         assert_eq!(outcome.kept_count(), 3);
-        let outcome = scoper.scope(&s, 0.4).unwrap(); // 2.0 → 2
+        let outcome = scoper.scope_at(&s, 0.4).unwrap(); // 2.0 → 2
         assert_eq!(outcome.kept_count(), 2);
     }
 
@@ -133,7 +158,7 @@ mod tests {
         let s = sigs();
         let mut last = 0;
         for p in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
-            let kept = scoper.scope(&s, p).unwrap().kept_count();
+            let kept = scoper.scope_at(&s, p).unwrap().kept_count();
             assert!(kept >= last, "kept count must grow with p");
             last = kept;
         }
@@ -144,8 +169,8 @@ mod tests {
         // The kept set at lower p is a subset of the kept set at higher p.
         let scoper = GlobalScoper::new(ZScoreDetector);
         let s = sigs();
-        let small = scoper.scope(&s, 0.4).unwrap().kept();
-        let large = scoper.scope(&s, 0.8).unwrap().kept();
+        let small = scoper.scope_at(&s, 0.4).unwrap().kept();
+        let large = scoper.scope_at(&s, 0.8).unwrap().kept();
         assert!(small.is_subset(&large));
     }
 
@@ -153,7 +178,7 @@ mod tests {
     fn empty_signatures_give_empty_outcome() {
         let scoper = GlobalScoper::new(ZScoreDetector);
         let s = SchemaSignatures::from_matrices(vec![], vec![]);
-        let outcome = scoper.scope(&s, 0.5).unwrap();
+        let outcome = scoper.scope_at(&s, 0.5).unwrap();
         assert!(outcome.is_empty());
     }
 
@@ -167,7 +192,7 @@ mod tests {
     #[test]
     fn method_name_mentions_detector() {
         let scoper = GlobalScoper::new(ZScoreDetector);
-        let outcome = scoper.scope(&sigs(), 0.5).unwrap();
+        let outcome = scoper.scope_at(&sigs(), 0.5).unwrap();
         assert!(outcome.method.contains("Z-Score"));
     }
 }

@@ -23,7 +23,11 @@ impl SchemaSignatures {
     /// # Panics
     /// If matrices disagree on dimensionality.
     pub fn from_matrices(per_schema: Vec<Matrix>, schema_names: Vec<String>) -> Self {
-        assert_eq!(per_schema.len(), schema_names.len(), "name/matrix count mismatch");
+        assert_eq!(
+            per_schema.len(),
+            schema_names.len(),
+            "name/matrix count mismatch"
+        );
         let dim = per_schema
             .iter()
             .map(Matrix::cols)
@@ -35,7 +39,11 @@ impl SchemaSignatures {
                 "inconsistent signature dimensionality"
             );
         }
-        Self { per_schema, schema_names, dim }
+        Self {
+            per_schema,
+            schema_names,
+            dim,
+        }
     }
 
     /// Number of schemas.

@@ -101,9 +101,7 @@ impl CollaborativeSweep {
         let cross: Vec<Vec<Option<ProjTable>>> = (0..k)
             .map(|sk| {
                 (0..k)
-                    .map(|m| {
-                        (m != sk).then(|| ProjTable::build(&pcas[m], signatures.schema(sk)))
-                    })
+                    .map(|m| (m != sk).then(|| ProjTable::build(&pcas[m], signatures.schema(sk))))
                     .collect()
             })
             .collect();
@@ -256,7 +254,10 @@ mod tests {
         let table = sweep.cross[1][0].as_ref().unwrap();
         for (e, expected) in explicit.iter().enumerate() {
             let got = table.error_at(e, n0, sigs.dim());
-            assert!((got - expected).abs() < 1e-9, "elem {e}: {got} vs {expected}");
+            assert!(
+                (got - expected).abs() < 1e-9,
+                "elem {e}: {got} vs {expected}"
+            );
         }
     }
 

@@ -21,97 +21,296 @@ type Attr = (&'static str, &'static str, &'static str);
 
 /// Oracle–MySQL inter-identical attribute pairs (14).
 const ORACLE_MYSQL_II: &[(Attr, Attr)] = &[
-    ((ORACLE, "CUSTOMERS", "CUSTOMER_ID"), (MYSQL, "customers", "customernumber")),
-    ((ORACLE, "CUSTOMERS", "FULL_NAME"), (MYSQL, "customers", "customername")),
-    ((ORACLE, "CUSTOMERS", "PHONE_NUMBER"), (MYSQL, "customers", "phone")),
-    ((ORACLE, "CUSTOMERS", "CREDIT_LIMIT"), (MYSQL, "customers", "creditlimit")),
-    ((ORACLE, "ORDERS", "ORDER_ID"), (MYSQL, "orders", "ordernumber")),
-    ((ORACLE, "ORDERS", "ORDER_DATETIME"), (MYSQL, "orders", "orderdate")),
-    ((ORACLE, "ORDERS", "ORDER_STATUS"), (MYSQL, "orders", "status")),
-    ((ORACLE, "ORDERS", "CUSTOMER_ID"), (MYSQL, "orders", "customernumber")),
-    ((ORACLE, "PRODUCTS", "PRODUCT_ID"), (MYSQL, "products", "productcode")),
-    ((ORACLE, "PRODUCTS", "PRODUCT_NAME"), (MYSQL, "products", "productname")),
-    ((ORACLE, "PRODUCTS", "UNIT_PRICE"), (MYSQL, "products", "buyprice")),
-    ((ORACLE, "ORDER_ITEMS", "ORDER_ID"), (MYSQL, "orderdetails", "ordernumber")),
-    ((ORACLE, "ORDER_ITEMS", "PRODUCT_ID"), (MYSQL, "orderdetails", "productcode")),
-    ((ORACLE, "ORDER_ITEMS", "QUANTITY"), (MYSQL, "orderdetails", "quantityordered")),
+    (
+        (ORACLE, "CUSTOMERS", "CUSTOMER_ID"),
+        (MYSQL, "customers", "customernumber"),
+    ),
+    (
+        (ORACLE, "CUSTOMERS", "FULL_NAME"),
+        (MYSQL, "customers", "customername"),
+    ),
+    (
+        (ORACLE, "CUSTOMERS", "PHONE_NUMBER"),
+        (MYSQL, "customers", "phone"),
+    ),
+    (
+        (ORACLE, "CUSTOMERS", "CREDIT_LIMIT"),
+        (MYSQL, "customers", "creditlimit"),
+    ),
+    (
+        (ORACLE, "ORDERS", "ORDER_ID"),
+        (MYSQL, "orders", "ordernumber"),
+    ),
+    (
+        (ORACLE, "ORDERS", "ORDER_DATETIME"),
+        (MYSQL, "orders", "orderdate"),
+    ),
+    (
+        (ORACLE, "ORDERS", "ORDER_STATUS"),
+        (MYSQL, "orders", "status"),
+    ),
+    (
+        (ORACLE, "ORDERS", "CUSTOMER_ID"),
+        (MYSQL, "orders", "customernumber"),
+    ),
+    (
+        (ORACLE, "PRODUCTS", "PRODUCT_ID"),
+        (MYSQL, "products", "productcode"),
+    ),
+    (
+        (ORACLE, "PRODUCTS", "PRODUCT_NAME"),
+        (MYSQL, "products", "productname"),
+    ),
+    (
+        (ORACLE, "PRODUCTS", "UNIT_PRICE"),
+        (MYSQL, "products", "buyprice"),
+    ),
+    (
+        (ORACLE, "ORDER_ITEMS", "ORDER_ID"),
+        (MYSQL, "orderdetails", "ordernumber"),
+    ),
+    (
+        (ORACLE, "ORDER_ITEMS", "PRODUCT_ID"),
+        (MYSQL, "orderdetails", "productcode"),
+    ),
+    (
+        (ORACLE, "ORDER_ITEMS", "QUANTITY"),
+        (MYSQL, "orderdetails", "quantityordered"),
+    ),
 ];
 
 /// Oracle–MySQL inter-sub-typed attribute pairs (22).
 const ORACLE_MYSQL_IS: &[(Attr, Attr)] = &[
-    ((ORACLE, "CUSTOMERS", "FULL_NAME"), (MYSQL, "customers", "contactfirstname")),
-    ((ORACLE, "CUSTOMERS", "FULL_NAME"), (MYSQL, "customers", "contactlastname")),
-    ((ORACLE, "CUSTOMERS", "EMAIL_ADDRESS"), (MYSQL, "employees", "email")),
-    ((ORACLE, "CUSTOMERS", "PHONE_NUMBER"), (MYSQL, "offices", "phone")),
-    ((ORACLE, "STORES", "PHYSICAL_ADDRESS"), (MYSQL, "offices", "addressline1")),
-    ((ORACLE, "STORES", "PHYSICAL_ADDRESS"), (MYSQL, "offices", "addressline2")),
-    ((ORACLE, "STORES", "PHYSICAL_ADDRESS"), (MYSQL, "customers", "addressline1")),
-    ((ORACLE, "STORES", "PHYSICAL_ADDRESS"), (MYSQL, "customers", "addressline2")),
+    (
+        (ORACLE, "CUSTOMERS", "FULL_NAME"),
+        (MYSQL, "customers", "contactfirstname"),
+    ),
+    (
+        (ORACLE, "CUSTOMERS", "FULL_NAME"),
+        (MYSQL, "customers", "contactlastname"),
+    ),
+    (
+        (ORACLE, "CUSTOMERS", "EMAIL_ADDRESS"),
+        (MYSQL, "employees", "email"),
+    ),
+    (
+        (ORACLE, "CUSTOMERS", "PHONE_NUMBER"),
+        (MYSQL, "offices", "phone"),
+    ),
+    (
+        (ORACLE, "STORES", "PHYSICAL_ADDRESS"),
+        (MYSQL, "offices", "addressline1"),
+    ),
+    (
+        (ORACLE, "STORES", "PHYSICAL_ADDRESS"),
+        (MYSQL, "offices", "addressline2"),
+    ),
+    (
+        (ORACLE, "STORES", "PHYSICAL_ADDRESS"),
+        (MYSQL, "customers", "addressline1"),
+    ),
+    (
+        (ORACLE, "STORES", "PHYSICAL_ADDRESS"),
+        (MYSQL, "customers", "addressline2"),
+    ),
     ((ORACLE, "STORES", "CITY"), (MYSQL, "offices", "city")),
     ((ORACLE, "STORES", "CITY"), (MYSQL, "customers", "city")),
-    ((ORACLE, "STORES", "STATE_PROVINCE"), (MYSQL, "offices", "state")),
-    ((ORACLE, "STORES", "STATE_PROVINCE"), (MYSQL, "customers", "state")),
-    ((ORACLE, "STORES", "COUNTRY_CODE"), (MYSQL, "offices", "country")),
-    ((ORACLE, "STORES", "COUNTRY_CODE"), (MYSQL, "customers", "country")),
-    ((ORACLE, "ORDER_ITEMS", "UNIT_PRICE"), (MYSQL, "orderdetails", "priceeach")),
-    ((ORACLE, "PRODUCTS", "UNIT_PRICE"), (MYSQL, "orderdetails", "priceeach")),
-    ((ORACLE, "PRODUCTS", "PRODUCT_DETAILS"), (MYSQL, "products", "productdescription")),
-    ((ORACLE, "SHIPMENTS", "DELIVERY_ADDRESS"), (MYSQL, "customers", "addressline1")),
-    ((ORACLE, "SHIPMENTS", "DELIVERY_ADDRESS"), (MYSQL, "customers", "addressline2")),
-    ((ORACLE, "SHIPMENTS", "CUSTOMER_ID"), (MYSQL, "customers", "customernumber")),
-    ((ORACLE, "SHIPMENTS", "SHIPMENT_STATUS"), (MYSQL, "orders", "status")),
-    ((ORACLE, "ORDER_ITEMS", "UNIT_PRICE"), (MYSQL, "products", "buyprice")),
+    (
+        (ORACLE, "STORES", "STATE_PROVINCE"),
+        (MYSQL, "offices", "state"),
+    ),
+    (
+        (ORACLE, "STORES", "STATE_PROVINCE"),
+        (MYSQL, "customers", "state"),
+    ),
+    (
+        (ORACLE, "STORES", "COUNTRY_CODE"),
+        (MYSQL, "offices", "country"),
+    ),
+    (
+        (ORACLE, "STORES", "COUNTRY_CODE"),
+        (MYSQL, "customers", "country"),
+    ),
+    (
+        (ORACLE, "ORDER_ITEMS", "UNIT_PRICE"),
+        (MYSQL, "orderdetails", "priceeach"),
+    ),
+    (
+        (ORACLE, "PRODUCTS", "UNIT_PRICE"),
+        (MYSQL, "orderdetails", "priceeach"),
+    ),
+    (
+        (ORACLE, "PRODUCTS", "PRODUCT_DETAILS"),
+        (MYSQL, "products", "productdescription"),
+    ),
+    (
+        (ORACLE, "SHIPMENTS", "DELIVERY_ADDRESS"),
+        (MYSQL, "customers", "addressline1"),
+    ),
+    (
+        (ORACLE, "SHIPMENTS", "DELIVERY_ADDRESS"),
+        (MYSQL, "customers", "addressline2"),
+    ),
+    (
+        (ORACLE, "SHIPMENTS", "CUSTOMER_ID"),
+        (MYSQL, "customers", "customernumber"),
+    ),
+    (
+        (ORACLE, "SHIPMENTS", "SHIPMENT_STATUS"),
+        (MYSQL, "orders", "status"),
+    ),
+    (
+        (ORACLE, "ORDER_ITEMS", "UNIT_PRICE"),
+        (MYSQL, "products", "buyprice"),
+    ),
 ];
 
 /// Oracle–HANA inter-identical attribute pairs (10).
 const ORACLE_HANA_II: &[(Attr, Attr)] = &[
-    ((ORACLE, "CUSTOMERS", "CUSTOMER_ID"), (HANA, "BUSINESS_PARTNERS", "PARTNER_ID")),
-    ((ORACLE, "CUSTOMERS", "FULL_NAME"), (HANA, "BUSINESS_PARTNERS", "PARTNER_NAME")),
-    ((ORACLE, "CUSTOMERS", "PHONE_NUMBER"), (HANA, "BUSINESS_PARTNERS", "PHONE")),
-    ((ORACLE, "CUSTOMERS", "CREDIT_LIMIT"), (HANA, "BUSINESS_PARTNERS", "CREDIT_LIMIT")),
-    ((ORACLE, "PRODUCTS", "PRODUCT_ID"), (HANA, "PRODUCTS", "PRODUCT_ID")),
-    ((ORACLE, "PRODUCTS", "PRODUCT_NAME"), (HANA, "PRODUCTS", "NAME")),
-    ((ORACLE, "PRODUCTS", "UNIT_PRICE"), (HANA, "PRODUCTS", "PRICE")),
-    ((ORACLE, "ORDERS", "ORDER_ID"), (HANA, "PURCHASE_ORDERS", "PURCHASE_ORDER_ID")),
-    ((ORACLE, "ORDERS", "ORDER_DATETIME"), (HANA, "PURCHASE_ORDERS", "ORDER_DATE")),
-    ((ORACLE, "ORDER_ITEMS", "QUANTITY"), (HANA, "PURCHASE_ORDERS", "QUANTITY")),
+    (
+        (ORACLE, "CUSTOMERS", "CUSTOMER_ID"),
+        (HANA, "BUSINESS_PARTNERS", "PARTNER_ID"),
+    ),
+    (
+        (ORACLE, "CUSTOMERS", "FULL_NAME"),
+        (HANA, "BUSINESS_PARTNERS", "PARTNER_NAME"),
+    ),
+    (
+        (ORACLE, "CUSTOMERS", "PHONE_NUMBER"),
+        (HANA, "BUSINESS_PARTNERS", "PHONE"),
+    ),
+    (
+        (ORACLE, "CUSTOMERS", "CREDIT_LIMIT"),
+        (HANA, "BUSINESS_PARTNERS", "CREDIT_LIMIT"),
+    ),
+    (
+        (ORACLE, "PRODUCTS", "PRODUCT_ID"),
+        (HANA, "PRODUCTS", "PRODUCT_ID"),
+    ),
+    (
+        (ORACLE, "PRODUCTS", "PRODUCT_NAME"),
+        (HANA, "PRODUCTS", "NAME"),
+    ),
+    (
+        (ORACLE, "PRODUCTS", "UNIT_PRICE"),
+        (HANA, "PRODUCTS", "PRICE"),
+    ),
+    (
+        (ORACLE, "ORDERS", "ORDER_ID"),
+        (HANA, "PURCHASE_ORDERS", "PURCHASE_ORDER_ID"),
+    ),
+    (
+        (ORACLE, "ORDERS", "ORDER_DATETIME"),
+        (HANA, "PURCHASE_ORDERS", "ORDER_DATE"),
+    ),
+    (
+        (ORACLE, "ORDER_ITEMS", "QUANTITY"),
+        (HANA, "PURCHASE_ORDERS", "QUANTITY"),
+    ),
 ];
 
 /// Oracle–HANA inter-sub-typed attribute pairs (8).
 const ORACLE_HANA_IS: &[(Attr, Attr)] = &[
-    ((ORACLE, "STORES", "CITY"), (HANA, "BUSINESS_PARTNERS", "CITY")),
-    ((ORACLE, "STORES", "COUNTRY_CODE"), (HANA, "BUSINESS_PARTNERS", "COUNTRY")),
-    ((ORACLE, "STORES", "STATE_PROVINCE"), (HANA, "BUSINESS_PARTNERS", "REGION")),
-    ((ORACLE, "STORES", "PHYSICAL_ADDRESS"), (HANA, "BUSINESS_PARTNERS", "STREET")),
-    ((ORACLE, "PRODUCTS", "PRODUCT_DETAILS"), (HANA, "PRODUCTS", "DESCRIPTION")),
-    ((ORACLE, "ORDERS", "CUSTOMER_ID"), (HANA, "PURCHASE_ORDERS", "PARTNER_ID")),
-    ((ORACLE, "SHIPMENTS", "DELIVERY_ADDRESS"), (HANA, "BUSINESS_PARTNERS", "STREET")),
-    ((ORACLE, "ORDER_ITEMS", "ORDER_ID"), (HANA, "PURCHASE_ORDERS", "PURCHASE_ORDER_ID")),
+    (
+        (ORACLE, "STORES", "CITY"),
+        (HANA, "BUSINESS_PARTNERS", "CITY"),
+    ),
+    (
+        (ORACLE, "STORES", "COUNTRY_CODE"),
+        (HANA, "BUSINESS_PARTNERS", "COUNTRY"),
+    ),
+    (
+        (ORACLE, "STORES", "STATE_PROVINCE"),
+        (HANA, "BUSINESS_PARTNERS", "REGION"),
+    ),
+    (
+        (ORACLE, "STORES", "PHYSICAL_ADDRESS"),
+        (HANA, "BUSINESS_PARTNERS", "STREET"),
+    ),
+    (
+        (ORACLE, "PRODUCTS", "PRODUCT_DETAILS"),
+        (HANA, "PRODUCTS", "DESCRIPTION"),
+    ),
+    (
+        (ORACLE, "ORDERS", "CUSTOMER_ID"),
+        (HANA, "PURCHASE_ORDERS", "PARTNER_ID"),
+    ),
+    (
+        (ORACLE, "SHIPMENTS", "DELIVERY_ADDRESS"),
+        (HANA, "BUSINESS_PARTNERS", "STREET"),
+    ),
+    (
+        (ORACLE, "ORDER_ITEMS", "ORDER_ID"),
+        (HANA, "PURCHASE_ORDERS", "PURCHASE_ORDER_ID"),
+    ),
 ];
 
 /// MySQL–HANA inter-identical attribute pairs (15).
 const MYSQL_HANA_II: &[(Attr, Attr)] = &[
-    ((MYSQL, "customers", "customernumber"), (HANA, "BUSINESS_PARTNERS", "PARTNER_ID")),
-    ((MYSQL, "customers", "customername"), (HANA, "BUSINESS_PARTNERS", "PARTNER_NAME")),
-    ((MYSQL, "customers", "phone"), (HANA, "BUSINESS_PARTNERS", "PHONE")),
-    ((MYSQL, "customers", "city"), (HANA, "BUSINESS_PARTNERS", "CITY")),
-    ((MYSQL, "customers", "postalcode"), (HANA, "BUSINESS_PARTNERS", "POSTAL_CODE")),
-    ((MYSQL, "customers", "country"), (HANA, "BUSINESS_PARTNERS", "COUNTRY")),
-    ((MYSQL, "customers", "creditlimit"), (HANA, "BUSINESS_PARTNERS", "CREDIT_LIMIT")),
-    ((MYSQL, "customers", "state"), (HANA, "BUSINESS_PARTNERS", "REGION")),
-    ((MYSQL, "products", "productcode"), (HANA, "PRODUCTS", "PRODUCT_ID")),
-    ((MYSQL, "products", "productname"), (HANA, "PRODUCTS", "NAME")),
-    ((MYSQL, "products", "productdescription"), (HANA, "PRODUCTS", "DESCRIPTION")),
+    (
+        (MYSQL, "customers", "customernumber"),
+        (HANA, "BUSINESS_PARTNERS", "PARTNER_ID"),
+    ),
+    (
+        (MYSQL, "customers", "customername"),
+        (HANA, "BUSINESS_PARTNERS", "PARTNER_NAME"),
+    ),
+    (
+        (MYSQL, "customers", "phone"),
+        (HANA, "BUSINESS_PARTNERS", "PHONE"),
+    ),
+    (
+        (MYSQL, "customers", "city"),
+        (HANA, "BUSINESS_PARTNERS", "CITY"),
+    ),
+    (
+        (MYSQL, "customers", "postalcode"),
+        (HANA, "BUSINESS_PARTNERS", "POSTAL_CODE"),
+    ),
+    (
+        (MYSQL, "customers", "country"),
+        (HANA, "BUSINESS_PARTNERS", "COUNTRY"),
+    ),
+    (
+        (MYSQL, "customers", "creditlimit"),
+        (HANA, "BUSINESS_PARTNERS", "CREDIT_LIMIT"),
+    ),
+    (
+        (MYSQL, "customers", "state"),
+        (HANA, "BUSINESS_PARTNERS", "REGION"),
+    ),
+    (
+        (MYSQL, "products", "productcode"),
+        (HANA, "PRODUCTS", "PRODUCT_ID"),
+    ),
+    (
+        (MYSQL, "products", "productname"),
+        (HANA, "PRODUCTS", "NAME"),
+    ),
+    (
+        (MYSQL, "products", "productdescription"),
+        (HANA, "PRODUCTS", "DESCRIPTION"),
+    ),
     ((MYSQL, "products", "buyprice"), (HANA, "PRODUCTS", "PRICE")),
-    ((MYSQL, "orders", "ordernumber"), (HANA, "PURCHASE_ORDERS", "PURCHASE_ORDER_ID")),
-    ((MYSQL, "orders", "orderdate"), (HANA, "PURCHASE_ORDERS", "ORDER_DATE")),
-    ((MYSQL, "orderdetails", "quantityordered"), (HANA, "PURCHASE_ORDERS", "QUANTITY")),
+    (
+        (MYSQL, "orders", "ordernumber"),
+        (HANA, "PURCHASE_ORDERS", "PURCHASE_ORDER_ID"),
+    ),
+    (
+        (MYSQL, "orders", "orderdate"),
+        (HANA, "PURCHASE_ORDERS", "ORDER_DATE"),
+    ),
+    (
+        (MYSQL, "orderdetails", "quantityordered"),
+        (HANA, "PURCHASE_ORDERS", "QUANTITY"),
+    ),
 ];
 
 /// MySQL–HANA inter-sub-typed attribute pairs (1).
-const MYSQL_HANA_IS: &[(Attr, Attr)] = &[
-    ((MYSQL, "customers", "addressline1"), (HANA, "BUSINESS_PARTNERS", "STREET")),
-];
+const MYSQL_HANA_IS: &[(Attr, Attr)] = &[(
+    (MYSQL, "customers", "addressline1"),
+    (HANA, "BUSINESS_PARTNERS", "STREET"),
+)];
 
 /// Inter-sub-typed table pairs (5): `(schema, table, schema, table)`.
 const TABLE_PAIRS: &[(&str, &str, &str, &str)] = &[
@@ -142,7 +341,11 @@ pub fn oc3_linkages(catalog: &Catalog) -> LinkageSet {
     ];
     for (pairs, kind) in batches {
         for &(a, b) in pairs {
-            let inserted = set.insert(LinkagePair::new(attr_id(catalog, a), attr_id(catalog, b), kind));
+            let inserted = set.insert(LinkagePair::new(
+                attr_id(catalog, a),
+                attr_id(catalog, b),
+                kind,
+            ));
             assert!(inserted, "duplicate ground-truth pair {a:?} / {b:?}");
         }
     }

@@ -82,7 +82,11 @@ pub fn formula_one() -> Schema {
 pub fn oc3() -> Dataset {
     let catalog = Catalog::from_schemas(vec![oc_oracle(), oc_mysql(), oc_hana()]);
     let linkages = ground_truth::oc3_linkages(&catalog);
-    Dataset { name: "OC3".into(), catalog, linkages }
+    Dataset {
+        name: "OC3".into(),
+        catalog,
+        linkages,
+    }
 }
 
 /// The heterogeneous **OC3-FO** scenario (OC3 + Formula One).
@@ -90,10 +94,13 @@ pub fn oc3() -> Dataset {
 /// The Formula-One schema is appended *after* the OC3 schemas, so OC3
 /// element ids (and the linkage annotations) stay valid.
 pub fn oc3_fo() -> Dataset {
-    let catalog =
-        Catalog::from_schemas(vec![oc_oracle(), oc_mysql(), oc_hana(), formula_one()]);
+    let catalog = Catalog::from_schemas(vec![oc_oracle(), oc_mysql(), oc_hana(), formula_one()]);
     let linkages = ground_truth::oc3_linkages(&catalog);
-    Dataset { name: "OC3-FO".into(), catalog, linkages }
+    Dataset {
+        name: "OC3-FO".into(),
+        catalog,
+        linkages,
+    }
 }
 
 #[cfg(test)]
@@ -119,7 +126,12 @@ mod tests {
     fn table2_oc3_totals() {
         let ds = oc3();
         let tables: usize = ds.catalog.schemas().iter().map(|s| s.table_count()).sum();
-        let attrs: usize = ds.catalog.schemas().iter().map(|s| s.attribute_count()).sum();
+        let attrs: usize = ds
+            .catalog
+            .schemas()
+            .iter()
+            .map(|s| s.attribute_count())
+            .sum();
         assert_eq!((tables, attrs), (18, 142));
         let linkable = ds.linkages.linkable_elements().len();
         assert_eq!(linkable, 79);
@@ -130,7 +142,12 @@ mod tests {
     fn table2_oc3_fo_totals() {
         let ds = oc3_fo();
         let tables: usize = ds.catalog.schemas().iter().map(|s| s.table_count()).sum();
-        let attrs: usize = ds.catalog.schemas().iter().map(|s| s.attribute_count()).sum();
+        let attrs: usize = ds
+            .catalog
+            .schemas()
+            .iter()
+            .map(|s| s.attribute_count())
+            .sum();
         assert_eq!((tables, attrs), (34, 253));
         let linkable = ds.linkages.linkable_elements().len();
         assert_eq!(linkable, 79);
@@ -140,7 +157,10 @@ mod tests {
     #[test]
     fn table2_per_schema_linkable_counts() {
         let ds = oc3_fo();
-        assert_eq!(ds.linkages.linkable_per_schema(&ds.catalog), vec![27, 34, 18, 0]);
+        assert_eq!(
+            ds.linkages.linkable_per_schema(&ds.catalog),
+            vec![27, 34, 18, 0]
+        );
     }
 
     #[test]
@@ -193,12 +213,36 @@ mod tests {
                 })
                 .count()
         };
-        assert_eq!(attr_pairs(0, 1, LinkageKind::InterIdentical), 14, "Oracle-MySQL II");
-        assert_eq!(attr_pairs(0, 1, LinkageKind::InterSubTyped), 22, "Oracle-MySQL IS");
-        assert_eq!(attr_pairs(0, 2, LinkageKind::InterIdentical), 10, "Oracle-HANA II");
-        assert_eq!(attr_pairs(0, 2, LinkageKind::InterSubTyped), 8, "Oracle-HANA IS");
-        assert_eq!(attr_pairs(1, 2, LinkageKind::InterIdentical), 15, "MySQL-HANA II");
-        assert_eq!(attr_pairs(1, 2, LinkageKind::InterSubTyped), 1, "MySQL-HANA IS");
+        assert_eq!(
+            attr_pairs(0, 1, LinkageKind::InterIdentical),
+            14,
+            "Oracle-MySQL II"
+        );
+        assert_eq!(
+            attr_pairs(0, 1, LinkageKind::InterSubTyped),
+            22,
+            "Oracle-MySQL IS"
+        );
+        assert_eq!(
+            attr_pairs(0, 2, LinkageKind::InterIdentical),
+            10,
+            "Oracle-HANA II"
+        );
+        assert_eq!(
+            attr_pairs(0, 2, LinkageKind::InterSubTyped),
+            8,
+            "Oracle-HANA IS"
+        );
+        assert_eq!(
+            attr_pairs(1, 2, LinkageKind::InterIdentical),
+            15,
+            "MySQL-HANA II"
+        );
+        assert_eq!(
+            attr_pairs(1, 2, LinkageKind::InterSubTyped),
+            1,
+            "MySQL-HANA IS"
+        );
     }
 
     #[test]
@@ -224,7 +268,10 @@ mod tests {
     #[test]
     fn formula_one_has_no_linkages() {
         let ds = oc3_fo();
-        assert!(ds.linkages.iter().all(|p| p.a.schema != 3 && p.b.schema != 3));
+        assert!(ds
+            .linkages
+            .iter()
+            .all(|p| p.a.schema != 3 && p.b.schema != 3));
     }
 
     #[test]
@@ -263,8 +310,14 @@ mod tests {
         // the ground truth; the paper reports it as a collaborative-scoping
         // false negative at low v.
         let ds = oc3();
-        let a = ds.catalog.attribute_id("OC-Oracle", "ORDERS", "ORDER_DATETIME").unwrap();
-        let b = ds.catalog.attribute_id("OC-MySQL", "orders", "orderdate").unwrap();
+        let a = ds
+            .catalog
+            .attribute_id("OC-Oracle", "ORDERS", "ORDER_DATETIME")
+            .unwrap();
+        let b = ds
+            .catalog
+            .attribute_id("OC-MySQL", "orders", "orderdate")
+            .unwrap();
         assert!(ds.linkages.contains_pair(a, b));
     }
 
@@ -273,8 +326,14 @@ mod tests {
         use cs_schema::Constraint;
         let oracle = oc_oracle();
         let (_, customers) = oracle.table("CUSTOMERS").unwrap();
-        assert_eq!(customers.attribute("CUSTOMER_ID").unwrap().1.constraint, Constraint::PrimaryKey);
+        assert_eq!(
+            customers.attribute("CUSTOMER_ID").unwrap().1.constraint,
+            Constraint::PrimaryKey
+        );
         let (_, orders) = oracle.table("ORDERS").unwrap();
-        assert_eq!(orders.attribute("CUSTOMER_ID").unwrap().1.constraint, Constraint::ForeignKey);
+        assert_eq!(
+            orders.attribute("CUSTOMER_ID").unwrap().1.constraint,
+            Constraint::ForeignKey
+        );
     }
 }

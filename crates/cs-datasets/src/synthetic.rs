@@ -55,18 +55,70 @@ impl Default for SyntheticConfig {
 /// lexicon knows, so synthetic scenarios exercise the same encoder paths
 /// as the real datasets.
 const SHARED_WORDS: &[&str] = &[
-    "CUSTOMER", "ORDER", "PRODUCT", "PAYMENT", "SHIPMENT", "INVOICE", "EMPLOYEE", "OFFICE",
-    "STORE", "INVENTORY", "ADDRESS", "CITY", "COUNTRY", "PHONE", "EMAIL", "NAME", "PRICE",
-    "AMOUNT", "QUANTITY", "STATUS", "DATE", "CODE", "CREDIT", "DISCOUNT", "TAX", "WAREHOUSE",
-    "VENDOR", "CATEGORY", "DESCRIPTION", "ACCOUNT", "CONTACT", "REGION", "STREET", "POSTAL",
-    "TITLE", "MANAGER", "SALES", "UNIT", "TOTAL", "CHECK",
+    "CUSTOMER",
+    "ORDER",
+    "PRODUCT",
+    "PAYMENT",
+    "SHIPMENT",
+    "INVOICE",
+    "EMPLOYEE",
+    "OFFICE",
+    "STORE",
+    "INVENTORY",
+    "ADDRESS",
+    "CITY",
+    "COUNTRY",
+    "PHONE",
+    "EMAIL",
+    "NAME",
+    "PRICE",
+    "AMOUNT",
+    "QUANTITY",
+    "STATUS",
+    "DATE",
+    "CODE",
+    "CREDIT",
+    "DISCOUNT",
+    "TAX",
+    "WAREHOUSE",
+    "VENDOR",
+    "CATEGORY",
+    "DESCRIPTION",
+    "ACCOUNT",
+    "CONTACT",
+    "REGION",
+    "STREET",
+    "POSTAL",
+    "TITLE",
+    "MANAGER",
+    "SALES",
+    "UNIT",
+    "TOTAL",
+    "CHECK",
 ];
 
 /// Vocabulary for the alien schema (motorsport domain).
 const ALIEN_WORDS: &[&str] = &[
-    "RACE", "CIRCUIT", "DRIVER", "CONSTRUCTOR", "SEASON", "LAP", "PIT", "QUALIFYING", "SPRINT",
-    "GRID", "POINTS", "STANDINGS", "RESULT", "CAR", "ENGINE", "NATIONALITY", "WIN", "POSITION",
-    "SPEED", "ROUND",
+    "RACE",
+    "CIRCUIT",
+    "DRIVER",
+    "CONSTRUCTOR",
+    "SEASON",
+    "LAP",
+    "PIT",
+    "QUALIFYING",
+    "SPRINT",
+    "GRID",
+    "POINTS",
+    "STANDINGS",
+    "RESULT",
+    "CAR",
+    "ENGINE",
+    "NATIONALITY",
+    "WIN",
+    "POSITION",
+    "SPEED",
+    "ROUND",
 ];
 
 /// Generates a synthetic [`Dataset`].
@@ -76,7 +128,10 @@ const ALIEN_WORDS: &[&str] = &[
 /// degenerate (zero schemas / zero table width).
 pub fn generate(config: &SyntheticConfig) -> Dataset {
     assert!(config.schemas >= 1, "need at least one schema");
-    assert!(config.table_width >= 1, "tables need at least one attribute");
+    assert!(
+        config.table_width >= 1,
+        "tables need at least one attribute"
+    );
     assert!(
         config.concepts_per_schema <= config.shared_concepts,
         "cannot materialize more concepts than the pool holds"
@@ -119,7 +174,11 @@ pub fn generate(config: &SyntheticConfig) -> Dataset {
         let attrs: Vec<Attribute> = (0..config.alien_elements)
             .map(|i| {
                 Attribute::plain(
-                    format!("{}_{}", ALIEN_WORDS[i % ALIEN_WORDS.len()], i / ALIEN_WORDS.len()),
+                    format!(
+                        "{}_{}",
+                        ALIEN_WORDS[i % ALIEN_WORDS.len()],
+                        i / ALIEN_WORDS.len()
+                    ),
                     DataType::Integer,
                 )
             })
@@ -188,7 +247,10 @@ mod tests {
         let ds = generate(&cfg);
         assert_eq!(ds.catalog.schema_count(), 3);
         for s in ds.catalog.schemas() {
-            assert_eq!(s.attribute_count(), cfg.concepts_per_schema + cfg.private_per_schema);
+            assert_eq!(
+                s.attribute_count(),
+                cfg.concepts_per_schema + cfg.private_per_schema
+            );
         }
     }
 
@@ -210,11 +272,17 @@ mod tests {
 
     #[test]
     fn alien_schema_has_no_linkages() {
-        let cfg = SyntheticConfig { alien_elements: 25, ..Default::default() };
+        let cfg = SyntheticConfig {
+            alien_elements: 25,
+            ..Default::default()
+        };
         let ds = generate(&cfg);
         assert_eq!(ds.catalog.schema_count(), 4);
         let alien = 3;
-        assert!(ds.linkages.iter().all(|p| p.a.schema != alien && p.b.schema != alien));
+        assert!(ds
+            .linkages
+            .iter()
+            .all(|p| p.a.schema != alien && p.b.schema != alien));
         assert_eq!(ds.linkages.linkable_per_schema(&ds.catalog)[alien], 0);
     }
 
@@ -224,14 +292,23 @@ mod tests {
         let b = generate(&SyntheticConfig::default());
         assert_eq!(a.catalog, b.catalog);
         assert_eq!(a.linkages, b.linkages);
-        let c = generate(&SyntheticConfig { seed: 99, ..Default::default() });
+        let c = generate(&SyntheticConfig {
+            seed: 99,
+            ..Default::default()
+        });
         assert_ne!(a.catalog, c.catalog);
     }
 
     #[test]
     fn overhead_controllable_via_private_attrs() {
-        let lean = generate(&SyntheticConfig { private_per_schema: 2, ..Default::default() });
-        let heavy = generate(&SyntheticConfig { private_per_schema: 40, ..Default::default() });
+        let lean = generate(&SyntheticConfig {
+            private_per_schema: 2,
+            ..Default::default()
+        });
+        let heavy = generate(&SyntheticConfig {
+            private_per_schema: 40,
+            ..Default::default()
+        });
         let lo = lean.unlinkable_overhead().unwrap();
         let hi = heavy.unlinkable_overhead().unwrap();
         assert!(hi > lo, "{hi} vs {lo}");

@@ -97,7 +97,11 @@ impl SignatureEncoder {
                 && (0.0..=1.0).contains(&config.abbrev_surface_blend),
             "blends must lie in [0, 1]"
         );
-        Self { config, lexicon, token_cache: RwLock::new(HashMap::new()) }
+        Self {
+            config,
+            lexicon,
+            token_cache: RwLock::new(HashMap::new()),
+        }
     }
 
     /// The active configuration.
@@ -126,7 +130,11 @@ impl SignatureEncoder {
             if tok.chars().all(|c| c.is_ascii_digit()) {
                 continue; // bare numbers carry no schema semantics
             }
-            let position = if first { 1.0 } else { self.config.context_weight };
+            let position = if first {
+                1.0
+            } else {
+                self.config.context_weight
+            };
             first = false;
             let w = self.pool_weight(tok) * position;
             let v = self.token_vector(tok);
@@ -174,7 +182,11 @@ impl SignatureEncoder {
         let surface = trigram_vector(token, self.config.seed, self.config.dim);
         // 1) Direct lexicon hit.
         if let Some(entry) = self.lexicon.resolve(token) {
-            return self.blend(self.concept_vector(entry), &surface, self.config.surface_blend);
+            return self.blend(
+                self.concept_vector(entry),
+                &surface,
+                self.config.surface_blend,
+            );
         }
         // 2) Initial-prefix abbreviation: CNAME → NAME, OID → ID.
         if token.len() >= 3 {
@@ -190,7 +202,10 @@ impl SignatureEncoder {
         if let Some(pieces) = self.segment(token) {
             let mut acc = vec![0.0; self.config.dim];
             for piece in &pieces {
-                let entry = self.lexicon.resolve(piece).expect("segment returns vocab words");
+                let entry = self
+                    .lexicon
+                    .resolve(piece)
+                    .expect("segment returns vocab words");
                 axpy(&mut acc, 1.0, &self.concept_vector(entry));
             }
             normalize(&mut acc);
@@ -380,7 +395,10 @@ mod tests {
     fn segmentation_splits_joined_words() {
         let e = enc();
         assert_eq!(e.segment("ORDERDATE").unwrap(), vec!["ORDER", "DATE"]);
-        assert_eq!(e.segment("CUSTOMERNUMBER").unwrap(), vec!["CUSTOMER", "NUMBER"]);
+        assert_eq!(
+            e.segment("CUSTOMERNUMBER").unwrap(),
+            vec!["CUSTOMER", "NUMBER"]
+        );
         assert!(e.segment("QZXV").is_none());
         // Too short to split.
         assert!(e.segment("AB").is_none());
@@ -424,7 +442,10 @@ mod tests {
     #[test]
     fn batch_matches_individual() {
         let e = enc();
-        let texts = vec!["CLIENT [CID, NAME]".to_string(), "CAR [CID, CNAME]".to_string()];
+        let texts = vec![
+            "CLIENT [CID, NAME]".to_string(),
+            "CAR [CID, CNAME]".to_string(),
+        ];
         let m = e.encode_batch(&texts);
         assert_eq!(m.shape(), (2, 768));
         assert_eq!(m.row(0), e.encode(&texts[0]).as_slice());
@@ -439,7 +460,10 @@ mod tests {
 
     #[test]
     fn different_seeds_give_different_geometry() {
-        let cfg = EncoderConfig { seed: 42, ..EncoderConfig::default() };
+        let cfg = EncoderConfig {
+            seed: 42,
+            ..EncoderConfig::default()
+        };
         let e1 = SignatureEncoder::new(cfg, Lexicon::default_lexicon());
         let e2 = enc();
         assert_ne!(e1.encode("CLIENT"), e2.encode("CLIENT"));
@@ -451,7 +475,10 @@ mod tests {
     #[should_panic(expected = "dimension must be positive")]
     fn zero_dim_rejected() {
         SignatureEncoder::new(
-            EncoderConfig { dim: 0, ..EncoderConfig::default() },
+            EncoderConfig {
+                dim: 0,
+                ..EncoderConfig::default()
+            },
             Lexicon::default_lexicon(),
         );
     }

@@ -102,8 +102,16 @@ mod tests {
         let a = trigram_vector("ORDERDATE", 7, dim);
         let b = trigram_vector("ORDERDATES", 7, dim);
         let c = trigram_vector("CIRCUIT", 7, dim);
-        assert!(cosine(&a, &b) > 0.6, "near-identical spellings: {}", cosine(&a, &b));
-        assert!(cosine(&a, &c) < 0.3, "unrelated spellings: {}", cosine(&a, &c));
+        assert!(
+            cosine(&a, &b) > 0.6,
+            "near-identical spellings: {}",
+            cosine(&a, &b)
+        );
+        assert!(
+            cosine(&a, &c) < 0.3,
+            "unrelated spellings: {}",
+            cosine(&a, &c)
+        );
     }
 
     #[test]

@@ -95,7 +95,11 @@ impl Lexicon {
                 );
             }
         }
-        Self { entries, by_token, by_concept }
+        Self {
+            entries,
+            by_token,
+            by_concept,
+        }
     }
 
     /// Resolves an uppercase surface token to its concept.
@@ -177,7 +181,10 @@ impl Lexicon {
                 .filter(|s| !s.is_empty())
                 .collect();
             if synonyms.is_empty() {
-                return Err(format!("line {}: concept {concept} has no synonyms", lineno + 1));
+                return Err(format!(
+                    "line {}: concept {concept} has no synonyms",
+                    lineno + 1
+                ));
             }
             out.push(ConceptEntry {
                 concept: concept.to_string(),
@@ -222,7 +229,10 @@ impl Lexicon {
         for ext in &extensions {
             if let Some(p) = &ext.parent {
                 if !concepts.contains(p) {
-                    return Err(format!("extension concept {} has unknown parent {p}", ext.concept));
+                    return Err(format!(
+                        "extension concept {} has unknown parent {p}",
+                        ext.concept
+                    ));
                 }
             }
         }
@@ -240,7 +250,12 @@ impl Lexicon {
         }
         let entries = vec![
             // ---- generic vocabulary -------------------------------------
-            c!("identifier", None, GENERIC, ["ID", "IDS", "IDENTIFIER", "UID"]),
+            c!(
+                "identifier",
+                None,
+                GENERIC,
+                ["ID", "IDS", "IDENTIFIER", "UID"]
+            ),
             c!("number", None, GENERIC, ["NUMBER", "NUM", "NO", "NR"]),
             c!("code", None, GENERIC, ["CODE", "CODES"]),
             c!("name", None, GENERIC, ["NAME", "NAMES", "LABEL"]),
@@ -253,13 +268,43 @@ impl Lexicon {
             c!("address", None, GENERIC, ["ADDRESS", "ADDRESSES", "ADDR"]),
             c!("street", Some("address"), GENERIC, ["STREET", "ROAD"]),
             c!("city", Some("address"), GENERIC, ["CITY", "TOWN"]),
-            c!("state", Some("address"), GENERIC, ["STATE", "PROVINCE", "REGION"]),
-            c!("postal", Some("address"), GENERIC, ["POSTAL", "ZIP", "POSTCODE"]),
-            c!("country", Some("address"), GENERIC, ["COUNTRY", "COUNTRIES"]),
-            c!("territory", Some("country"), GENERIC, ["TERRITORY", "TERRITORIES"]),
-            c!("location", Some("address"), GENERIC, ["LOCATION", "LOCATIONS", "PLACE", "LOCALITY"]),
+            c!(
+                "state",
+                Some("address"),
+                GENERIC,
+                ["STATE", "PROVINCE", "REGION"]
+            ),
+            c!(
+                "postal",
+                Some("address"),
+                GENERIC,
+                ["POSTAL", "ZIP", "POSTCODE"]
+            ),
+            c!(
+                "country",
+                Some("address"),
+                GENERIC,
+                ["COUNTRY", "COUNTRIES"]
+            ),
+            c!(
+                "territory",
+                Some("country"),
+                GENERIC,
+                ["TERRITORY", "TERRITORIES"]
+            ),
+            c!(
+                "location",
+                Some("address"),
+                GENERIC,
+                ["LOCATION", "LOCATIONS", "PLACE", "LOCALITY"]
+            ),
             c!("latitude", Some("location"), GENERIC, ["LATITUDE", "LAT"]),
-            c!("longitude", Some("location"), GENERIC, ["LONGITUDE", "LNG", "LON"]),
+            c!(
+                "longitude",
+                Some("location"),
+                GENERIC,
+                ["LONGITUDE", "LNG", "LON"]
+            ),
             c!("altitude", Some("location"), GENERIC, ["ALTITUDE", "ALT"]),
             c!("phone", None, GENERIC, ["PHONE", "TELEPHONE", "TEL"]),
             c!("fax", Some("phone"), GENERIC, ["FAX"]),
@@ -275,8 +320,18 @@ impl Lexicon {
             c!("year", Some("date"), GENERIC, ["YEAR", "YR"]),
             c!("month", Some("date"), GENERIC, ["MONTH"]),
             c!("duration", Some("time"), GENERIC, ["DURATION"]),
-            c!("milliseconds", Some("time"), GENERIC, ["MILLISECONDS", "MILLIS", "MS"]),
-            c!("birthdate", Some("date"), GENERIC, ["DOB", "BIRTHDATE", "BIRTHDAY", "BORN", "BIRTH"]),
+            c!(
+                "milliseconds",
+                Some("time"),
+                GENERIC,
+                ["MILLISECONDS", "MILLIS", "MS"]
+            ),
+            c!(
+                "birthdate",
+                Some("date"),
+                GENERIC,
+                ["DOB", "BIRTHDATE", "BIRTHDAY", "BORN", "BIRTH"]
+            ),
             c!("gender", None, GENERIC, ["GENDER", "SEX"]),
             c!("money", None, GENERIC, ["MONEY", "CURRENCY"]),
             c!("price", Some("money"), GENERIC, ["PRICE", "PRICES", "MSRP"]),
@@ -294,11 +349,26 @@ impl Lexicon {
             c!("size", None, GENERIC, ["SIZE", "SCALE"]),
             c!("weight", None, GENERIC, ["WEIGHT"]),
             c!("color", None, GENERIC, ["COLOR", "COLOUR"]),
-            c!("description", None, GENERIC, ["DESCRIPTION", "DESCRIPTIONS", "DESC"]),
-            c!("comment", Some("description"), GENERIC, ["COMMENT", "COMMENTS", "NOTE", "NOTES", "REMARK"]),
+            c!(
+                "description",
+                None,
+                GENERIC,
+                ["DESCRIPTION", "DESCRIPTIONS", "DESC"]
+            ),
+            c!(
+                "comment",
+                Some("description"),
+                GENERIC,
+                ["COMMENT", "COMMENTS", "NOTE", "NOTES", "REMARK"]
+            ),
             c!("status", None, GENERIC, ["STATUS"]),
             c!("type", None, GENERIC, ["TYPE", "KIND"]),
-            c!("category", Some("type"), GENERIC, ["CATEGORY", "CATEGORIES"]),
+            c!(
+                "category",
+                Some("type"),
+                GENERIC,
+                ["CATEGORY", "CATEGORIES"]
+            ),
             c!("line", None, GENERIC, ["LINE", "LINES"]),
             c!("job", None, GENERIC, ["JOB", "OCCUPATION"]),
             c!("report", None, GENERIC, ["REPORT", "REPORTS"]),
@@ -307,51 +377,195 @@ impl Lexicon {
             c!("required", None, GENERIC, ["REQUIRED", "REQUIRE"]),
             c!("target", None, GENERIC, ["TARGET"]),
             // ---- commerce / order-customer domain -----------------------
-            c!("customer", Some("person"), COMMERCE, ["CUSTOMER", "CUSTOMERS", "CLIENT", "CLIENTS", "BUYER", "PARTNER", "SHOPPER"]),
-            c!("order", None, COMMERCE, ["ORDER", "ORDERS", "PURCHASE", "PURCHASES", "PO"]),
-            c!("orderitem", Some("order"), COMMERCE, ["ITEM", "ITEMS", "DETAIL", "DETAILS", "ORDERDETAILS", "ORDERITEMS", "LINEITEM"]),
-            c!("product", None, COMMERCE, ["PRODUCT", "PRODUCTS", "GOODS", "ARTICLE", "MERCHANDISE"]),
-            c!("productline", Some("product"), COMMERCE, ["PRODUCTLINE", "PRODUCTLINES", "ASSORTMENT"]),
+            c!(
+                "customer",
+                Some("person"),
+                COMMERCE,
+                [
+                    "CUSTOMER",
+                    "CUSTOMERS",
+                    "CLIENT",
+                    "CLIENTS",
+                    "BUYER",
+                    "PARTNER",
+                    "SHOPPER"
+                ]
+            ),
+            c!(
+                "order",
+                None,
+                COMMERCE,
+                ["ORDER", "ORDERS", "PURCHASE", "PURCHASES", "PO"]
+            ),
+            c!(
+                "orderitem",
+                Some("order"),
+                COMMERCE,
+                [
+                    "ITEM",
+                    "ITEMS",
+                    "DETAIL",
+                    "DETAILS",
+                    "ORDERDETAILS",
+                    "ORDERITEMS",
+                    "LINEITEM"
+                ]
+            ),
+            c!(
+                "product",
+                None,
+                COMMERCE,
+                ["PRODUCT", "PRODUCTS", "GOODS", "ARTICLE", "MERCHANDISE"]
+            ),
+            c!(
+                "productline",
+                Some("product"),
+                COMMERCE,
+                ["PRODUCTLINE", "PRODUCTLINES", "ASSORTMENT"]
+            ),
             c!("brand", Some("product"), COMMERCE, ["BRAND", "MAKE"]),
-            c!("payment", Some("money"), COMMERCE, ["PAYMENT", "PAYMENTS", "PAID"]),
+            c!(
+                "payment",
+                Some("money"),
+                COMMERCE,
+                ["PAYMENT", "PAYMENTS", "PAID"]
+            ),
             c!("check", Some("payment"), COMMERCE, ["CHECK", "CHEQUE"]),
-            c!("invoice", Some("payment"), COMMERCE, ["INVOICE", "INVOICES", "BILL", "BILLING"]),
+            c!(
+                "invoice",
+                Some("payment"),
+                COMMERCE,
+                ["INVOICE", "INVOICES", "BILL", "BILLING"]
+            ),
             c!("account", Some("money"), COMMERCE, ["ACCOUNT", "ACCOUNTS"]),
-            c!("shipment", None, COMMERCE, ["SHIPMENT", "SHIPMENTS", "DELIVERY", "DELIVERIES", "SHIPPING", "SHIPPED", "SHIP"]),
-            c!("store", None, COMMERCE, ["STORE", "STORES", "SHOP", "OUTLET"]),
-            c!("inventory", None, COMMERCE, ["INVENTORY", "STOCK", "ONHAND"]),
-            c!("warehouse", Some("inventory"), COMMERCE, ["WAREHOUSE", "WAREHOUSES", "DEPOT"]),
-            c!("employee", Some("person"), COMMERCE, ["EMPLOYEE", "EMPLOYEES", "STAFF", "WORKER"]),
-            c!("salesrep", Some("employee"), COMMERCE, ["REP", "REPRESENTATIVE", "AGENT"]),
-            c!("office", None, COMMERCE, ["OFFICE", "OFFICES", "BRANCH", "HEADQUARTER", "HEADQUARTERS"]),
+            c!(
+                "shipment",
+                None,
+                COMMERCE,
+                [
+                    "SHIPMENT",
+                    "SHIPMENTS",
+                    "DELIVERY",
+                    "DELIVERIES",
+                    "SHIPPING",
+                    "SHIPPED",
+                    "SHIP"
+                ]
+            ),
+            c!(
+                "store",
+                None,
+                COMMERCE,
+                ["STORE", "STORES", "SHOP", "OUTLET"]
+            ),
+            c!(
+                "inventory",
+                None,
+                COMMERCE,
+                ["INVENTORY", "STOCK", "ONHAND"]
+            ),
+            c!(
+                "warehouse",
+                Some("inventory"),
+                COMMERCE,
+                ["WAREHOUSE", "WAREHOUSES", "DEPOT"]
+            ),
+            c!(
+                "employee",
+                Some("person"),
+                COMMERCE,
+                ["EMPLOYEE", "EMPLOYEES", "STAFF", "WORKER"]
+            ),
+            c!(
+                "salesrep",
+                Some("employee"),
+                COMMERCE,
+                ["REP", "REPRESENTATIVE", "AGENT"]
+            ),
+            c!(
+                "office",
+                None,
+                COMMERCE,
+                ["OFFICE", "OFFICES", "BRANCH", "HEADQUARTER", "HEADQUARTERS"]
+            ),
             c!("vendor", None, COMMERCE, ["VENDOR", "SUPPLIER", "SELLER"]),
             c!("sales", None, COMMERCE, ["SALES", "SALE", "SELLING"]),
-            c!("manager", Some("employee"), COMMERCE, ["MANAGER", "SUPERVISOR", "BOSS"]),
+            c!(
+                "manager",
+                Some("employee"),
+                COMMERCE,
+                ["MANAGER", "SUPERVISOR", "BOSS"]
+            ),
             // ---- motorsport / Formula-One domain ------------------------
             c!("race", None, MOTORSPORT, ["RACE", "RACES", "RACING"]),
-            c!("circuit", None, MOTORSPORT, ["CIRCUIT", "CIRCUITS", "TRACK", "SPEEDWAY"]),
-            c!("driver", Some("person"), MOTORSPORT, ["DRIVER", "DRIVERS", "PILOT"]),
-            c!("constructor", None, MOTORSPORT, ["CONSTRUCTOR", "CONSTRUCTORS", "TEAM", "TEAMS"]),
+            c!(
+                "circuit",
+                None,
+                MOTORSPORT,
+                ["CIRCUIT", "CIRCUITS", "TRACK", "SPEEDWAY"]
+            ),
+            c!(
+                "driver",
+                Some("person"),
+                MOTORSPORT,
+                ["DRIVER", "DRIVERS", "PILOT"]
+            ),
+            c!(
+                "constructor",
+                None,
+                MOTORSPORT,
+                ["CONSTRUCTOR", "CONSTRUCTORS", "TEAM", "TEAMS"]
+            ),
             c!("season", Some("year"), MOTORSPORT, ["SEASON", "SEASONS"]),
             c!("lap", None, MOTORSPORT, ["LAP", "LAPS"]),
             c!("pit", None, MOTORSPORT, ["PIT", "PITS"]),
-            c!("qualifying", None, MOTORSPORT, ["QUALIFYING", "QUALI", "QUALIFICATION"]),
+            c!(
+                "qualifying",
+                None,
+                MOTORSPORT,
+                ["QUALIFYING", "QUALI", "QUALIFICATION"]
+            ),
             c!("sprint", None, MOTORSPORT, ["SPRINT", "SPRINTS"]),
             c!("grid", None, MOTORSPORT, ["GRID"]),
             c!("points", None, MOTORSPORT, ["POINTS", "POINT", "SCORE"]),
-            c!("standings", None, MOTORSPORT, ["STANDING", "STANDINGS", "RANK", "RANKING", "LEADERBOARD"]),
+            c!(
+                "standings",
+                None,
+                MOTORSPORT,
+                ["STANDING", "STANDINGS", "RANK", "RANKING", "LEADERBOARD"]
+            ),
             c!("result", None, MOTORSPORT, ["RESULT", "RESULTS", "OUTCOME"]),
             c!("car", None, MOTORSPORT, ["CAR", "CARS", "VEHICLE"]),
             c!("engine", Some("car"), MOTORSPORT, ["ENGINE", "MOTOR"]),
-            c!("nationality", Some("country"), MOTORSPORT, ["NATIONALITY", "NATIONALITIES"]),
-            c!("win", None, MOTORSPORT, ["WIN", "WINS", "WINNER", "VICTORY"]),
+            c!(
+                "nationality",
+                Some("country"),
+                MOTORSPORT,
+                ["NATIONALITY", "NATIONALITIES"]
+            ),
+            c!(
+                "win",
+                None,
+                MOTORSPORT,
+                ["WIN", "WINS", "WINNER", "VICTORY"]
+            ),
             c!("position", None, MOTORSPORT, ["POSITION", "POS", "PLACING"]),
             c!("fastest", None, MOTORSPORT, ["FASTEST"]),
             c!("speed", None, MOTORSPORT, ["SPEED", "VELOCITY"]),
             c!("round", Some("number"), MOTORSPORT, ["ROUND", "ROUNDS"]),
-            c!("retired", None, MOTORSPORT, ["RETIRED", "RETIREMENT", "DNF"]),
+            c!(
+                "retired",
+                None,
+                MOTORSPORT,
+                ["RETIRED", "RETIREMENT", "DNF"]
+            ),
             // ---- SQL type & constraint words ----------------------------
-            c!("ty_integer", None, TYPE, ["INTEGER", "INT", "BIGINT", "SMALLINT"]),
+            c!(
+                "ty_integer",
+                None,
+                TYPE,
+                ["INTEGER", "INT", "BIGINT", "SMALLINT"]
+            ),
             c!("ty_decimal", None, TYPE, ["DECIMAL", "NUMERIC"]),
             c!("ty_float", None, TYPE, ["FLOAT", "DOUBLE", "REAL"]),
             c!("ty_varchar", None, TYPE, ["VARCHAR", "STRING"]),
@@ -424,7 +638,11 @@ mod tests {
         // regarded as a CLIENT or EMPLOYEE").
         let lex = Lexicon::default_lexicon();
         for tok in ["DRIVER", "CUSTOMER", "EMPLOYEE"] {
-            assert_eq!(lex.resolve(tok).unwrap().parent.as_deref(), Some("person"), "{tok}");
+            assert_eq!(
+                lex.resolve(tok).unwrap().parent.as_deref(),
+                Some("person"),
+                "{tok}"
+            );
         }
     }
 
@@ -465,16 +683,25 @@ mod tests {
 
     #[test]
     fn parse_entries_rejects_malformed_lines() {
-        assert!(Lexicon::parse_entries("just-a-word").unwrap_err().contains("line 1"));
-        assert!(Lexicon::parse_entries("a | - | G |").unwrap_err().contains("no synonyms"));
-        assert!(Lexicon::parse_entries(" | - | G | X").unwrap_err().contains("empty concept"));
+        assert!(Lexicon::parse_entries("just-a-word")
+            .unwrap_err()
+            .contains("line 1"));
+        assert!(Lexicon::parse_entries("a | - | G |")
+            .unwrap_err()
+            .contains("no synonyms"));
+        assert!(Lexicon::parse_entries(" | - | G | X")
+            .unwrap_err()
+            .contains("empty concept"));
     }
 
     #[test]
     fn parse_entries_uppercases_synonyms_and_domains() {
         let entries = Lexicon::parse_entries("c | - | generic | abc, Def").unwrap();
         assert_eq!(entries[0].domain, "GENERIC");
-        assert_eq!(entries[0].synonyms, vec!["ABC".to_string(), "DEF".to_string()]);
+        assert_eq!(
+            entries[0].synonyms,
+            vec!["ABC".to_string(), "DEF".to_string()]
+        );
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! (see the `matmul` implementations) following the Rust Performance Book
 //! guidance.
 
+pub mod check;
 pub mod matrix;
 pub mod pca;
 pub mod qr;

@@ -11,7 +11,6 @@ use std::fmt;
 
 /// Row-major dense matrix of `f64`.
 #[derive(Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -21,7 +20,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -61,7 +64,11 @@ impl Matrix {
             assert_eq!(r.len(), cols, "ragged rows: {} vs {cols}", r.len());
             data.extend_from_slice(r);
         }
-        Self { rows: rows.len(), cols, data }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Builds a matrix by evaluating `f(row, col)`.
@@ -163,7 +170,8 @@ impl Matrix {
     /// If `self.cols != other.rows`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(
-            self.cols, other.rows,
+            self.cols,
+            other.rows,
             "matmul shape mismatch: {:?} · {:?}",
             self.shape(),
             other.shape()
@@ -188,7 +196,8 @@ impl Matrix {
     /// `self · otherᵀ` without materializing the transpose.
     pub fn matmul_transposed(&self, other: &Matrix) -> Matrix {
         assert_eq!(
-            self.cols, other.cols,
+            self.cols,
+            other.cols,
             "matmul_transposed shape mismatch: {:?} · {:?}ᵀ",
             self.shape(),
             other.shape()
@@ -281,7 +290,11 @@ impl Matrix {
             assert!(i < self.rows, "row {i} out of bounds ({})", self.rows);
             data.extend_from_slice(self.row(i));
         }
-        Matrix { rows: indices.len(), cols: self.cols, data }
+        Matrix {
+            rows: indices.len(),
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Stacks two matrices vertically.
@@ -292,7 +305,11 @@ impl Matrix {
         assert_eq!(self.cols, other.cols, "vstack column mismatch");
         let mut data = self.data.clone();
         data.extend_from_slice(&other.data);
-        Matrix { rows: self.rows + other.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Frobenius norm.
@@ -313,28 +330,6 @@ impl Matrix {
     /// True if any element is NaN or infinite.
     pub fn has_non_finite(&self) -> bool {
         self.data.iter().any(|x| !x.is_finite())
-    }
-}
-
-#[cfg(feature = "serde")]
-impl<'de> serde::Deserialize<'de> for Matrix {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        #[derive(serde::Deserialize)]
-        struct Raw {
-            rows: usize,
-            cols: usize,
-            data: Vec<f64>,
-        }
-        let raw = Raw::deserialize(deserializer)?;
-        if raw.data.len() != raw.rows * raw.cols {
-            return Err(serde::de::Error::custom(format!(
-                "matrix payload length {} does not match {}x{}",
-                raw.data.len(),
-                raw.rows,
-                raw.cols
-            )));
-        }
-        Ok(Matrix { rows: raw.rows, cols: raw.cols, data: raw.data })
     }
 }
 
@@ -431,7 +426,10 @@ mod tests {
         let a = sample(); // 2×3
         let b = Matrix::from_rows(&[vec![7.0, 8.0], vec![9.0, 10.0], vec![11.0, 12.0]]); // 3×2
         let c = a.matmul(&b);
-        assert_eq!(c, Matrix::from_rows(&[vec![58.0, 64.0], vec![139.0, 154.0]]));
+        assert_eq!(
+            c,
+            Matrix::from_rows(&[vec![58.0, 64.0], vec![139.0, 154.0]])
+        );
     }
 
     #[test]

@@ -37,7 +37,6 @@ impl ExplainedVariance {
 /// A fitted PCA encoder–decoder: `(μ, PC)` plus the spectrum bookkeeping
 /// needed to re-truncate at different explained-variance levels.
 #[derive(Debug, Clone)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Pca {
     mean: Vec<f64>,
     /// Principal components as rows: `n_components × dim`.
@@ -49,6 +48,46 @@ pub struct Pca {
 }
 
 impl Pca {
+    /// Rebuilds a PCA from its constituent parts — the rehydration path for
+    /// models received over the wire (`cs-core::exchange`), where only
+    /// `(μ, PC)` travel and the spectrum bookkeeping is synthesized.
+    ///
+    /// # Errors
+    /// Returns a description of the inconsistency when shapes disagree.
+    pub fn from_parts(
+        mean: Vec<f64>,
+        components: Matrix,
+        explained_variance_ratio: Vec<f64>,
+        singular_values: Vec<f64>,
+    ) -> Result<Self, String> {
+        if components.cols() != mean.len() {
+            return Err(format!(
+                "component width {} does not match mean length {}",
+                components.cols(),
+                mean.len()
+            ));
+        }
+        if components.rows() == 0 {
+            return Err("a PCA needs at least one component".into());
+        }
+        if explained_variance_ratio.len() < components.rows()
+            || singular_values.len() < components.rows()
+        {
+            return Err(format!(
+                "spectrum bookkeeping ({} ratios, {} singular values) shorter than {} components",
+                explained_variance_ratio.len(),
+                singular_values.len(),
+                components.rows()
+            ));
+        }
+        Ok(Self {
+            mean,
+            components,
+            explained_variance_ratio,
+            singular_values,
+        })
+    }
+
     /// Fits a full PCA (all `min(n, d)` components) on the rows of `data`.
     pub fn fit_full(data: &Matrix) -> Result<Self, SvdError> {
         let mean = column_mean(data);

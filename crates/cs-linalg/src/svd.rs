@@ -85,7 +85,11 @@ impl Svd {
             .collect();
 
         let scale = a.frobenius_norm();
-        let tol = if scale > 0.0 { 1e-14 * scale * scale } else { 0.0 };
+        let tol = if scale > 0.0 {
+            1e-14 * scale * scale
+        } else {
+            0.0
+        };
         let max_sweeps = 60;
         for _ in 0..max_sweeps {
             let mut off = 0.0f64;
@@ -133,7 +137,11 @@ impl Svd {
                 vt[(slot, k)] = v[j][k];
             }
         }
-        Ok(Svd { u, singular_values: sv, vt })
+        Ok(Svd {
+            u,
+            singular_values: sv,
+            vt,
+        })
     }
 
     /// Gram-matrix economy SVD: eigendecomposes the smaller of `A·Aᵀ` and
@@ -168,7 +176,11 @@ impl Svd {
                     }
                 }
             }
-            Ok(Svd { u, singular_values: sv, vt })
+            Ok(Svd {
+                u,
+                singular_values: sv,
+                vt,
+            })
         } else {
             // G = Aᵀ·A (d×d); G = V·Σ²·Vᵀ.
             let at = a.transpose();
@@ -192,7 +204,11 @@ impl Svd {
                     }
                 }
             }
-            Ok(Svd { u, singular_values: sv, vt })
+            Ok(Svd {
+                u,
+                singular_values: sv,
+                vt,
+            })
         }
     }
 
@@ -429,8 +445,14 @@ mod tests {
 
     #[test]
     fn empty_matrix_rejected() {
-        assert!(matches!(Svd::compute(&Matrix::zeros(0, 3)), Err(SvdError::EmptyMatrix)));
-        assert!(matches!(Svd::compute(&Matrix::zeros(3, 0)), Err(SvdError::EmptyMatrix)));
+        assert!(matches!(
+            Svd::compute(&Matrix::zeros(0, 3)),
+            Err(SvdError::EmptyMatrix)
+        ));
+        assert!(matches!(
+            Svd::compute(&Matrix::zeros(3, 0)),
+            Err(SvdError::EmptyMatrix)
+        ));
     }
 
     #[test]

@@ -17,7 +17,10 @@ pub struct ClusterMatcher {
 impl ClusterMatcher {
     /// Creates a matcher with `k` clusters and a deterministic seed.
     pub fn new(k: usize) -> Self {
-        Self { k, seed: 0xC1_05_7E_12 }
+        Self {
+            k,
+            seed: 0xC1_05_7E_12,
+        }
     }
 
     /// Overrides the seed (for robustness experiments).
@@ -73,7 +76,12 @@ mod tests {
         let mut rng = Xoshiro256::seed_from(3);
         let blob = |cx: f64, cy: f64, n: usize, rng: &mut Xoshiro256| -> Vec<Vec<f64>> {
             (0..n)
-                .map(|_| vec![cx + rng.next_gaussian() * 0.1, cy + rng.next_gaussian() * 0.1])
+                .map(|_| {
+                    vec![
+                        cx + rng.next_gaussian() * 0.1,
+                        cy + rng.next_gaussian() * 0.1,
+                    ]
+                })
                 .collect()
         };
         let mut s0 = blob(0.0, 0.0, 4, &mut rng);

@@ -35,7 +35,11 @@ impl FlatIndex {
     /// distance)` pairs, closest first. Returns fewer than `k` if the index
     /// is smaller.
     pub fn search(&self, query: &[f64], k: usize) -> Vec<(usize, f64)> {
-        assert_eq!(query.len(), self.data.cols(), "query dimensionality mismatch");
+        assert_eq!(
+            query.len(),
+            self.data.cols(),
+            "query dimensionality mismatch"
+        );
         if k == 0 || self.is_empty() {
             return Vec::new();
         }
@@ -59,7 +63,11 @@ impl FlatIndex {
 
     /// All rows within squared distance `radius²` of the query.
     pub fn range_search(&self, query: &[f64], sq_radius: f64) -> Vec<(usize, f64)> {
-        assert_eq!(query.len(), self.data.cols(), "query dimensionality mismatch");
+        assert_eq!(
+            query.len(),
+            self.data.cols(),
+            "query dimensionality mismatch"
+        );
         self.data
             .rows_iter()
             .enumerate()

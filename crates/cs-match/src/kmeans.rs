@@ -89,7 +89,11 @@ impl KMeans {
                 }
             }
         }
-        Self { centroids, assignments, inertia }
+        Self {
+            centroids,
+            assignments,
+            inertia,
+        }
     }
 
     /// Cluster index per input row.
@@ -172,7 +176,10 @@ mod tests {
             rows.push(vec![rng.next_gaussian() * 0.2, rng.next_gaussian() * 0.2]);
         }
         for _ in 0..20 {
-            rows.push(vec![8.0 + rng.next_gaussian() * 0.2, 8.0 + rng.next_gaussian() * 0.2]);
+            rows.push(vec![
+                8.0 + rng.next_gaussian() * 0.2,
+                8.0 + rng.next_gaussian() * 0.2,
+            ]);
         }
         Matrix::from_rows(&rows)
     }

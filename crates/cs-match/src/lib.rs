@@ -80,7 +80,11 @@ impl ElementSet {
         let ids = (0..signatures.rows())
             .map(|e| ElementId::new(schema, e))
             .collect();
-        Self { schema, ids, signatures }
+        Self {
+            schema,
+            ids,
+            signatures,
+        }
     }
 
     /// Builds a set keeping only elements in `keep` (streamlined schemas).
@@ -94,7 +98,11 @@ impl ElementSet {
                 rows.push(e);
             }
         }
-        Self { schema, ids, signatures: signatures.select_rows(&rows) }
+        Self {
+            schema,
+            ids,
+            signatures: signatures.select_rows(&rows),
+        }
     }
 
     /// Number of elements.
@@ -154,11 +162,15 @@ mod tests {
         assert_eq!(full.len(), 3);
         assert_eq!(full.ids[1], ElementId::new(2, 1));
 
-        let keep: HashSet<ElementId> =
-            [ElementId::new(2, 0), ElementId::new(2, 2)].into_iter().collect();
+        let keep: HashSet<ElementId> = [ElementId::new(2, 0), ElementId::new(2, 2)]
+            .into_iter()
+            .collect();
         let filtered = ElementSet::filtered(2, &m, &keep);
         assert_eq!(filtered.len(), 2);
-        assert_eq!(filtered.ids, vec![ElementId::new(2, 0), ElementId::new(2, 2)]);
+        assert_eq!(
+            filtered.ids,
+            vec![ElementId::new(2, 0), ElementId::new(2, 2)]
+        );
         assert_eq!(filtered.signatures.row(1), m.row(2));
         assert!(!filtered.is_empty());
     }

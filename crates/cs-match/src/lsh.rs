@@ -79,7 +79,10 @@ pub struct HyperplaneLsh {
 impl HyperplaneLsh {
     /// Builds an index with `tables` bands of `band_bits` hyperplanes each.
     pub fn build(data: Matrix, tables: usize, band_bits: usize, seed: u64) -> Self {
-        assert!(tables >= 1 && band_bits >= 1, "need at least one table and bit");
+        assert!(
+            tables >= 1 && band_bits >= 1,
+            "need at least one table and bit"
+        );
         assert!(band_bits <= 63, "band bits must fit a u64");
         let mut rng = Xoshiro256::seed_from(seed);
         let dim = data.cols();
@@ -95,7 +98,11 @@ impl HyperplaneLsh {
             planes.push(p);
             buckets.push(map);
         }
-        Self { data, buckets, planes }
+        Self {
+            data,
+            buckets,
+            planes,
+        }
     }
 
     fn hash(planes: &Matrix, v: &[f64]) -> u64 {
@@ -158,10 +165,19 @@ mod tests {
     #[test]
     fn top_one_links_nearest_neighbors() {
         let pairs = LshMatcher::new(1).match_pairs(&sets());
-        assert!(pairs.contains(&CandidatePair::new(ElementId::new(0, 0), ElementId::new(1, 0))));
-        assert!(pairs.contains(&CandidatePair::new(ElementId::new(0, 1), ElementId::new(1, 1))));
+        assert!(pairs.contains(&CandidatePair::new(
+            ElementId::new(0, 0),
+            ElementId::new(1, 0)
+        )));
+        assert!(pairs.contains(&CandidatePair::new(
+            ElementId::new(0, 1),
+            ElementId::new(1, 1)
+        )));
         // The far point (1,2) queries back: its nearest in schema 0 is (0,1).
-        assert!(pairs.contains(&CandidatePair::new(ElementId::new(1, 2), ElementId::new(0, 1))));
+        assert!(pairs.contains(&CandidatePair::new(
+            ElementId::new(1, 2),
+            ElementId::new(0, 1)
+        )));
         assert_eq!(pairs.len(), 3);
     }
 
@@ -199,7 +215,10 @@ mod tests {
             .map(|_| (0..dim).map(|_| rng.next_gaussian()).collect())
             .collect();
         // Make row 1 a slight perturbation of row 0.
-        rows[1] = rows[0].iter().map(|x| x + rng.next_gaussian() * 0.01).collect();
+        rows[1] = rows[0]
+            .iter()
+            .map(|x| x + rng.next_gaussian() * 0.01)
+            .collect();
         let query = rows[0].clone();
         let lsh = HyperplaneLsh::build(Matrix::from_rows(&rows), 8, 10, 42);
         let hits = lsh.search(&query, 2);
@@ -218,8 +237,11 @@ mod tests {
         let mut total = 0usize;
         for q in 0..20 {
             let query = data.row(q).to_vec();
-            let truth: std::collections::HashSet<usize> =
-                exact.search(&query, 5).into_iter().map(|(i, _)| i).collect();
+            let truth: std::collections::HashSet<usize> = exact
+                .search(&query, 5)
+                .into_iter()
+                .map(|(i, _)| i)
+                .collect();
             let approx: std::collections::HashSet<usize> =
                 lsh.search(&query, 5).into_iter().map(|(i, _)| i).collect();
             recall_hits += truth.intersection(&approx).count();

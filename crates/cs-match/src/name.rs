@@ -71,7 +71,10 @@ pub struct NameMatcher {
 impl NameMatcher {
     /// Creates a matcher; threshold in `[0, 1]`.
     pub fn new(measure: NameMeasure, threshold: f64) -> Self {
-        assert!((0.0..=1.0).contains(&threshold), "threshold must lie in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&threshold),
+            "threshold must lie in [0, 1]"
+        );
         Self { measure, threshold }
     }
 
@@ -140,7 +143,11 @@ mod tests {
             ),
             NamedSet::new(
                 1,
-                vec![ElementId::new(1, 0), ElementId::new(1, 1), ElementId::new(1, 2)],
+                vec![
+                    ElementId::new(1, 0),
+                    ElementId::new(1, 1),
+                    ElementId::new(1, 2),
+                ],
                 vec!["customerid".into(), "ORDERDATE".into(), "LAP_TIME".into()],
             ),
         ]
@@ -149,8 +156,14 @@ mod tests {
     #[test]
     fn close_spellings_match() {
         let pairs = NameMatcher::new(NameMeasure::Levenshtein, 0.8).match_names(&sets());
-        assert!(pairs.contains(&CandidatePair::new(ElementId::new(0, 0), ElementId::new(1, 0))));
-        assert!(pairs.contains(&CandidatePair::new(ElementId::new(0, 1), ElementId::new(1, 1))));
+        assert!(pairs.contains(&CandidatePair::new(
+            ElementId::new(0, 0),
+            ElementId::new(1, 0)
+        )));
+        assert!(pairs.contains(&CandidatePair::new(
+            ElementId::new(0, 1),
+            ElementId::new(1, 1)
+        )));
         assert_eq!(pairs.len(), 2);
     }
 
@@ -170,9 +183,7 @@ mod tests {
         let tri = NameMatcher::new(NameMeasure::TrigramJaccard, 0.7).match_names(&sets());
         // Both find the near-duplicates; neither links LAP_TIME.
         for pairs in [&lev, &tri] {
-            assert!(pairs
-                .iter()
-                .all(|p| p.b != ElementId::new(1, 2)));
+            assert!(pairs.iter().all(|p| p.b != ElementId::new(1, 2)));
         }
     }
 
@@ -185,15 +196,16 @@ mod tests {
             NamedSet::new(1, vec![ElementId::new(1, 0)], vec!["CNAME".into()]),
         ];
         let pairs = NameMatcher::new(NameMeasure::Levenshtein, 0.99).match_names(&s);
-        assert_eq!(pairs.len(), 1, "lexical matching cannot see the semantic clash");
+        assert_eq!(
+            pairs.len(),
+            1,
+            "lexical matching cannot see the semantic clash"
+        );
     }
 
     #[test]
     fn adapter_implements_matcher() {
-        let m = NameMatcherOverSets::new(
-            NameMatcher::new(NameMeasure::Levenshtein, 0.8),
-            sets(),
-        );
+        let m = NameMatcherOverSets::new(NameMatcher::new(NameMeasure::Levenshtein, 0.8), sets());
         assert!(m.name().contains("Levenshtein"));
         assert_eq!(m.match_pairs(&[]).len(), 2);
     }

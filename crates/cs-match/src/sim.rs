@@ -80,10 +80,14 @@ mod tests {
 
     #[test]
     fn lower_threshold_is_superset() {
-        let hi: std::collections::HashSet<_> =
-            SimMatcher::new(0.8).match_pairs(&sets()).into_iter().collect();
-        let lo: std::collections::HashSet<_> =
-            SimMatcher::new(0.4).match_pairs(&sets()).into_iter().collect();
+        let hi: std::collections::HashSet<_> = SimMatcher::new(0.8)
+            .match_pairs(&sets())
+            .into_iter()
+            .collect();
+        let lo: std::collections::HashSet<_> = SimMatcher::new(0.4)
+            .match_pairs(&sets())
+            .into_iter()
+            .collect();
         assert!(hi.is_subset(&lo));
         assert!(lo.len() > hi.len());
     }

@@ -93,13 +93,26 @@ mod tests {
         let pred = [true, true, false, false, true];
         let truth = [true, false, false, true, true];
         let c = BinaryConfusion::from_labels(&pred, &truth);
-        assert_eq!(c, BinaryConfusion { tp: 2, fp: 1, tn: 1, fn_: 1 });
+        assert_eq!(
+            c,
+            BinaryConfusion {
+                tp: 2,
+                fp: 1,
+                tn: 1,
+                fn_: 1
+            }
+        );
         assert_eq!(c.total(), 5);
     }
 
     #[test]
     fn derived_rates() {
-        let c = BinaryConfusion { tp: 6, fp: 2, tn: 8, fn_: 4 };
+        let c = BinaryConfusion {
+            tp: 6,
+            fp: 2,
+            tn: 8,
+            fn_: 4,
+        };
         assert!((c.accuracy() - 0.7).abs() < 1e-12);
         assert!((c.precision() - 0.75).abs() < 1e-12);
         assert!((c.recall() - 0.6).abs() < 1e-12);

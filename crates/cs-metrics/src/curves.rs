@@ -99,7 +99,10 @@ impl SweepCurve {
         let mut pts: Vec<RocPoint> = self
             .points
             .iter()
-            .map(|p| RocPoint { fpr: p.confusion.fpr(), tpr: p.confusion.tpr() })
+            .map(|p| RocPoint {
+                fpr: p.confusion.fpr(),
+                tpr: p.confusion.tpr(),
+            })
             .collect();
         pts.push(RocPoint { fpr: 0.0, tpr: 0.0 });
         pts.sort_by(|a, b| {
@@ -156,7 +159,11 @@ impl SweepCurve {
             .collect();
         let max_precision = pts.iter().map(|&(_, p)| p).fold(0.0, f64::max);
         pts.push((0.0, max_precision));
-        pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(b.1.partial_cmp(&a.1).expect("finite")));
+        pts.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("finite")
+                .then(b.1.partial_cmp(&a.1).expect("finite"))
+        });
         pts.dedup();
         pts
     }
@@ -195,7 +202,10 @@ mod tests {
     fn random_sweep() -> SweepCurve {
         let mut c = SweepCurve::new();
         for kept in 0..=10usize {
-            c.push(kept as f64 / 10.0, confusion(kept, kept, 10 - kept, 10 - kept));
+            c.push(
+                kept as f64 / 10.0,
+                confusion(kept, kept, 10 - kept, 10 - kept),
+            );
         }
         c
     }
@@ -273,7 +283,13 @@ mod tests {
     #[test]
     fn metric_ranges_are_bounded() {
         for curve in [perfect_sweep(), random_sweep()] {
-            for m in [curve.auc_f1(), curve.auc_roc(), curve.auc_roc_smoothed(), curve.auc_pr(), curve.auc_accuracy()] {
+            for m in [
+                curve.auc_f1(),
+                curve.auc_roc(),
+                curve.auc_roc_smoothed(),
+                curve.auc_pr(),
+                curve.auc_accuracy(),
+            ] {
                 assert!((0.0..=1.0 + 1e-9).contains(&m), "{m}");
             }
         }

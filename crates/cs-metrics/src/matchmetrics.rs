@@ -35,7 +35,10 @@ pub fn match_quality(
     cartesian: usize,
 ) -> MatchQuality {
     assert!(true_positives <= candidates, "TP cannot exceed candidates");
-    assert!(true_positives <= truth_size, "TP cannot exceed the truth size");
+    assert!(
+        true_positives <= truth_size,
+        "TP cannot exceed the truth size"
+    );
     let pq = if candidates == 0 {
         0.0
     } else {
@@ -46,13 +49,24 @@ pub fn match_quality(
     } else {
         true_positives as f64 / truth_size as f64
     };
-    let f1 = if pq + pc == 0.0 { 0.0 } else { 2.0 * pq * pc / (pq + pc) };
+    let f1 = if pq + pc == 0.0 {
+        0.0
+    } else {
+        2.0 * pq * pc / (pq + pc)
+    };
     let rr = if cartesian == 0 {
         0.0
     } else {
         1.0 - candidates as f64 / cartesian as f64
     };
-    MatchQuality { pq, pc, f1, rr, candidates, true_positives }
+    MatchQuality {
+        pq,
+        pc,
+        f1,
+        rr,
+        candidates,
+        true_positives,
+    }
 }
 
 #[cfg(test)]

@@ -35,11 +35,23 @@ pub struct DenseGrads {
 
 impl Dense {
     /// He-initialized layer (appropriate for ReLU nets), seeded.
-    pub fn he_init(input_dim: usize, output_dim: usize, activation: Activation, rng: &mut Xoshiro256) -> Self {
-        assert!(input_dim > 0 && output_dim > 0, "layer dims must be positive");
+    pub fn he_init(
+        input_dim: usize,
+        output_dim: usize,
+        activation: Activation,
+        rng: &mut Xoshiro256,
+    ) -> Self {
+        assert!(
+            input_dim > 0 && output_dim > 0,
+            "layer dims must be positive"
+        );
         let scale = (2.0 / input_dim as f64).sqrt();
         let weights = Matrix::from_fn(input_dim, output_dim, |_, _| rng.next_gaussian() * scale);
-        Self { weights, biases: vec![0.0; output_dim], activation }
+        Self {
+            weights,
+            biases: vec![0.0; output_dim],
+            activation,
+        }
     }
 
     /// Number of inputs.
@@ -62,7 +74,13 @@ impl Dense {
             }
         }
         let out = pre.map(|x| self.activation.apply(x));
-        (out, DenseCache { input: input.clone(), pre_activation: pre })
+        (
+            out,
+            DenseCache {
+                input: input.clone(),
+                pre_activation: pre,
+            },
+        )
     }
 
     /// Backward pass: consumes `∂L/∂output`, returns `(∂L/∂input, grads)`.
@@ -81,7 +99,13 @@ impl Dense {
             }
         }
         let grad_input = delta.matmul_transposed(&self.weights);
-        (grad_input, DenseGrads { weights: grad_w, biases: grad_b })
+        (
+            grad_input,
+            DenseGrads {
+                weights: grad_w,
+                biases: grad_b,
+            },
+        )
     }
 }
 
@@ -120,13 +144,7 @@ mod tests {
     fn he_init_scale() {
         let mut rng = Xoshiro256::seed_from(1);
         let layer = Dense::he_init(400, 50, Activation::Relu, &mut rng);
-        let var: f64 = layer
-            .weights
-            .as_slice()
-            .iter()
-            .map(|w| w * w)
-            .sum::<f64>()
-            / (400.0 * 50.0);
+        let var: f64 = layer.weights.as_slice().iter().map(|w| w * w).sum::<f64>() / (400.0 * 50.0);
         let expected = 2.0 / 400.0;
         assert!((var - expected).abs() < expected * 0.2, "var {var}");
         assert!(layer.biases.iter().all(|&b| b == 0.0));

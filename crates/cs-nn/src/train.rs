@@ -40,7 +40,10 @@ impl Default for TrainConfig {
 
 /// Trains one autoencoder to reconstruct `data` and returns it.
 pub fn train_autoencoder(data: &Matrix, config: &TrainConfig) -> Mlp {
-    assert!(data.rows() > 0 && data.cols() > 0, "cannot train on empty data");
+    assert!(
+        data.rows() > 0 && data.cols() > 0,
+        "cannot train on empty data"
+    );
     let mut sizes = Vec::with_capacity(config.hidden.len() + 2);
     sizes.push(data.cols());
     sizes.extend_from_slice(&config.hidden);
@@ -87,7 +90,10 @@ pub fn ensemble_scores(data: &Matrix, config: &TrainConfig, runs: usize) -> Vec<
     assert!(runs > 0, "need at least one run");
     let mut scores = vec![0.0; data.rows()];
     for run in 0..runs {
-        let cfg = TrainConfig { seed: config.seed.wrapping_add(run as u64 * 0x9E37), ..config.clone() };
+        let cfg = TrainConfig {
+            seed: config.seed.wrapping_add(run as u64 * 0x9E37),
+            ..config.clone()
+        };
         let mlp = train_autoencoder(data, &cfg);
         for (acc, e) in scores.iter_mut().zip(reconstruction_errors(&mlp, data)) {
             *acc += e;
@@ -147,8 +153,7 @@ mod tests {
         }
         let trained = train_autoencoder(&data, &quick());
         let errors = reconstruction_errors(&trained, &data);
-        let inlier_mean: f64 =
-            errors[..last].iter().sum::<f64>() / (errors.len() - 1) as f64;
+        let inlier_mean: f64 = errors[..last].iter().sum::<f64>() / (errors.len() - 1) as f64;
         assert!(
             errors[last] > inlier_mean * 3.0,
             "outlier {} vs inlier mean {}",
@@ -160,7 +165,10 @@ mod tests {
     #[test]
     fn training_is_deterministic_per_seed() {
         let data = low_rank_data(20, 3);
-        let cfg = TrainConfig { epochs: 5, ..quick() };
+        let cfg = TrainConfig {
+            epochs: 5,
+            ..quick()
+        };
         let a = train_autoencoder(&data, &cfg);
         let b = train_autoencoder(&data, &cfg);
         assert_eq!(a.parameters(), b.parameters());
@@ -169,7 +177,10 @@ mod tests {
     #[test]
     fn ensemble_accumulates_runs() {
         let data = low_rank_data(15, 4);
-        let cfg = TrainConfig { epochs: 3, ..quick() };
+        let cfg = TrainConfig {
+            epochs: 3,
+            ..quick()
+        };
         let one = ensemble_scores(&data, &cfg, 1);
         let three = ensemble_scores(&data, &cfg, 3);
         assert_eq!(one.len(), data.rows());

@@ -148,11 +148,16 @@ mod tests {
 
     #[test]
     fn knn_handles_tiny_inputs() {
-        assert_eq!(KnnDistanceDetector::new(3).score(&Matrix::zeros(1, 4)), vec![0.0]);
-        assert!(KnnDistanceDetector::new(3).score(&Matrix::zeros(0, 4)).is_empty());
+        assert_eq!(
+            KnnDistanceDetector::new(3).score(&Matrix::zeros(1, 4)),
+            vec![0.0]
+        );
+        assert!(KnnDistanceDetector::new(3)
+            .score(&Matrix::zeros(0, 4))
+            .is_empty());
         // k clamps.
-        let scores = KnnDistanceDetector::new(10)
-            .score(&Matrix::from_rows(&[vec![0.0], vec![1.0]]));
+        let scores =
+            KnnDistanceDetector::new(10).score(&Matrix::from_rows(&[vec![0.0], vec![1.0]]));
         assert_eq!(scores, vec![1.0, 1.0]);
     }
 
@@ -177,10 +182,16 @@ mod tests {
 
     #[test]
     fn mahalanobis_degenerate_inputs() {
-        assert_eq!(MahalanobisDetector::default().score(&Matrix::zeros(1, 3)), vec![0.0]);
+        assert_eq!(
+            MahalanobisDetector::default().score(&Matrix::zeros(1, 3)),
+            vec![0.0]
+        );
         // Constant data: zero variance everywhere → all scores zero.
         let constant = Matrix::from_fn(5, 3, |_, _| 2.0);
-        assert_eq!(MahalanobisDetector::default().score(&constant), vec![0.0; 5]);
+        assert_eq!(
+            MahalanobisDetector::default().score(&constant),
+            vec![0.0; 5]
+        );
     }
 
     #[test]

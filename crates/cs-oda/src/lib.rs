@@ -102,12 +102,21 @@ pub struct AutoencoderDetector {
 impl AutoencoderDetector {
     /// The paper's configuration — expensive; prefer [`Self::fast`] in tests.
     pub fn paper() -> Self {
-        Self { config: TrainConfig::default(), runs: 100 }
+        Self {
+            config: TrainConfig::default(),
+            runs: 100,
+        }
     }
 
     /// A cheap configuration for tests and smoke runs.
     pub fn fast(runs: usize, epochs: usize) -> Self {
-        Self { config: TrainConfig { epochs, ..TrainConfig::default() }, runs }
+        Self {
+            config: TrainConfig {
+                epochs,
+                ..TrainConfig::default()
+            },
+            runs,
+        }
     }
 }
 

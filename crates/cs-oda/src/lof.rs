@@ -82,8 +82,8 @@ impl LofDetector {
         // LOF = mean neighbor density / own density.
         (0..n)
             .map(|i| {
-                let mean_nbr: f64 = neighbors[i].iter().map(|&j| lrd[j]).sum::<f64>()
-                    / neighbors[i].len() as f64;
+                let mean_nbr: f64 =
+                    neighbors[i].iter().map(|&j| lrd[j]).sum::<f64>() / neighbors[i].len() as f64;
                 mean_nbr / lrd[i]
             })
             .collect()
@@ -124,7 +124,11 @@ mod tests {
         }
         let scores = LofDetector::new(5).lof_scores(&data);
         let max_inlier = scores[..39].iter().cloned().fold(0.0, f64::max);
-        assert!(scores[39] > max_inlier * 2.0, "outlier {} inliers ≤ {max_inlier}", scores[39]);
+        assert!(
+            scores[39] > max_inlier * 2.0,
+            "outlier {} inliers ≤ {max_inlier}",
+            scores[39]
+        );
     }
 
     #[test]
@@ -161,14 +165,17 @@ mod tests {
 
     #[test]
     fn tiny_inputs() {
-        assert_eq!(LofDetector::new(5).lof_scores(&Matrix::zeros(0, 3)), Vec::<f64>::new());
-        assert_eq!(LofDetector::new(5).lof_scores(&Matrix::zeros(1, 3)), vec![1.0]);
+        assert_eq!(
+            LofDetector::new(5).lof_scores(&Matrix::zeros(0, 3)),
+            Vec::<f64>::new()
+        );
+        assert_eq!(
+            LofDetector::new(5).lof_scores(&Matrix::zeros(1, 3)),
+            vec![1.0]
+        );
         // k clamps to n − 1.
-        let scores = LofDetector::new(20).lof_scores(&Matrix::from_rows(&[
-            vec![0.0],
-            vec![1.0],
-            vec![2.0],
-        ]));
+        let scores =
+            LofDetector::new(20).lof_scores(&Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]));
         assert_eq!(scores.len(), 3);
         assert!(scores.iter().all(|s| s.is_finite()));
     }

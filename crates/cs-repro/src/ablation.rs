@@ -140,8 +140,15 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "SIM(0.4)", "SIM(0.6)", "SIM(0.8)", "CLUSTER(2)", "CLUSTER(5)", "CLUSTER(20)",
-                "LSH(1)", "LSH(5)", "LSH(20)"
+                "SIM(0.4)",
+                "SIM(0.6)",
+                "SIM(0.8)",
+                "CLUSTER(2)",
+                "CLUSTER(5)",
+                "CLUSTER(20)",
+                "LSH(1)",
+                "LSH(5)",
+                "LSH(20)"
             ]
         );
     }
@@ -161,8 +168,9 @@ mod tests {
     fn filtered_split_respects_keep_set() {
         let ds = cs_datasets::oc3();
         let sigs = dataset_signatures(&ds);
-        let keep: HashSet<ElementId> =
-            [ElementId::new(0, 0), ElementId::new(1, 3)].into_iter().collect();
+        let keep: HashSet<ElementId> = [ElementId::new(0, 0), ElementId::new(1, 3)]
+            .into_iter()
+            .collect();
         let (attrs, tables) = split_element_sets(&ds, &sigs, Some(&keep));
         let attr_total: usize = attrs.iter().map(ElementSet::len).sum();
         let table_total: usize = tables.iter().map(ElementSet::len).sum();

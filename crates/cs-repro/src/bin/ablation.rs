@@ -60,22 +60,47 @@ fn main() {
         };
 
         // 1. Linkability range strictness.
-        push("paper: l_k strict, rule=ANY", &sweep_with(&signatures, &labels, CombinationRule::Any, 0.0));
-        push("relaxed l_k +10%", &sweep_with(&signatures, &labels, CombinationRule::Any, 0.10));
-        push("relaxed l_k +50%", &sweep_with(&signatures, &labels, CombinationRule::Any, 0.50));
+        push(
+            "paper: l_k strict, rule=ANY",
+            &sweep_with(&signatures, &labels, CombinationRule::Any, 0.0),
+        );
+        push(
+            "relaxed l_k +10%",
+            &sweep_with(&signatures, &labels, CombinationRule::Any, 0.10),
+        );
+        push(
+            "relaxed l_k +50%",
+            &sweep_with(&signatures, &labels, CombinationRule::Any, 0.50),
+        );
 
         // 2. Combination rules.
-        push("rule=ALL", &sweep_with(&signatures, &labels, CombinationRule::All, 0.0));
-        push("rule=AtLeast(2)", &sweep_with(&signatures, &labels, CombinationRule::AtLeast(2), 0.0));
+        push(
+            "rule=ALL",
+            &sweep_with(&signatures, &labels, CombinationRule::All, 0.0),
+        );
+        push(
+            "rule=AtLeast(2)",
+            &sweep_with(&signatures, &labels, CombinationRule::AtLeast(2), 0.0),
+        );
 
         // 3. Signature composition.
         let encoder = cs_embed::SignatureEncoder::default();
         let names_only =
             encode_catalog_with(&encoder, &ds.catalog, &SerializeOptions::names_only());
-        push("names-only serialization", &sweep_with(&names_only, &labels, CombinationRule::Any, 0.0));
-        let no_types = SerializeOptions { data_type: false, constraint: false, ..Default::default() };
+        push(
+            "names-only serialization",
+            &sweep_with(&names_only, &labels, CombinationRule::Any, 0.0),
+        );
+        let no_types = SerializeOptions {
+            data_type: false,
+            constraint: false,
+            ..Default::default()
+        };
         let no_types_sigs = encode_catalog_with(&encoder, &ds.catalog, &no_types);
-        push("no type/constraint words", &sweep_with(&no_types_sigs, &labels, CombinationRule::Any, 0.0));
+        push(
+            "no type/constraint words",
+            &sweep_with(&no_types_sigs, &labels, CombinationRule::Any, 0.0),
+        );
 
         println!(
             "{}",

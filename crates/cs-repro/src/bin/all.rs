@@ -29,5 +29,8 @@ fn main() {
         assert!(status.success(), "{bin} exited with {status}");
         println!();
     }
-    println!("all experiments complete; CSVs under {}/", cs_repro::RESULTS_DIR);
+    println!(
+        "all experiments complete; CSVs under {}/",
+        cs_repro::RESULTS_DIR
+    );
 }

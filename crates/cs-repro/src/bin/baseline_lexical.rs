@@ -7,7 +7,7 @@
 //! and without collaborative streamlining.
 
 use cs_core::CollaborativeScoper;
-use cs_match::{dedup_pairs, NameMatcher, NameMeasure, NamedSet, SimMatcher, Matcher, ElementSet};
+use cs_match::{dedup_pairs, ElementSet, Matcher, NameMatcher, NameMeasure, NamedSet, SimMatcher};
 use cs_metrics::match_quality;
 use cs_repro::experiments::dataset_signatures;
 use cs_repro::report::render_table;
@@ -44,7 +44,12 @@ fn score(pairs: Vec<cs_match::CandidatePair>, ds: &cs_datasets::Dataset) -> Vec<
         .iter()
         .filter(|p| ds.linkages.contains_pair(p.a, p.b))
         .count();
-    let q = match_quality(pairs.len(), tp, ds.linkages.len(), ds.catalog.cartesian_element_pairs());
+    let q = match_quality(
+        pairs.len(),
+        tp,
+        ds.linkages.len(),
+        ds.catalog.cartesian_element_pairs(),
+    );
     vec![
         format!("{:.3}", q.pq),
         format!("{:.3}", q.pc),

@@ -11,7 +11,9 @@ fn main() {
         let cartesian = ds.catalog.cartesian_element_pairs();
 
         // Pass-operation accounting (any valid v gives the same counts).
-        let run = CollaborativeScoper::new(0.8).run(&signatures).expect("valid dataset");
+        let run = CollaborativeScoper::new(0.8)
+            .run(&signatures)
+            .expect("valid dataset");
         println!(
             "{}: {} encoder-decoder pass operations vs {} Cartesian comparisons = {:.2}%",
             ds.name,
@@ -21,7 +23,9 @@ fn main() {
         );
 
         // Pruning floor at the lowest variance the paper probes (v = 0.01).
-        let floor = CollaborativeScoper::new(0.01).run(&signatures).expect("valid dataset");
+        let floor = CollaborativeScoper::new(0.01)
+            .run(&signatures)
+            .expect("valid dataset");
         let pruned = floor.outcome.pruned_count();
         println!(
             "{}: at v=0.01, {} of {} elements pruned ({:.2}%)",

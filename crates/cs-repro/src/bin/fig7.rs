@@ -18,8 +18,20 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(20);
 
-    let mut csv = CsvTable::new(&["dataset", "matcher", "v", "pq", "pc", "f1", "rr", "candidates"]);
-    for (panel, ds) in [("(a-d)", cs_datasets::oc3()), ("(e-h)", cs_datasets::oc3_fo())] {
+    let mut csv = CsvTable::new(&[
+        "dataset",
+        "matcher",
+        "v",
+        "pq",
+        "pc",
+        "f1",
+        "rr",
+        "candidates",
+    ]);
+    for (panel, ds) in [
+        ("(a-d)", cs_datasets::oc3()),
+        ("(e-h)", cs_datasets::oc3_fo()),
+    ] {
         println!("Figure 7 {panel} — {} (grid {steps})\n", ds.name);
         let points = fig7_ablation(&ds, steps);
 
@@ -45,15 +57,11 @@ fn main() {
                 format!("{:.3}", sota.quality.rr),
             ]);
             for target in [0.9, 0.6, 0.2] {
-                if let Some(p) = series
-                    .iter()
-                    .filter(|p| p.v.is_some())
-                    .min_by(|a, b| {
-                        let da = (a.v.unwrap() - target).abs();
-                        let db = (b.v.unwrap() - target).abs();
-                        da.partial_cmp(&db).expect("finite")
-                    })
-                {
+                if let Some(p) = series.iter().filter(|p| p.v.is_some()).min_by(|a, b| {
+                    let da = (a.v.unwrap() - target).abs();
+                    let db = (b.v.unwrap() - target).abs();
+                    da.partial_cmp(&db).expect("finite")
+                }) {
                     rows.push(vec![
                         format!("{m} v={:.2}", p.v.unwrap()),
                         format!("{:.3}", p.quality.pq),
@@ -64,7 +72,10 @@ fn main() {
                 }
             }
         }
-        println!("{}", render_table(&["Matcher", "PQ", "PC", "F1", "RR"], &rows));
+        println!(
+            "{}",
+            render_table(&["Matcher", "PQ", "PC", "F1", "RR"], &rows)
+        );
 
         for p in &points {
             csv.push_row(vec![

@@ -28,7 +28,15 @@ fn main() {
         println!(
             "{}",
             render_table(
-                &["Schema", "Tables", "Attrs", "Width(mean)", "Width(max)", "Keys", "Vocab"],
+                &[
+                    "Schema",
+                    "Tables",
+                    "Attrs",
+                    "Width(mean)",
+                    "Width(max)",
+                    "Keys",
+                    "Vocab"
+                ],
                 &rows
             )
         );

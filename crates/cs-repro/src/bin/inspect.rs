@@ -24,14 +24,19 @@ fn main() {
 
     let signatures = dataset_signatures(&dataset);
     let labels = dataset.labels();
-    let run = CollaborativeScoper::new(v).run(&signatures).expect("valid dataset");
+    let run = CollaborativeScoper::new(v)
+        .run(&signatures)
+        .expect("valid dataset");
 
     println!(
         "{} at v={v}: kept {}/{} elements; models retain {:?} components; ranges {:?}",
         dataset.name,
         run.outcome.kept_count(),
         run.outcome.len(),
-        run.models.iter().map(|m| m.n_components()).collect::<Vec<_>>(),
+        run.models
+            .iter()
+            .map(|m| m.n_components())
+            .collect::<Vec<_>>(),
         run.models
             .iter()
             .map(|m| format!("{:.4}", m.linkability_range()))

@@ -10,6 +10,7 @@
 //! verdict per table/attribute. Exit code 2 on usage errors, 1 on
 //! pipeline errors.
 
+use cs_core::json::JsonValue;
 use cs_core::{encode_catalog_with, CollaborativeScoper};
 use cs_embed::SignatureEncoder;
 use cs_schema::{parse_schema, Catalog, SerializeOptions};
@@ -134,28 +135,34 @@ fn main() -> ExitCode {
 
     match args.format.as_str() {
         "json" => {
-            let items: Vec<serde_json::Value> = run
+            let items: Vec<JsonValue> = run
                 .outcome
                 .element_ids
                 .iter()
                 .enumerate()
                 .map(|(i, id)| {
-                    serde_json::json!({
-                        "element": catalog.info(*id).qualified_name,
-                        "schema": catalog.schema(id.schema).name,
-                        "linkable": run.outcome.decisions[i],
-                        "votes": run.accept_votes[i],
-                        "margin": run.best_margin[i],
-                    })
+                    JsonValue::object(vec![
+                        (
+                            "element",
+                            JsonValue::String(catalog.info(*id).qualified_name.clone()),
+                        ),
+                        (
+                            "schema",
+                            JsonValue::String(catalog.schema(id.schema).name.clone()),
+                        ),
+                        ("linkable", JsonValue::Bool(run.outcome.decisions[i])),
+                        ("votes", JsonValue::Number(run.accept_votes[i] as f64)),
+                        ("margin", JsonValue::Number(run.best_margin[i])),
+                    ])
                 })
                 .collect();
-            let doc = serde_json::json!({
-                "v": args.v,
-                "kept": run.outcome.kept_count(),
-                "total": run.outcome.len(),
-                "elements": items,
-            });
-            println!("{}", serde_json::to_string_pretty(&doc).expect("serializable"));
+            let doc = JsonValue::object(vec![
+                ("v", JsonValue::Number(args.v)),
+                ("kept", JsonValue::Number(run.outcome.kept_count() as f64)),
+                ("total", JsonValue::Number(run.outcome.len() as f64)),
+                ("elements", JsonValue::Array(items)),
+            ]);
+            println!("{}", doc.write_pretty());
         }
         "csv" => {
             println!("element,schema,linkable,votes,margin");
@@ -180,7 +187,11 @@ fn main() -> ExitCode {
             for (i, id) in run.outcome.element_ids.iter().enumerate() {
                 println!(
                     "{} {}",
-                    if run.outcome.decisions[i] { "keep " } else { "prune" },
+                    if run.outcome.decisions[i] {
+                        "keep "
+                    } else {
+                        "prune"
+                    },
                     catalog.info(*id).qualified_name
                 );
             }

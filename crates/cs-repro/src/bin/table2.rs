@@ -11,7 +11,12 @@ fn main() {
     for ds in [cs_datasets::oc3(), cs_datasets::oc3_fo()] {
         let linkable = ds.linkages.linkable_per_schema(&ds.catalog);
         let total_tables: usize = ds.catalog.schemas().iter().map(|s| s.table_count()).sum();
-        let total_attrs: usize = ds.catalog.schemas().iter().map(|s| s.attribute_count()).sum();
+        let total_attrs: usize = ds
+            .catalog
+            .schemas()
+            .iter()
+            .map(|s| s.attribute_count())
+            .sum();
         let total_linkable: usize = linkable.iter().sum();
         let total_unlinkable = ds.catalog.element_count() - total_linkable;
         rows.push(vec![
@@ -54,7 +59,10 @@ fn main() {
     println!("Table 2: linkable and unlinkable schema elements\n");
     println!(
         "{}",
-        render_table(&["Schema", "Tables", "Attributes", "Linkable", "Unlinkable"], &rows)
+        render_table(
+            &["Schema", "Tables", "Attributes", "Linkable", "Unlinkable"],
+            &rows
+        )
     );
     let path = format!("{}/table2.csv", cs_repro::RESULTS_DIR);
     csv.write_to(&path).expect("write results CSV");

@@ -12,8 +12,20 @@ fn main() {
     let mut csv = CsvTable::new(&["schemas", "cartesian_table", "cartesian_attr", "ii", "is"]);
 
     let mut push = |label: String, ct: usize, ca: usize, ii: usize, is: usize| {
-        rows.push(vec![label.clone(), ct.to_string(), ca.to_string(), ii.to_string(), is.to_string()]);
-        csv.push_row(vec![label, ct.to_string(), ca.to_string(), ii.to_string(), is.to_string()]);
+        rows.push(vec![
+            label.clone(),
+            ct.to_string(),
+            ca.to_string(),
+            ii.to_string(),
+            is.to_string(),
+        ]);
+        csv.push_row(vec![
+            label,
+            ct.to_string(),
+            ca.to_string(),
+            ii.to_string(),
+            is.to_string(),
+        ]);
     };
 
     // Totals row for OC3 (attribute pairs + the 5 sub-typed table pairs).
@@ -34,9 +46,7 @@ fn main() {
                 ds.linkages
                     .iter()
                     .filter(|p| {
-                        p.kind == kind
-                            && p.connects(i, j)
-                            && c.element_ref(p.a).is_attribute()
+                        p.kind == kind && p.connects(i, j) && c.element_ref(p.a).is_attribute()
                     })
                     .count()
             };

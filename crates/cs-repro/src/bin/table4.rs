@@ -14,7 +14,12 @@ fn main() {
     let (ae_runs, ae_epochs) = if full { (100, 50) } else { (10, 25) };
 
     let mut csv = CsvTable::new(&[
-        "dataset", "method", "auc_f1", "auc_roc", "auc_roc_smoothed", "auc_pr",
+        "dataset",
+        "method",
+        "auc_f1",
+        "auc_roc",
+        "auc_roc_smoothed",
+        "auc_pr",
     ]);
     for ds in [cs_datasets::oc3(), cs_datasets::oc3_fo()] {
         println!(
@@ -42,7 +47,10 @@ fn main() {
         }
         println!(
             "{}",
-            render_table(&["Method", "AUC-F1", "AUC-ROC", "AUC-ROC'", "AUC-PR"], &text_rows)
+            render_table(
+                &["Method", "AUC-F1", "AUC-ROC", "AUC-ROC'", "AUC-PR"],
+                &text_rows
+            )
         );
 
         // The paper's comparison row: best scoping vs collaborative.

@@ -17,7 +17,10 @@ pub struct CsvTable {
 impl CsvTable {
     /// Creates a table with a header row.
     pub fn new(header: &[&str]) -> Self {
-        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row of pre-rendered cells.

@@ -1,8 +1,6 @@
 //! Shared experiment logic: signature encoding, sweep curves, Table 4 rows.
 
-use cs_core::{
-    encode_catalog, CollaborativeSweep, GlobalScoper, SchemaSignatures,
-};
+use cs_core::{encode_catalog, CollaborativeSweep, GlobalScoper, SchemaSignatures};
 use cs_datasets::Dataset;
 use cs_embed::SignatureEncoder;
 use cs_metrics::{BinaryConfusion, SweepCurve};

@@ -42,7 +42,11 @@ pub fn figure_data(dataset: &Dataset, steps: usize) -> FigureData {
         "Collaborative PCA",
         collaborative_curve(&sweep, &labels, steps),
     );
-    FigureData { dataset: dataset.name.clone(), scoping, collaborative }
+    FigureData {
+        dataset: dataset.name.clone(),
+        scoping,
+        collaborative,
+    }
 }
 
 /// Writes the three CSVs (metrics, roc, pr) for one method's sweep.
@@ -117,7 +121,11 @@ pub fn run_figure(fig: &str, dataset: &Dataset, steps: usize) {
                 p.confusion.f1()
             );
         }
-        let tag = if param == "p" { "scoping" } else { "collaborative" };
+        let tag = if param == "p" {
+            "scoping"
+        } else {
+            "collaborative"
+        };
         let files = write_method_csvs(fig, tag, &res.curve, param).expect("write CSVs");
         for f in files {
             println!("  written: {f}");

@@ -7,13 +7,12 @@
 //! tables). [`ElementId`] is a global handle valid for one catalog.
 
 use crate::model::{ElementRef, Schema};
-use serde::{Deserialize, Serialize};
 
 /// Global element handle: `(schema index, element index within schema)`.
 ///
 /// `element` indexes into the canonical per-schema enumeration, *not* into
 /// any table's attribute list; resolve it through [`Catalog::info`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ElementId {
     /// Index of the schema in the catalog.
     pub schema: usize,
@@ -41,7 +40,7 @@ pub struct ElementInfo {
 
 /// An ordered collection of schemas to be matched together — the paper's
 /// `S = (S_1, …, S_k)`.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Catalog {
     schemas: Vec<Schema>,
 }
@@ -205,7 +204,10 @@ impl Catalog {
                     .iter()
                     .enumerate()
                     .filter(|(ai, _)| {
-                        kept.contains(&ElementRef::Attribute { table: ti, attribute: *ai })
+                        kept.contains(&ElementRef::Attribute {
+                            table: ti,
+                            attribute: *ai,
+                        })
                     })
                     .map(|(_, a)| a.clone())
                     .collect();
@@ -309,7 +311,10 @@ mod tests {
         let mut c = two_schema_catalog();
         c.push(Schema::new(
             "S3",
-            vec![Table::new("X", vec![Attribute::plain("A", DataType::Integer)])],
+            vec![Table::new(
+                "X",
+                vec![Attribute::plain("A", DataType::Integer)],
+            )],
         ));
         // tables 1,2,1 → 1·2 + 1·1 + 2·1 = 5.
         assert_eq!(c.cartesian_table_pairs(), 5);

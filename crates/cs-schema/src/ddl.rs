@@ -73,7 +73,10 @@ fn tokenize(input: &str) -> Result<Vec<Spanned>, DdlError> {
                         }
                     }
                 } else {
-                    out.push(Spanned { tok: Tok::Other('-'), line });
+                    out.push(Spanned {
+                        tok: Tok::Other('-'),
+                        line,
+                    });
                 }
             }
             '/' => {
@@ -98,7 +101,10 @@ fn tokenize(input: &str) -> Result<Vec<Spanned>, DdlError> {
                         }
                     }
                 } else {
-                    out.push(Spanned { tok: Tok::Other('/'), line });
+                    out.push(Spanned {
+                        tok: Tok::Other('/'),
+                        line,
+                    });
                 }
             }
             '\'' => {
@@ -113,11 +119,17 @@ fn tokenize(input: &str) -> Result<Vec<Spanned>, DdlError> {
                         }
                         Some(c) => s.push(c),
                         None => {
-                            return Err(DdlError { line, message: "unterminated string".into() })
+                            return Err(DdlError {
+                                line,
+                                message: "unterminated string".into(),
+                            })
                         }
                     }
                 }
-                out.push(Spanned { tok: Tok::StrLit(s), line });
+                out.push(Spanned {
+                    tok: Tok::StrLit(s),
+                    line,
+                });
             }
             '"' | '`' | '[' => {
                 let close = match c {
@@ -145,27 +157,45 @@ fn tokenize(input: &str) -> Result<Vec<Spanned>, DdlError> {
                         }
                     }
                 }
-                out.push(Spanned { tok: Tok::Ident(s), line });
+                out.push(Spanned {
+                    tok: Tok::Ident(s),
+                    line,
+                });
             }
             '(' => {
                 chars.next();
-                out.push(Spanned { tok: Tok::LParen, line });
+                out.push(Spanned {
+                    tok: Tok::LParen,
+                    line,
+                });
             }
             ')' => {
                 chars.next();
-                out.push(Spanned { tok: Tok::RParen, line });
+                out.push(Spanned {
+                    tok: Tok::RParen,
+                    line,
+                });
             }
             ',' => {
                 chars.next();
-                out.push(Spanned { tok: Tok::Comma, line });
+                out.push(Spanned {
+                    tok: Tok::Comma,
+                    line,
+                });
             }
             ';' => {
                 chars.next();
-                out.push(Spanned { tok: Tok::Semi, line });
+                out.push(Spanned {
+                    tok: Tok::Semi,
+                    line,
+                });
             }
             '.' => {
                 chars.next();
-                out.push(Spanned { tok: Tok::Dot, line });
+                out.push(Spanned {
+                    tok: Tok::Dot,
+                    line,
+                });
             }
             c if c.is_ascii_digit() => {
                 let mut s = String::new();
@@ -177,7 +207,10 @@ fn tokenize(input: &str) -> Result<Vec<Spanned>, DdlError> {
                         break;
                     }
                 }
-                out.push(Spanned { tok: Tok::Number(s), line });
+                out.push(Spanned {
+                    tok: Tok::Number(s),
+                    line,
+                });
             }
             c if c.is_alphanumeric() || c == '_' || c == '$' || c == '#' => {
                 let mut s = String::new();
@@ -189,11 +222,17 @@ fn tokenize(input: &str) -> Result<Vec<Spanned>, DdlError> {
                         break;
                     }
                 }
-                out.push(Spanned { tok: Tok::Ident(s), line });
+                out.push(Spanned {
+                    tok: Tok::Ident(s),
+                    line,
+                });
             }
             other => {
                 chars.next();
-                out.push(Spanned { tok: Tok::Other(other), line });
+                out.push(Spanned {
+                    tok: Tok::Other(other),
+                    line,
+                });
             }
         }
     }
@@ -226,7 +265,10 @@ impl Parser {
     }
 
     fn err(&self, message: impl Into<String>) -> DdlError {
-        DdlError { line: self.line(), message: message.into() }
+        DdlError {
+            line: self.line(),
+            message: message.into(),
+        }
     }
 
     fn eat_keyword(&mut self, kw: &str) -> bool {
@@ -388,7 +430,11 @@ fn parse_column(p: &mut Parser) -> Result<Attribute, DdlError> {
             }
         }
     }
-    Ok(Attribute::new(name, map_data_type(&type_name, &args), constraint))
+    Ok(Attribute::new(
+        name,
+        map_data_type(&type_name, &args),
+        constraint,
+    ))
 }
 
 /// Names listed in a parenthesized column list: `(A, B, C)`.
@@ -416,7 +462,10 @@ struct PendingConstraints {
     foreign: Vec<String>,
 }
 
-fn parse_table_constraint(p: &mut Parser, pending: &mut PendingConstraints) -> Result<(), DdlError> {
+fn parse_table_constraint(
+    p: &mut Parser,
+    pending: &mut PendingConstraints,
+) -> Result<(), DdlError> {
     if p.eat_keyword("CONSTRAINT") {
         let _name = p.expect_ident()?;
     }
@@ -498,7 +547,9 @@ pub fn parse_schema(name: &str, ddl: &str) -> Result<Schema, DdlError> {
             match p.next() {
                 Some(Tok::Comma) => continue,
                 Some(Tok::RParen) => break,
-                other => return Err(p.err(format!("expected , or ) in column list, found {other:?}"))),
+                other => {
+                    return Err(p.err(format!("expected , or ) in column list, found {other:?}")))
+                }
             }
         }
         // Trailing table options (ENGINE=…, TABLESPACE …) up to `;`.
@@ -517,9 +568,16 @@ pub fn parse_schema(name: &str, ddl: &str) -> Result<Schema, DdlError> {
 
         // Apply table-level key constraints to columns.
         for a in &mut attributes {
-            if pending.primary.iter().any(|n| n.eq_ignore_ascii_case(&a.name)) {
+            if pending
+                .primary
+                .iter()
+                .any(|n| n.eq_ignore_ascii_case(&a.name))
+            {
                 a.constraint = Constraint::PrimaryKey;
-            } else if pending.foreign.iter().any(|n| n.eq_ignore_ascii_case(&a.name))
+            } else if pending
+                .foreign
+                .iter()
+                .any(|n| n.eq_ignore_ascii_case(&a.name))
                 && a.constraint == Constraint::None
             {
                 a.constraint = Constraint::ForeignKey;
@@ -557,7 +615,10 @@ mod tests {
             "CREATE TABLE orders (oid INT PRIMARY KEY, cid INT REFERENCES client(cid));",
         )
         .unwrap();
-        assert_eq!(schema.tables[0].attributes[1].constraint, Constraint::ForeignKey);
+        assert_eq!(
+            schema.tables[0].attributes[1].constraint,
+            Constraint::ForeignKey
+        );
     }
 
     #[test]
@@ -687,7 +748,10 @@ mod tests {
                 CONSTRAINT fk_b FOREIGN KEY (b) REFERENCES other(b)
             );";
         let schema = parse_schema("S", ddl).unwrap();
-        assert_eq!(schema.tables[0].attributes[1].constraint, Constraint::ForeignKey);
+        assert_eq!(
+            schema.tables[0].attributes[1].constraint,
+            Constraint::ForeignKey
+        );
     }
 
     #[test]

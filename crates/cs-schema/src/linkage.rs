@@ -6,11 +6,10 @@
 //! `(|S| − |S'|)/|S'|`.
 
 use crate::catalog::{Catalog, ElementId};
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
 /// Linkage type taxonomy from Section 2.1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LinkageKind {
     /// One-to-one identical semantics (e.g. `NAME ≅ CNAME`).
     InterIdentical,
@@ -23,7 +22,7 @@ pub enum LinkageKind {
 ///
 /// Pairs are symmetric; [`LinkagePair::new`] normalizes the order so the
 /// smaller [`ElementId`] comes first, making pairs hashable set members.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LinkagePair {
     /// Lexicographically smaller endpoint.
     pub a: ElementId,
@@ -61,7 +60,7 @@ impl LinkagePair {
 }
 
 /// The annotated ground-truth linkage set `L(S)` for a catalog.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct LinkageSet {
     pairs: HashSet<LinkagePair>,
 }
@@ -74,7 +73,9 @@ impl LinkageSet {
 
     /// Creates a set from pairs (normalizing and deduplicating).
     pub fn from_pairs(pairs: impl IntoIterator<Item = LinkagePair>) -> Self {
-        Self { pairs: pairs.into_iter().collect() }
+        Self {
+            pairs: pairs.into_iter().collect(),
+        }
     }
 
     /// Inserts a pair; returns false if it was already present.
@@ -103,8 +104,15 @@ impl LinkageSet {
             return false;
         }
         let (a, b) = if x <= y { (x, y) } else { (y, x) };
-        self.pairs.contains(&LinkagePair { a, b, kind: LinkageKind::InterIdentical })
-            || self.pairs.contains(&LinkagePair { a, b, kind: LinkageKind::InterSubTyped })
+        self.pairs.contains(&LinkagePair {
+            a,
+            b,
+            kind: LinkageKind::InterIdentical,
+        }) || self.pairs.contains(&LinkagePair {
+            a,
+            b,
+            kind: LinkageKind::InterSubTyped,
+        })
     }
 
     /// The set of linkable elements (Definition 1): every element occurring

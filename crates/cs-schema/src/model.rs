@@ -4,11 +4,9 @@
 //! first-class "schema elements" that receive signatures, so the model also
 //! defines [`ElementRef`], a schema-local address that names either.
 
-use serde::{Deserialize, Serialize};
-
 /// SQL data type of an attribute, reduced to the families that matter for
 /// metadata serialization. Anything exotic is preserved in `Other`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum DataType {
     /// Whole numbers (`INT`, `INTEGER`, `BIGINT`, `SMALLINT`, `NUMBER` in
     /// Oracle without scale).
@@ -64,7 +62,10 @@ impl DataType {
 
     /// True for the numeric families.
     pub fn is_numeric(&self) -> bool {
-        matches!(self, DataType::Integer | DataType::Decimal | DataType::Float)
+        matches!(
+            self,
+            DataType::Integer | DataType::Decimal | DataType::Float
+        )
     }
 
     /// True for the textual families.
@@ -87,7 +88,7 @@ impl DataType {
 /// Key constraint on an attribute. The paper restricts constraints to
 /// `PRIMARY KEY` / `FOREIGN KEY` (the FK reference target is dropped from
 /// the serialization, Section 2.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Constraint {
     /// No key constraint.
     #[default]
@@ -111,7 +112,7 @@ impl Constraint {
 
 /// Attribute metadata: `a = (an, tn, d, c)` in the paper's notation — the
 /// table name is carried by the owning [`Table`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Attribute {
     /// Attribute (column) name as declared.
     pub name: String,
@@ -124,7 +125,11 @@ pub struct Attribute {
 impl Attribute {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, data_type: DataType, constraint: Constraint) -> Self {
-        Self { name: name.into(), data_type, constraint }
+        Self {
+            name: name.into(),
+            data_type,
+            constraint,
+        }
     }
 
     /// Unconstrained attribute.
@@ -134,7 +139,7 @@ impl Attribute {
 }
 
 /// Table metadata: name plus its attributes, in declaration order.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table {
     /// Table name as declared.
     pub name: String,
@@ -145,7 +150,10 @@ pub struct Table {
 impl Table {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, attributes: Vec<Attribute>) -> Self {
-        Self { name: name.into(), attributes }
+        Self {
+            name: name.into(),
+            attributes,
+        }
     }
 
     /// Looks up an attribute by case-insensitive name.
@@ -158,7 +166,7 @@ impl Table {
 }
 
 /// A relational schema: a named set of tables.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Schema {
     /// Schema name (e.g. `OC-Oracle`).
     pub name: String,
@@ -169,7 +177,10 @@ pub struct Schema {
 impl Schema {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, tables: Vec<Table>) -> Self {
-        Self { name: name.into(), tables }
+        Self {
+            name: name.into(),
+            tables,
+        }
     }
 
     /// Number of tables.
@@ -203,7 +214,10 @@ impl Schema {
         let mut out = Vec::with_capacity(self.element_count());
         for (ti, table) in self.tables.iter().enumerate() {
             for ai in 0..table.attributes.len() {
-                out.push(ElementRef::Attribute { table: ti, attribute: ai });
+                out.push(ElementRef::Attribute {
+                    table: ti,
+                    attribute: ai,
+                });
             }
         }
         for ti in 0..self.tables.len() {
@@ -226,7 +240,7 @@ impl Schema {
 }
 
 /// Schema-local address of an element (an attribute or a table).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ElementRef {
     /// The attribute at `attributes[attribute]` of `tables[table]`.
     Attribute {
@@ -297,8 +311,20 @@ mod tests {
         assert_eq!(refs.len(), 8);
         assert!(refs[..6].iter().all(ElementRef::is_attribute));
         assert!(refs[6..].iter().all(ElementRef::is_table));
-        assert_eq!(refs[0], ElementRef::Attribute { table: 0, attribute: 0 });
-        assert_eq!(refs[4], ElementRef::Attribute { table: 1, attribute: 0 });
+        assert_eq!(
+            refs[0],
+            ElementRef::Attribute {
+                table: 0,
+                attribute: 0
+            }
+        );
+        assert_eq!(
+            refs[4],
+            ElementRef::Attribute {
+                table: 1,
+                attribute: 0
+            }
+        );
         assert_eq!(refs[6], ElementRef::Table { table: 0 });
     }
 
@@ -306,7 +332,10 @@ mod tests {
     fn element_names() {
         let s = sample_schema();
         assert_eq!(
-            s.element_name(ElementRef::Attribute { table: 0, attribute: 2 }),
+            s.element_name(ElementRef::Attribute {
+                table: 0,
+                attribute: 2
+            }),
             "CLIENT.ADDRESS"
         );
         assert_eq!(s.element_name(ElementRef::Table { table: 1 }), "ORDERS");
@@ -329,7 +358,10 @@ mod tests {
         assert!(DataType::Varchar(None).is_textual());
         assert!(DataType::Timestamp.is_temporal());
         assert!(!DataType::Boolean.is_numeric());
-        assert_eq!(DataType::Other("GEOMETRY".into()).canonical_word(), "GEOMETRY");
+        assert_eq!(
+            DataType::Other("GEOMETRY".into()).canonical_word(),
+            "GEOMETRY"
+        );
     }
 
     #[test]

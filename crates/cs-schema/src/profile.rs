@@ -64,7 +64,11 @@ impl SchemaProfile {
             name: schema.name.clone(),
             tables,
             attributes,
-            mean_table_width: if tables == 0 { 0.0 } else { attributes as f64 / tables as f64 },
+            mean_table_width: if tables == 0 {
+                0.0
+            } else {
+                attributes as f64 / tables as f64
+            },
             max_table_width,
             type_histogram,
             key_attributes,
@@ -137,7 +141,10 @@ impl HeterogeneityReport {
                 .collect::<Vec<_>>(),
         ));
         let design = squash(coefficient_of_variation(
-            &profiles.iter().map(|p| p.mean_table_width).collect::<Vec<_>>(),
+            &profiles
+                .iter()
+                .map(|p| p.mean_table_width)
+                .collect::<Vec<_>>(),
         ));
 
         let mut jaccards = Vec::new();
@@ -149,7 +156,12 @@ impl HeterogeneityReport {
         let mean_jaccard = jaccards.iter().sum::<f64>() / jaccards.len() as f64;
         let domain = 1.0 - mean_jaccard;
 
-        Self { profiles, volume, design, domain }
+        Self {
+            profiles,
+            volume,
+            design,
+            domain,
+        }
     }
 }
 
@@ -196,7 +208,11 @@ mod tests {
                                 Attribute::new(
                                     *a,
                                     DataType::Integer,
-                                    if i == 0 { Constraint::PrimaryKey } else { Constraint::None },
+                                    if i == 0 {
+                                        Constraint::PrimaryKey
+                                    } else {
+                                        Constraint::None
+                                    },
                                 )
                             })
                             .collect(),
@@ -208,7 +224,13 @@ mod tests {
 
     #[test]
     fn profile_counts() {
-        let s = schema("S", &[("ORDERS", &["ORDER_ID", "ORDER_DATE"]), ("ITEMS", &["ITEM_ID"])]);
+        let s = schema(
+            "S",
+            &[
+                ("ORDERS", &["ORDER_ID", "ORDER_DATE"]),
+                ("ITEMS", &["ITEM_ID"]),
+            ],
+        );
         let p = SchemaProfile::of(&s);
         assert_eq!(p.tables, 2);
         assert_eq!(p.attributes, 3);
@@ -243,7 +265,10 @@ mod tests {
         let small = schema("A", &[("T", &["A"])]);
         let big = schema(
             "B",
-            &[("T1", &["A", "B", "C", "D", "E"]), ("T2", &["F", "G", "H", "I", "J"])],
+            &[
+                ("T1", &["A", "B", "C", "D", "E"]),
+                ("T2", &["F", "G", "H", "I", "J"]),
+            ],
         );
         let report = HeterogeneityReport::of(&Catalog::from_schemas(vec![small, big]));
         assert!(report.volume > 0.3, "{}", report.volume);

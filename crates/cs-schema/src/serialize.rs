@@ -171,6 +171,9 @@ mod tests {
     #[test]
     fn empty_table_serializes_empty_brackets() {
         let t = Table::new("EMPTY", vec![]);
-        assert_eq!(serialize_table(&t, &SerializeOptions::default()), "EMPTY []");
+        assert_eq!(
+            serialize_table(&t, &SerializeOptions::default()),
+            "EMPTY []"
+        );
     }
 }

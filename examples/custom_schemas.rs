@@ -8,9 +8,7 @@
 //! Run with: `cargo run --release --example custom_schemas`
 
 use collaborative_scoping::embed::lexicon::{ConceptEntry, Lexicon};
-use collaborative_scoping::embed::EncoderConfig;
 use collaborative_scoping::prelude::*;
-use collaborative_scoping::schema::parse_schema;
 
 fn main() {
     // The paper's Figure-1 scenario, written as plain DDL.
@@ -59,14 +57,20 @@ fn main() {
     let encoder = SignatureEncoder::new(EncoderConfig::default(), Lexicon::new(entries));
 
     let signatures = encode_catalog(&encoder, &catalog);
-    let run = CollaborativeScoper::new(0.85).run(&signatures).expect("valid catalog");
+    let run = CollaborativeScoper::new(0.85)
+        .run(&signatures)
+        .expect("valid catalog");
 
     println!("per-element linkability verdicts (v = 0.85):\n");
     for (i, id) in run.outcome.element_ids.iter().enumerate() {
         let info = catalog.info(*id);
         println!(
             "  {} {:<28} votes={} margin={:+.4}",
-            if run.outcome.decisions[i] { "keep " } else { "prune" },
+            if run.outcome.decisions[i] {
+                "keep "
+            } else {
+                "prune"
+            },
             info.qualified_name,
             run.accept_votes[i],
             run.best_margin[i],

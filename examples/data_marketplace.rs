@@ -21,7 +21,10 @@ fn main() {
     let encoder = SignatureEncoder::default();
     let signatures = encode_catalog(&encoder, &dataset.catalog);
 
-    println!("evaluating marketplace candidate '{}'", dataset.catalog.schema(fo_schema).name);
+    println!(
+        "evaluating marketplace candidate '{}'",
+        dataset.catalog.schema(fo_schema).name
+    );
     println!(
         "candidate exposes {} tables / {} attributes of metadata\n",
         dataset.catalog.schema(fo_schema).table_count(),
@@ -46,13 +49,13 @@ fn main() {
             .filter(|((id, &kept), &linkable)| id.schema != fo_schema && kept && linkable)
             .count();
         let own_total = labels.iter().filter(|&&l| l).count();
-        println!(
-            "{v:>4.2} | {candidate_kept:>21}/127 | {own_kept:>13}/{own_total}"
-        );
+        println!("{v:>4.2} | {candidate_kept:>21}/127 | {own_kept:>13}/{own_total}");
     }
 
     // The verdict at the paper's recommended strictness.
-    let run = CollaborativeScoper::new(0.8).run(&signatures).expect("valid catalog");
+    let run = CollaborativeScoper::new(0.8)
+        .run(&signatures)
+        .expect("valid catalog");
     let kept = run.outcome.kept_in_schema(fo_schema);
     let frac = kept as f64 / 127.0;
     println!(

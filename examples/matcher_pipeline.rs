@@ -7,8 +7,6 @@
 //!
 //! Run with: `cargo run --release --example matcher_pipeline`
 
-use collaborative_scoping::matching::{dedup_pairs, ElementSet};
-use collaborative_scoping::metrics::match_quality;
 use collaborative_scoping::prelude::*;
 use std::collections::HashSet;
 
@@ -18,7 +16,9 @@ fn main() {
     let signatures = encode_catalog(&encoder, &dataset.catalog);
 
     // Streamline at the paper's recommended strictness.
-    let run = CollaborativeScoper::new(0.75).run(&signatures).expect("valid catalog");
+    let run = CollaborativeScoper::new(0.75)
+        .run(&signatures)
+        .expect("valid catalog");
     let kept = run.outcome.kept();
     println!(
         "streamlined {} -> {} elements at v=0.75\n",
@@ -32,7 +32,10 @@ fn main() {
         Box::new(LshMatcher::new(1)),
     ];
 
-    println!("{:<14} {:>9} {:>6} {:>6} {:>6} {:>6}", "matcher", "input", "PQ", "PC", "F1", "RR");
+    println!(
+        "{:<14} {:>9} {:>6} {:>6} {:>6} {:>6}",
+        "matcher", "input", "PQ", "PC", "F1", "RR"
+    );
     for matcher in &matchers {
         for (label, keep) in [("original", None), ("streamlined", Some(&kept))] {
             let q = evaluate(matcher.as_ref(), &dataset, &signatures, keep);
@@ -72,7 +75,11 @@ fn evaluate(
                 .filter(|id| keep.is_none_or(|s| s.contains(id)))
                 .collect()
         };
-        attr_sets.push(ElementSet::filtered(k, signatures.schema(k), &select(0..attr_count)));
+        attr_sets.push(ElementSet::filtered(
+            k,
+            signatures.schema(k),
+            &select(0..attr_count),
+        ));
         table_sets.push(ElementSet::filtered(
             k,
             signatures.schema(k),

@@ -10,9 +10,6 @@
 //!
 //! Run with: `cargo run --release --example model_exchange`
 
-use collaborative_scoping::core::exchange::{from_bytes, to_bytes, to_json, ModelEnvelope};
-use collaborative_scoping::core::LocalModel;
-use collaborative_scoping::linalg::pca::ExplainedVariance;
 use collaborative_scoping::prelude::*;
 
 fn main() {

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate (see ROADMAP.md).
+#
+# Runs entirely offline — the workspace's hermetic dependency policy
+# (DESIGN.md §6) means no registry access is ever needed; if any step
+# below tries to reach a registry, that itself is a policy violation.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --workspace --release --offline
+
+echo "==> cargo test -q --offline"
+cargo test -q --workspace --offline
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "verify: OK"

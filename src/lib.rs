@@ -44,17 +44,24 @@ pub use cs_nn as nn;
 pub use cs_oda as oda;
 pub use cs_schema as schema;
 
-/// Convenience re-exports of the most commonly used types.
+/// Convenience re-exports of the most commonly used types — everything the
+/// quickstart pipeline touches, one `use collaborative_scoping::prelude::*;`
+/// away.
 pub mod prelude {
+    pub use cs_core::exchange::{from_bytes, from_json, to_bytes, to_json};
     pub use cs_core::{
-        encode_catalog, CollaborativeScoper, GlobalScoper, LocalModel, ModelEnvelope,
-        NeuralCollaborativeScoper, ScopingOutcome, SchemaSignatures, SourceToTargetScoper,
+        encode_catalog, encode_catalog_with, CollaborativeScoper, CollaborativeScoperBuilder,
+        CollaborativeSweep, CombinationRule, ExchangeError, GlobalScoper, LocalModel,
+        ModelEnvelope, NeuralCollaborativeScoper, SchemaSignatures, Scoper, ScopingError,
+        ScopingOutcome, SignatureCatalog, SourceToTargetScoper, SweepGrid,
     };
     pub use cs_datasets::{oc3, oc3_fo, Dataset};
     pub use cs_embed::{EncoderConfig, SignatureEncoder};
-    pub use cs_linalg::{Matrix, Pca};
-    pub use cs_match::{ClusterMatcher, LshMatcher, Matcher, SimMatcher};
-    pub use cs_metrics::{BinaryConfusion, MatchQuality, SweepCurve};
+    pub use cs_linalg::{ExplainedVariance, Matrix, Pca};
+    pub use cs_match::{dedup_pairs, ClusterMatcher, ElementSet, LshMatcher, Matcher, SimMatcher};
+    pub use cs_metrics::{match_quality, BinaryConfusion, MatchQuality, SweepCurve};
     pub use cs_oda::{OutlierDetector, PcaDetector, ZScoreDetector};
-    pub use cs_schema::{Attribute, Catalog, ElementId, LinkageSet, Schema, Table};
+    pub use cs_schema::{
+        parse_schema, Attribute, Catalog, ElementId, LinkageSet, Schema, SerializeOptions, Table,
+    };
 }

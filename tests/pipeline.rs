@@ -13,11 +13,17 @@ fn oc3_signatures() -> (collaborative_scoping::datasets::Dataset, SchemaSignatur
 #[test]
 fn end_to_end_oc3_assessment_quality() {
     let (ds, sigs) = oc3_signatures();
-    let run = CollaborativeScoper::new(0.8).run(&sigs).expect("valid catalog");
+    let run = CollaborativeScoper::new(0.8)
+        .run(&sigs)
+        .expect("valid catalog");
     let labels = ds.labels();
     let confusion = BinaryConfusion::from_labels(&run.outcome.decisions, &labels);
     // Far better than the 49% linkable base rate on both axes.
-    assert!(confusion.precision() > 0.6, "precision {}", confusion.precision());
+    assert!(
+        confusion.precision() > 0.6,
+        "precision {}",
+        confusion.precision()
+    );
     assert!(confusion.recall() > 0.6, "recall {}", confusion.recall());
     assert!(confusion.f1() > 0.6, "f1 {}", confusion.f1());
 }
@@ -32,7 +38,10 @@ fn formula_one_is_pruned_while_core_survives() {
     for v in [0.9, 0.8, 0.7, 0.6] {
         let outcome = sweep.assess_at(v);
         let fo_kept = outcome.kept_in_schema(3);
-        assert!(fo_kept <= 12, "v={v}: too much Formula One kept: {fo_kept}/127");
+        assert!(
+            fo_kept <= 12,
+            "v={v}: too much Formula One kept: {fo_kept}/127"
+        );
         let linkable_kept = outcome
             .element_ids
             .iter()
@@ -53,7 +62,10 @@ fn sweep_equals_direct_run_on_real_data() {
     let sweep = CollaborativeSweep::prepare(&sigs).expect("valid catalog");
     for v in [0.9, 0.5, 0.2] {
         let fast = sweep.assess_at(v);
-        let slow = CollaborativeScoper::new(v).run(&sigs).expect("valid").outcome;
+        let slow = CollaborativeScoper::new(v)
+            .run(&sigs)
+            .expect("valid")
+            .outcome;
         assert_eq!(fast.decisions, slow.decisions, "divergence at v={v}");
     }
 }
@@ -61,7 +73,9 @@ fn sweep_equals_direct_run_on_real_data() {
 #[test]
 fn streamlined_catalog_is_consistent_and_matchable() {
     let (ds, sigs) = oc3_signatures();
-    let run = CollaborativeScoper::new(0.75).run(&sigs).expect("valid catalog");
+    let run = CollaborativeScoper::new(0.75)
+        .run(&sigs)
+        .expect("valid catalog");
     let streamlined = run.outcome.streamlined(&ds.catalog);
     // Subset property.
     assert!(streamlined.element_count() <= ds.catalog.element_count());
@@ -73,16 +87,18 @@ fn streamlined_catalog_is_consistent_and_matchable() {
         for table in &slim.tables {
             let (_, orig_table) = orig.table(&table.name).expect("table preserved");
             for attr in &table.attributes {
-                assert!(orig_table.attribute(&attr.name).is_some(), "{} lost", attr.name);
+                assert!(
+                    orig_table.attribute(&attr.name).is_some(),
+                    "{} lost",
+                    attr.name
+                );
             }
         }
     }
     // A matcher can consume the streamlined signatures without issue.
     let kept = run.outcome.kept();
     let sets: Vec<_> = (0..sigs.schema_count())
-        .map(|k| {
-            collaborative_scoping::matching::ElementSet::filtered(k, sigs.schema(k), &kept)
-        })
+        .map(|k| collaborative_scoping::matching::ElementSet::filtered(k, sigs.schema(k), &kept))
         .collect();
     let pairs = LshMatcher::new(1).match_pairs(&sets);
     assert!(!pairs.is_empty());
@@ -100,7 +116,7 @@ fn global_scoping_pipeline_on_real_data() {
     let labels = ds.labels();
     // Keeping the linkable fraction of elements should beat random guessing.
     let linkable_frac = labels.iter().filter(|&&l| l).count() as f64 / labels.len() as f64;
-    let outcome = scoper.scope(&sigs, linkable_frac).expect("valid");
+    let outcome = scoper.scope_at(&sigs, linkable_frac).expect("valid");
     let confusion = BinaryConfusion::from_labels(&outcome.decisions, &labels);
     // Global scoping on OC3 is only mildly better than chance at a single
     // operating point (which is the paper's point); it must not be worse.

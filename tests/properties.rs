@@ -1,96 +1,114 @@
 //! Property-based integration tests: scoping invariants must hold on
 //! arbitrary synthetic matching scenarios, not just the OC3 datasets.
+//!
+//! Driven by the in-workspace `cs_linalg::check` harness (hermetic
+//! replacement for proptest); enable the `proptest-tests` feature for a
+//! deeper fuzzing multiplier.
 
 use collaborative_scoping::core::{scoping::scope_from_scores, CollaborativeSweep};
 use collaborative_scoping::datasets::synthetic::{generate, SyntheticConfig};
-use collaborative_scoping::metrics::match_quality;
+use collaborative_scoping::linalg::check::{run, Gen};
 use collaborative_scoping::prelude::*;
-use proptest::prelude::*;
 
-fn synthetic_strategy() -> impl Strategy<Value = SyntheticConfig> {
-    (2usize..5, 8usize..16, 4usize..8, 0usize..10, 0u64..1000).prop_map(
-        |(schemas, shared, per_schema, private, seed)| SyntheticConfig {
-            schemas,
-            shared_concepts: shared,
-            concepts_per_schema: per_schema.min(shared),
-            private_per_schema: private,
-            table_width: 5,
-            alien_elements: 0,
-            seed,
-        },
-    )
+const CASES: usize = 12;
+
+fn synthetic_config(g: &mut Gen) -> SyntheticConfig {
+    let shared = g.usize_in(8, 15);
+    SyntheticConfig {
+        schemas: g.usize_in(2, 4),
+        shared_concepts: shared,
+        concepts_per_schema: g.usize_in(4, 7).min(shared),
+        private_per_schema: g.usize_in(0, 9),
+        table_width: 5,
+        alien_elements: 0,
+        seed: g.u64_below(1000),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn collaborative_scoping_invariants(config in synthetic_strategy(), v in 0.05..0.99f64) {
+#[test]
+fn collaborative_scoping_invariants() {
+    run("collaborative_scoping_invariants", CASES, |g| {
+        let config = synthetic_config(g);
+        let v = g.f64_in(0.05, 0.99);
         let ds = generate(&config);
         let encoder = SignatureEncoder::default();
         let sigs = encode_catalog(&encoder, &ds.catalog);
         let run = CollaborativeScoper::new(v).run(&sigs).unwrap();
 
         // Output covers every element exactly once.
-        prop_assert_eq!(run.outcome.len(), ds.catalog.element_count());
+        assert_eq!(run.outcome.len(), ds.catalog.element_count());
         // Votes bounded by the number of foreign models.
         let foreign = ds.catalog.schema_count() - 1;
-        prop_assert!(run.accept_votes.iter().all(|&a| a <= foreign));
+        assert!(run.accept_votes.iter().all(|&a| a <= foreign));
         // Decisions agree with votes under the ANY rule.
         for (d, &a) in run.outcome.decisions.iter().zip(run.accept_votes.iter()) {
-            prop_assert_eq!(*d, a >= 1);
+            assert_eq!(*d, a >= 1);
         }
         // Deterministic.
         let again = CollaborativeScoper::new(v).run(&sigs).unwrap();
-        prop_assert_eq!(run.outcome.decisions, again.outcome.decisions);
+        assert_eq!(run.outcome.decisions, again.outcome.decisions);
         // Cost accounting.
-        prop_assert_eq!(run.cost.pass_operations, sigs.total_len() * foreign);
-    }
+        assert_eq!(run.cost.pass_operations, sigs.total_len() * foreign);
+    });
+}
 
-    #[test]
-    fn sweep_matches_direct_on_synthetic(config in synthetic_strategy(), v in 0.05..0.99f64) {
+#[test]
+fn sweep_matches_direct_on_synthetic() {
+    run("sweep_matches_direct_on_synthetic", CASES, |g| {
+        let config = synthetic_config(g);
+        let v = g.f64_in(0.05, 0.99);
         let ds = generate(&config);
         let encoder = SignatureEncoder::default();
         let sigs = encode_catalog(&encoder, &ds.catalog);
         let sweep = CollaborativeSweep::prepare(&sigs).unwrap();
         let fast = sweep.assess_at(v);
         let slow = CollaborativeScoper::new(v).run(&sigs).unwrap().outcome;
-        prop_assert_eq!(fast.decisions, slow.decisions);
-    }
+        assert_eq!(fast.decisions, slow.decisions);
+    });
+}
 
-    #[test]
-    fn global_scoping_keep_count_and_nesting(
-        scores in proptest::collection::vec(0.0..100.0f64, 2..60),
-        p1 in 0.0..1.0f64,
-        p2 in 0.0..1.0f64,
-    ) {
+#[test]
+fn global_scoping_keep_count_and_nesting() {
+    run("global_scoping_keep_count_and_nesting", CASES, |g| {
+        let n = g.usize_in(2, 59);
+        let scores = g.vec_f64(n, 0.0, 100.0);
+        let p1 = g.f64_in(0.0, 1.0);
+        let p2 = g.f64_in(0.0, 1.0);
         // Wrap scores in a one-schema signature set.
-        let n = scores.len();
         let m = collaborative_scoping::linalg::Matrix::from_fn(n, 3, |i, j| (i * 3 + j) as f64);
         let sigs = SchemaSignatures::from_matrices(vec![m], vec!["s".into()]);
         let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
         let a = scope_from_scores("t", &sigs, &scores, lo);
         let b = scope_from_scores("t", &sigs, &scores, hi);
-        prop_assert_eq!(a.kept_count(), (lo * n as f64).round() as usize);
-        prop_assert_eq!(b.kept_count(), (hi * n as f64).round() as usize);
+        assert_eq!(a.kept_count(), (lo * n as f64).round() as usize);
+        assert_eq!(b.kept_count(), (hi * n as f64).round() as usize);
         // Nesting: stricter keep set is contained in the looser one.
-        prop_assert!(a.kept().is_subset(&b.kept()));
-    }
+        assert!(a.kept().is_subset(&b.kept()));
+    });
+}
 
-    #[test]
-    fn match_quality_bounds(c in 0usize..500, tp_frac in 0.0..1.0f64, truth in 1usize..100, cart in 500usize..5000) {
+#[test]
+fn match_quality_bounds() {
+    run("match_quality_bounds", CASES * 4, |g| {
+        let c = g.usize_in(0, 499);
+        let tp_frac = g.f64_in(0.0, 1.0);
+        let truth = g.usize_in(1, 99);
+        let cart = g.usize_in(500, 4999);
         let tp = ((c as f64 * tp_frac) as usize).min(truth);
         let q = match_quality(c, tp, truth, cart);
-        prop_assert!((0.0..=1.0).contains(&q.pq));
-        prop_assert!((0.0..=1.0).contains(&q.pc));
-        prop_assert!((0.0..=1.0).contains(&q.f1));
-        prop_assert!(q.rr <= 1.0);
+        assert!((0.0..=1.0).contains(&q.pq));
+        assert!((0.0..=1.0).contains(&q.pc));
+        assert!((0.0..=1.0).contains(&q.f1));
+        assert!(q.rr <= 1.0);
         // F1 is between 0 and the max of PQ/PC.
-        prop_assert!(q.f1 <= q.pq.max(q.pc) + 1e-12);
-    }
+        assert!(q.f1 <= q.pq.max(q.pc) + 1e-12);
+    });
+}
 
-    #[test]
-    fn alien_schema_is_pruned_harder_than_related(seed in 0u64..200) {
+#[test]
+fn alien_schema_is_pruned_harder_than_related() {
+    run("alien_schema_is_pruned_harder_than_related", CASES, |g| {
+        let seed = g.u64_below(200);
         let config = SyntheticConfig {
             schemas: 3,
             shared_concepts: 20,
@@ -105,17 +123,16 @@ proptest! {
         let sigs = encode_catalog(&encoder, &ds.catalog);
         let run = CollaborativeScoper::new(0.8).run(&sigs).unwrap();
         let alien = 3;
-        let alien_frac =
-            run.outcome.kept_in_schema(alien) as f64 / sigs.schema_len(alien) as f64;
+        let alien_frac = run.outcome.kept_in_schema(alien) as f64 / sigs.schema_len(alien) as f64;
         let related_frac: f64 = (0..3)
             .map(|k| run.outcome.kept_in_schema(k) as f64 / sigs.schema_len(k) as f64)
             .sum::<f64>()
             / 3.0;
-        prop_assert!(
+        assert!(
             alien_frac < related_frac,
             "alien kept {alien_frac:.2} vs related {related_frac:.2} (seed {seed})"
         );
-    }
+    });
 }
 
 #[test]

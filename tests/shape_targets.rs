@@ -83,8 +83,18 @@ fn collaborative_beats_global_on_both_datasets() {
     let gfo = best_global_pca(&sigsfo, &labelsfo);
     let cfo = summarize(&collab_curve(&sigsfo, &labelsfo));
 
-    assert!(c3.auc_f1 > g3.auc_f1, "OC3 AUC-F1 {} vs {}", c3.auc_f1, g3.auc_f1);
-    assert!(c3.auc_pr > g3.auc_pr, "OC3 AUC-PR {} vs {}", c3.auc_pr, g3.auc_pr);
+    assert!(
+        c3.auc_f1 > g3.auc_f1,
+        "OC3 AUC-F1 {} vs {}",
+        c3.auc_f1,
+        g3.auc_f1
+    );
+    assert!(
+        c3.auc_pr > g3.auc_pr,
+        "OC3 AUC-PR {} vs {}",
+        c3.auc_pr,
+        g3.auc_pr
+    );
     assert!(
         c3.auc_roc_smoothed > g3.auc_roc_smoothed,
         "OC3 AUC-ROC' {} vs {}",
@@ -93,7 +103,10 @@ fn collaborative_beats_global_on_both_datasets() {
     );
     assert!(cfo.auc_f1 > gfo.auc_f1, "OC3-FO AUC-F1");
     assert!(cfo.auc_pr > gfo.auc_pr, "OC3-FO AUC-PR");
-    assert!(cfo.auc_roc_smoothed > gfo.auc_roc_smoothed, "OC3-FO AUC-ROC'");
+    assert!(
+        cfo.auc_roc_smoothed > gfo.auc_roc_smoothed,
+        "OC3-FO AUC-ROC'"
+    );
     // Margins grow with heterogeneity.
     assert!(
         cfo.auc_pr - gfo.auc_pr > c3.auc_pr - g3.auc_pr,
@@ -130,7 +143,10 @@ fn global_scoping_collapses_on_heterogeneous_schemas() {
     let g3 = best_global_pca(&sigs3, &labels3);
     let gfo = best_global_pca(&sigsfo, &labelsfo);
     let global_drop = g3.auc_pr - gfo.auc_pr;
-    assert!(global_drop > 0.1, "global scoping must degrade: drop {global_drop}");
+    assert!(
+        global_drop > 0.1,
+        "global scoping must degrade: drop {global_drop}"
+    );
 
     let c3 = summarize(&collab_curve(&sigs3, &labels3));
     let cfo = summarize(&collab_curve(&sigsfo, &labelsfo));
@@ -169,7 +185,11 @@ fn collaborative_precision_is_high_at_high_variance() {
     for v in [0.8, 0.7, 0.65] {
         let outcome = sweep.assess_at(v);
         let confusion = BinaryConfusion::from_labels(&outcome.decisions, &labels);
-        assert!(confusion.precision() > 0.5, "v={v}: {}", confusion.precision());
+        assert!(
+            confusion.precision() > 0.5,
+            "v={v}: {}",
+            confusion.precision()
+        );
     }
 }
 
@@ -180,12 +200,16 @@ fn pass_operations_match_paper_exactly() {
     let (sigs3, _) = prepared(&oc3());
     let run3 = CollaborativeScoper::new(0.8).run(&sigs3).expect("valid");
     assert_eq!(run3.cost.pass_operations, 320);
-    let frac3 = run3.cost.fraction_of(oc3().catalog.cartesian_element_pairs());
+    let frac3 = run3
+        .cost
+        .fraction_of(oc3().catalog.cartesian_element_pairs());
     assert!((frac3 - 0.0476).abs() < 0.0005, "{frac3}");
 
     let (sigsfo, _) = prepared(&oc3_fo());
     let runfo = CollaborativeScoper::new(0.8).run(&sigsfo).expect("valid");
     assert_eq!(runfo.cost.pass_operations, 861);
-    let fracfo = runfo.cost.fraction_of(oc3_fo().catalog.cartesian_element_pairs());
+    let fracfo = runfo
+        .cost
+        .fraction_of(oc3_fo().catalog.cartesian_element_pairs());
     assert!((fracfo - 0.0378).abs() < 0.0005, "{fracfo}");
 }
