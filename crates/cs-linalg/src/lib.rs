@@ -34,6 +34,7 @@ pub use pca::{ExplainedVariance, Pca};
 pub use qr::{qr, randomized_svd};
 pub use rng::{SplitMix64, Xoshiro256};
 pub use svd::{Svd, SvdError};
+pub use vecops::total_cmp_f64;
 
 /// Numerical tolerance used by iterative algorithms in this crate.
 pub const EPS: f64 = 1e-12;

@@ -90,6 +90,13 @@ impl Pca {
 
     /// Fits a full PCA (all `min(n, d)` components) on the rows of `data`.
     pub fn fit_full(data: &Matrix) -> Result<Self, SvdError> {
+        // Catch poisoned signatures at the source in debug builds; release
+        // builds still get the typed `SvdError::NonFiniteInput` from the
+        // decomposition below.
+        debug_assert!(
+            !data.has_non_finite(),
+            "Pca::fit_full: input contains NaN/inf — a signature upstream is poisoned"
+        );
         let mean = column_mean(data);
         let centered = data.sub_row_vector(&mean);
         let svd = Svd::compute(&centered)?;

@@ -16,6 +16,7 @@
 //! module (and an ablation bench in `cs-bench`) pins the two paths to agree.
 
 use crate::matrix::dot;
+use crate::vecops::total_cmp_f64;
 use crate::Matrix;
 
 /// Thin SVD factorization `A = U · diag(σ) · Vᵀ` with `r = min(rows, cols)`
@@ -119,7 +120,7 @@ impl Svd {
         // Singular values are the column norms; sort descending.
         let mut order: Vec<usize> = (0..d).collect();
         let norms: Vec<f64> = w.iter().map(|col| dot(col, col).sqrt()).collect();
-        order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).unwrap());
+        order.sort_by(|&i, &j| total_cmp_f64(&norms[j], &norms[i]));
 
         let r = n.min(d);
         let mut u = Matrix::zeros(n, r);
@@ -268,6 +269,10 @@ fn rotate_pair(cols: &mut [Vec<f64>], p: usize, q: usize, c: f64, s: f64) {
 /// and eigenvectors as the corresponding *columns* of the returned matrix.
 pub fn symmetric_eigen(m: &Matrix) -> (Vec<f64>, Matrix) {
     assert_eq!(m.rows(), m.cols(), "symmetric_eigen needs a square matrix");
+    debug_assert!(
+        !m.has_non_finite(),
+        "symmetric_eigen: input contains NaN/inf — the Jacobi sweeps would silently spin"
+    );
     let n = m.rows();
     let mut a = m.clone();
     let mut v = Matrix::identity(n);
@@ -323,7 +328,7 @@ pub fn symmetric_eigen(m: &Matrix) -> (Vec<f64>, Matrix) {
 
     let mut order: Vec<usize> = (0..n).collect();
     let diag: Vec<f64> = (0..n).map(|i| a[(i, i)]).collect();
-    order.sort_by(|&i, &j| diag[j].partial_cmp(&diag[i]).unwrap());
+    order.sort_by(|&i, &j| total_cmp_f64(&diag[j], &diag[i]));
     let eigvals: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
     let mut eigvecs = Matrix::zeros(n, n);
     for (slot, &j) in order.iter().enumerate() {

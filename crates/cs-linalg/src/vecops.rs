@@ -58,6 +58,26 @@ pub fn mse(a: &[f64], b: &[f64]) -> f64 {
     sq_euclidean(a, b) / a.len() as f64
 }
 
+/// Total-order comparator for `f64` suitable for `sort_by`/`max_by`/
+/// `min_by`/`binary_search_by` closures where `partial_cmp(..).unwrap()`
+/// would panic on NaN (the `no-float-sort-unwrap` lint rule).
+///
+/// The order is ascending with **every NaN after every real number** and
+/// all NaNs equal to each other, so an ascending sort pushes NaN scores to
+/// the back of a ranking (and `min_by` never selects one) instead of
+/// aborting the process. Real numbers compare via [`f64::total_cmp`], which
+/// also gives deterministic ties (`-0.0 < +0.0`), so rankings are
+/// bit-reproducible run to run.
+#[inline]
+pub fn total_cmp_f64(a: &f64, b: &f64) -> std::cmp::Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Greater,
+        (false, true) => std::cmp::Ordering::Less,
+        (false, false) => a.total_cmp(b),
+    }
+}
+
 /// `a + s·b` in place.
 pub fn axpy(a: &mut [f64], s: f64, b: &[f64]) {
     debug_assert_eq!(a.len(), b.len());
@@ -151,5 +171,33 @@ mod tests {
     fn argmax_skips_nan() {
         let v = [1.0, f64::NAN, 0.5];
         assert_eq!(argmax(&v), Some((0, 1.0)));
+    }
+
+    #[test]
+    fn total_cmp_orders_nan_last() {
+        let mut v = vec![2.0, f64::NAN, -1.0, f64::NAN, 0.5];
+        v.sort_by(total_cmp_f64);
+        assert_eq!(&v[..3], &[-1.0, 0.5, 2.0]);
+        assert!(v[3].is_nan() && v[4].is_nan());
+    }
+
+    #[test]
+    fn total_cmp_deterministic_ties() {
+        use std::cmp::Ordering;
+        assert_eq!(total_cmp_f64(&-0.0, &0.0), Ordering::Less);
+        assert_eq!(total_cmp_f64(&f64::NAN, &f64::NAN), Ordering::Equal);
+        assert_eq!(total_cmp_f64(&f64::INFINITY, &f64::NAN), Ordering::Less);
+        assert_eq!(
+            total_cmp_f64(&f64::NAN, &f64::NEG_INFINITY),
+            Ordering::Greater
+        );
+        assert_eq!(total_cmp_f64(&1.0, &2.0), Ordering::Less);
+    }
+
+    #[test]
+    fn min_by_never_selects_nan() {
+        let v = [f64::NAN, 3.0, 1.0];
+        let m = v.iter().copied().min_by(|a, b| total_cmp_f64(a, b));
+        assert_eq!(m, Some(1.0));
     }
 }

@@ -1,0 +1,442 @@
+//! A hand-rolled Rust lexer — just enough of the language to lint it.
+//!
+//! The hermetic dependency policy (DESIGN.md §6) rules out `syn`, `dylint`,
+//! or clippy plugins, so the rule engine works on a flat token stream
+//! produced here. The lexer's one job is to never misclassify: everything
+//! inside comments, string/char literals (including raw and byte strings),
+//! and doc comments must produce **no tokens**, so `// .unwrap()` or
+//! `"panic!"` can never trip a rule. Line comments are additionally scanned
+//! for `cs-lint: allow(..)` waiver pragmas.
+
+/// One lexical token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub line: u32,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword; the text is kept for matching.
+    Ident(String),
+    /// Single punctuation character (`.`, `(`, `{`, `!`, …).
+    Punct(char),
+    /// String/char/number literal. Contents are irrelevant to every rule,
+    /// so only the fact that a literal occupied the span is recorded.
+    Literal,
+}
+
+impl Tok {
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.ident() == Some(s)
+    }
+}
+
+/// A `// cs-lint: allow(rule-a, rule-b) -- justification` waiver comment.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// 1-based line the pragma comment sits on. The waiver applies to
+    /// findings on this line and the line directly below it.
+    pub line: u32,
+    /// Rule names listed inside `allow(..)`.
+    pub rules: Vec<String>,
+    /// Whether a non-empty `-- justification` trailer was present.
+    pub justified: bool,
+}
+
+/// Lexer output: the token stream plus any waiver pragmas found in comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Tok>,
+    pub pragmas: Vec<Pragma>,
+}
+
+/// Marker that introduces a waiver pragma inside a `//` or `#` comment.
+pub const PRAGMA_MARKER: &str = "cs-lint: allow(";
+
+/// Parses the waiver pragma out of one comment body, if present.
+///
+/// Returns `None` when the comment has no `cs-lint:` marker at all; returns
+/// a [`Pragma`] (possibly with `justified == false` or an empty rule list,
+/// which the caller reports as malformed) when the marker is present.
+pub fn parse_pragma(comment: &str, line: u32) -> Option<Pragma> {
+    let at = comment.find(PRAGMA_MARKER)?;
+    let rest = &comment[at + PRAGMA_MARKER.len()..];
+    let close = match rest.find(')') {
+        Some(c) => c,
+        None => {
+            return Some(Pragma {
+                line,
+                rules: Vec::new(),
+                justified: false,
+            })
+        }
+    };
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    let trailer = &rest[close + 1..];
+    let justified = trailer
+        .find("--")
+        .map(|d| !trailer[d + 2..].trim().is_empty())
+        .unwrap_or(false);
+    Some(Pragma {
+        line,
+        rules,
+        justified,
+    })
+}
+
+/// Tokenizes Rust source. Never fails: unterminated literals simply consume
+/// to end-of-input (the compiler, which runs in the same verify gate, owns
+/// real syntax errors).
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                let comment = &src[start..i];
+                // Doc comments (`///`, `//!`) are prose about the code —
+                // only plain `//` comments can carry a waiver pragma, so
+                // documentation *describing* the pragma syntax is inert.
+                let is_doc = comment.starts_with("///") && !comment.starts_with("////")
+                    || comment.starts_with("//!");
+                if !is_doc {
+                    if let Some(p) = parse_pragma(comment, line) {
+                        out.pragmas.push(p);
+                    }
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                // Block comments nest in Rust.
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                let tok_line = line;
+                i = skip_string(b, i, &mut line);
+                out.tokens.push(Tok {
+                    kind: TokKind::Literal,
+                    line: tok_line,
+                });
+            }
+            b'\'' => {
+                let tok_line = line;
+                if let Some(next) = char_literal_end(b, i) {
+                    i = next;
+                    out.tokens.push(Tok {
+                        kind: TokKind::Literal,
+                        line: tok_line,
+                    });
+                } else {
+                    // Lifetime: consume the quote plus the label identifier.
+                    i += 1;
+                    while i < b.len() && is_ident_char(b[i]) {
+                        i += 1;
+                    }
+                    // Lifetimes never matter to the rules; drop them.
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let tok_line = line;
+                i = skip_number(b, i);
+                out.tokens.push(Tok {
+                    kind: TokKind::Literal,
+                    line: tok_line,
+                });
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while i < b.len() && is_ident_char(b[i]) {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                // Raw/byte string prefixes: r" r#" b" br#" b' etc.
+                if i < b.len() && matches!(word, "r" | "b" | "br") {
+                    match b[i] {
+                        b'"' | b'#' if word != "b" || b[i] == b'"' => {
+                            let tok_line = line;
+                            i = if word == "b" {
+                                skip_string(b, i, &mut line)
+                            } else {
+                                skip_raw_string(b, i, &mut line)
+                            };
+                            out.tokens.push(Tok {
+                                kind: TokKind::Literal,
+                                line: tok_line,
+                            });
+                            continue;
+                        }
+                        b'\'' if word == "b" => {
+                            let tok_line = line;
+                            i = char_literal_end(b, i).unwrap_or(b.len());
+                            out.tokens.push(Tok {
+                                kind: TokKind::Literal,
+                                line: tok_line,
+                            });
+                            continue;
+                        }
+                        _ => {}
+                    }
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Ident(word.to_string()),
+                    line,
+                });
+            }
+            _ => {
+                out.tokens.push(Tok {
+                    kind: TokKind::Punct(c as char),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+/// Consumes a `"…"` string (with escapes) starting at the opening quote;
+/// returns the index just past the closing quote.
+fn skip_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    i += 1; // opening quote
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Consumes a raw string starting at the first `#` or `"` after the `r`/`br`
+/// prefix; returns the index just past the closing delimiter.
+fn skip_raw_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    let mut hashes = 0usize;
+    while i < b.len() && b[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= b.len() || b[i] != b'"' {
+        return i; // not actually a raw string; resynchronize
+    }
+    i += 1;
+    while i < b.len() {
+        if b[i] == b'\n' {
+            *line += 1;
+            i += 1;
+        } else if b[i] == b'"'
+            && b.len() - i > hashes
+            && b[i + 1..i + 1 + hashes].iter().all(|&h| h == b'#')
+        {
+            return i + 1 + hashes;
+        } else if b[i] == b'"' && hashes == 0 {
+            return i + 1;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Distinguishes `'x'` / `'\n'` char literals from `'label` lifetimes.
+/// Returns `Some(end)` past the closing quote for a char literal, `None`
+/// for a lifetime.
+fn char_literal_end(b: &[u8], i: usize) -> Option<usize> {
+    // b[i] == '\''
+    let c = *b.get(i + 1)?;
+    if c == b'\\' {
+        // Escaped char: scan to the closing quote.
+        let mut j = i + 2;
+        while j < b.len() {
+            if b[j] == b'\\' {
+                j += 2;
+            } else if b[j] == b'\'' {
+                return Some(j + 1);
+            } else {
+                j += 1;
+            }
+        }
+        return Some(j);
+    }
+    if is_ident_start(c) || c.is_ascii_digit() {
+        // 'x' is a char literal only when the very next char closes it;
+        // otherwise it's a lifetime label ('static, 'a in 'a>).
+        if b.get(i + 2) == Some(&b'\'') {
+            return Some(i + 3);
+        }
+        return None;
+    }
+    // Punctuation char literal like '(' or ' '.
+    if b.get(i + 2) == Some(&b'\'') {
+        return Some(i + 3);
+    }
+    None
+}
+
+/// Consumes a numeric literal (ints, floats, exponents, hex, suffixes),
+/// careful not to swallow the `..` of a range expression.
+fn skip_number(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() {
+        let c = b[i];
+        if c.is_ascii_alphanumeric() || c == b'_' {
+            // Exponent sign: 1e-12 / 1E+3.
+            if (c == b'e' || c == b'E')
+                && i + 1 < b.len()
+                && (b[i + 1] == b'-' || b[i + 1] == b'+')
+                && i + 2 < b.len()
+                && b[i + 2].is_ascii_digit()
+            {
+                i += 2;
+            }
+            i += 1;
+        } else if c == b'.' && i + 1 < b.len() && b[i + 1].is_ascii_digit() {
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_produce_no_idents() {
+        let src = r###"
+            // not.unwrap() here
+            /* nor panic! here /* nested */ still comment */
+            let s = "contains .unwrap() text";
+            let r = r#"raw with "quotes" and .unwrap()"#;
+            let b = b"byte .unwrap()";
+            let c = '\'';
+            real_ident();
+        "###;
+        assert_eq!(
+            idents(src),
+            vec!["let", "s", "let", "r", "let", "b", "let", "c", "real_ident"]
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'static str { x }";
+        let ids = idents(src);
+        assert!(ids.contains(&"static".to_string()) || !ids.contains(&"'static".to_string()));
+        // The quote of a lifetime must not start a string that swallows code.
+        assert!(ids.contains(&"str".to_string()));
+    }
+
+    #[test]
+    fn char_literal_with_quote_escape() {
+        let src = r"let q = '\''; after();";
+        assert!(idents(src).contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn ranges_are_not_floats() {
+        let src = "for i in 0..n { body(); }";
+        let ids = idents(src);
+        assert!(ids.contains(&"body".to_string()));
+        // `..` survives as two dots.
+        let dots = lex(src).tokens.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_in_strings() {
+        let src = "let a = \"x\ny\";\nmarker();";
+        let l = lex(src);
+        let marker = l.tokens.iter().find(|t| t.is_ident("marker")).unwrap();
+        assert_eq!(marker.line, 3);
+    }
+
+    #[test]
+    fn doc_comments_cannot_carry_pragmas() {
+        let src = "/// docs: `// cs-lint: allow(no-unsafe) -- x`\n//! cs-lint: allow(no-unsafe) -- y\n// cs-lint: allow(no-unsafe) -- real\nfn f() {}";
+        let l = lex(src);
+        assert_eq!(l.pragmas.len(), 1);
+        assert_eq!(l.pragmas[0].line, 3);
+    }
+
+    #[test]
+    fn pragma_parsing() {
+        let p = parse_pragma("// cs-lint: allow(no-unsafe) -- FFI shim", 7).unwrap();
+        assert_eq!(p.rules, vec!["no-unsafe"]);
+        assert!(p.justified);
+        assert_eq!(p.line, 7);
+
+        let p = parse_pragma("// cs-lint: allow(a, b) --", 1).unwrap();
+        assert_eq!(p.rules, vec!["a", "b"]);
+        assert!(!p.justified);
+
+        let p = parse_pragma("// cs-lint: allow(x)", 1).unwrap();
+        assert!(!p.justified);
+
+        assert!(parse_pragma("// plain comment", 1).is_none());
+    }
+}

@@ -1,0 +1,144 @@
+//! # cs-lint
+//!
+//! In-workspace static analysis for the collaborative-scoping workspace
+//! (DESIGN.md §7). The hermetic dependency policy (§6) rules out clippy
+//! plugins, dylint, or `syn`-based tooling, so this crate lints the
+//! workspace with a hand-rolled lexer and a rule set tailored to the
+//! codebase:
+//!
+//! - [`rules::NO_FLOAT_SORT_UNWRAP`] — no `partial_cmp(..).unwrap()` inside
+//!   sort/extremum comparators (use `cs_linalg::total_cmp_f64`),
+//! - [`rules::NO_UNWRAP_IN_LIB`] — no `.unwrap()` in cs-core / cs-linalg
+//!   non-test library code,
+//! - [`rules::PANIC_FREE_CORE`] — no `panic!`/`todo!`/`unimplemented!` in
+//!   cs-core non-test code,
+//! - [`rules::NO_UNSAFE`] — no `unsafe` anywhere,
+//! - [`rules::HERMETIC_DEPS`] — no registry/git dependency in any manifest
+//!   or in `Cargo.lock`.
+//!
+//! A violation is waived only by an inline
+//! `// cs-lint: allow(<rule>) -- <justification>` pragma on the same line
+//! or the line above. The binary exits nonzero on any unwaived finding;
+//! `scripts/verify.sh` runs it as part of the tier-1 gate.
+
+pub mod lexer;
+pub mod manifest;
+pub mod report;
+pub mod rules;
+
+pub use manifest::{lint_cargo_lock, lint_cargo_toml};
+pub use report::{Finding, LintReport};
+pub use rules::lint_rust_source;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories (relative to the workspace root) whose `.rs` files are
+/// scanned. `crates/` covers each member's `src`, `tests`, `benches`, and
+/// `examples` trees.
+const SCAN_ROOTS: [&str; 4] = ["crates", "src", "tests", "examples"];
+
+/// Lints the whole workspace rooted at `root`: every `.rs` file under the
+/// scan roots, every `Cargo.toml`, and `Cargo.lock`.
+pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    let mut report = LintReport::default();
+
+    let mut rust_files = Vec::new();
+    let mut manifests = vec![root.join("Cargo.toml")];
+    for dir in SCAN_ROOTS {
+        collect_files(&root.join(dir), &mut rust_files, &mut manifests)?;
+    }
+    rust_files.sort();
+    manifests.sort();
+    manifests.dedup();
+
+    for path in &rust_files {
+        let text = fs::read_to_string(path)?;
+        report
+            .findings
+            .extend(lint_rust_source(&text, &rel(root, path)));
+        report.files_scanned += 1;
+    }
+    for path in &manifests {
+        if !path.is_file() {
+            continue;
+        }
+        let text = fs::read_to_string(path)?;
+        report
+            .findings
+            .extend(lint_cargo_toml(&text, &rel(root, path)));
+        report.files_scanned += 1;
+    }
+    let lock = root.join("Cargo.lock");
+    if lock.is_file() {
+        let text = fs::read_to_string(&lock)?;
+        report
+            .findings
+            .extend(lint_cargo_lock(&text, &rel(root, &lock)));
+        report.files_scanned += 1;
+    }
+
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(report)
+}
+
+/// Recursive walk collecting `.rs` files and `Cargo.toml` manifests,
+/// skipping `target/` and hidden directories. Entries are visited in sorted
+/// order so diagnostics are deterministic across filesystems.
+fn collect_files(
+    dir: &Path,
+    rust_files: &mut Vec<PathBuf>,
+    manifests: &mut Vec<PathBuf>,
+) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_files(&path, rust_files, manifests)?;
+        } else if name.ends_with(".rs") {
+            rust_files.push(path);
+        } else if name == "Cargo.toml" {
+            manifests.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative, `/`-separated path for diagnostics.
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Locates the workspace root: walks up from `start` to the first directory
+/// holding a `Cargo.lock`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("Cargo.lock").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! CLI entry point: `cargo run -p cs-lint [-- --root DIR --report FILE]`.
+//!
+//! Prints `file:line: [rule] message` diagnostics for every unwaived
+//! finding and exits nonzero when any exist, so the tier-1 gate
+//! (`scripts/verify.sh`) fails on a violation. `--report` additionally
+//! writes the machine-readable JSON document.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cs_lint::{find_workspace_root, lint_workspace};
+
+struct Args {
+    root: Option<PathBuf>,
+    report: Option<PathBuf>,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        report: None,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                args.root = Some(PathBuf::from(it.next().ok_or("--root needs a directory")?));
+            }
+            "--report" => {
+                args.report = Some(PathBuf::from(it.next().ok_or("--report needs a path")?));
+            }
+            "--quiet" | "-q" => args.quiet = true,
+            "--help" | "-h" => {
+                println!(
+                    "cs-lint: workspace static analysis (DESIGN.md §7)\n\n\
+                     usage: cs-lint [--root DIR] [--report FILE.json] [--quiet]\n\n\
+                     Exits 0 when the workspace is lint-clean, 1 on any unwaived\n\
+                     finding, 2 on usage or I/O errors."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cs-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let root = match args.root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("cs-lint: no Cargo.lock above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let report = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cs-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &args.report {
+        if let Err(e) = std::fs::write(path, report.to_json().write_pretty()) {
+            eprintln!("cs-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    let unwaived: Vec<_> = report.unwaived().collect();
+    if !args.quiet {
+        for f in &unwaived {
+            println!("{}", f.render());
+        }
+        let waived = report.findings.len() - unwaived.len();
+        println!(
+            "cs-lint: {} files scanned, {} finding(s), {} waived",
+            report.files_scanned,
+            unwaived.len(),
+            waived
+        );
+    }
+    if unwaived.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

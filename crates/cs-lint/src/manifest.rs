@@ -1,0 +1,278 @@
+//! The `hermetic-deps` rule: mechanizes DESIGN.md §6.
+//!
+//! Two checks, both over the minimal slice of TOML this workspace actually
+//! uses (a full TOML parser would be overkill and another thing to trust):
+//!
+//! - **`Cargo.lock`** must contain no `source = ..` entry: a path-only
+//!   dependency graph never records a source, so the first registry or git
+//!   crate to enter resolution shows up as one line here.
+//! - **every `Cargo.toml`** dependency entry must stay inside the
+//!   workspace: `{ path = ".." }`, `foo.workspace = true`, or
+//!   `{ workspace = true }`. A bare version string, a `version`-only inline
+//!   table, or a `git`/`registry` key is an external dependency.
+//!
+//! Waivers use the TOML comment form `# cs-lint: allow(hermetic-deps) -- why`
+//! on the offending line or the line above.
+
+use crate::lexer::parse_pragma;
+use crate::report::Finding;
+use crate::rules::HERMETIC_DEPS;
+
+/// Lints a `Cargo.lock` file.
+pub fn lint_cargo_lock(text: &str, rel_path: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut package = String::from("<unknown>");
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if let Some(rest) = line.strip_prefix("name = ") {
+            package = rest.trim_matches('"').to_string();
+        }
+        if line.starts_with("source = ") {
+            findings.push(Finding::new(
+                HERMETIC_DEPS,
+                rel_path,
+                idx as u32 + 1,
+                format!(
+                    "package `{package}` resolves from an external source ({}); \
+                     the lockfile must stay path-only (DESIGN.md §6)",
+                    line.trim_start_matches("source = ").trim_matches('"')
+                ),
+            ));
+        }
+    }
+    findings
+}
+
+/// Lints one `Cargo.toml` manifest.
+pub fn lint_cargo_toml(text: &str, rel_path: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut in_dep_section = false;
+    // `[dependencies.foo]`-style subsections accumulate keys; judged at exit.
+    let mut sub: Option<(u32, String, bool)> = None; // (line, name, saw_path_or_ws)
+    let mut pragma_lines: Vec<(u32, bool)> = Vec::new(); // (line, covers hermetic-deps)
+
+    let flush_sub = |sub: &mut Option<(u32, String, bool)>, findings: &mut Vec<Finding>| {
+        if let Some((line, name, ok)) = sub.take() {
+            if !ok {
+                findings.push(Finding::new(
+                    HERMETIC_DEPS,
+                    "", // patched by caller below
+                    line,
+                    format!("dependency `{name}` has no `path`/`workspace` key — external crate"),
+                ));
+            }
+        }
+    };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let line = raw.trim();
+        if let Some(hash) = find_comment_start(line) {
+            if let Some(p) = parse_pragma(&line[hash..], lineno) {
+                pragma_lines.push((
+                    lineno,
+                    p.justified && p.rules.iter().any(|r| r == HERMETIC_DEPS),
+                ));
+            }
+        }
+        let line = strip_comment(line);
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            flush_sub(&mut sub, &mut findings);
+            let section = line.trim_matches(|c| c == '[' || c == ']');
+            if let Some(dep_name) = dependency_subsection(section) {
+                // e.g. [dependencies.foo] — collect keys until next header.
+                in_dep_section = false;
+                sub = Some((lineno, dep_name.to_string(), false));
+            } else {
+                in_dep_section = is_dependency_section(section);
+            }
+            continue;
+        }
+        if let Some((_, _, ok)) = &mut sub {
+            let key = line.split('=').next().unwrap_or("").trim();
+            match key {
+                "path" | "workspace" => *ok = true,
+                "git" | "registry" | "version" => {}
+                _ => {}
+            }
+            if matches!(key, "git" | "registry") {
+                findings.push(Finding::new(
+                    HERMETIC_DEPS,
+                    "",
+                    lineno,
+                    format!("`{key}` dependency source is outside the workspace"),
+                ));
+            }
+            continue;
+        }
+        if in_dep_section {
+            if let Some(f) = check_dep_entry(line, lineno) {
+                findings.push(f);
+            }
+        }
+    }
+    flush_sub(&mut sub, &mut findings);
+
+    for f in &mut findings {
+        f.file = rel_path.to_string();
+        f.waived = pragma_lines
+            .iter()
+            .any(|&(l, covers)| covers && (l == f.line || l + 1 == f.line));
+    }
+    findings
+}
+
+/// One `name = value` line inside a `[*dependencies]` section.
+fn check_dep_entry(line: &str, lineno: u32) -> Option<Finding> {
+    let (key, value) = line.split_once('=')?;
+    let key = key.trim();
+    let value = value.trim();
+    // `foo.workspace = true` — in-workspace by definition.
+    if key.ends_with(".workspace") {
+        return None;
+    }
+    // `foo = { .. }` inline table: must carry `path =` or `workspace = true`
+    // and must not point at git/registry.
+    if value.starts_with('{') {
+        let has_local = value.contains("path") || value.contains("workspace");
+        let has_remote = value.contains("git") || value.contains("registry");
+        if has_local && !has_remote {
+            return None;
+        }
+        return Some(Finding::new(
+            HERMETIC_DEPS,
+            "",
+            lineno,
+            format!("dependency `{key}` is not a path/workspace dependency"),
+        ));
+    }
+    // `foo = "1.2"` — bare registry version.
+    Some(Finding::new(
+        HERMETIC_DEPS,
+        "",
+        lineno,
+        format!("dependency `{key}` pins a registry version; use a path dependency"),
+    ))
+}
+
+/// True for `[dependencies]`, `[dev-dependencies]`, `[build-dependencies]`,
+/// `[workspace.dependencies]`, `[target.'cfg(..)'.dependencies]`, ….
+fn is_dependency_section(section: &str) -> bool {
+    section == "dependencies"
+        || section == "dev-dependencies"
+        || section == "build-dependencies"
+        || section.ends_with(".dependencies")
+        || section.ends_with(".dev-dependencies")
+        || section.ends_with(".build-dependencies")
+}
+
+/// For `[dependencies.foo]`-style headers, the dependency name.
+fn dependency_subsection(section: &str) -> Option<&str> {
+    for prefix in ["dependencies.", "dev-dependencies.", "build-dependencies."] {
+        if let Some(rest) = section.strip_prefix(prefix) {
+            return Some(rest);
+        }
+        if let Some(at) = section.find(&format!(".{prefix}")) {
+            return Some(&section[at + 1 + prefix.len()..]);
+        }
+    }
+    None
+}
+
+/// Byte index of a `#` comment that is not inside a quoted string.
+fn find_comment_start(line: &str) -> Option<usize> {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn strip_comment(line: &str) -> &str {
+    match find_comment_start(line) {
+        Some(i) => line[..i].trim_end(),
+        None => line,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_lock_passes() {
+        let lock = "[[package]]\nname = \"cs-core\"\nversion = \"0.1.0\"\ndependencies = [\n \"cs-linalg\",\n]\n";
+        assert!(lint_cargo_lock(lock, "Cargo.lock").is_empty());
+    }
+
+    #[test]
+    fn registry_source_in_lock_fires() {
+        let lock = "[[package]]\nname = \"serde\"\nversion = \"1.0.0\"\nsource = \"registry+https://github.com/rust-lang/crates.io-index\"\n";
+        let f = lint_cargo_lock(lock, "Cargo.lock");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("serde"));
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn path_and_workspace_deps_pass() {
+        let toml = "[dependencies]\ncs-linalg.workspace = true\ncs-core = { path = \"../cs-core\" }\n\n[dev-dependencies]\ncs-datasets.workspace = true\n";
+        assert!(lint_cargo_toml(toml, "crates/x/Cargo.toml").is_empty());
+    }
+
+    #[test]
+    fn workspace_dependency_table_passes() {
+        let toml = "[workspace.dependencies]\ncs-linalg = { path = \"crates/cs-linalg\" }\n";
+        assert!(lint_cargo_toml(toml, "Cargo.toml").is_empty());
+    }
+
+    #[test]
+    fn version_string_fires() {
+        let toml = "[dependencies]\nserde = \"1.0\"\n";
+        let f = lint_cargo_toml(toml, "crates/x/Cargo.toml");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("serde"));
+        assert_eq!(f[0].file, "crates/x/Cargo.toml");
+    }
+
+    #[test]
+    fn git_dep_fires() {
+        let toml = "[dependencies]\nfoo = { git = \"https://example.com/foo\" }\n";
+        assert_eq!(lint_cargo_toml(toml, "Cargo.toml").len(), 1);
+        let toml = "[dependencies.bar]\ngit = \"https://example.com/bar\"\nbranch = \"main\"\n";
+        assert!(!lint_cargo_toml(toml, "Cargo.toml").is_empty());
+    }
+
+    #[test]
+    fn subsection_with_path_passes() {
+        let toml = "[dependencies.cs-core]\npath = \"../cs-core\"\n";
+        assert!(lint_cargo_toml(toml, "Cargo.toml").is_empty());
+    }
+
+    #[test]
+    fn non_dependency_sections_ignored() {
+        let toml = "[package]\nname = \"x\"\nversion = \"0.1.0\"\n\n[features]\nbench = []\n\n[profile.release]\nopt-level = 3\n";
+        assert!(lint_cargo_toml(toml, "Cargo.toml").is_empty());
+    }
+
+    #[test]
+    fn toml_pragma_waives() {
+        let toml = "[dependencies]\n# cs-lint: allow(hermetic-deps) -- vendored locally next PR\nserde = \"1.0\"\n";
+        let f = lint_cargo_toml(toml, "Cargo.toml");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].waived);
+    }
+
+    #[test]
+    fn version_only_inline_table_fires() {
+        let toml = "[dependencies]\nfoo = { version = \"2\", features = [\"std\"] }\n";
+        assert_eq!(lint_cargo_toml(toml, "Cargo.toml").len(), 1);
+    }
+}

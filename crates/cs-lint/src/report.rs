@@ -1,0 +1,135 @@
+//! Diagnostics: the [`Finding`] record, human-readable rendering, and the
+//! machine-readable JSON report (written with the in-workspace
+//! `cs_core::json` writer — the linter obeys the policy it enforces).
+
+use cs_core::json::JsonValue;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule name (kebab-case, e.g. `no-unwrap-in-lib`).
+    pub rule: &'static str,
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// True when an inline `cs-lint: allow(..)` pragma covers this finding.
+    pub waived: bool,
+}
+
+impl Finding {
+    pub fn new(
+        rule: &'static str,
+        file: impl Into<String>,
+        line: u32,
+        message: impl Into<String>,
+    ) -> Self {
+        Finding {
+            rule,
+            file: file.into(),
+            line,
+            message: message.into(),
+            waived: false,
+        }
+    }
+
+    /// `file:line: [rule] message` — the clickable diagnostic format.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// The full result of linting a workspace.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Every finding, waived ones included; sorted by file, then line.
+    pub findings: Vec<Finding>,
+    /// Number of files scanned (Rust sources + manifests).
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// Findings not covered by a waiver pragma — these fail the gate.
+    pub fn unwaived(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.waived)
+    }
+
+    /// True when the gate passes.
+    pub fn clean(&self) -> bool {
+        self.unwaived().next().is_none()
+    }
+
+    /// Machine-readable report document.
+    pub fn to_json(&self) -> JsonValue {
+        let findings: Vec<JsonValue> = self
+            .findings
+            .iter()
+            .map(|f| {
+                JsonValue::object(vec![
+                    ("rule", JsonValue::String(f.rule.to_string())),
+                    ("file", JsonValue::String(f.file.clone())),
+                    ("line", JsonValue::Number(f.line as f64)),
+                    ("message", JsonValue::String(f.message.clone())),
+                    ("waived", JsonValue::Bool(f.waived)),
+                ])
+            })
+            .collect();
+        JsonValue::object(vec![
+            ("tool", JsonValue::String("cs-lint".to_string())),
+            (
+                "files_scanned",
+                JsonValue::Number(self.files_scanned as f64),
+            ),
+            (
+                "unwaived",
+                JsonValue::Number(self.unwaived().count() as f64),
+            ),
+            (
+                "waived",
+                JsonValue::Number(self.findings.iter().filter(|f| f.waived).count() as f64),
+            ),
+            ("clean", JsonValue::Bool(self.clean())),
+            ("findings", JsonValue::Array(findings)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_format() {
+        let f = Finding::new("no-unsafe", "crates/x/src/a.rs", 12, "msg");
+        assert_eq!(f.render(), "crates/x/src/a.rs:12: [no-unsafe] msg");
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let mut r = LintReport::default();
+        r.files_scanned = 3;
+        let mut f = Finding::new("no-unsafe", "a.rs", 1, "m");
+        f.waived = true;
+        r.findings.push(f);
+        r.findings.push(Finding::new("pragma", "b.rs", 2, "m2"));
+        let doc = r.to_json();
+        assert_eq!(doc.get("clean"), Some(&JsonValue::Bool(false)));
+        assert_eq!(doc.get("unwaived").and_then(JsonValue::as_usize), Some(1));
+        assert_eq!(doc.get("waived").and_then(JsonValue::as_usize), Some(1));
+        assert_eq!(
+            doc.get("findings")
+                .and_then(JsonValue::as_array)
+                .map(<[JsonValue]>::len),
+            Some(2)
+        );
+        // Round-trips through the in-workspace parser.
+        let text = doc.write_pretty();
+        let back = cs_core::json::parse(&text).expect("parses");
+        assert_eq!(back.get("clean"), Some(&JsonValue::Bool(false)));
+    }
+}

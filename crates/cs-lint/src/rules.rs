@@ -1,0 +1,453 @@
+//! The rule set, tailored to this workspace (see DESIGN.md §7).
+//!
+//! Rules operate on the token stream from [`crate::lexer`]; file-path
+//! classification decides which rules are in scope, and `#[cfg(test)]` /
+//! `#[test]` item bodies are exempt from the hygiene rules so test code can
+//! keep its idiomatic `unwrap()`s.
+
+use crate::lexer::{lex, Pragma, Tok};
+use crate::report::Finding;
+
+/// Rule: `partial_cmp(..).unwrap()/.expect(..)` inside a sort/extremum
+/// comparator — panics on the first NaN score. Use `cs_linalg::total_cmp_f64`.
+pub const NO_FLOAT_SORT_UNWRAP: &str = "no-float-sort-unwrap";
+/// Rule: `.unwrap()` in non-test library code of cs-core / cs-linalg.
+pub const NO_UNWRAP_IN_LIB: &str = "no-unwrap-in-lib";
+/// Rule: `panic!` / `todo!` / `unimplemented!` in cs-core non-test code.
+pub const PANIC_FREE_CORE: &str = "panic-free-core";
+/// Rule: no `unsafe` anywhere in the workspace.
+pub const NO_UNSAFE: &str = "no-unsafe";
+/// Rule: no registry/git dependency may enter the workspace (DESIGN.md §6).
+pub const HERMETIC_DEPS: &str = "hermetic-deps";
+/// Diagnostic for malformed or unknown waiver pragmas (not waivable).
+pub const PRAGMA: &str = "pragma";
+
+/// Every enforceable rule name, for pragma validation.
+pub const ALL_RULES: [&str; 5] = [
+    NO_FLOAT_SORT_UNWRAP,
+    NO_UNWRAP_IN_LIB,
+    PANIC_FREE_CORE,
+    NO_UNSAFE,
+    HERMETIC_DEPS,
+];
+
+/// Comparator-taking methods in whose argument list a float
+/// `partial_cmp().unwrap()` is banned.
+const COMPARATOR_FNS: [&str; 6] = [
+    "sort_by",
+    "sort_unstable_by",
+    "max_by",
+    "min_by",
+    "binary_search_by",
+    "partition_point_by", // future-proofing; not std, but harmless
+];
+
+/// Which rules apply to a file, derived from its workspace-relative path.
+#[derive(Debug, Clone, Copy)]
+pub struct FileClass {
+    /// Under `crates/cs-core/src/` — panic-free and unwrap-free.
+    pub core_lib: bool,
+    /// Under `crates/cs-linalg/src/` — unwrap-free.
+    pub linalg_lib: bool,
+    /// Under a `tests/` or `benches/` directory: hygiene rules off,
+    /// `no-unsafe` still on.
+    pub test_code: bool,
+}
+
+impl FileClass {
+    /// Classifies a `/`-separated workspace-relative path.
+    pub fn from_path(rel_path: &str) -> Self {
+        let parts: Vec<&str> = rel_path.split('/').collect();
+        let under = |prefix: &[&str]| parts.len() > prefix.len() && parts.starts_with(prefix);
+        FileClass {
+            core_lib: under(&["crates", "cs-core", "src"]),
+            linalg_lib: under(&["crates", "cs-linalg", "src"]),
+            test_code: parts[..parts.len().saturating_sub(1)]
+                .iter()
+                .any(|p| *p == "tests" || *p == "benches"),
+        }
+    }
+}
+
+/// Lints one Rust source file. `rel_path` is the workspace-relative path
+/// used both for classification and in diagnostics.
+pub fn lint_rust_source(src: &str, rel_path: &str) -> Vec<Finding> {
+    let class = FileClass::from_path(rel_path);
+    let lexed = lex(src);
+    let toks = &lexed.tokens;
+    let mut findings = Vec::new();
+
+    check_pragmas(&lexed.pragmas, rel_path, &mut findings);
+    let test_regions = find_test_regions(toks);
+    let in_test = |idx: usize| -> bool {
+        class.test_code || test_regions.iter().any(|&(s, e)| idx >= s && idx <= e)
+    };
+
+    for (i, t) in toks.iter().enumerate() {
+        let Some(word) = t.ident() else { continue };
+        match word {
+            "unsafe" => findings.push(Finding::new(
+                NO_UNSAFE,
+                rel_path,
+                t.line,
+                "`unsafe` is banned workspace-wide; every substrate is safe Rust",
+            )),
+            "panic" | "todo" | "unimplemented"
+                if class.core_lib
+                    && !in_test(i)
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+                    // `panic` in `#[should_panic]`-style attribute positions
+                    // has no `!`; the bang check already excludes it.
+                    =>
+            {
+                findings.push(Finding::new(
+                    PANIC_FREE_CORE,
+                    rel_path,
+                    t.line,
+                    format!("`{word}!` in cs-core non-test code; return a typed error instead"),
+                ));
+            }
+            "unwrap"
+                if (class.core_lib || class.linalg_lib)
+                    && !in_test(i)
+                    && i > 0
+                    && toks[i - 1].is_punct('.')
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+                    && toks.get(i + 2).is_some_and(|n| n.is_punct(')')) =>
+            {
+                findings.push(Finding::new(
+                    NO_UNWRAP_IN_LIB,
+                    rel_path,
+                    t.line,
+                    "`.unwrap()` in library code; propagate a typed error or document \
+                     the invariant with a waiver pragma",
+                ));
+            }
+            _ => {}
+        }
+    }
+
+    find_float_sort_unwraps(toks, rel_path, &class, &test_regions, &mut findings);
+    apply_waivers(&lexed.pragmas, &mut findings);
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}
+
+/// Reports malformed pragmas (missing justification, unknown rule names).
+fn check_pragmas(pragmas: &[Pragma], rel_path: &str, findings: &mut Vec<Finding>) {
+    for p in pragmas {
+        if p.rules.is_empty() {
+            findings.push(Finding::new(
+                PRAGMA,
+                rel_path,
+                p.line,
+                "malformed waiver: expected `cs-lint: allow(<rule>) -- <justification>`",
+            ));
+            continue;
+        }
+        if !p.justified {
+            findings.push(Finding::new(
+                PRAGMA,
+                rel_path,
+                p.line,
+                "waiver pragma needs a `-- <justification>` trailer",
+            ));
+        }
+        for r in &p.rules {
+            if !ALL_RULES.contains(&r.as_str()) {
+                findings.push(Finding::new(
+                    PRAGMA,
+                    rel_path,
+                    p.line,
+                    format!("waiver names unknown rule `{r}`"),
+                ));
+            }
+        }
+    }
+}
+
+/// Marks findings as waived when a well-formed pragma naming their rule sits
+/// on the same line or the line directly above. `pragma` findings are never
+/// waivable.
+fn apply_waivers(pragmas: &[Pragma], findings: &mut [Finding]) {
+    for f in findings.iter_mut() {
+        if f.rule == PRAGMA {
+            continue;
+        }
+        f.waived = pragmas.iter().any(|p| {
+            p.justified
+                && (p.line == f.line || p.line + 1 == f.line)
+                && p.rules.iter().any(|r| r == f.rule)
+        });
+    }
+}
+
+/// Token-index ranges `(start, end)` covering the bodies of `#[cfg(test)]`
+/// / `#[test]` items (inclusive of the braces).
+fn find_test_regions(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let attr_end = match matching(toks, i + 1, '[', ']') {
+                Some(e) => e,
+                None => break,
+            };
+            if attr_is_test(&toks[i + 2..attr_end]) {
+                // Skip any further attributes, then find the item's brace
+                // block; a `;` first means an out-of-line item (no body).
+                let mut j = attr_end + 1;
+                while j < toks.len()
+                    && toks[j].is_punct('#')
+                    && toks.get(j + 1).is_some_and(|t| t.is_punct('['))
+                {
+                    match matching(toks, j + 1, '[', ']') {
+                        Some(e) => j = e + 1,
+                        None => return regions,
+                    }
+                }
+                while j < toks.len() && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+                    j += 1;
+                }
+                if j < toks.len() && toks[j].is_punct('{') {
+                    if let Some(close) = matching(toks, j, '{', '}') {
+                        regions.push((i, close));
+                        i = attr_end + 1; // attributes can nest inside; rescan body is harmless
+                        continue;
+                    }
+                }
+            }
+            i = attr_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, ..))]` — any attribute whose
+/// first ident is `test`, or `cfg(..)` mentioning `test`.
+fn attr_is_test(attr: &[Tok]) -> bool {
+    match attr.first().and_then(Tok::ident) {
+        Some("test") => true,
+        // `not` makes the predicate ambiguous (`cfg(not(test))`); treat it
+        // as non-test so lib code can't hide behind a negation.
+        Some("cfg") => {
+            attr.iter().skip(1).any(|t| t.is_ident("test"))
+                && !attr.iter().any(|t| t.is_ident("not"))
+        }
+        _ => false,
+    }
+}
+
+/// Index of the token closing the bracket opened at `open_idx`.
+fn matching(toks: &[Tok], open_idx: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0i64;
+    for (k, t) in toks.iter().enumerate().skip(open_idx) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Detects `partial_cmp(..).unwrap()` / `.expect(..)` inside the argument
+/// list of a comparator-taking method call.
+fn find_float_sort_unwraps(
+    toks: &[Tok],
+    rel_path: &str,
+    class: &FileClass,
+    test_regions: &[(usize, usize)],
+    findings: &mut Vec<Finding>,
+) {
+    let mut depth = 0i64;
+    // Paren depths at which a comparator call's argument list is open.
+    let mut ctx: Vec<i64> = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('(') {
+            depth += 1;
+            // Did this paren open a `.sort_by(`-style call?
+            if i >= 2
+                && toks[i - 2].is_punct('.')
+                && toks[i - 1]
+                    .ident()
+                    .is_some_and(|w| COMPARATOR_FNS.contains(&w))
+            {
+                ctx.push(depth);
+            }
+        } else if t.is_punct(')') {
+            if ctx.last() == Some(&depth) {
+                ctx.pop();
+            }
+            depth -= 1;
+        } else if t.is_ident("partial_cmp")
+            && !ctx.is_empty()
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            if let Some(close) = matching(toks, i + 1, '(', ')') {
+                let chained = toks.get(close + 1).is_some_and(|n| n.is_punct('.'))
+                    && toks
+                        .get(close + 2)
+                        .and_then(Tok::ident)
+                        .is_some_and(|w| w == "unwrap" || w == "expect");
+                let exempt = class.test_code || test_regions.iter().any(|&(s, e)| i >= s && i <= e);
+                if chained && !exempt {
+                    let method = toks[close + 2].ident().unwrap_or("unwrap");
+                    findings.push(Finding::new(
+                        NO_FLOAT_SORT_UNWRAP,
+                        rel_path,
+                        toks[i].line,
+                        format!(
+                            "`partial_cmp(..).{method}(..)` inside a comparator panics on NaN; \
+                             use `cs_linalg::total_cmp_f64`"
+                        ),
+                    ));
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIB: &str = "crates/cs-core/src/fake.rs";
+
+    fn rules_fired(src: &str, path: &str) -> Vec<&'static str> {
+        lint_rust_source(src, path)
+            .into_iter()
+            .filter(|f| !f.waived)
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn classification() {
+        let c = FileClass::from_path("crates/cs-core/src/scoping.rs");
+        assert!(c.core_lib && !c.linalg_lib && !c.test_code);
+        let t = FileClass::from_path("crates/cs-linalg/tests/properties.rs");
+        assert!(t.test_code && !t.linalg_lib);
+        let b = FileClass::from_path("crates/cs-bench/benches/scaling.rs");
+        assert!(b.test_code);
+        let root = FileClass::from_path("tests/hermetic.rs");
+        assert!(root.test_code);
+    }
+
+    #[test]
+    fn unwrap_in_core_lib_fires() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        assert_eq!(rules_fired(src, LIB), vec![NO_UNWRAP_IN_LIB]);
+        // Same code in a non-core crate: clean.
+        assert!(rules_fired(src, "crates/cs-match/src/fake.rs").is_empty());
+        // Same code inside a test mod: clean.
+        let test_src = format!("#[cfg(test)] mod tests {{ {src} }}");
+        assert!(rules_fired(&test_src, LIB).is_empty());
+    }
+
+    #[test]
+    fn test_fn_attribute_exempts() {
+        let src = "#[test]\nfn t() { Some(1).unwrap(); }";
+        assert!(rules_fired(src, LIB).is_empty());
+    }
+
+    #[test]
+    fn panic_macros_fire_only_in_core() {
+        for mac in ["panic!(\"boom\")", "todo!()", "unimplemented!()"] {
+            let src = format!("fn f() {{ {mac}; }}");
+            assert_eq!(rules_fired(&src, LIB), vec![PANIC_FREE_CORE], "{mac}");
+            assert!(rules_fired(&src, "crates/cs-oda/src/fake.rs").is_empty());
+        }
+        // `panic` without a bang (e.g. a variable named panic) is fine.
+        assert!(rules_fired("fn f() { let panic = 1; }", LIB).is_empty());
+    }
+
+    #[test]
+    fn unsafe_fires_everywhere_even_tests() {
+        let src = "#[cfg(test)] mod t { fn f() { unsafe { () } } }";
+        assert_eq!(
+            rules_fired(src, "crates/cs-embed/tests/x.rs"),
+            vec![NO_UNSAFE]
+        );
+    }
+
+    #[test]
+    fn float_sort_unwrap_fires() {
+        let src = "fn f(v: &mut [f64]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }";
+        assert_eq!(
+            rules_fired(src, "crates/cs-match/src/fake.rs"),
+            vec![NO_FLOAT_SORT_UNWRAP]
+        );
+        let src = "fn f(v: &[f64], d: f64) { v.binary_search_by(|x| x.partial_cmp(&d).expect(\"finite\")).ok(); }";
+        assert_eq!(
+            rules_fired(src, "crates/cs-match/src/fake.rs"),
+            vec![NO_FLOAT_SORT_UNWRAP]
+        );
+    }
+
+    #[test]
+    fn float_sort_with_total_cmp_is_clean() {
+        let src = "fn f(v: &mut [f64]) { v.sort_by(cs_linalg::total_cmp_f64); }";
+        assert!(rules_fired(src, "crates/cs-match/src/fake.rs").is_empty());
+    }
+
+    #[test]
+    fn partial_cmp_unwrap_outside_comparator_is_not_this_rule() {
+        // Not inside sort_by/max_by/..: no-float-sort-unwrap stays silent
+        // (no-unwrap-in-lib may still fire in core/linalg).
+        let src = "fn f(a: f64, b: f64) { let _ = a.partial_cmp(&b).unwrap(); }";
+        assert!(rules_fired(src, "crates/cs-match/src/fake.rs").is_empty());
+        assert_eq!(rules_fired(src, LIB), vec![NO_UNWRAP_IN_LIB]);
+    }
+
+    #[test]
+    fn waiver_pragma_suppresses() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    // cs-lint: allow(no-unwrap-in-lib) -- invariant: x always Some here\n    x.unwrap()\n}";
+        assert!(rules_fired(src, LIB).is_empty());
+        // Same-line waiver.
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() } // cs-lint: allow(no-unwrap-in-lib) -- checked";
+        assert!(rules_fired(src, LIB).is_empty());
+    }
+
+    #[test]
+    fn waiver_without_justification_does_not_suppress() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    // cs-lint: allow(no-unwrap-in-lib)\n    x.unwrap()\n}";
+        let fired = rules_fired(src, LIB);
+        assert!(fired.contains(&PRAGMA));
+        assert!(fired.contains(&NO_UNWRAP_IN_LIB));
+    }
+
+    #[test]
+    fn waiver_for_wrong_rule_does_not_suppress() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    // cs-lint: allow(no-unsafe) -- wrong rule\n    x.unwrap()\n}";
+        assert!(rules_fired(src, LIB).contains(&NO_UNWRAP_IN_LIB));
+    }
+
+    #[test]
+    fn unknown_rule_in_pragma_reported() {
+        let src = "// cs-lint: allow(no-such-rule) -- why\nfn f() {}";
+        assert_eq!(rules_fired(src, LIB), vec![PRAGMA]);
+    }
+
+    #[test]
+    fn strings_and_comments_never_fire() {
+        let src = r###"
+            fn f() {
+                let s = "x.unwrap() and unsafe and panic!";
+                let r = r#"v.sort_by(|a, b| a.partial_cmp(b).unwrap())"#;
+                // x.unwrap(); unsafe { panic!() }
+            }
+        "###;
+        assert!(rules_fired(src, LIB).is_empty());
+    }
+}

@@ -1,0 +1,226 @@
+//! End-to-end fixture tests: a synthetic workspace is written to a temp
+//! directory with one seeded violation per rule, and the linter (library
+//! and compiled binary both) must flag each at the right file:line — and
+//! must go quiet when the violations carry waiver pragmas.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use cs_lint::{lint_workspace, rules};
+
+struct Fixture {
+    root: PathBuf,
+}
+
+impl Fixture {
+    fn new(tag: &str) -> Self {
+        let root =
+            std::env::temp_dir().join(format!("cs-lint-fixture-{}-{}", tag, std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(&root).expect("create fixture root");
+        Fixture { root }
+    }
+
+    fn write(&self, rel: &str, content: &str) {
+        let path = self.root.join(rel);
+        fs::create_dir_all(path.parent().expect("fixture paths have parents"))
+            .expect("create fixture dirs");
+        fs::write(path, content).expect("write fixture file");
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+/// A minimal clean lockfile so root detection and the lock pass both work.
+const CLEAN_LOCK: &str = "version = 3\n\n[[package]]\nname = \"fix\"\nversion = \"0.1.0\"\n";
+
+fn seeded_fixture(tag: &str) -> Fixture {
+    let fx = Fixture::new(tag);
+    fx.write("Cargo.lock", CLEAN_LOCK);
+    fx.write(
+        "Cargo.toml",
+        "[package]\nname = \"fix\"\nversion = \"0.1.0\"\n\n[dependencies]\nserde = \"1.0\"\n",
+    );
+    fx.write(
+        "crates/cs-core/src/bad.rs",
+        "pub fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\npub fn g() {\n    panic!(\"boom\");\n}\n",
+    );
+    fx.write(
+        "crates/cs-match/src/bad_sort.rs",
+        "pub fn rank(v: &mut [f64]) {\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n",
+    );
+    fx.write(
+        "src/bad_unsafe.rs",
+        "pub fn h() -> u8 {\n    let x: u8 = 7;\n    unsafe { *(&x as *const u8) }\n}\n",
+    );
+    fx
+}
+
+#[test]
+fn each_rule_fires_at_the_seeded_location() {
+    let fx = seeded_fixture("seeded");
+    let report = lint_workspace(&fx.root).expect("lint runs");
+    let hits: Vec<(String, &'static str, u32)> = report
+        .unwaived()
+        .map(|f| (f.file.clone(), f.rule, f.line))
+        .collect();
+
+    let expect = [
+        ("Cargo.toml", rules::HERMETIC_DEPS, 6),
+        ("crates/cs-core/src/bad.rs", rules::NO_UNWRAP_IN_LIB, 2),
+        ("crates/cs-core/src/bad.rs", rules::PANIC_FREE_CORE, 5),
+        (
+            "crates/cs-match/src/bad_sort.rs",
+            rules::NO_FLOAT_SORT_UNWRAP,
+            2,
+        ),
+        ("src/bad_unsafe.rs", rules::NO_UNSAFE, 3),
+    ];
+    for (file, rule, line) in expect {
+        assert!(
+            hits.iter()
+                .any(|(f, r, l)| f == file && *r == rule && *l == line),
+            "expected {rule} at {file}:{line}; got {hits:?}"
+        );
+    }
+    assert_eq!(
+        hits.len(),
+        expect.len(),
+        "unexpected extra findings: {hits:?}"
+    );
+}
+
+#[test]
+fn poisoned_lockfile_fires() {
+    let fx = Fixture::new("lock");
+    fx.write(
+        "Cargo.lock",
+        "version = 3\n\n[[package]]\nname = \"serde\"\nversion = \"1.0.200\"\nsource = \"registry+https://github.com/rust-lang/crates.io-index\"\n",
+    );
+    fx.write(
+        "Cargo.toml",
+        "[package]\nname = \"fix\"\nversion = \"0.1.0\"\n",
+    );
+    let report = lint_workspace(&fx.root).expect("lint runs");
+    let lock_findings: Vec<_> = report
+        .unwaived()
+        .filter(|f| f.file == "Cargo.lock" && f.rule == rules::HERMETIC_DEPS)
+        .collect();
+    assert_eq!(lock_findings.len(), 1);
+    assert_eq!(lock_findings[0].line, 6);
+    assert!(lock_findings[0].message.contains("serde"));
+}
+
+#[test]
+fn waived_fixture_is_clean() {
+    let fx = Fixture::new("waived");
+    fx.write("Cargo.lock", CLEAN_LOCK);
+    fx.write(
+        "Cargo.toml",
+        "[package]\nname = \"fix\"\nversion = \"0.1.0\"\n\n[dependencies]\n# cs-lint: allow(hermetic-deps) -- fixture: exercising the waiver path\nserde = \"1.0\"\n",
+    );
+    fx.write(
+        "crates/cs-core/src/waived.rs",
+        "pub fn f(x: Option<u8>) -> u8 {\n    // cs-lint: allow(no-unwrap-in-lib) -- invariant: caller checked is_some\n    x.unwrap()\n}\n",
+    );
+    let report = lint_workspace(&fx.root).expect("lint runs");
+    let unwaived: Vec<_> = report.unwaived().map(|f| f.render()).collect();
+    assert!(unwaived.is_empty(), "expected clean, got {unwaived:?}");
+    // The waived findings are still recorded for the JSON report.
+    assert_eq!(report.findings.iter().filter(|f| f.waived).count(), 2);
+}
+
+#[test]
+fn test_code_is_exempt_from_hygiene_but_not_unsafe() {
+    let fx = Fixture::new("exempt");
+    fx.write("Cargo.lock", CLEAN_LOCK);
+    fx.write(
+        "Cargo.toml",
+        "[package]\nname = \"fix\"\nversion = \"0.1.0\"\n",
+    );
+    fx.write(
+        "crates/cs-core/src/lib.rs",
+        "pub fn ok() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        Some(1).unwrap();\n        std::panic::catch_unwind(|| panic!(\"fine in tests\")).ok();\n    }\n}\n",
+    );
+    fx.write(
+        "tests/integration.rs",
+        "fn naive(v: &mut [f64]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n",
+    );
+    fx.write(
+        "crates/cs-core/tests/bad_unsafe.rs",
+        "pub fn h(x: &u8) -> u8 { unsafe { *(x as *const u8) } }\n",
+    );
+    let report = lint_workspace(&fx.root).expect("lint runs");
+    let rules_hit: Vec<&str> = report.unwaived().map(|f| f.rule).collect();
+    assert_eq!(rules_hit, vec![rules::NO_UNSAFE]);
+}
+
+#[test]
+fn binary_exits_nonzero_on_seeded_violation_and_writes_report() {
+    let fx = seeded_fixture("binary");
+    let report_path = fx.root.join("lint-report.json");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_cs-lint"))
+        .args(["--root"])
+        .arg(&fx.root)
+        .arg("--report")
+        .arg(&report_path)
+        .output()
+        .expect("binary runs");
+    assert!(
+        !out.status.success(),
+        "expected nonzero exit, got {:?}",
+        out.status
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("crates/cs-core/src/bad.rs:2: [no-unwrap-in-lib]"),
+        "diagnostic missing file:line, got:\n{stdout}"
+    );
+
+    let doc = cs_core::json::parse(&fs::read_to_string(&report_path).expect("report written"))
+        .expect("report parses");
+    assert_eq!(
+        doc.get("clean"),
+        Some(&cs_core::json::JsonValue::Bool(false))
+    );
+    assert_eq!(doc.get("unwaived").and_then(|v| v.as_usize()), Some(5));
+}
+
+#[test]
+fn binary_exits_zero_on_clean_tree() {
+    let fx = Fixture::new("clean");
+    fx.write("Cargo.lock", CLEAN_LOCK);
+    fx.write(
+        "Cargo.toml",
+        "[package]\nname = \"fix\"\nversion = \"0.1.0\"\n",
+    );
+    fx.write("src/lib.rs", "pub fn ok() -> u8 { 1 }\n");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_cs-lint"))
+        .args(["--root"])
+        .arg(&fx.root)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "expected exit 0, got {:?}",
+        out.status
+    );
+}
+
+/// Keep the `--root` default usable: from inside the fixture dir the walker
+/// should find the fixture's own lockfile, not the real workspace's.
+#[test]
+fn find_workspace_root_stops_at_first_lockfile() {
+    let fx = Fixture::new("root");
+    fx.write("Cargo.lock", CLEAN_LOCK);
+    fx.write("sub/dir/keep.txt", "x");
+    let found = cs_lint::find_workspace_root(&fx.root.join("sub/dir")).expect("found");
+    assert_eq!(
+        fs::canonicalize(&found).expect("canonical"),
+        fs::canonicalize(&fx.root).expect("canonical")
+    );
+}

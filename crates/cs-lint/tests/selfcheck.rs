@@ -1,0 +1,34 @@
+//! The linter linting its own workspace: the shipped tree must be clean.
+//!
+//! This is the test-suite twin of the `cargo run -p cs-lint` step in
+//! `scripts/verify.sh` — a violation introduced anywhere in the workspace
+//! fails `cargo test` too, so the gate holds even when someone skips the
+//! script.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/cs-lint sits two levels below the workspace root");
+    assert!(
+        root.join("Cargo.lock").is_file(),
+        "not a workspace root: {root:?}"
+    );
+
+    let report = cs_lint::lint_workspace(root).expect("lint runs");
+    let unwaived: Vec<String> = report.unwaived().map(|f| f.render()).collect();
+    assert!(
+        unwaived.is_empty(),
+        "workspace has unwaived lint findings:\n{}",
+        unwaived.join("\n")
+    );
+    // Sanity: the walk actually visited the workspace, not an empty dir.
+    assert!(
+        report.files_scanned > 100,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+}

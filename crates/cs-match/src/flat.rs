@@ -1,7 +1,7 @@
 //! Exact flat L2 nearest-neighbor index — the FAISS `IndexFlatL2`
 //! equivalent the paper's LSH matcher is built on.
 
-use cs_linalg::vecops::sq_euclidean;
+use cs_linalg::vecops::{sq_euclidean, total_cmp_f64};
 use cs_linalg::Matrix;
 
 /// A brute-force exact L2 index over row vectors.
@@ -50,7 +50,7 @@ impl FlatIndex {
             let d = sq_euclidean(query, row);
             if best.len() < k || d < best.last().expect("non-empty").1 {
                 let pos = best
-                    .binary_search_by(|&(_, bd)| bd.partial_cmp(&d).expect("finite distances"))
+                    .binary_search_by(|&(_, bd)| total_cmp_f64(&bd, &d))
                     .unwrap_or_else(|e| e);
                 best.insert(pos, (i, d));
                 if best.len() > k {
@@ -141,7 +141,7 @@ mod tests {
         let mut all: Vec<(usize, f64)> = (0..50)
             .map(|i| (i, sq_euclidean(&query, data.row(i))))
             .collect();
-        all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        all.sort_by(|a, b| total_cmp_f64(&a.1, &b.1));
         for (h, e) in hits.iter().zip(all.iter()) {
             assert_eq!(h.0, e.0);
         }

@@ -1,6 +1,6 @@
 //! k-means clustering (Lloyd's algorithm with k-means++ seeding).
 
-use cs_linalg::vecops::sq_euclidean;
+use cs_linalg::vecops::{sq_euclidean, total_cmp_f64};
 use cs_linalg::{Matrix, Xoshiro256};
 
 /// A fitted k-means model.
@@ -82,7 +82,7 @@ impl KMeans {
                         .max_by(|&a, &b| {
                             let da = sq_euclidean(data.row(a), centroids.row(assignments[a]));
                             let db = sq_euclidean(data.row(b), centroids.row(assignments[b]));
-                            da.partial_cmp(&db).unwrap()
+                            total_cmp_f64(&da, &db)
                         })
                         .expect("n > 0");
                     centroids.row_mut(c).copy_from_slice(data.row(far));
@@ -120,9 +120,10 @@ impl KMeans {
     pub fn predict(&self, point: &[f64]) -> usize {
         (0..self.k())
             .min_by(|&a, &b| {
-                sq_euclidean(point, self.centroids.row(a))
-                    .partial_cmp(&sq_euclidean(point, self.centroids.row(b)))
-                    .unwrap()
+                total_cmp_f64(
+                    &sq_euclidean(point, self.centroids.row(a)),
+                    &sq_euclidean(point, self.centroids.row(b)),
+                )
             })
             .expect("fitted model has centroids")
     }

@@ -11,7 +11,7 @@
 
 use crate::flat::FlatIndex;
 use crate::{dedup_pairs, CandidatePair, ElementSet, Matcher};
-use cs_linalg::vecops::sq_euclidean;
+use cs_linalg::vecops::{sq_euclidean, total_cmp_f64};
 use cs_linalg::{Matrix, Xoshiro256};
 use std::collections::HashMap;
 
@@ -145,7 +145,7 @@ impl HyperplaneLsh {
             .into_iter()
             .map(|i| (i, sq_euclidean(query, self.data.row(i))))
             .collect();
-        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+        scored.sort_by(|a, b| total_cmp_f64(&a.1, &b.1));
         scored.truncate(k);
         scored
     }

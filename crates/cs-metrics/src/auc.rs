@@ -18,7 +18,7 @@ pub fn trapezoid(xs: &[f64], ys: &[f64]) -> f64 {
         return 0.0;
     }
     let mut order: Vec<usize> = (0..xs.len()).collect();
-    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("finite").then(a.cmp(&b)));
+    order.sort_by(|&a, &b| cs_linalg::total_cmp_f64(&xs[a], &xs[b]).then(a.cmp(&b)));
     let mut area = 0.0;
     for w in order.windows(2) {
         let (i, j) = (w[0], w[1]);

@@ -8,6 +8,7 @@
 
 use crate::auc::trapezoid;
 use crate::confusion::BinaryConfusion;
+use cs_linalg::total_cmp_f64;
 
 /// One grid point of a sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -105,12 +106,7 @@ impl SweepCurve {
             })
             .collect();
         pts.push(RocPoint { fpr: 0.0, tpr: 0.0 });
-        pts.sort_by(|a, b| {
-            a.fpr
-                .partial_cmp(&b.fpr)
-                .expect("finite")
-                .then(a.tpr.partial_cmp(&b.tpr).expect("finite"))
-        });
+        pts.sort_by(|a, b| total_cmp_f64(&a.fpr, &b.fpr).then(total_cmp_f64(&a.tpr, &b.tpr)));
         pts.dedup_by(|a, b| a == b);
         pts
     }
@@ -159,11 +155,7 @@ impl SweepCurve {
             .collect();
         let max_precision = pts.iter().map(|&(_, p)| p).fold(0.0, f64::max);
         pts.push((0.0, max_precision));
-        pts.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0)
-                .expect("finite")
-                .then(b.1.partial_cmp(&a.1).expect("finite"))
-        });
+        pts.sort_by(|a, b| total_cmp_f64(&a.0, &b.0).then(total_cmp_f64(&b.1, &a.1)));
         pts.dedup();
         pts
     }

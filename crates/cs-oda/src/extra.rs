@@ -6,7 +6,7 @@
 //! extend the global-scoping baseline family for robustness studies.
 
 use crate::OutlierDetector;
-use cs_linalg::vecops::euclidean;
+use cs_linalg::vecops::{euclidean, total_cmp_f64};
 use cs_linalg::{Matrix, Pca};
 
 /// kNN-distance detector: the outlier score of a point is the mean
@@ -53,7 +53,7 @@ impl OutlierDetector for KnnDistanceDetector {
                     .filter(|&j| j != i)
                     .map(|j| euclidean(data.row(i), data.row(j)))
                     .collect();
-                dists.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+                dists.sort_by(total_cmp_f64);
                 dists[..k].iter().sum::<f64>() / k as f64
             })
             .collect()

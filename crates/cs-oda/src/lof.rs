@@ -7,7 +7,7 @@
 //! k-neighborhood and the duplicate-point density cap).
 
 use crate::OutlierDetector;
-use cs_linalg::vecops::euclidean;
+use cs_linalg::vecops::{euclidean, total_cmp_f64};
 use cs_linalg::Matrix;
 
 /// LOF detector with a configurable neighbor count.
@@ -59,7 +59,7 @@ impl LofDetector {
         let mut neighbors: Vec<Vec<usize>> = Vec::with_capacity(n);
         for i in 0..n {
             let mut order: Vec<usize> = (0..n).filter(|&j| j != i).collect();
-            order.sort_by(|&a, &b| dist[i][a].partial_cmp(&dist[i][b]).unwrap());
+            order.sort_by(|&a, &b| total_cmp_f64(&dist[i][a], &dist[i][b]));
             let kd = dist[i][order[k - 1]];
             k_distance[i] = kd;
             let nbrs: Vec<usize> = order.into_iter().filter(|&j| dist[i][j] <= kd).collect();

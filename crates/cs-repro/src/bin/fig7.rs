@@ -60,7 +60,7 @@ fn main() {
                 if let Some(p) = series.iter().filter(|p| p.v.is_some()).min_by(|a, b| {
                     let da = (a.v.unwrap() - target).abs();
                     let db = (b.v.unwrap() - target).abs();
-                    da.partial_cmp(&db).expect("finite")
+                    cs_linalg::total_cmp_f64(&da, &db)
                 }) {
                     rows.push(vec![
                         format!("{m} v={:.2}", p.v.unwrap()),

@@ -57,7 +57,7 @@ fn main() {
         let collab = rows.last().expect("collaborative row present");
         let best_scoping = rows[..rows.len() - 1]
             .iter()
-            .max_by(|a, b| a.auc_pr.partial_cmp(&b.auc_pr).expect("finite"))
+            .max_by(|a, b| cs_linalg::total_cmp_f64(&a.auc_pr, &b.auc_pr))
             .expect("scoping rows present");
         println!(
             "best scoping by AUC-PR: {} ({}); collaborative improvement: {:+.2}% AUC-F1, {:+.2}% AUC-ROC, {:+.2}% AUC-ROC', {:+.2}% AUC-PR\n",

@@ -35,7 +35,7 @@ pub fn figure_data(dataset: &Dataset, steps: usize) -> FigureData {
                 global_scoping_curve(&det, &signatures, &labels, steps),
             )
         })
-        .max_by(|a, b| a.auc_pr.partial_cmp(&b.auc_pr).expect("finite"))
+        .max_by(|a, b| cs_linalg::total_cmp_f64(&a.auc_pr, &b.auc_pr))
         .expect("non-empty roster");
     let sweep = CollaborativeSweep::prepare(&signatures).expect("valid dataset");
     let collaborative = ScopingMethodResult::from_curve(

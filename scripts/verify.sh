@@ -7,8 +7,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release --offline"
-cargo build --workspace --release --offline
+echo "==> cargo build --release --offline (warnings deny the gate)"
+RUSTFLAGS="-D warnings" cargo build --workspace --release --offline
+
+echo "==> cargo run -p cs-lint --offline"
+cargo run -q -p cs-lint --release --offline
 
 echo "==> cargo test -q --offline"
 cargo test -q --workspace --offline

@@ -63,7 +63,7 @@ fn best_global_pca(sigs: &SchemaSignatures, labels: &[bool]) -> Summary {
     [0.3, 0.5, 0.7]
         .into_iter()
         .map(|v| summarize(&global_curve(&PcaDetector::with_variance(v), sigs, labels)))
-        .max_by(|a, b| a.auc_pr.partial_cmp(&b.auc_pr).expect("finite"))
+        .max_by(|a, b| collaborative_scoping::linalg::total_cmp_f64(&a.auc_pr, &b.auc_pr))
         .expect("non-empty roster")
 }
 
