@@ -1,0 +1,59 @@
+//! `bench_json` — runs the scoping / matching / scaling benchmark groups
+//! and writes the machine-readable `BENCH_3.json` baseline.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_json [--smoke] [--out PATH]
+//! ```
+//!
+//! - `--smoke`: tiny datasets and sample budgets (< 5 s even in debug);
+//!   this is what `scripts/verify.sh` runs as its `bench-smoke` gate.
+//! - `--out PATH`: where to write the document (default `BENCH_3.json`
+//!   in the current directory).
+//!
+//! Without `--smoke` the emitter measures the real OC3 / OC3-FO datasets
+//! with bench-grade calibration; run that from a release build.
+
+use cs_bench::emitter::{self, Mode};
+
+fn usage() -> ! {
+    eprintln!("usage: bench_json [--smoke] [--out PATH]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut mode = Mode::Full;
+    let mut out = String::from("BENCH_3.json");
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--smoke" => mode = Mode::Smoke,
+            "--out" => match argv.next() {
+                Some(path) => out = path,
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("bench_json: unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+
+    let report = emitter::run(mode);
+    let doc = emitter::to_json(&report);
+    let mut body = doc.write_pretty();
+    body.push('\n');
+    if let Err(e) = std::fs::write(&out, body) {
+        eprintln!("bench_json: cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "bench_json: wrote {} ({} mode, {} benchmarks, {} threads)",
+        out,
+        report.mode.as_str(),
+        report.records.len(),
+        report.threads,
+    );
+}

@@ -4,7 +4,12 @@
 //! in-workspace criterion-compatible [`harness`] (hermetic dependency
 //! policy: no external crates) and are gated behind the `bench` feature:
 //! `cargo bench -p cs-bench --features bench`.
+//!
+//! The [`emitter`] module is the machine-readable counterpart: the
+//! `bench_json` binary (not feature-gated) runs the same workloads and
+//! writes `BENCH_3.json`; `scripts/verify.sh` exercises it with `--smoke`.
 
+pub mod emitter;
 pub mod harness;
 
 /// Standard explained-variance sweep used across bench targets, mirroring

@@ -5,11 +5,16 @@
 //! reconstructs it within that model's local linkability range
 //! (Definition 4). Training and assessment are embarrassingly parallel per
 //! schema, mirroring the paper's distributed deployment; the
-//! implementation fans out with scoped threads.
+//! implementation fans out on the deterministic chunk-deal pool of
+//! [`crate::pool`], whose slot assembly keeps parallel output
+//! bit-identical to the sequential path.
+
+use std::sync::Arc;
 
 use crate::error::ScopingError;
 use crate::local_model::LocalModel;
 use crate::outcome::ScopingOutcome;
+use crate::pool::{ExecPolicy, ThreadPool};
 use crate::signatures::SchemaSignatures;
 use cs_linalg::pca::ExplainedVariance;
 
@@ -88,11 +93,11 @@ pub struct CollaborativeRun {
 ///     .unwrap();
 /// assert_eq!(scoper.variance(), 0.85);
 /// ```
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct CollaborativeScoperBuilder {
     v: f64,
     rule: CombinationRule,
-    parallel: bool,
+    exec: ExecPolicy,
 }
 
 impl CollaborativeScoperBuilder {
@@ -108,10 +113,32 @@ impl CollaborativeScoperBuilder {
         self
     }
 
-    /// Whether training/assessment fan out across threads (on by default;
-    /// off gives the same results on one thread).
+    /// Whether training/assessment fan out on the shared pool (on by
+    /// default; off gives bit-identical results on the caller thread).
     pub fn parallel(mut self, parallel: bool) -> Self {
-        self.parallel = parallel;
+        self.exec = if parallel {
+            ExecPolicy::Global
+        } else {
+            ExecPolicy::Sequential
+        };
+        self
+    }
+
+    /// Forces inline execution on the caller thread.
+    pub fn sequential(self) -> Self {
+        self.parallel(false)
+    }
+
+    /// Uses a caller-owned pool instead of the process-wide one (e.g. to
+    /// pin an exact worker count in a determinism test).
+    pub fn pool(mut self, pool: Arc<ThreadPool>) -> Self {
+        self.exec = ExecPolicy::Pool(pool);
+        self
+    }
+
+    /// Sets the execution policy directly.
+    pub fn exec(mut self, exec: ExecPolicy) -> Self {
+        self.exec = exec;
         self
     }
 
@@ -124,17 +151,17 @@ impl CollaborativeScoperBuilder {
         Ok(CollaborativeScoper {
             v: self.v,
             rule: self.rule,
-            parallel: self.parallel,
+            exec: self.exec,
         })
     }
 }
 
 /// The collaborative scoper: one global explained-variance knob.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct CollaborativeScoper {
     v: f64,
     rule: CombinationRule,
-    parallel: bool,
+    exec: ExecPolicy,
 }
 
 impl CollaborativeScoper {
@@ -145,7 +172,7 @@ impl CollaborativeScoper {
         Self {
             v,
             rule: CombinationRule::Any,
-            parallel: true,
+            exec: ExecPolicy::Global,
         }
     }
 
@@ -154,7 +181,7 @@ impl CollaborativeScoper {
         CollaborativeScoperBuilder {
             v: 0.8,
             rule: CombinationRule::Any,
-            parallel: true,
+            exec: ExecPolicy::Global,
         }
     }
 
@@ -171,7 +198,12 @@ impl CollaborativeScoper {
 
     /// Whether per-schema work fans out across threads.
     pub fn is_parallel(&self) -> bool {
-        self.parallel
+        self.exec.is_parallel()
+    }
+
+    /// The configured execution policy.
+    pub fn exec_policy(&self) -> &ExecPolicy {
+        &self.exec
     }
 
     /// Trains one local model per schema, in parallel (phase II for the
@@ -186,25 +218,27 @@ impl CollaborativeScoper {
         if k < 2 {
             return Err(ScopingError::TooFewSchemas { found: k });
         }
-        per_schema_slots(k, self.parallel, |idx| {
-            LocalModel::train(idx, signatures.schema(idx), v)
-        })
-        .into_iter()
-        .collect()
+        let sigs = signatures.clone(); // Arc bump, not a data copy
+        self.exec
+            .run_slots(k, move |idx| LocalModel::train(idx, sigs.schema(idx), v))?
+            .into_iter()
+            .collect()
     }
 
     /// Runs the full collaborative assessment (Algorithm 2 per schema).
     pub fn run(&self, signatures: &SchemaSignatures) -> Result<CollaborativeRun, ScopingError> {
-        let models = self.train_models(signatures)?;
+        let models = Arc::new(self.train_models(signatures)?);
         let k = signatures.schema_count();
 
         // Per schema: assess against every foreign model (parallel per schema).
-        let per_schema = per_schema_slots(k, self.parallel, |idx| {
-            let sigs = signatures.schema(idx);
+        let sigs = signatures.clone();
+        let shared_models = Arc::clone(&models);
+        let per_schema = self.exec.run_slots(k, move |idx| {
+            let sigs = sigs.schema(idx);
             let n = sigs.rows();
             let mut votes = vec![0usize; n];
             let mut margin = vec![f64::INFINITY; n];
-            for model in models.iter().filter(|m| m.schema_index() != idx) {
+            for model in shared_models.iter().filter(|m| m.schema_index() != idx) {
                 let errors = model.reconstruction_errors(sigs);
                 for (i, e) in errors.into_iter().enumerate() {
                     let m = e - model.linkability_range();
@@ -217,7 +251,7 @@ impl CollaborativeScoper {
                 }
             }
             (votes, margin)
-        });
+        })?;
 
         let mut accept_votes = Vec::with_capacity(signatures.total_len());
         let mut best_margin = Vec::with_capacity(signatures.total_len());
@@ -239,6 +273,9 @@ impl CollaborativeScoper {
             pass_operations: signatures.total_len() * foreign_count,
             models_trained: k,
         };
+        // Workers may still be dropping their Arc clones for an instant
+        // after the last result lands; fall back to a clone in that case.
+        let models = Arc::try_unwrap(models).unwrap_or_else(|shared| (*shared).clone());
         Ok(CollaborativeRun {
             outcome,
             accept_votes,
@@ -247,34 +284,6 @@ impl CollaborativeScoper {
             cost,
         })
     }
-}
-
-/// Fans `work(idx)` out over `k` schema indices with scoped threads (or
-/// runs sequentially when `parallel` is off), returning results in index
-/// order. The per-schema computations are pure, so both paths produce
-/// bit-identical output.
-pub(crate) fn per_schema_slots<T, F>(k: usize, parallel: bool, work: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    if !parallel {
-        return (0..k).map(&work).collect();
-    }
-    let mut slots: Vec<Option<T>> = Vec::new();
-    slots.resize_with(k, || None);
-    std::thread::scope(|scope| {
-        for (idx, slot) in slots.iter_mut().enumerate() {
-            let work = &work;
-            scope.spawn(move || {
-                *slot = Some(work(idx));
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|s| s.expect("every slot is filled"))
-        .collect()
 }
 
 #[cfg(test)]

@@ -30,6 +30,13 @@ pub enum ScopingError {
     },
     /// Numerical decomposition failed.
     Svd(SvdError),
+    /// A closure dispatched to the parallel runtime panicked; the panic
+    /// was caught inside the worker and surfaced here instead of
+    /// poisoning or hanging the pool.
+    WorkerPanicked {
+        /// The panic payload, stringified.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for ScopingError {
@@ -51,6 +58,9 @@ impl std::fmt::Display for ScopingError {
                 write!(f, "explained variance v = {value} must lie in (0, 1]")
             }
             ScopingError::Svd(e) => write!(f, "decomposition failed: {e}"),
+            ScopingError::WorkerPanicked { detail } => {
+                write!(f, "a parallel worker panicked: {detail}")
+            }
         }
     }
 }
@@ -93,6 +103,11 @@ mod tests {
             .contains("v = 1.5"));
         let svd: ScopingError = SvdError::EmptyMatrix.into();
         assert!(svd.to_string().contains("decomposition"));
+        assert!(ScopingError::WorkerPanicked {
+            detail: "boom".into()
+        }
+        .to_string()
+        .contains("boom"));
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod local_model;
 pub mod nonlinear;
 pub mod outcome;
 pub mod pairwise;
+pub mod pool;
 pub mod scoper;
 pub mod scoping;
 pub mod signatures;
@@ -45,6 +46,7 @@ pub use local_model::LocalModel;
 pub use nonlinear::{NeuralCollaborativeScoper, NeuralLocalModel};
 pub use outcome::ScopingOutcome;
 pub use pairwise::SourceToTargetScoper;
+pub use pool::{ExecPolicy, ThreadPool};
 pub use scoper::Scoper;
 pub use scoping::GlobalScoper;
 pub use signatures::{encode_catalog, encode_catalog_with, SchemaSignatures};

@@ -128,10 +128,12 @@ impl NeuralCollaborativeScoper {
         if k < 2 {
             return Err(ScopingError::TooFewSchemas { found: k });
         }
-        let models: Vec<NeuralLocalModel> =
-            crate::collaborative::per_schema_slots(k, true, |idx| {
-                NeuralLocalModel::train(idx, signatures.schema(idx), &self.config)
-            })
+        let sigs = signatures.clone();
+        let config = self.config.clone();
+        let models: Vec<NeuralLocalModel> = crate::pool::ExecPolicy::Global
+            .run_slots(k, move |idx| {
+                NeuralLocalModel::train(idx, sigs.schema(idx), &config)
+            })?
             .into_iter()
             .collect::<Result<_, _>>()?;
 

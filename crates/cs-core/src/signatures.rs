@@ -4,17 +4,30 @@
 //! the catalog's canonical element enumeration) plus the id bookkeeping
 //! that maps matrix rows back to tables/attributes.
 
+use std::sync::Arc;
+
 use cs_embed::SignatureEncoder;
 use cs_linalg::Matrix;
 use cs_schema::serialize::serialize_schema_elements;
 use cs_schema::{Catalog, ElementId, SerializeOptions};
 
-/// Per-schema signature matrices for one catalog.
-#[derive(Debug, Clone)]
-pub struct SchemaSignatures {
+/// The immutable signature data, shared by every clone of a catalog.
+#[derive(Debug)]
+struct Inner {
     per_schema: Vec<Matrix>,
     schema_names: Vec<String>,
     dim: usize,
+}
+
+/// Per-schema signature matrices for one catalog.
+///
+/// The matrices are immutable once built and held behind an [`Arc`], so
+/// `Clone` is a reference-count bump — cheap enough to hand an owned
+/// catalog to every closure the parallel runtime ([`crate::pool`])
+/// dispatches, without copying signature data.
+#[derive(Debug, Clone)]
+pub struct SchemaSignatures {
+    inner: Arc<Inner>,
 }
 
 impl SchemaSignatures {
@@ -40,51 +53,53 @@ impl SchemaSignatures {
             );
         }
         Self {
-            per_schema,
-            schema_names,
-            dim,
+            inner: Arc::new(Inner {
+                per_schema,
+                schema_names,
+                dim,
+            }),
         }
     }
 
     /// Number of schemas.
     pub fn schema_count(&self) -> usize {
-        self.per_schema.len()
+        self.inner.per_schema.len()
     }
 
     /// Signature dimensionality.
     pub fn dim(&self) -> usize {
-        self.dim
+        self.inner.dim
     }
 
     /// Schema display names.
     pub fn schema_names(&self) -> &[String] {
-        &self.schema_names
+        &self.inner.schema_names
     }
 
     /// Signature matrix of one schema (`|S_k| × dim`).
     pub fn schema(&self, k: usize) -> &Matrix {
-        &self.per_schema[k]
+        &self.inner.per_schema[k]
     }
 
     /// Number of elements in schema `k`.
     pub fn schema_len(&self, k: usize) -> usize {
-        self.per_schema[k].rows()
+        self.inner.per_schema[k].rows()
     }
 
     /// Total elements across schemas — `|S|`.
     pub fn total_len(&self) -> usize {
-        self.per_schema.iter().map(Matrix::rows).sum()
+        self.inner.per_schema.iter().map(Matrix::rows).sum()
     }
 
     /// All signatures stacked into one matrix, schema by schema — the
     /// unified set `S^v⃗` global scoping operates on.
     pub fn unified(&self) -> Matrix {
         let mut out = Matrix::zeros(0, 0);
-        for m in &self.per_schema {
+        for m in &self.inner.per_schema {
             out = out.vstack(m);
         }
         if out.is_empty() && out.cols() == 0 {
-            Matrix::zeros(0, self.dim)
+            Matrix::zeros(0, self.inner.dim)
         } else {
             out
         }
@@ -93,7 +108,7 @@ impl SchemaSignatures {
     /// Element ids in unified (stacked) row order.
     pub fn element_ids(&self) -> Vec<ElementId> {
         let mut out = Vec::with_capacity(self.total_len());
-        for (k, m) in self.per_schema.iter().enumerate() {
+        for (k, m) in self.inner.per_schema.iter().enumerate() {
             for e in 0..m.rows() {
                 out.push(ElementId::new(k, e));
             }
@@ -103,7 +118,10 @@ impl SchemaSignatures {
 
     /// Unified row index of an element id.
     pub fn row_of(&self, id: ElementId) -> usize {
-        let offset: usize = self.per_schema[..id.schema].iter().map(Matrix::rows).sum();
+        let offset: usize = self.inner.per_schema[..id.schema]
+            .iter()
+            .map(Matrix::rows)
+            .sum();
         offset + id.element
     }
 }
@@ -202,6 +220,14 @@ mod tests {
         let sigs = encode_catalog(&enc, &Catalog::new());
         assert_eq!(sigs.schema_count(), 0);
         assert_eq!(sigs.total_len(), 0);
+    }
+
+    #[test]
+    fn clone_shares_signature_data() {
+        let enc = SignatureEncoder::default();
+        let sigs = encode_catalog(&enc, &catalog());
+        let cloned = sigs.clone();
+        assert!(Arc::ptr_eq(&sigs.inner, &cloned.inner));
     }
 
     #[test]

@@ -13,9 +13,12 @@
 //! every grid point an O(1)-per-element lookup. A property test pins the
 //! sweep's decisions to [`CollaborativeScoper::run`]'s.
 
+use std::sync::Arc;
+
 use crate::collaborative::CombinationRule;
 use crate::error::ScopingError;
 use crate::outcome::ScopingOutcome;
+use crate::pool::ExecPolicy;
 use crate::signatures::SchemaSignatures;
 use cs_linalg::{Matrix, Pca};
 use cs_schema::ElementId;
@@ -62,9 +65,9 @@ impl ProjTable {
     }
 }
 
-/// Prepared state for sweeping `v` over a catalog's signatures.
-#[derive(Debug, Clone)]
-pub struct CollaborativeSweep {
+/// The immutable projection cache, shared by every clone of a sweep.
+#[derive(Debug)]
+struct SweepCache {
     element_ids: Vec<ElementId>,
     dim: usize,
     /// Full explained-variance ratios per schema model.
@@ -76,9 +79,32 @@ pub struct CollaborativeSweep {
     cross: Vec<Vec<Option<ProjTable>>>,
 }
 
+/// Prepared state for sweeping `v` over a catalog's signatures.
+///
+/// The cache is immutable once prepared and held behind an [`Arc`], so
+/// `Clone` is a reference-count bump — each worker of
+/// [`Self::assess_grid`] carries its own handle to the shared
+/// projections.
+#[derive(Debug, Clone)]
+pub struct CollaborativeSweep {
+    inner: Arc<SweepCache>,
+}
+
 impl CollaborativeSweep {
-    /// Fits full-rank PCA per schema and caches all projections.
+    /// Fits full-rank PCA per schema and caches all projections, fanning
+    /// the per-schema work out on the shared pool.
     pub fn prepare(signatures: &SchemaSignatures) -> Result<Self, ScopingError> {
+        Self::prepare_with(signatures, &ExecPolicy::Global)
+    }
+
+    /// [`Self::prepare`] under an explicit execution policy. Both the
+    /// PCA fits and the projection tables are per-schema pure
+    /// computations assembled in slot order, so every policy produces a
+    /// bit-identical cache.
+    pub fn prepare_with(
+        signatures: &SchemaSignatures,
+        exec: &ExecPolicy,
+    ) -> Result<Self, ScopingError> {
         let k = signatures.schema_count();
         if k < 2 {
             return Err(ScopingError::TooFewSchemas { found: k });
@@ -88,40 +114,55 @@ impl CollaborativeSweep {
                 return Err(ScopingError::EmptySchema { schema: m });
             }
         }
-        let pcas: Vec<Pca> = (0..k)
-            .map(|m| Pca::fit_full(signatures.schema(m)).map_err(ScopingError::from))
-            .collect::<Result<_, _>>()?;
+        let sigs = signatures.clone();
+        let pcas: Arc<Vec<Pca>> = Arc::new(
+            exec.run_slots(k, move |m| {
+                Pca::fit_full(sigs.schema(m)).map_err(ScopingError::from)
+            })?
+            .into_iter()
+            .collect::<Result<_, _>>()?,
+        );
         let ratios = pcas
             .iter()
             .map(|p| p.explained_variance_ratio().to_vec())
             .collect();
-        let own: Vec<ProjTable> = (0..k)
-            .map(|m| ProjTable::build(&pcas[m], signatures.schema(m)))
-            .collect();
-        let cross: Vec<Vec<Option<ProjTable>>> = (0..k)
-            .map(|sk| {
-                (0..k)
-                    .map(|m| (m != sk).then(|| ProjTable::build(&pcas[m], signatures.schema(sk))))
-                    .collect()
-            })
-            .collect();
+        // One slot per schema: its own-model table plus its row of
+        // cross-model tables.
+        let sigs = signatures.clone();
+        let shared_pcas = Arc::clone(&pcas);
+        let per_schema = exec.run_slots(k, move |sk| {
+            let own = ProjTable::build(&shared_pcas[sk], sigs.schema(sk));
+            let cross: Vec<Option<ProjTable>> = (0..k)
+                .map(|m| (m != sk).then(|| ProjTable::build(&shared_pcas[m], sigs.schema(sk))))
+                .collect();
+            (own, cross)
+        })?;
+        let mut own = Vec::with_capacity(k);
+        let mut cross = Vec::with_capacity(k);
+        for (o, c) in per_schema {
+            own.push(o);
+            cross.push(c);
+        }
         Ok(Self {
-            element_ids: signatures.element_ids(),
-            dim: signatures.dim(),
-            ratios,
-            own,
-            cross,
+            inner: Arc::new(SweepCache {
+                element_ids: signatures.element_ids(),
+                dim: signatures.dim(),
+                ratios,
+                own,
+                cross,
+            }),
         })
     }
 
     /// Number of schemas.
     pub fn schema_count(&self) -> usize {
-        self.own.len()
+        self.inner.own.len()
     }
 
     /// Components each model retains at explained variance `v`.
     pub fn components_at(&self, v: f64) -> Vec<usize> {
-        self.ratios
+        self.inner
+            .ratios
             .iter()
             .map(|r| Pca::components_for_variance(r, v))
             .collect()
@@ -130,12 +171,13 @@ impl CollaborativeSweep {
     /// Local linkability ranges `l_m` at explained variance `v`.
     pub fn ranges_at(&self, v: f64) -> Vec<f64> {
         let comps = self.components_at(v);
-        self.own
+        self.inner
+            .own
             .iter()
             .zip(comps.iter())
             .map(|(table, &n)| {
                 (0..table.len())
-                    .map(|e| table.error_at(e, n, self.dim))
+                    .map(|e| table.error_at(e, n, self.inner.dim))
                     .fold(0.0, f64::max)
             })
             .collect()
@@ -150,17 +192,18 @@ impl CollaborativeSweep {
     /// Assessment with an explicit combination rule.
     pub fn assess_with_rule(&self, v: f64, rule: CombinationRule) -> ScopingOutcome {
         assert!(v.is_finite() && v > 0.0 && v <= 1.0, "v must lie in (0, 1]");
+        let cache = &*self.inner;
         let k = self.schema_count();
         let comps = self.components_at(v);
         let ranges = self.ranges_at(v);
-        let mut decisions = Vec::with_capacity(self.element_ids.len());
+        let mut decisions = Vec::with_capacity(cache.element_ids.len());
         for sk in 0..k {
-            let n_elems = self.own[sk].len();
+            let n_elems = cache.own[sk].len();
             for e in 0..n_elems {
                 let mut accepts = 0usize;
                 for m in 0..k {
-                    if let Some(table) = &self.cross[sk][m] {
-                        if table.error_at(e, comps[m], self.dim) <= ranges[m] {
+                    if let Some(table) = &cache.cross[sk][m] {
+                        if table.error_at(e, comps[m], cache.dim) <= ranges[m] {
                             accepts += 1;
                         }
                     }
@@ -170,9 +213,40 @@ impl CollaborativeSweep {
         }
         ScopingOutcome::new(
             format!("Collaborative[PCA] v={v}"),
-            self.element_ids.clone(),
+            cache.element_ids.clone(),
             decisions,
         )
+    }
+
+    /// Assesses every grid point of `vs`, dealing contiguous `v`-slices
+    /// to the shared pool's workers. Each grid point reads the cached
+    /// projections independently, so the output vector (in `vs` order)
+    /// is bit-identical to calling [`Self::assess_with_rule`] in a loop.
+    pub fn assess_grid(
+        &self,
+        vs: &[f64],
+        rule: CombinationRule,
+    ) -> Result<Vec<ScopingOutcome>, ScopingError> {
+        self.assess_grid_with(vs, rule, &ExecPolicy::Global)
+    }
+
+    /// [`Self::assess_grid`] under an explicit execution policy.
+    pub fn assess_grid_with(
+        &self,
+        vs: &[f64],
+        rule: CombinationRule,
+        exec: &ExecPolicy,
+    ) -> Result<Vec<ScopingOutcome>, ScopingError> {
+        // Validate up front: a bad grid point should be a typed error on
+        // the caller thread, not a worker panic.
+        for &v in vs {
+            if !(v.is_finite() && v > 0.0 && v <= 1.0) {
+                return Err(ScopingError::InvalidVariance { value: v });
+            }
+        }
+        let sweep = self.clone();
+        let vs: Arc<[f64]> = vs.into();
+        exec.run_slots(vs.len(), move |i| sweep.assess_with_rule(vs[i], rule))
     }
 }
 
@@ -251,7 +325,7 @@ mod tests {
         let n0 = sweep.components_at(v)[0];
         let pca = Pca::fit_full(sigs.schema(0)).unwrap().with_components(n0);
         let explicit = pca.reconstruction_errors(sigs.schema(1));
-        let table = sweep.cross[1][0].as_ref().unwrap();
+        let table = sweep.inner.cross[1][0].as_ref().unwrap();
         for (e, expected) in explicit.iter().enumerate() {
             let got = table.error_at(e, n0, sigs.dim());
             assert!(
@@ -286,5 +360,41 @@ mod tests {
     fn out_of_range_v_panics() {
         let sigs = random_sigs(9);
         CollaborativeSweep::prepare(&sigs).unwrap().assess_at(0.0);
+    }
+
+    #[test]
+    fn assess_grid_matches_pointwise_loop() {
+        let sigs = random_sigs(10);
+        let sweep = CollaborativeSweep::prepare(&sigs).unwrap();
+        let vs = [0.95, 0.8, 0.6, 0.4, 0.25, 0.1, 0.05];
+        let batch = sweep.assess_grid(&vs, CombinationRule::Any).unwrap();
+        assert_eq!(batch.len(), vs.len());
+        for (outcome, &v) in batch.iter().zip(vs.iter()) {
+            assert_eq!(outcome.decisions, sweep.assess_at(v).decisions, "v={v}");
+        }
+    }
+
+    #[test]
+    fn assess_grid_rejects_bad_points_as_typed_error() {
+        let sigs = random_sigs(11);
+        let sweep = CollaborativeSweep::prepare(&sigs).unwrap();
+        for bad in [0.0, -1.0, 1.5, f64::NAN] {
+            let err = sweep
+                .assess_grid(&[0.5, bad], CombinationRule::Any)
+                .unwrap_err();
+            assert!(matches!(err, ScopingError::InvalidVariance { .. }), "{bad}");
+        }
+    }
+
+    #[test]
+    fn prepare_policies_build_identical_caches() {
+        let sigs = random_sigs(12);
+        let seq = CollaborativeSweep::prepare_with(&sigs, &ExecPolicy::Sequential).unwrap();
+        let par = CollaborativeSweep::prepare(&sigs).unwrap();
+        for &v in &[0.9, 0.5, 0.2] {
+            assert_eq!(seq.components_at(v), par.components_at(v));
+            assert_eq!(seq.ranges_at(v), par.ranges_at(v));
+            assert_eq!(seq.assess_at(v).decisions, par.assess_at(v).decisions);
+        }
     }
 }

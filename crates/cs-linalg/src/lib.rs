@@ -14,13 +14,16 @@
 //! - [`SplitMix64`] / [`Xoshiro256`] — small seeded PRNGs so every
 //!   experiment in the workspace is exactly reproducible.
 //!
-//! The signature matrices this workspace manipulates are small (hundreds of
-//! rows, 768 columns), so clarity and numerical robustness are preferred
-//! over blocked/SIMD kernels; the hot paths are nonetheless allocation-aware
-//! (see the `matmul` implementations) following the Rust Performance Book
-//! guidance.
+//! The signature matrices this workspace manipulates are short and wide
+//! (hundreds of rows, 768 columns). The reference loops in [`matrix`] are
+//! written for clarity and numerical robustness; large products dispatch
+//! to the cache-tiled kernels of [`kernels`], which are pinned by
+//! property tests to be **bit-identical** to the reference loops
+//! (DESIGN.md §8) — blocking only reorders memory traffic, never
+//! floating-point accumulation.
 
 pub mod check;
+pub mod kernels;
 pub mod matrix;
 pub mod pca;
 pub mod qr;

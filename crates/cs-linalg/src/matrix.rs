@@ -164,7 +164,8 @@ impl Matrix {
     ///
     /// Cache-friendly i-k-j loop ordering over the row-major buffers; this
     /// is the workspace's hot kernel (PCA encode/decode, autoencoder
-    /// forward/backward).
+    /// forward/backward). Large products dispatch to the cache-tiled
+    /// kernel of [`crate::kernels`], which is bit-identical to this loop.
     ///
     /// # Panics
     /// If `self.cols != other.rows`.
@@ -176,6 +177,10 @@ impl Matrix {
             self.shape(),
             other.shape()
         );
+        use crate::kernels::{matmul_blocked, BLOCK_DISPATCH_MIN, TILE};
+        if self.rows.max(self.cols).max(other.cols) >= BLOCK_DISPATCH_MIN {
+            return matmul_blocked(self, other, TILE);
+        }
         let mut out = Matrix::zeros(self.rows, other.cols);
         for i in 0..self.rows {
             let a_row = self.row(i);
@@ -193,7 +198,9 @@ impl Matrix {
         out
     }
 
-    /// `self · otherᵀ` without materializing the transpose.
+    /// `self · otherᵀ` without materializing the transpose. Large
+    /// products dispatch to the cache-tiled kernel of [`crate::kernels`],
+    /// which computes the same full-length dot per element.
     pub fn matmul_transposed(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols,
@@ -202,6 +209,10 @@ impl Matrix {
             self.shape(),
             other.shape()
         );
+        use crate::kernels::{matmul_transposed_blocked, BLOCK_DISPATCH_MIN, TILE};
+        if self.rows.max(self.cols).max(other.rows) >= BLOCK_DISPATCH_MIN {
+            return matmul_transposed_blocked(self, other, TILE);
+        }
         let mut out = Matrix::zeros(self.rows, other.rows);
         for i in 0..self.rows {
             let a_row = self.row(i);

@@ -152,8 +152,9 @@ impl Svd {
         let (n, d) = a.shape();
         let r = n.min(d);
         if n <= d {
-            // G = A·Aᵀ (n×n); G = U·Σ²·Uᵀ.
-            let g = a.matmul_transposed(a);
+            // G = A·Aᵀ (n×n); G = U·Σ²·Uᵀ — the symmetry-aware tiled
+            // kernel halves the flops and is bit-identical.
+            let g = crate::kernels::gram_rows(a, crate::kernels::TILE);
             let (eigvals, eigvecs) = symmetric_eigen(&g);
             let mut u = Matrix::zeros(n, r);
             let mut vt = Matrix::zeros(r, d);
@@ -185,7 +186,7 @@ impl Svd {
         } else {
             // G = Aᵀ·A (d×d); G = V·Σ²·Vᵀ.
             let at = a.transpose();
-            let g = at.matmul_transposed(&at);
+            let g = crate::kernels::gram_rows(&at, crate::kernels::TILE);
             let (eigvals, eigvecs) = symmetric_eigen(&g);
             let mut u = Matrix::zeros(n, r);
             let mut vt = Matrix::zeros(r, d);

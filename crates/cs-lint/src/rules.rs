@@ -19,16 +19,22 @@ pub const PANIC_FREE_CORE: &str = "panic-free-core";
 pub const NO_UNSAFE: &str = "no-unsafe";
 /// Rule: no registry/git dependency may enter the workspace (DESIGN.md §6).
 pub const HERMETIC_DEPS: &str = "hermetic-deps";
+/// Rule: `Mutex<Vec<..>>` in cs-core non-test code — the classic shape of
+/// workers pushing results in *arrival* order, which breaks the
+/// determinism contract (DESIGN.md §8). Waivable where the vector's order
+/// provably does not reach any output.
+pub const NO_ARRIVAL_ORDER_REDUCE: &str = "no-arrival-order-reduce";
 /// Diagnostic for malformed or unknown waiver pragmas (not waivable).
 pub const PRAGMA: &str = "pragma";
 
 /// Every enforceable rule name, for pragma validation.
-pub const ALL_RULES: [&str; 5] = [
+pub const ALL_RULES: [&str; 6] = [
     NO_FLOAT_SORT_UNWRAP,
     NO_UNWRAP_IN_LIB,
     PANIC_FREE_CORE,
     NO_UNSAFE,
     HERMETIC_DEPS,
+    NO_ARRIVAL_ORDER_REDUCE,
 ];
 
 /// Comparator-taking methods in whose argument list a float
@@ -105,6 +111,21 @@ pub fn lint_rust_source(src: &str, rel_path: &str) -> Vec<Finding> {
                     rel_path,
                     t.line,
                     format!("`{word}!` in cs-core non-test code; return a typed error instead"),
+                ));
+            }
+            "Mutex"
+                if class.core_lib
+                    && !in_test(i)
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct('<'))
+                    && toks.get(i + 2).is_some_and(|n| n.is_ident("Vec")) =>
+            {
+                findings.push(Finding::new(
+                    NO_ARRIVAL_ORDER_REDUCE,
+                    rel_path,
+                    t.line,
+                    "`Mutex<Vec<..>>` accumulates parallel results in arrival order, \
+                     breaking the determinism contract (DESIGN.md §8); deal indexed \
+                     chunks and assemble result slots by position (see cs_core::pool)",
                 ));
             }
             "unwrap"
@@ -408,6 +429,31 @@ mod tests {
         let src = "fn f(a: f64, b: f64) { let _ = a.partial_cmp(&b).unwrap(); }";
         assert!(rules_fired(src, "crates/cs-match/src/fake.rs").is_empty());
         assert_eq!(rules_fired(src, LIB), vec![NO_UNWRAP_IN_LIB]);
+    }
+
+    #[test]
+    fn mutex_vec_fires_only_in_core_lib() {
+        let src = "use std::sync::Mutex;\nstruct Acc { results: Mutex<Vec<f64>> }";
+        assert_eq!(rules_fired(src, LIB), vec![NO_ARRIVAL_ORDER_REDUCE]);
+        // Other crates may still use the pattern.
+        assert!(rules_fired(src, "crates/cs-match/src/fake.rs").is_empty());
+        // Test code in cs-core is exempt.
+        let test_src = format!("#[cfg(test)] mod tests {{ {src} }}");
+        assert!(rules_fired(&test_src, LIB).is_empty());
+    }
+
+    #[test]
+    fn mutex_of_non_vec_is_clean() {
+        // The pool's own `Mutex<mpsc::Receiver<..>>` shape must not fire.
+        let src = "use std::sync::Mutex;\nstruct P { rx: Mutex<std::sync::mpsc::Receiver<u8>> }";
+        assert!(rules_fired(src, LIB).is_empty());
+        assert!(rules_fired("fn f(m: &std::sync::Mutex<usize>) {}", LIB).is_empty());
+    }
+
+    #[test]
+    fn mutex_vec_is_waivable() {
+        let src = "struct Acc {\n    // cs-lint: allow(no-arrival-order-reduce) -- order never reaches output\n    results: std::sync::Mutex<Vec<f64>>,\n}";
+        assert!(rules_fired(src, LIB).is_empty());
     }
 
     #[test]

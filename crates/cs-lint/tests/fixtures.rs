@@ -57,6 +57,10 @@ fn seeded_fixture(tag: &str) -> Fixture {
         "src/bad_unsafe.rs",
         "pub fn h() -> u8 {\n    let x: u8 = 7;\n    unsafe { *(&x as *const u8) }\n}\n",
     );
+    fx.write(
+        "crates/cs-core/src/bad_reduce.rs",
+        "use std::sync::Mutex;\n\npub struct Acc {\n    pub results: Mutex<Vec<f64>>,\n}\n",
+    );
     fx
 }
 
@@ -79,6 +83,11 @@ fn each_rule_fires_at_the_seeded_location() {
             2,
         ),
         ("src/bad_unsafe.rs", rules::NO_UNSAFE, 3),
+        (
+            "crates/cs-core/src/bad_reduce.rs",
+            rules::NO_ARRIVAL_ORDER_REDUCE,
+            4,
+        ),
     ];
     for (file, rule, line) in expect {
         assert!(
@@ -187,7 +196,7 @@ fn binary_exits_nonzero_on_seeded_violation_and_writes_report() {
         doc.get("clean"),
         Some(&cs_core::json::JsonValue::Bool(false))
     );
-    assert_eq!(doc.get("unwaived").and_then(|v| v.as_usize()), Some(5));
+    assert_eq!(doc.get("unwaived").and_then(|v| v.as_usize()), Some(6));
 }
 
 #[test]

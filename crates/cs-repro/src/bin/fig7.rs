@@ -5,8 +5,7 @@
 //! Usage: `fig7 [--steps N]` (default 20 grid points — the plots need
 //! fewer points than the AUC integrals).
 
-use cs_repro::ablation::fig7_ablation;
-use cs_repro::csv::{fmt_f64, CsvTable};
+use cs_repro::goldens;
 use cs_repro::report::render_table;
 
 fn main() {
@@ -18,28 +17,16 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(20);
 
-    let mut csv = CsvTable::new(&[
-        "dataset",
-        "matcher",
-        "v",
-        "pq",
-        "pc",
-        "f1",
-        "rr",
-        "candidates",
-    ]);
-    for (panel, ds) in [
-        ("(a-d)", cs_datasets::oc3()),
-        ("(e-h)", cs_datasets::oc3_fo()),
-    ] {
-        println!("Figure 7 {panel} — {} (grid {steps})\n", ds.name);
-        let points = fig7_ablation(&ds, steps);
+    let t = goldens::fig7(steps);
+    let panels = ["(a-d)", "(e-h)"];
+    for (panel, (name, points)) in panels.iter().zip(&t.per_dataset) {
+        println!("Figure 7 {panel} — {name} (grid {steps})\n");
 
         // Console: SOTA row and three sampled v rows per matcher.
         let mut rows = Vec::new();
         let matchers: Vec<String> = {
             let mut seen = Vec::new();
-            for p in &points {
+            for p in points {
                 if !seen.contains(&p.matcher) {
                     seen.push(p.matcher.clone());
                 }
@@ -76,21 +63,9 @@ fn main() {
             "{}",
             render_table(&["Matcher", "PQ", "PC", "F1", "RR"], &rows)
         );
-
-        for p in &points {
-            csv.push_row(vec![
-                ds.name.clone(),
-                p.matcher.clone(),
-                p.v.map(fmt_f64).unwrap_or_else(|| "SOTA".into()),
-                fmt_f64(p.quality.pq),
-                fmt_f64(p.quality.pc),
-                fmt_f64(p.quality.f1),
-                fmt_f64(p.quality.rr),
-                p.quality.candidates.to_string(),
-            ]);
-        }
     }
+
     let path = format!("{}/fig7.csv", cs_repro::RESULTS_DIR);
-    csv.write_to(&path).expect("write results CSV");
+    t.csv.write_to(&path).expect("write results CSV");
     println!("written: {path}");
 }

@@ -1,70 +1,21 @@
 //! Regenerates Table 2: linkable and unlinkable schema elements in the
 //! OC3 and OC3-FO datasets.
 
-use cs_repro::csv::CsvTable;
+use cs_repro::goldens;
 use cs_repro::report::render_table;
 
 fn main() {
-    let mut rows = Vec::new();
-    let mut csv = CsvTable::new(&["schema", "tables", "attributes", "linkable", "unlinkable"]);
-
-    for ds in [cs_datasets::oc3(), cs_datasets::oc3_fo()] {
-        let linkable = ds.linkages.linkable_per_schema(&ds.catalog);
-        let total_tables: usize = ds.catalog.schemas().iter().map(|s| s.table_count()).sum();
-        let total_attrs: usize = ds
-            .catalog
-            .schemas()
-            .iter()
-            .map(|s| s.attribute_count())
-            .sum();
-        let total_linkable: usize = linkable.iter().sum();
-        let total_unlinkable = ds.catalog.element_count() - total_linkable;
-        rows.push(vec![
-            ds.name.clone(),
-            total_tables.to_string(),
-            total_attrs.to_string(),
-            total_linkable.to_string(),
-            total_unlinkable.to_string(),
-        ]);
-        csv.push_row(vec![
-            ds.name.clone(),
-            total_tables.to_string(),
-            total_attrs.to_string(),
-            total_linkable.to_string(),
-            total_unlinkable.to_string(),
-        ]);
-        for (k, schema) in ds.catalog.schemas().iter().enumerate() {
-            // Per-schema rows only once (OC3-FO repeats the OC3 schemas).
-            if ds.name == "OC3-FO" && k < 3 {
-                continue;
-            }
-            let unlinkable = schema.element_count() - linkable[k];
-            rows.push(vec![
-                format!("  {}", schema.name),
-                schema.table_count().to_string(),
-                schema.attribute_count().to_string(),
-                linkable[k].to_string(),
-                unlinkable.to_string(),
-            ]);
-            csv.push_row(vec![
-                schema.name.clone(),
-                schema.table_count().to_string(),
-                schema.attribute_count().to_string(),
-                linkable[k].to_string(),
-                unlinkable.to_string(),
-            ]);
-        }
-    }
+    let t = goldens::table2();
 
     println!("Table 2: linkable and unlinkable schema elements\n");
     println!(
         "{}",
         render_table(
             &["Schema", "Tables", "Attributes", "Linkable", "Unlinkable"],
-            &rows
+            &t.console_rows
         )
     );
     let path = format!("{}/table2.csv", cs_repro::RESULTS_DIR);
-    csv.write_to(&path).expect("write results CSV");
+    t.csv.write_to(&path).expect("write results CSV");
     println!("written: {path}");
 }

@@ -1,83 +1,21 @@
 //! Regenerates Table 3: Cartesian product sizes and annotated linkages
 //! per schema pair.
 
-use cs_repro::csv::CsvTable;
+use cs_repro::goldens;
 use cs_repro::report::render_table;
-use cs_schema::LinkageKind;
 
 fn main() {
-    let ds = cs_datasets::oc3();
-    let c = &ds.catalog;
-    let mut rows = Vec::new();
-    let mut csv = CsvTable::new(&["schemas", "cartesian_table", "cartesian_attr", "ii", "is"]);
-
-    let mut push = |label: String, ct: usize, ca: usize, ii: usize, is: usize| {
-        rows.push(vec![
-            label.clone(),
-            ct.to_string(),
-            ca.to_string(),
-            ii.to_string(),
-            is.to_string(),
-        ]);
-        csv.push_row(vec![
-            label,
-            ct.to_string(),
-            ca.to_string(),
-            ii.to_string(),
-            is.to_string(),
-        ]);
-    };
-
-    // Totals row for OC3 (attribute pairs + the 5 sub-typed table pairs).
-    push(
-        "OC3".into(),
-        c.cartesian_table_pairs(),
-        c.cartesian_attribute_pairs(),
-        ds.linkages.count_kind(LinkageKind::InterIdentical),
-        ds.linkages.count_kind(LinkageKind::InterSubTyped),
-    );
-
-    let names = ["Oracle", "MySQL", "HANA"];
-    for i in 0..3 {
-        for j in (i + 1)..3 {
-            let si = c.schema(i);
-            let sj = c.schema(j);
-            let attr_pairs = |kind: LinkageKind| {
-                ds.linkages
-                    .iter()
-                    .filter(|p| {
-                        p.kind == kind && p.connects(i, j) && c.element_ref(p.a).is_attribute()
-                    })
-                    .count()
-            };
-            push(
-                format!("  {}-{}", names[i], names[j]),
-                si.table_count() * sj.table_count(),
-                si.attribute_count() * sj.attribute_count(),
-                attr_pairs(LinkageKind::InterIdentical),
-                attr_pairs(LinkageKind::InterSubTyped),
-            );
-        }
-    }
-
-    let fo = cs_datasets::oc3_fo();
-    push(
-        "OC3-FO".into(),
-        fo.catalog.cartesian_table_pairs(),
-        fo.catalog.cartesian_attribute_pairs(),
-        fo.linkages.count_kind(LinkageKind::InterIdentical),
-        fo.linkages.count_kind(LinkageKind::InterSubTyped),
-    );
+    let t = goldens::table3();
 
     println!("Table 3: Cartesian product sizes and annotated linkages\n");
     println!(
         "{}",
         render_table(
             &["Schemas", "Cartesian Table", "Cartesian Attr.", "II", "IS"],
-            &rows
+            &t.rows
         )
     );
     let path = format!("{}/table3.csv", cs_repro::RESULTS_DIR);
-    csv.write_to(&path).expect("write results CSV");
+    t.csv.write_to(&path).expect("write results CSV");
     println!("written: {path}");
 }

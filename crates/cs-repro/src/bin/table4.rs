@@ -5,44 +5,27 @@
 //! ensemble (100 runs × 50 epochs; slow); the default uses a light
 //! configuration (10 × 25) that preserves the ranking.
 
-use cs_repro::csv::{fmt_f64, CsvTable};
-use cs_repro::experiments::{table4_rows, DEFAULT_GRID_STEPS};
+use cs_repro::experiments::DEFAULT_GRID_STEPS;
+use cs_repro::goldens;
 use cs_repro::report::{pct, render_table};
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
     let (ae_runs, ae_epochs) = if full { (100, 50) } else { (10, 25) };
 
-    let mut csv = CsvTable::new(&[
-        "dataset",
-        "method",
-        "auc_f1",
-        "auc_roc",
-        "auc_roc_smoothed",
-        "auc_pr",
-    ]);
-    for ds in [cs_datasets::oc3(), cs_datasets::oc3_fo()] {
+    let t = goldens::table4(DEFAULT_GRID_STEPS, ae_runs, ae_epochs);
+    for (name, rows) in &t.per_dataset {
         println!(
-            "Table 4 — {} (autoencoder {ae_runs}×{ae_epochs}, grid {DEFAULT_GRID_STEPS})\n",
-            ds.name
+            "Table 4 — {name} (autoencoder {ae_runs}×{ae_epochs}, grid {DEFAULT_GRID_STEPS})\n"
         );
-        let rows = table4_rows(&ds, DEFAULT_GRID_STEPS, ae_runs, ae_epochs);
         let mut text_rows = Vec::new();
-        for r in &rows {
+        for r in rows {
             text_rows.push(vec![
                 r.method.clone(),
                 pct(r.auc_f1),
                 pct(r.auc_roc),
                 pct(r.auc_roc_smoothed),
                 pct(r.auc_pr),
-            ]);
-            csv.push_row(vec![
-                ds.name.clone(),
-                r.method.clone(),
-                fmt_f64(r.auc_f1),
-                fmt_f64(r.auc_roc),
-                fmt_f64(r.auc_roc_smoothed),
-                fmt_f64(r.auc_pr),
             ]);
         }
         println!(
@@ -70,6 +53,6 @@ fn main() {
         );
     }
     let path = format!("{}/table4.csv", cs_repro::RESULTS_DIR);
-    csv.write_to(&path).expect("write results CSV");
+    t.csv.write_to(&path).expect("write results CSV");
     println!("written: {path}");
 }

@@ -60,15 +60,21 @@ pub fn global_scoping_curve(
 }
 
 /// Sweeps collaborative scoping over the `v` grid using the cached
-/// projection sweep.
+/// projection sweep. The whole grid is assessed in one
+/// [`CollaborativeSweep::assess_grid`] batch, which fans the points out
+/// over the global thread pool (bit-identical to a sequential loop —
+/// DESIGN.md §8).
 pub fn collaborative_curve(
     sweep: &CollaborativeSweep,
     labels: &[bool],
     steps: usize,
 ) -> SweepCurve {
+    let vs = v_grid(steps);
+    let outcomes = sweep
+        .assess_grid(&vs, cs_core::CombinationRule::Any)
+        .expect("v_grid stays inside (0, 1)");
     let mut curve = SweepCurve::new();
-    for v in v_grid(steps) {
-        let outcome = sweep.assess_at(v);
+    for (&v, outcome) in vs.iter().zip(&outcomes) {
         curve.push(v, BinaryConfusion::from_labels(&outcome.decisions, labels));
     }
     curve

@@ -1,0 +1,245 @@
+//! Shared golden-table builders.
+//!
+//! The `table2` / `table3` / `table4` / `fig7` binaries and the golden
+//! regression test (`tests/golden.rs`) must produce *byte-identical* CSV —
+//! so the table construction lives here, once, and both sides consume it.
+//! Each builder returns the [`CsvTable`] destined for `results/` plus the
+//! intermediate rows the binaries render on the console.
+
+use crate::ablation::{fig7_ablation, AblationPoint};
+use crate::csv::{fmt_f64, CsvTable};
+use crate::experiments::{table4_rows, ScopingMethodResult};
+use cs_schema::LinkageKind;
+
+/// Table 2: linkable/unlinkable element counts.
+#[derive(Debug, Clone)]
+pub struct Table2 {
+    /// Console rows (per-schema labels indented under the totals row).
+    pub console_rows: Vec<Vec<String>>,
+    /// The `results/table2.csv` content.
+    pub csv: CsvTable,
+}
+
+/// Builds Table 2 from the OC3 and OC3-FO datasets.
+pub fn table2() -> Table2 {
+    let mut console_rows = Vec::new();
+    let mut csv = CsvTable::new(&["schema", "tables", "attributes", "linkable", "unlinkable"]);
+
+    for ds in [cs_datasets::oc3(), cs_datasets::oc3_fo()] {
+        let linkable = ds.linkages.linkable_per_schema(&ds.catalog);
+        let total_tables: usize = ds.catalog.schemas().iter().map(|s| s.table_count()).sum();
+        let total_attrs: usize = ds
+            .catalog
+            .schemas()
+            .iter()
+            .map(|s| s.attribute_count())
+            .sum();
+        let total_linkable: usize = linkable.iter().sum();
+        let total_unlinkable = ds.catalog.element_count() - total_linkable;
+        let totals = vec![
+            ds.name.clone(),
+            total_tables.to_string(),
+            total_attrs.to_string(),
+            total_linkable.to_string(),
+            total_unlinkable.to_string(),
+        ];
+        console_rows.push(totals.clone());
+        csv.push_row(totals);
+        for (k, schema) in ds.catalog.schemas().iter().enumerate() {
+            // Per-schema rows only once (OC3-FO repeats the OC3 schemas).
+            if ds.name == "OC3-FO" && k < 3 {
+                continue;
+            }
+            let unlinkable = schema.element_count() - linkable[k];
+            let cells = |label: String| {
+                vec![
+                    label,
+                    schema.table_count().to_string(),
+                    schema.attribute_count().to_string(),
+                    linkable[k].to_string(),
+                    unlinkable.to_string(),
+                ]
+            };
+            console_rows.push(cells(format!("  {}", schema.name)));
+            csv.push_row(cells(schema.name.clone()));
+        }
+    }
+    Table2 { console_rows, csv }
+}
+
+/// Table 3: Cartesian product sizes and annotated linkages. Console rows
+/// and CSV rows are identical (pair rows keep their two-space indent).
+#[derive(Debug, Clone)]
+pub struct Table3 {
+    /// Rows shared by the console rendering and the CSV.
+    pub rows: Vec<Vec<String>>,
+    /// The `results/table3.csv` content.
+    pub csv: CsvTable,
+}
+
+/// Builds Table 3 from the OC3 and OC3-FO datasets.
+pub fn table3() -> Table3 {
+    let ds = cs_datasets::oc3();
+    let c = &ds.catalog;
+    let mut rows: Vec<Vec<String>> = Vec::new();
+
+    let mut push = |label: String, ct: usize, ca: usize, ii: usize, is: usize| {
+        rows.push(vec![
+            label,
+            ct.to_string(),
+            ca.to_string(),
+            ii.to_string(),
+            is.to_string(),
+        ]);
+    };
+
+    // Totals row for OC3 (attribute pairs + the 5 sub-typed table pairs).
+    push(
+        "OC3".into(),
+        c.cartesian_table_pairs(),
+        c.cartesian_attribute_pairs(),
+        ds.linkages.count_kind(LinkageKind::InterIdentical),
+        ds.linkages.count_kind(LinkageKind::InterSubTyped),
+    );
+
+    let names = ["Oracle", "MySQL", "HANA"];
+    for i in 0..3 {
+        for j in (i + 1)..3 {
+            let si = c.schema(i);
+            let sj = c.schema(j);
+            let attr_pairs = |kind: LinkageKind| {
+                ds.linkages
+                    .iter()
+                    .filter(|p| {
+                        p.kind == kind && p.connects(i, j) && c.element_ref(p.a).is_attribute()
+                    })
+                    .count()
+            };
+            push(
+                format!("  {}-{}", names[i], names[j]),
+                si.table_count() * sj.table_count(),
+                si.attribute_count() * sj.attribute_count(),
+                attr_pairs(LinkageKind::InterIdentical),
+                attr_pairs(LinkageKind::InterSubTyped),
+            );
+        }
+    }
+
+    let fo = cs_datasets::oc3_fo();
+    push(
+        "OC3-FO".into(),
+        fo.catalog.cartesian_table_pairs(),
+        fo.catalog.cartesian_attribute_pairs(),
+        fo.linkages.count_kind(LinkageKind::InterIdentical),
+        fo.linkages.count_kind(LinkageKind::InterSubTyped),
+    );
+
+    let mut csv = CsvTable::new(&["schemas", "cartesian_table", "cartesian_attr", "ii", "is"]);
+    for row in &rows {
+        csv.push_row(row.clone());
+    }
+    Table3 { rows, csv }
+}
+
+/// Table 4: AUC summaries of every scoping method per dataset.
+#[derive(Debug, Clone)]
+pub struct Table4 {
+    /// `(dataset name, method rows)` in emission order.
+    pub per_dataset: Vec<(String, Vec<ScopingMethodResult>)>,
+    /// The `results/table4.csv` content.
+    pub csv: CsvTable,
+}
+
+/// Builds Table 4 on both datasets with the given sweep/ensemble budget.
+pub fn table4(steps: usize, ae_runs: usize, ae_epochs: usize) -> Table4 {
+    let mut per_dataset = Vec::new();
+    let mut csv = CsvTable::new(&[
+        "dataset",
+        "method",
+        "auc_f1",
+        "auc_roc",
+        "auc_roc_smoothed",
+        "auc_pr",
+    ]);
+    for ds in [cs_datasets::oc3(), cs_datasets::oc3_fo()] {
+        let rows = table4_rows(&ds, steps, ae_runs, ae_epochs);
+        for r in &rows {
+            csv.push_row(vec![
+                ds.name.clone(),
+                r.method.clone(),
+                fmt_f64(r.auc_f1),
+                fmt_f64(r.auc_roc),
+                fmt_f64(r.auc_roc_smoothed),
+                fmt_f64(r.auc_pr),
+            ]);
+        }
+        per_dataset.push((ds.name.clone(), rows));
+    }
+    Table4 { per_dataset, csv }
+}
+
+/// Figure 7: the PQ/PC/F1/RR matcher ablation per dataset.
+#[derive(Debug, Clone)]
+pub struct Fig7 {
+    /// `(dataset name, ablation points)` in emission order.
+    pub per_dataset: Vec<(String, Vec<AblationPoint>)>,
+    /// The `results/fig7.csv` content.
+    pub csv: CsvTable,
+}
+
+/// Builds the Figure-7 ablation on both datasets over `steps` grid points.
+pub fn fig7(steps: usize) -> Fig7 {
+    let mut per_dataset = Vec::new();
+    let mut csv = CsvTable::new(&[
+        "dataset",
+        "matcher",
+        "v",
+        "pq",
+        "pc",
+        "f1",
+        "rr",
+        "candidates",
+    ]);
+    for ds in [cs_datasets::oc3(), cs_datasets::oc3_fo()] {
+        let points = fig7_ablation(&ds, steps);
+        for p in &points {
+            csv.push_row(vec![
+                ds.name.clone(),
+                p.matcher.clone(),
+                p.v.map(fmt_f64).unwrap_or_else(|| "SOTA".into()),
+                fmt_f64(p.quality.pq),
+                fmt_f64(p.quality.pc),
+                fmt_f64(p.quality.f1),
+                fmt_f64(p.quality.rr),
+                p.quality.candidates.to_string(),
+            ]);
+        }
+        per_dataset.push((ds.name.clone(), points));
+    }
+    Fig7 { per_dataset, csv }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_console_and_csv_agree_up_to_indentation() {
+        let t = table2();
+        assert_eq!(t.console_rows.len(), t.csv.len());
+        // Totals rows appear verbatim; per-schema rows are indented on the
+        // console only.
+        assert_eq!(t.console_rows[0][0], "OC3");
+        assert!(t.console_rows[1][0].starts_with("  "));
+    }
+
+    #[test]
+    fn table3_has_totals_pairs_and_fo_rows() {
+        let t = table3();
+        assert_eq!(t.rows.len(), 5);
+        assert_eq!(t.rows[0][0], "OC3");
+        assert_eq!(t.rows[4][0], "OC3-FO");
+        assert!(t.rows[1][0].starts_with("  Oracle-"));
+        assert_eq!(t.csv.len(), 5);
+    }
+}

@@ -20,6 +20,7 @@ pub mod ablation;
 pub mod csv;
 pub mod experiments;
 pub mod figures;
+pub mod goldens;
 pub mod report;
 
 pub use experiments::{

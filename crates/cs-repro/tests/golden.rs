@@ -1,0 +1,86 @@
+//! Golden-file regression tests: rebuild the paper-table CSVs through the
+//! shared [`cs_repro::goldens`] builders, write them to a temp dir, and
+//! byte-diff them against the checked-in files under `results/`.
+//!
+//! Any change to datasets, encoders, numerics, or the parallel runtime
+//! that moves a single byte of output fails here. The determinism
+//! contract (DESIGN.md §8) is what makes this a meaningful gate: worker
+//! counts may never influence these bytes.
+//!
+//! `table2`/`table3` are cheap and always run. `table4`/`fig7` need
+//! minutes in a debug build, so they only run when optimized
+//! (`cargo test --release`) or when `CS_GOLDEN_FULL` is set.
+
+use std::path::PathBuf;
+
+use cs_repro::csv::CsvTable;
+use cs_repro::goldens;
+
+fn results_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+/// Writes the regenerated table to a temp dir, reads it back, and
+/// compares byte-for-byte with the checked-in golden.
+fn assert_matches_golden(name: &str, csv: &CsvTable) {
+    let golden_path = results_dir().join(name);
+    let golden = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("read golden {}: {e}", golden_path.display()));
+
+    let tmp = std::env::temp_dir().join(format!("cs_golden_{}", std::process::id()));
+    let regen_path = tmp.join(name);
+    csv.write_to(&regen_path).expect("write regenerated CSV");
+    let regenerated = std::fs::read_to_string(&regen_path).expect("read regenerated CSV");
+    let _ = std::fs::remove_dir_all(&tmp);
+
+    if regenerated != golden {
+        let line = golden
+            .lines()
+            .zip(regenerated.lines())
+            .position(|(g, r)| g != r)
+            .map(|i| i + 1);
+        panic!(
+            "{name} diverged from results/{name} (first differing line: {}); \
+             regenerate with `cargo run --release -p cs-repro --bin all` \
+             and inspect the diff before committing",
+            line.map_or("length".to_string(), |l| l.to_string()),
+        );
+    }
+}
+
+/// True when the expensive goldens should run: optimized builds always,
+/// debug builds only on explicit request.
+fn heavy_goldens_enabled() -> bool {
+    !cfg!(debug_assertions) || std::env::var_os("CS_GOLDEN_FULL").is_some()
+}
+
+#[test]
+fn table2_csv_is_byte_identical() {
+    assert_matches_golden("table2.csv", &goldens::table2().csv);
+}
+
+#[test]
+fn table3_csv_is_byte_identical() {
+    assert_matches_golden("table3.csv", &goldens::table3().csv);
+}
+
+#[test]
+fn table4_csv_is_byte_identical() {
+    if !heavy_goldens_enabled() {
+        eprintln!("skipping table4 golden in debug build (set CS_GOLDEN_FULL=1 to force)");
+        return;
+    }
+    // The default harness budget used by the `table4` binary: 50 grid
+    // points, a 10×25 autoencoder ensemble.
+    assert_matches_golden("table4.csv", &goldens::table4(50, 10, 25).csv);
+}
+
+#[test]
+fn fig7_csv_is_byte_identical() {
+    if !heavy_goldens_enabled() {
+        eprintln!("skipping fig7 golden in debug build (set CS_GOLDEN_FULL=1 to force)");
+        return;
+    }
+    // The `fig7` binary's default: 20 grid points.
+    assert_matches_golden("fig7.csv", &goldens::fig7(20).csv);
+}
