@@ -40,8 +40,8 @@ use crate::error::ScopingError;
 /// `CS_THREADS=100000` exhausting process resources.
 pub const MAX_THREADS: usize = 256;
 
-/// The env knob that sizes [`global()`].
-pub const THREADS_ENV: &str = "CS_THREADS";
+/// The env knob that sizes [`global()`] (also `cs_linalg::config::THREADS`).
+pub const THREADS_ENV: &str = cs_linalg::config::THREADS;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -91,7 +91,7 @@ impl ThreadPool {
     /// A pool sized from the environment: `CS_THREADS` when set and
     /// parseable, otherwise the machine's available parallelism.
     pub fn from_env() -> Self {
-        let spec = std::env::var(THREADS_ENV).ok();
+        let spec = cs_linalg::config::env_knob(THREADS_ENV);
         Self::with_threads(resolve_threads(spec.as_deref(), available_parallelism()))
     }
 

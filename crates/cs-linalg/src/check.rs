@@ -30,7 +30,8 @@ pub const DEEP_MULTIPLIER: usize = 16;
 /// `CS_PROP_CASES` environment override wins, otherwise `default`
 /// (multiplied by [`DEEP_MULTIPLIER`] under the `proptest-tests` feature).
 pub fn cases(default: usize) -> usize {
-    cases_with_override(default, std::env::var("CS_PROP_CASES").ok().as_deref())
+    let over = crate::config::env_knob(crate::config::PROP_CASES);
+    cases_with_override(default, over.as_deref())
 }
 
 fn cases_with_override(default: usize, override_var: Option<&str>) -> usize {

@@ -23,6 +23,7 @@
 //! floating-point accumulation.
 
 pub mod check;
+pub mod config;
 pub mod kernels;
 pub mod matrix;
 pub mod pca;

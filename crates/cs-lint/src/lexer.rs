@@ -21,9 +21,10 @@ pub enum TokKind {
     Ident(String),
     /// Single punctuation character (`.`, `(`, `{`, `!`, …).
     Punct(char),
-    /// String/char/number literal. Contents are irrelevant to every rule,
-    /// so only the fact that a literal occupied the span is recorded.
-    Literal,
+    /// String/char/number literal. The source text is kept so signature
+    /// extraction (the API snapshot, DESIGN.md §7) can render literals in
+    /// type position (`[f64; 4]`); the hygiene rules never look inside.
+    Literal(String),
 }
 
 impl Tok {
@@ -40,6 +41,15 @@ impl Tok {
 
     pub fn is_ident(&self, s: &str) -> bool {
         self.ident() == Some(s)
+    }
+
+    /// The token's source text: identifier text, the punctuation character,
+    /// or the literal's source span.
+    pub fn text(&self) -> String {
+        match &self.kind {
+            TokKind::Ident(s) | TokKind::Literal(s) => s.clone(),
+            TokKind::Punct(c) => c.to_string(),
+        }
     }
 }
 
@@ -155,18 +165,20 @@ pub fn lex(src: &str) -> Lexed {
             }
             b'"' => {
                 let tok_line = line;
+                let start = i;
                 i = skip_string(b, i, &mut line);
                 out.tokens.push(Tok {
-                    kind: TokKind::Literal,
+                    kind: TokKind::Literal(src[start..i].to_string()),
                     line: tok_line,
                 });
             }
             b'\'' => {
                 let tok_line = line;
                 if let Some(next) = char_literal_end(b, i) {
+                    let start = i;
                     i = next;
                     out.tokens.push(Tok {
-                        kind: TokKind::Literal,
+                        kind: TokKind::Literal(src[start..i].to_string()),
                         line: tok_line,
                     });
                 } else {
@@ -180,9 +192,10 @@ pub fn lex(src: &str) -> Lexed {
             }
             c if c.is_ascii_digit() => {
                 let tok_line = line;
+                let start = i;
                 i = skip_number(b, i);
                 out.tokens.push(Tok {
-                    kind: TokKind::Literal,
+                    kind: TokKind::Literal(src[start..i].to_string()),
                     line: tok_line,
                 });
             }
@@ -203,7 +216,7 @@ pub fn lex(src: &str) -> Lexed {
                                 skip_raw_string(b, i, &mut line)
                             };
                             out.tokens.push(Tok {
-                                kind: TokKind::Literal,
+                                kind: TokKind::Literal(src[start..i].to_string()),
                                 line: tok_line,
                             });
                             continue;
@@ -212,7 +225,7 @@ pub fn lex(src: &str) -> Lexed {
                             let tok_line = line;
                             i = char_literal_end(b, i).unwrap_or(b.len());
                             out.tokens.push(Tok {
-                                kind: TokKind::Literal,
+                                kind: TokKind::Literal(src[start..i].to_string()),
                                 line: tok_line,
                             });
                             continue;
@@ -421,6 +434,51 @@ mod tests {
         let l = lex(src);
         assert_eq!(l.pragmas.len(), 1);
         assert_eq!(l.pragmas[0].line, 3);
+    }
+
+    #[test]
+    fn multi_hash_raw_strings_close_only_on_matching_hashes() {
+        // `"#` inside must not close an `r##"…"##` literal.
+        let src = r####"let s = r##"contains "# and "quotes" inside"##; after();"####;
+        assert_eq!(idents(src), vec!["let", "s", "after"]);
+        let l = lex(src);
+        let lit = l
+            .tokens
+            .iter()
+            .find(|t| matches!(&t.kind, TokKind::Literal(s) if s.starts_with("r##")))
+            .expect("raw literal kept as one token");
+        assert!(lit.text().ends_with("\"##"));
+    }
+
+    #[test]
+    fn byte_string_escapes_do_not_end_the_literal() {
+        let src = r#"let b = b"quote \" and \x7f bytes"; after();"#;
+        assert_eq!(idents(src), vec!["let", "b", "after"]);
+        // Raw byte strings take the raw path: backslashes are inert.
+        let src = r##"let r = br#"trailing backslash \"#; after();"##;
+        assert_eq!(idents(src), vec!["let", "r", "after"]);
+        // Byte char with escape.
+        let src = r"let n = b'\n'; after();";
+        assert_eq!(idents(src), vec!["let", "n", "after"]);
+    }
+
+    #[test]
+    fn lifetime_after_turbofish_is_not_a_char_literal() {
+        let src = "fn f() { g::<'a, u8>(1); let p = Foo::<'static>::new(); let c = 'x'; done(); }";
+        let ids = idents(src);
+        assert!(ids.contains(&"done".to_string()));
+        assert!(ids.contains(&"new".to_string()));
+        let l = lex(src);
+        // 'x' stays a char literal token…
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| matches!(&t.kind, TokKind::Literal(s) if s == "'x'")));
+        // …while 'a / 'static produce no literal that would swallow code.
+        assert!(!l.tokens.iter().any(
+            |t| matches!(&t.kind, TokKind::Literal(s) if s.starts_with("'a")
+                || s.starts_with("'s"))
+        ));
     }
 
     #[test]

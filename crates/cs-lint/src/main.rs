@@ -4,16 +4,21 @@
 //! finding and exits nonzero when any exist, so the tier-1 gate
 //! (`scripts/verify.sh`) fails on a violation. `--report` additionally
 //! writes the machine-readable JSON document.
+//!
+//! `--api-check` verifies the public-API snapshots (`API.lock`) instead of
+//! linting; `--api-write` regenerates them (`scripts/apilock.sh`).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use cs_lint::{find_workspace_root, lint_workspace};
+use cs_lint::{api, find_workspace_root, lint_workspace};
 
 struct Args {
     root: Option<PathBuf>,
     report: Option<PathBuf>,
     quiet: bool,
+    api_check: bool,
+    api_write: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -21,6 +26,8 @@ fn parse_args() -> Result<Args, String> {
         root: None,
         report: None,
         quiet: false,
+        api_check: false,
+        api_write: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -32,17 +39,25 @@ fn parse_args() -> Result<Args, String> {
                 args.report = Some(PathBuf::from(it.next().ok_or("--report needs a path")?));
             }
             "--quiet" | "-q" => args.quiet = true,
+            "--api-check" => args.api_check = true,
+            "--api-write" => args.api_write = true,
             "--help" | "-h" => {
                 println!(
                     "cs-lint: workspace static analysis (DESIGN.md §7)\n\n\
-                     usage: cs-lint [--root DIR] [--report FILE.json] [--quiet]\n\n\
-                     Exits 0 when the workspace is lint-clean, 1 on any unwaived\n\
-                     finding, 2 on usage or I/O errors."
+                     usage: cs-lint [--root DIR] [--report FILE.json] [--quiet]\n\
+                            cs-lint --api-check [--root DIR]\n\
+                            cs-lint --api-write [--root DIR]\n\n\
+                     Exits 0 when the workspace is lint-clean (or the API\n\
+                     snapshots match), 1 on any unwaived finding or API drift,\n\
+                     2 on usage or I/O errors."
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
+    }
+    if args.api_check && args.api_write {
+        return Err("--api-check and --api-write are mutually exclusive".into());
     }
     Ok(args)
 }
@@ -69,6 +84,48 @@ fn main() -> ExitCode {
             }
         }
     };
+
+    if args.api_write {
+        return match api::write_locks(&root) {
+            Ok(written) => {
+                if !args.quiet {
+                    for p in &written {
+                        println!("cs-lint: wrote {}", p.display());
+                    }
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("cs-lint: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+    if args.api_check {
+        return match api::check_locks(&root) {
+            Ok(drift) if drift.is_empty() => {
+                if !args.quiet {
+                    println!("cs-lint: API.lock snapshots match the public surface");
+                }
+                ExitCode::SUCCESS
+            }
+            Ok(drift) => {
+                for d in &drift {
+                    eprintln!("cs-lint: api drift: {d}");
+                }
+                eprintln!(
+                    "cs-lint: {} unacknowledged API change(s); if intentional, run \
+                     scripts/apilock.sh and commit the updated API.lock files",
+                    drift.len()
+                );
+                ExitCode::from(1)
+            }
+            Err(e) => {
+                eprintln!("cs-lint: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
 
     let report = match lint_workspace(&root) {
         Ok(r) => r,

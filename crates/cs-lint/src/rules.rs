@@ -5,6 +5,8 @@
 //! `#[test]` item bodies are exempt from the hygiene rules so test code can
 //! keep its idiomatic `unwrap()`s.
 
+use crate::concurrency;
+use crate::items::{self, UseMap};
 use crate::lexer::{lex, Pragma, Tok};
 use crate::report::Finding;
 
@@ -24,24 +26,45 @@ pub const HERMETIC_DEPS: &str = "hermetic-deps";
 /// determinism contract (DESIGN.md §8). Waivable where the vector's order
 /// provably does not reach any output.
 pub const NO_ARRIVAL_ORDER_REDUCE: &str = "no-arrival-order-reduce";
+/// Rule: `HashMap`/`HashSet` iteration in the deterministic-pipeline
+/// crates, where hasher-dependent order can reach numeric accumulation or
+/// serialized output (DESIGN.md §8). Use a `BTreeMap`/`BTreeSet` or an
+/// explicit sort; waivable for provably commutative folds.
+pub const NO_UNORDERED_ITERATION: &str = "no-unordered-iteration";
+/// Rule: `std::env::var` / `Instant::now` / `SystemTime::now` outside the
+/// designated config and bench modules — ambient process state must enter
+/// through `cs_linalg::config`.
+pub const NO_AMBIENT_AUTHORITY: &str = "no-ambient-authority";
+/// Rule: a second `Mutex`/`RwLock` guard acquired while another may still
+/// be live within one function body of `cs_core::pool` / cs-embed.
+pub const LOCK_DISCIPLINE: &str = "lock-discipline";
+/// Rule: a justified `cs-lint: allow(<rule>)` pragma whose named rule no
+/// longer fires on the waived line — dead waivers hide real regressions.
+pub const STALE_WAIVER: &str = "stale-waiver";
 /// Diagnostic for malformed or unknown waiver pragmas (not waivable).
 pub const PRAGMA: &str = "pragma";
 
 /// Every enforceable rule name, for pragma validation.
-pub const ALL_RULES: [&str; 6] = [
+pub const ALL_RULES: [&str; 10] = [
     NO_FLOAT_SORT_UNWRAP,
     NO_UNWRAP_IN_LIB,
     PANIC_FREE_CORE,
     NO_UNSAFE,
     HERMETIC_DEPS,
     NO_ARRIVAL_ORDER_REDUCE,
+    NO_UNORDERED_ITERATION,
+    NO_AMBIENT_AUTHORITY,
+    LOCK_DISCIPLINE,
+    STALE_WAIVER,
 ];
 
 /// Comparator-taking methods in whose argument list a float
-/// `partial_cmp().unwrap()` is banned.
-const COMPARATOR_FNS: [&str; 6] = [
+/// `partial_cmp().unwrap()` is banned. Matched after a `.` receiver or a
+/// `::` path segment (`Iterator::min_by(..)`-style UFCS calls).
+const COMPARATOR_FNS: [&str; 7] = [
     "sort_by",
     "sort_unstable_by",
+    "select_nth_unstable_by",
     "max_by",
     "min_by",
     "binary_search_by",
@@ -58,6 +81,13 @@ pub struct FileClass {
     /// Under a `tests/` or `benches/` directory: hygiene rules off,
     /// `no-unsafe` still on.
     pub test_code: bool,
+    /// Deterministic-pipeline crates (`no-unordered-iteration` scope):
+    /// library sources of cs-core, cs-linalg, cs-match, cs-schema, cs-repro.
+    pub det_scope: bool,
+    /// Designated config / bench module: `no-ambient-authority` off.
+    pub ambient_exempt: bool,
+    /// `lock-discipline` scope: `cs_core::pool` and cs-embed sources.
+    pub lock_scope: bool,
 }
 
 impl FileClass {
@@ -65,12 +95,19 @@ impl FileClass {
     pub fn from_path(rel_path: &str) -> Self {
         let parts: Vec<&str> = rel_path.split('/').collect();
         let under = |prefix: &[&str]| parts.len() > prefix.len() && parts.starts_with(prefix);
+        let basename = parts.last().copied().unwrap_or("");
         FileClass {
             core_lib: under(&["crates", "cs-core", "src"]),
             linalg_lib: under(&["crates", "cs-linalg", "src"]),
             test_code: parts[..parts.len().saturating_sub(1)]
                 .iter()
                 .any(|p| *p == "tests" || *p == "benches"),
+            det_scope: ["cs-core", "cs-linalg", "cs-match", "cs-schema", "cs-repro"]
+                .iter()
+                .any(|c| under(&["crates", c, "src"])),
+            ambient_exempt: under(&["crates", "cs-bench"]) || basename == "config.rs",
+            lock_scope: rel_path == "crates/cs-core/src/pool.rs"
+                || under(&["crates", "cs-embed", "src"]),
         }
     }
 }
@@ -149,9 +186,55 @@ pub fn lint_rust_source(src: &str, rel_path: &str) -> Vec<Finding> {
     }
 
     find_float_sort_unwraps(toks, rel_path, &class, &test_regions, &mut findings);
+
+    let parsed = items::parse_items(toks);
+    let uses = UseMap::build(toks, &parsed);
+    concurrency::lint_items(
+        toks,
+        &parsed,
+        &uses,
+        &class,
+        rel_path,
+        &test_regions,
+        &mut findings,
+    );
+
     apply_waivers(&lexed.pragmas, &mut findings);
+    flag_stale_waivers(&lexed.pragmas, rel_path, &mut findings);
     findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     findings
+}
+
+/// Emits [`STALE_WAIVER`] for every justified, well-formed pragma naming a
+/// rule that produced no finding (waived or not) on the pragma's line or
+/// the line below — the two positions a waiver can cover.
+fn flag_stale_waivers(pragmas: &[Pragma], rel_path: &str, findings: &mut Vec<Finding>) {
+    let mut stale = Vec::new();
+    for p in pragmas {
+        if !p.justified {
+            continue; // already reported as a `pragma` finding
+        }
+        for r in &p.rules {
+            if !ALL_RULES.contains(&r.as_str()) {
+                continue; // already reported as a `pragma` finding
+            }
+            let covers = findings
+                .iter()
+                .any(|f| f.rule == r && (f.line == p.line || f.line == p.line + 1));
+            if !covers {
+                stale.push(Finding::new(
+                    STALE_WAIVER,
+                    rel_path,
+                    p.line,
+                    format!("waiver for `{r}` no longer matches a finding here; delete the pragma"),
+                ));
+            }
+        }
+    }
+    // A stale-waiver finding is itself waivable through the normal pragma
+    // mechanism (`allow(stale-waiver)` is legal, if eccentric).
+    apply_waivers(pragmas, &mut stale);
+    findings.extend(stale);
 }
 
 /// Reports malformed pragmas (missing justification, unknown rule names).
@@ -294,9 +377,12 @@ fn find_float_sort_unwraps(
         let t = &toks[i];
         if t.is_punct('(') {
             depth += 1;
-            // Did this paren open a `.sort_by(`-style call?
-            if i >= 2
-                && toks[i - 2].is_punct('.')
+            // Did this paren open a `.sort_by(`-style call, or a
+            // `Iterator::min_by(`-style UFCS call?
+            let recv = i >= 2
+                && (toks[i - 2].is_punct('.')
+                    || (toks[i - 2].is_punct(':') && i >= 3 && toks[i - 3].is_punct(':')));
+            if recv
                 && toks[i - 1]
                     .ident()
                     .is_some_and(|w| COMPARATOR_FNS.contains(&w))
@@ -357,12 +443,19 @@ mod tests {
     fn classification() {
         let c = FileClass::from_path("crates/cs-core/src/scoping.rs");
         assert!(c.core_lib && !c.linalg_lib && !c.test_code);
+        assert!(c.det_scope && !c.ambient_exempt && !c.lock_scope);
         let t = FileClass::from_path("crates/cs-linalg/tests/properties.rs");
-        assert!(t.test_code && !t.linalg_lib);
+        assert!(t.test_code && !t.linalg_lib && !t.det_scope);
         let b = FileClass::from_path("crates/cs-bench/benches/scaling.rs");
-        assert!(b.test_code);
+        assert!(b.test_code && b.ambient_exempt);
         let root = FileClass::from_path("tests/hermetic.rs");
         assert!(root.test_code);
+        let pool = FileClass::from_path("crates/cs-core/src/pool.rs");
+        assert!(pool.lock_scope && pool.det_scope);
+        let embed = FileClass::from_path("crates/cs-embed/src/encoder.rs");
+        assert!(embed.lock_scope && !embed.det_scope);
+        let cfg = FileClass::from_path("crates/cs-linalg/src/config.rs");
+        assert!(cfg.ambient_exempt && cfg.linalg_lib);
     }
 
     #[test]
@@ -414,6 +507,58 @@ mod tests {
             rules_fired(src, "crates/cs-match/src/fake.rs"),
             vec![NO_FLOAT_SORT_UNWRAP]
         );
+    }
+
+    #[test]
+    fn select_nth_and_ufcs_comparators_fire() {
+        let src = "fn f(v: &mut [f64]) { v.select_nth_unstable_by(3, |a, b| a.partial_cmp(b).unwrap()); }";
+        assert_eq!(
+            rules_fired(src, "crates/cs-match/src/fake.rs"),
+            vec![NO_FLOAT_SORT_UNWRAP]
+        );
+        // UFCS receiver form: `Iterator::min_by(iter, cmp)`.
+        let src = "fn f(v: Vec<f64>) -> Option<f64> {\n\
+                   Iterator::min_by(v.into_iter(), |a, b| a.partial_cmp(b).unwrap())\n\
+                   }";
+        assert_eq!(
+            rules_fired(src, "crates/cs-match/src/fake.rs"),
+            vec![NO_FLOAT_SORT_UNWRAP]
+        );
+        let src = "fn f(v: Vec<f64>) -> Option<f64> {\n\
+                   std::iter::Iterator::max_by(v.into_iter(), |a, b| a.partial_cmp(b).expect(\"fin\"))\n\
+                   }";
+        assert_eq!(
+            rules_fired(src, "crates/cs-match/src/fake.rs"),
+            vec![NO_FLOAT_SORT_UNWRAP]
+        );
+    }
+
+    #[test]
+    fn stale_waiver_fires_when_rule_is_quiet() {
+        let src = "fn f(x: Option<u8>) -> Option<u8> {\n\
+                   // cs-lint: allow(no-unwrap-in-lib) -- left behind after a refactor\n\
+                   x\n\
+                   }";
+        assert_eq!(rules_fired(src, LIB), vec![STALE_WAIVER]);
+    }
+
+    #[test]
+    fn live_waiver_is_not_stale() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n\
+                   // cs-lint: allow(no-unwrap-in-lib) -- invariant: x always Some here\n\
+                   x.unwrap()\n\
+                   }";
+        assert!(rules_fired(src, LIB).is_empty());
+    }
+
+    #[test]
+    fn stale_waiver_per_rule_in_multi_rule_pragma() {
+        // One pragma naming two rules: only the quiet one is stale.
+        let src = "fn f(x: Option<u8>) -> u8 {\n\
+                   // cs-lint: allow(no-unwrap-in-lib, no-unsafe) -- mixed\n\
+                   x.unwrap()\n\
+                   }";
+        assert_eq!(rules_fired(src, LIB), vec![STALE_WAIVER]);
     }
 
     #[test]

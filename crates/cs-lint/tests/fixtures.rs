@@ -4,7 +4,7 @@
 //! must go quiet when the violations carry waiver pragmas.
 
 use std::fs;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 
 use cs_lint::{lint_workspace, rules};
 
@@ -61,6 +61,22 @@ fn seeded_fixture(tag: &str) -> Fixture {
         "crates/cs-core/src/bad_reduce.rs",
         "use std::sync::Mutex;\n\npub struct Acc {\n    pub results: Mutex<Vec<f64>>,\n}\n",
     );
+    fx.write(
+        "crates/cs-core/src/bad_iter.rs",
+        "use std::collections::HashMap;\n\npub fn total(m: &HashMap<String, f64>) -> f64 {\n    m.values().sum()\n}\n",
+    );
+    fx.write(
+        "crates/cs-match/src/bad_env.rs",
+        "pub fn knob() -> Option<String> {\n    std::env::var(\"CS_FIXTURE\").ok()\n}\n",
+    );
+    fx.write(
+        "crates/cs-embed/src/bad_locks.rs",
+        "use std::sync::Mutex;\n\npub fn both(a: &Mutex<u8>, b: &Mutex<u8>) -> u8 {\n    let ga = a.lock().expect(\"a\");\n    let gb = b.lock().expect(\"b\");\n    *ga + *gb\n}\n",
+    );
+    fx.write(
+        "crates/cs-core/src/stale.rs",
+        "// cs-lint: allow(no-unsafe) -- fixture: the unsafe block was removed\npub fn quiet() -> u8 {\n    1\n}\n",
+    );
     fx
 }
 
@@ -88,6 +104,22 @@ fn each_rule_fires_at_the_seeded_location() {
             rules::NO_ARRIVAL_ORDER_REDUCE,
             4,
         ),
+        (
+            "crates/cs-core/src/bad_iter.rs",
+            rules::NO_UNORDERED_ITERATION,
+            4,
+        ),
+        (
+            "crates/cs-match/src/bad_env.rs",
+            rules::NO_AMBIENT_AUTHORITY,
+            2,
+        ),
+        (
+            "crates/cs-embed/src/bad_locks.rs",
+            rules::LOCK_DISCIPLINE,
+            5,
+        ),
+        ("crates/cs-core/src/stale.rs", rules::STALE_WAIVER, 1),
     ];
     for (file, rule, line) in expect {
         assert!(
@@ -196,7 +228,7 @@ fn binary_exits_nonzero_on_seeded_violation_and_writes_report() {
         doc.get("clean"),
         Some(&cs_core::json::JsonValue::Bool(false))
     );
-    assert_eq!(doc.get("unwaived").and_then(|v| v.as_usize()), Some(6));
+    assert_eq!(doc.get("unwaived").and_then(|v| v.as_usize()), Some(10));
 }
 
 #[test]
@@ -218,6 +250,108 @@ fn binary_exits_zero_on_clean_tree() {
         "expected exit 0, got {:?}",
         out.status
     );
+}
+
+/// The determinism/concurrency pack's waiver paths: the same violations as
+/// `seeded_fixture` go quiet under justified pragmas, and a stale pragma is
+/// itself waivable with `allow(stale-waiver)`.
+#[test]
+fn new_rule_waivers_go_quiet() {
+    let fx = Fixture::new("waived-pack");
+    fx.write("Cargo.lock", CLEAN_LOCK);
+    fx.write(
+        "Cargo.toml",
+        "[package]\nname = \"fix\"\nversion = \"0.1.0\"\n",
+    );
+    fx.write(
+        "crates/cs-core/src/waived_iter.rs",
+        "use std::collections::HashMap;\n\npub fn total(m: &HashMap<String, u64>) -> u64 {\n    // cs-lint: allow(no-unordered-iteration) -- commutative integer fold\n    m.values().sum()\n}\n",
+    );
+    fx.write(
+        "crates/cs-match/src/waived_env.rs",
+        "pub fn knob() -> Option<String> {\n    // cs-lint: allow(no-ambient-authority) -- documented debug escape hatch\n    std::env::var(\"CS_FIXTURE\").ok()\n}\n",
+    );
+    fx.write(
+        "crates/cs-embed/src/waived_locks.rs",
+        "use std::sync::Mutex;\n\npub fn both(a: &Mutex<u8>, b: &Mutex<u8>) -> u8 {\n    let ga = a.lock().expect(\"a\");\n    // cs-lint: allow(lock-discipline) -- global order: a before b everywhere\n    let gb = b.lock().expect(\"b\");\n    *ga + *gb\n}\n",
+    );
+    fx.write(
+        "crates/cs-core/src/waived_stale.rs",
+        "// cs-lint: allow(stale-waiver) -- fixture: pragma kept while refactor lands\n// cs-lint: allow(no-unsafe) -- fixture: the unsafe block was just removed\npub fn quiet() -> u8 {\n    1\n}\n",
+    );
+    let report = lint_workspace(&fx.root).expect("lint runs");
+    let unwaived: Vec<_> = report.unwaived().map(|f| f.render()).collect();
+    assert!(unwaived.is_empty(), "expected clean, got {unwaived:?}");
+    // iter + env + lock + two stale-waiver findings (the `no-unsafe` pragma
+    // and the `allow(stale-waiver)` pragma itself, which has no base
+    // finding under it) — all five recorded as waived.
+    assert_eq!(report.findings.iter().filter(|f| f.waived).count(), 5);
+}
+
+/// The public-API snapshot gate end to end: a signature change registers as
+/// drift, fails the binary's `--api-check`, and is acknowledged by
+/// regenerating the lock (what `scripts/apilock.sh` does).
+#[test]
+fn api_check_detects_pub_signature_drift() {
+    let fx = Fixture::new("api");
+    fx.write("Cargo.lock", CLEAN_LOCK);
+    fx.write(
+        "Cargo.toml",
+        "[package]\nname = \"fix\"\nversion = \"0.1.0\"\n",
+    );
+    fx.write("src/lib.rs", "pub fn stable(x: u8) -> u8 {\n    x\n}\n");
+
+    let written = cs_lint::api::write_locks(&fx.root).expect("write locks");
+    assert_eq!(written, vec![fx.root.join("API.lock")]);
+    assert!(cs_lint::api::check_locks(&fx.root)
+        .expect("check runs")
+        .is_empty());
+
+    // Changing a pub fn signature must register as removed + added drift…
+    fx.write(
+        "src/lib.rs",
+        "pub fn stable(x: u16) -> u8 {\n    x as u8\n}\n",
+    );
+    let drift = cs_lint::api::check_locks(&fx.root).expect("check runs");
+    assert!(
+        drift.iter().any(|d| d.contains("removed from public API")
+            && d.contains("pub fn stable ( x : u8 ) -> u8")),
+        "{drift:?}"
+    );
+    assert!(
+        drift
+            .iter()
+            .any(|d| d.contains("added to public API")
+                && d.contains("pub fn stable ( x : u16 ) -> u8")),
+        "{drift:?}"
+    );
+
+    // …and fail the compiled gate with a pointer to the regen script.
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_cs-lint"))
+        .args(["--api-check", "--root"])
+        .arg(&fx.root)
+        .output()
+        .expect("binary runs");
+    assert!(
+        !out.status.success(),
+        "expected drift to fail --api-check, got {:?}",
+        out.status
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("api drift"), "{stderr}");
+    assert!(stderr.contains("scripts/apilock.sh"), "{stderr}");
+
+    // Regenerating the snapshot acknowledges the change.
+    cs_lint::api::write_locks(&fx.root).expect("rewrite locks");
+    assert!(cs_lint::api::check_locks(&fx.root)
+        .expect("check runs")
+        .is_empty());
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_cs-lint"))
+        .args(["--api-check", "--quiet", "--root"])
+        .arg(&fx.root)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "expected clean check: {out:?}");
 }
 
 /// Keep the `--root` default usable: from inside the fixture dir the walker

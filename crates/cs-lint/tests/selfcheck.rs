@@ -32,3 +32,36 @@ fn workspace_is_lint_clean() {
         report.files_scanned
     );
 }
+
+/// The linter's own crate is not exempt: every source file under
+/// `crates/cs-lint/src` is run through the rule engine file-by-file and
+/// must come back without unwaived findings. This holds even if the
+/// workspace walk's scan roots were ever narrowed by mistake.
+#[test]
+fn linter_lints_itself_clean() {
+    let src_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
+    let mut checked = 0usize;
+    let mut stack = vec![src_dir.clone()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir).expect("read src dir") {
+            let path = entry.expect("dir entry").path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                let rel = format!(
+                    "crates/cs-lint/src/{}",
+                    path.strip_prefix(&src_dir).expect("under src").display()
+                );
+                let text = std::fs::read_to_string(&path).expect("read source");
+                let unwaived: Vec<String> = cs_lint::rules::lint_rust_source(&text, &rel)
+                    .into_iter()
+                    .filter(|f| !f.waived)
+                    .map(|f| f.render())
+                    .collect();
+                assert!(unwaived.is_empty(), "{rel} has findings:\n{unwaived:?}");
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked >= 7, "expected all cs-lint modules, saw {checked}");
+}

@@ -51,7 +51,7 @@ fn assert_matches_golden(name: &str, csv: &CsvTable) {
 /// True when the expensive goldens should run: optimized builds always,
 /// debug builds only on explicit request.
 fn heavy_goldens_enabled() -> bool {
-    !cfg!(debug_assertions) || std::env::var_os("CS_GOLDEN_FULL").is_some()
+    !cfg!(debug_assertions) || cs_linalg::config::env_flag(cs_linalg::config::GOLDEN_FULL)
 }
 
 #[test]

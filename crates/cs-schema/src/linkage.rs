@@ -6,10 +6,10 @@
 //! `(|S| − |S'|)/|S'|`.
 
 use crate::catalog::{Catalog, ElementId};
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
 
 /// Linkage type taxonomy from Section 2.1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum LinkageKind {
     /// One-to-one identical semantics (e.g. `NAME ≅ CNAME`).
     InterIdentical,
@@ -22,7 +22,7 @@ pub enum LinkageKind {
 ///
 /// Pairs are symmetric; [`LinkagePair::new`] normalizes the order so the
 /// smaller [`ElementId`] comes first, making pairs hashable set members.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LinkagePair {
     /// Lexicographically smaller endpoint.
     pub a: ElementId,
@@ -60,9 +60,13 @@ impl LinkagePair {
 }
 
 /// The annotated ground-truth linkage set `L(S)` for a catalog.
+///
+/// Pairs live in a `BTreeSet` so every iteration order — including the
+/// public [`LinkageSet::iter`] feeding Table 2/3 emitters downstream — is
+/// deterministic (DESIGN.md §8), not hasher-dependent.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct LinkageSet {
-    pairs: HashSet<LinkagePair>,
+    pairs: BTreeSet<LinkagePair>,
 }
 
 impl LinkageSet {
@@ -119,6 +123,8 @@ impl LinkageSet {
     /// in at least one pair.
     pub fn linkable_elements(&self) -> HashSet<ElementId> {
         let mut set = HashSet::with_capacity(self.pairs.len() * 2);
+        // Iterating the BTreeSet of pairs: insertion into the membership
+        // set is order-insensitive.
         for p in &self.pairs {
             set.insert(p.a);
             set.insert(p.b);
@@ -194,7 +200,7 @@ impl LinkageSet {
 
 impl<'a> IntoIterator for &'a LinkageSet {
     type Item = &'a LinkagePair;
-    type IntoIter = std::collections::hash_set::Iter<'a, LinkagePair>;
+    type IntoIter = std::collections::btree_set::Iter<'a, LinkagePair>;
 
     fn into_iter(self) -> Self::IntoIter {
         self.pairs.iter()

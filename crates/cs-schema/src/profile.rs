@@ -10,7 +10,7 @@
 
 use crate::catalog::Catalog;
 use crate::model::Schema;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Per-schema structural profile.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,13 +25,14 @@ pub struct SchemaProfile {
     pub mean_table_width: f64,
     /// Widest table.
     pub max_table_width: usize,
-    /// Histogram of canonical type words.
-    pub type_histogram: HashMap<String, usize>,
+    /// Histogram of canonical type words. Ordered so emitters can iterate
+    /// it directly without hasher-dependent row order (DESIGN.md §8).
+    pub type_histogram: BTreeMap<String, usize>,
     /// Number of key-constrained attributes (PK or FK).
     pub key_attributes: usize,
     /// The schema's name-token vocabulary (upper-cased, split like the
-    /// encoder tokenizes).
-    pub vocabulary: HashSet<String>,
+    /// encoder tokenizes); ordered for the same reason as the histogram.
+    pub vocabulary: BTreeSet<String>,
 }
 
 impl SchemaProfile {
@@ -39,9 +40,9 @@ impl SchemaProfile {
     pub fn of(schema: &Schema) -> Self {
         let tables = schema.table_count();
         let attributes = schema.attribute_count();
-        let mut type_histogram: HashMap<String, usize> = HashMap::new();
+        let mut type_histogram: BTreeMap<String, usize> = BTreeMap::new();
         let mut key_attributes = 0;
-        let mut vocabulary = HashSet::new();
+        let mut vocabulary = BTreeSet::new();
         let mut max_table_width = 0;
         for table in &schema.tables {
             max_table_width = max_table_width.max(table.attributes.len());
@@ -179,7 +180,7 @@ fn squash(cv: f64) -> f64 {
     cv / (1.0 + cv)
 }
 
-fn jaccard(a: &HashSet<String>, b: &HashSet<String>) -> f64 {
+fn jaccard(a: &BTreeSet<String>, b: &BTreeSet<String>) -> f64 {
     if a.is_empty() && b.is_empty() {
         return 1.0;
     }

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Regenerates the public-API snapshots (API.lock) after an intentional
+# surface change, so `cs-lint --api-check` (run by scripts/verify.sh)
+# passes again. Review the diff before committing — every changed line is
+# a public-API change.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cargo run --offline --quiet -p cs-lint -- --api-write "$@"
+
+echo "apilock: snapshots regenerated; review with \`git diff -- '*API.lock'\`"

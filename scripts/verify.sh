@@ -13,6 +13,9 @@ RUSTFLAGS="-D warnings" cargo build --workspace --release --offline
 echo "==> cargo run -p cs-lint --offline"
 cargo run -q -p cs-lint --release --offline
 
+echo "==> cs-lint --api-check (public-API snapshot gate)"
+cargo run -q -p cs-lint --release --offline -- --api-check
+
 echo "==> bench_json --smoke (benchmark emitter gate)"
 cargo run -q -p cs-bench --release --offline --bin bench_json -- --smoke --out target/bench-smoke.json
 
