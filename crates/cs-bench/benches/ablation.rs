@@ -49,7 +49,7 @@ fn bench_sweep_vs_rerun(c: &mut Criterion) {
         b.iter(|| {
             let sweep = CollaborativeSweep::prepare(&sigs).unwrap();
             for &v in &grid {
-                black_box(sweep.assess_at(v));
+                black_box(sweep.assess_at(v).expect("valid v"));
             }
         })
     });

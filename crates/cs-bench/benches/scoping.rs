@@ -53,7 +53,7 @@ fn bench_collaborative(c: &mut Criterion) {
             b.iter(|| {
                 for i in 0..50 {
                     let v = 0.99 - 0.98 * (i as f64 / 49.0);
-                    black_box(s.assess_at(v));
+                    black_box(s.assess_at(v).expect("valid v"));
                 }
             })
         });

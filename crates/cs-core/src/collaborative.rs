@@ -443,11 +443,93 @@ mod tests {
 
     #[test]
     fn empty_schema_is_typed_error() {
-        let m1 = Matrix::from_rows(&[vec![1.0, 2.0]]);
+        let m1 = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0], vec![0.5, 0.5]]);
         let m2 = Matrix::zeros(0, 2);
         let sigs = SchemaSignatures::from_matrices(vec![m1, m2], vec!["a".into(), "b".into()]);
         let err = CollaborativeScoper::new(0.8).run(&sigs).unwrap_err();
         assert_eq!(err, ScopingError::EmptySchema { schema: 1 });
+    }
+
+    #[test]
+    fn singleton_schema_is_typed_error() {
+        let m1 = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0], vec![0.5, 0.5]]);
+        let m2 = Matrix::from_rows(&[vec![3.0, 3.0]]);
+        let sigs = SchemaSignatures::from_matrices(vec![m1, m2], vec!["a".into(), "b".into()]);
+        let err = CollaborativeScoper::new(0.8).run(&sigs).unwrap_err();
+        assert_eq!(
+            err,
+            ScopingError::DegenerateSchema {
+                schema: 1,
+                elements: 1
+            }
+        );
+    }
+
+    #[test]
+    fn nan_signature_is_typed_error_through_run() {
+        let mut sigs_base = shared_and_disjoint();
+        let mut poisoned = sigs_base.schema(1).clone();
+        poisoned[(4, 2)] = f64::NAN;
+        let mats: Vec<Matrix> = (0..sigs_base.schema_count())
+            .map(|m| {
+                if m == 1 {
+                    poisoned.clone()
+                } else {
+                    sigs_base.schema(m).clone()
+                }
+            })
+            .collect();
+        sigs_base = SchemaSignatures::from_matrices(mats, sigs_base.schema_names().to_vec());
+        let err = CollaborativeScoper::new(0.8).run(&sigs_base).unwrap_err();
+        assert_eq!(
+            err,
+            ScopingError::NonFiniteSignature {
+                schema: 1,
+                element: 4
+            }
+        );
+    }
+
+    #[test]
+    fn constant_schema_is_rank_deficient_through_run() {
+        let m1 = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0], vec![0.5, 0.5]]);
+        let m2 = Matrix::from_rows(&vec![vec![7.0, 7.0]; 5]);
+        let sigs = SchemaSignatures::from_matrices(vec![m1, m2], vec!["a".into(), "b".into()]);
+        let err = CollaborativeScoper::new(0.8).run(&sigs).unwrap_err();
+        assert_eq!(err, ScopingError::RankDeficient { schema: 1 });
+    }
+
+    #[test]
+    fn builder_accepts_exact_boundary_v() {
+        // v = 1.0 is the inclusive upper bound of (0, 1] and must stay
+        // valid; v = 0.0 is excluded and must stay a typed error.
+        let full = CollaborativeScoper::builder()
+            .explained_variance(1.0)
+            .build()
+            .unwrap();
+        assert_eq!(full.variance(), 1.0);
+        let run = full.run(&shared_and_disjoint()).unwrap();
+        assert!(!run.outcome.is_empty());
+        let err = CollaborativeScoper::builder()
+            .explained_variance(0.0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ScopingError::InvalidVariance { value: 0.0 });
+    }
+
+    #[test]
+    fn two_element_schemas_survive_full_variance() {
+        // A 2-element schema retains at most 1 effective component after
+        // centering; even at v = 1.0 that must train (or fail typed),
+        // never panic or demand more components than elements.
+        let m1 = Matrix::from_rows(&[vec![1.0, 0.0, 0.5], vec![0.0, 1.0, -0.5]]);
+        let m2 = Matrix::from_rows(&[vec![0.9, 0.1, 0.4], vec![0.1, 0.9, -0.4]]);
+        let sigs = SchemaSignatures::from_matrices(vec![m1, m2], vec!["a".into(), "b".into()]);
+        let run = CollaborativeScoper::new(1.0).run(&sigs).unwrap();
+        assert_eq!(run.outcome.len(), 4);
+        for model in &run.models {
+            assert!(model.n_components() <= 2);
+        }
     }
 
     #[test]

@@ -10,6 +10,30 @@ pub enum ScopingError {
         /// Index of the offending schema in the catalog.
         schema: usize,
     },
+    /// A schema has too few elements to train a meaningful local model:
+    /// a single signature centers to the zero vector, its PCA carries no
+    /// variance, and the linkability range `l_k` collapses to 0.
+    DegenerateSchema {
+        /// Index of the offending schema in the catalog.
+        schema: usize,
+        /// How many elements it has.
+        elements: usize,
+    },
+    /// A signature contains a NaN or infinite entry; reconstruction
+    /// errors computed from it would silently poison every decision.
+    NonFiniteSignature {
+        /// Index of the offending schema in the catalog.
+        schema: usize,
+        /// Row (element index within the schema) of the first offender.
+        element: usize,
+    },
+    /// A schema's signatures carry no variance at all (e.g. every
+    /// signature is identical), so its local model would accept only
+    /// exact copies — a garbage linkability range, not a model.
+    RankDeficient {
+        /// Index of the offending schema in the catalog.
+        schema: usize,
+    },
     /// Collaborative scoping needs at least two schemas (there is no
     /// "other" model to assess against otherwise).
     TooFewSchemas {
@@ -46,6 +70,24 @@ impl std::fmt::Display for ScopingError {
                 write!(
                     f,
                     "schema #{schema} has no elements to train a local model on"
+                )
+            }
+            ScopingError::DegenerateSchema { schema, elements } => {
+                write!(
+                    f,
+                    "schema #{schema} has only {elements} element(s) — too few to train a local model"
+                )
+            }
+            ScopingError::NonFiniteSignature { schema, element } => {
+                write!(
+                    f,
+                    "schema #{schema}, element #{element}: signature contains a NaN/inf entry"
+                )
+            }
+            ScopingError::RankDeficient { schema } => {
+                write!(
+                    f,
+                    "schema #{schema} is rank-deficient: its signatures carry no variance"
                 )
             }
             ScopingError::TooFewSchemas { found } => {
@@ -101,6 +143,21 @@ mod tests {
         assert!(ScopingError::InvalidVariance { value: 1.5 }
             .to_string()
             .contains("v = 1.5"));
+        assert!(ScopingError::DegenerateSchema {
+            schema: 3,
+            elements: 1
+        }
+        .to_string()
+        .contains("only 1 element"));
+        assert!(ScopingError::NonFiniteSignature {
+            schema: 1,
+            element: 7
+        }
+        .to_string()
+        .contains("element #7"));
+        assert!(ScopingError::RankDeficient { schema: 5 }
+            .to_string()
+            .contains("rank-deficient"));
         let svd: ScopingError = SvdError::EmptyMatrix.into();
         assert!(svd.to_string().contains("decomposition"));
         assert!(ScopingError::WorkerPanicked {

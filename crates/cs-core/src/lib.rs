@@ -44,7 +44,7 @@ pub use error::ScopingError;
 pub use exchange::{ExchangeError, ModelEnvelope};
 pub use local_model::LocalModel;
 pub use nonlinear::{NeuralCollaborativeScoper, NeuralLocalModel};
-pub use outcome::ScopingOutcome;
+pub use outcome::{DegradedSchema, ScopingOutcome};
 pub use pairwise::SourceToTargetScoper;
 pub use pool::{ExecPolicy, ThreadPool};
 pub use scoper::Scoper;

@@ -10,6 +10,58 @@ use crate::error::ScopingError;
 use cs_linalg::pca::ExplainedVariance;
 use cs_linalg::{Matrix, Pca};
 
+/// Pre-fit input guards, shared with the sweep (`crate::sweep`) so the
+/// strict and graceful paths classify degenerate schemas identically:
+/// empty → [`ScopingError::EmptySchema`], NaN/inf →
+/// [`ScopingError::NonFiniteSignature`], a single element →
+/// [`ScopingError::DegenerateSchema`].
+pub(crate) fn check_trainable(
+    schema_index: usize,
+    signatures: &Matrix,
+) -> Result<(), ScopingError> {
+    if signatures.rows() == 0 {
+        return Err(ScopingError::EmptySchema {
+            schema: schema_index,
+        });
+    }
+    if let Some((element, _)) = signatures.first_non_finite() {
+        return Err(ScopingError::NonFiniteSignature {
+            schema: schema_index,
+            element,
+        });
+    }
+    if signatures.rows() == 1 {
+        return Err(ScopingError::DegenerateSchema {
+            schema: schema_index,
+            elements: 1,
+        });
+    }
+    Ok(())
+}
+
+/// Post-fit spectrum guard: zero total variance (all signatures
+/// identical up to rounding) collapses `l_k` to 0, so the model would
+/// link only exact copies — [`ScopingError::RankDeficient`]. The
+/// threshold is relative to the raw signal energy because centering
+/// identical rows leaves ~1-ulp residue, never an exact zero.
+pub(crate) fn check_spectrum(
+    schema_index: usize,
+    signatures: &Matrix,
+    pca: &Pca,
+) -> Result<(), ScopingError> {
+    let total: f64 = pca.singular_values().iter().map(|s| s * s).sum();
+    let energy: f64 = signatures
+        .rows_iter()
+        .map(|r| r.iter().map(|x| x * x).sum::<f64>())
+        .sum();
+    if total <= energy.max(1.0) * 1e-24 {
+        return Err(ScopingError::RankDeficient {
+            schema: schema_index,
+        });
+    }
+    Ok(())
+}
+
 /// A trained local encoder–decoder for one schema.
 #[derive(Debug, Clone)]
 pub struct LocalModel {
@@ -21,17 +73,21 @@ pub struct LocalModel {
 impl LocalModel {
     /// Trains on one schema's signatures at explained variance `v`
     /// (Algorithm 1, lines 3–15).
+    ///
+    /// # Errors
+    /// Degenerate inputs yield typed errors, never panics:
+    /// [`ScopingError::EmptySchema`] (no elements),
+    /// [`ScopingError::NonFiniteSignature`] (NaN/inf entries),
+    /// [`ScopingError::DegenerateSchema`] (a single element),
+    /// [`ScopingError::RankDeficient`] (zero signature variance).
     pub fn train(
         schema_index: usize,
         signatures: &Matrix,
         v: ExplainedVariance,
     ) -> Result<Self, ScopingError> {
-        if signatures.rows() == 0 {
-            return Err(ScopingError::EmptySchema {
-                schema: schema_index,
-            });
-        }
+        check_trainable(schema_index, signatures)?;
         let pca = Pca::fit(signatures, v)?;
+        check_spectrum(schema_index, signatures, &pca)?;
         let own_errors = pca.reconstruction_errors(signatures);
         let linkability_range = own_errors.iter().copied().fold(0.0, f64::max);
         Ok(Self {
@@ -184,6 +240,62 @@ mod tests {
     fn empty_schema_is_typed_error() {
         let err = LocalModel::train(4, &Matrix::zeros(0, 8), v(0.5)).unwrap_err();
         assert_eq!(err, ScopingError::EmptySchema { schema: 4 });
+    }
+
+    #[test]
+    fn singleton_schema_is_typed_error() {
+        let data = Matrix::from_rows(&[vec![1.0, 2.0, 3.0]]);
+        let err = LocalModel::train(2, &data, v(0.5)).unwrap_err();
+        assert_eq!(
+            err,
+            ScopingError::DegenerateSchema {
+                schema: 2,
+                elements: 1
+            }
+        );
+    }
+
+    #[test]
+    fn non_finite_signature_is_typed_error_with_offender() {
+        let mut data = subspace_data(6, 5, 2, 9);
+        data[(3, 1)] = f64::NAN;
+        let err = LocalModel::train(1, &data, v(0.5)).unwrap_err();
+        assert_eq!(
+            err,
+            ScopingError::NonFiniteSignature {
+                schema: 1,
+                element: 3
+            }
+        );
+        data[(3, 1)] = f64::NEG_INFINITY;
+        let err = LocalModel::train(1, &data, v(0.5)).unwrap_err();
+        assert!(matches!(err, ScopingError::NonFiniteSignature { .. }));
+    }
+
+    #[test]
+    fn zero_variance_schema_is_rank_deficient() {
+        // All-duplicate signatures: a real catalog condition (identical
+        // serialized metadata), not just adversarial input.
+        let data = Matrix::from_rows(&vec![vec![0.25, -0.5, 0.75, 0.1]; 6]);
+        let err = LocalModel::train(3, &data, v(0.8)).unwrap_err();
+        assert_eq!(err, ScopingError::RankDeficient { schema: 3 });
+    }
+
+    #[test]
+    fn near_degenerate_but_real_variance_still_trains() {
+        // Tiny-but-genuine variance must NOT be misclassified as
+        // rank-deficient by the relative threshold.
+        let mut rng = Xoshiro256::seed_from(13);
+        let base: Vec<f64> = (0..6).map(|_| rng.next_gaussian()).collect();
+        let rows: Vec<Vec<f64>> = (0..8)
+            .map(|_| {
+                base.iter()
+                    .map(|&x| x + rng.next_gaussian() * 1e-6)
+                    .collect()
+            })
+            .collect();
+        let model = LocalModel::train(0, &Matrix::from_rows(&rows), v(0.9)).unwrap();
+        assert!(model.linkability_range() >= 0.0);
     }
 
     #[test]

@@ -1,7 +1,19 @@
 //! The result of a scoping run: per-element keep/prune decisions.
 
+use crate::error::ScopingError;
 use cs_schema::{Catalog, ElementId};
 use std::collections::HashSet;
+
+/// A schema the sweep could not train a local model for, plus why. The
+/// run carried on without it: its elements are pruned (`decisions` =
+/// `false`) and it never acts as a foreign assessor for other schemas.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradedSchema {
+    /// Index of the schema in the catalog.
+    pub schema: usize,
+    /// The typed reason training failed.
+    pub error: ScopingError,
+}
 
 /// Outcome of a (global or collaborative) scoping run.
 ///
@@ -16,6 +28,9 @@ pub struct ScopingOutcome {
     pub element_ids: Vec<ElementId>,
     /// Keep (true = linkable) per element.
     pub decisions: Vec<bool>,
+    /// Schemas skipped by a gracefully-degrading run (sorted by schema
+    /// index; empty for strict runs, which error out instead).
+    pub degraded: Vec<DegradedSchema>,
 }
 
 impl ScopingOutcome {
@@ -34,7 +49,19 @@ impl ScopingOutcome {
             method: method.into(),
             element_ids,
             decisions,
+            degraded: Vec::new(),
         }
+    }
+
+    /// Attaches the degraded-schema record of a graceful run.
+    pub fn with_degraded(mut self, degraded: Vec<DegradedSchema>) -> Self {
+        self.degraded = degraded;
+        self
+    }
+
+    /// True when at least one schema was skipped rather than assessed.
+    pub fn is_degraded(&self) -> bool {
+        !self.degraded.is_empty()
     }
 
     /// Number of elements assessed.
@@ -128,5 +155,23 @@ mod tests {
     #[should_panic(expected = "misaligned")]
     fn misaligned_vectors_panic() {
         ScopingOutcome::new("test", ids(), vec![true]);
+    }
+
+    #[test]
+    fn degraded_record_round_trips() {
+        let o = ScopingOutcome::new("test", ids(), vec![true, false, true, true]);
+        assert!(!o.is_degraded());
+        assert!(o.degraded.is_empty());
+        let o = o.with_degraded(vec![DegradedSchema {
+            schema: 1,
+            error: ScopingError::RankDeficient { schema: 1 },
+        }]);
+        assert!(o.is_degraded());
+        assert_eq!(o.degraded.len(), 1);
+        assert_eq!(o.degraded[0].schema, 1);
+        assert_eq!(
+            o.degraded[0].error,
+            ScopingError::RankDeficient { schema: 1 }
+        );
     }
 }

@@ -36,6 +36,92 @@ use std::thread::JoinHandle;
 
 use crate::error::ScopingError;
 
+/// Deterministic fault injection for the pool — a **test-only** hook used
+/// by the `cs-fault` harness to prove that worker panics surface as
+/// [`ScopingError::WorkerPanicked`] from every entry point.
+///
+/// The hook fires at the start of every chunk (pooled and inline alike)
+/// with a [`FaultSite`] describing where execution is; an armed closure
+/// that panics is caught by the pool's normal `catch_unwind` machinery, so
+/// `cs-core` itself stays panic-free. The hook is process-global but
+/// gated: [`armed`] holds an exclusive lock for the guard's lifetime, so
+/// concurrent armers serialize, and closures should filter on the
+/// [`FaultSite`] (pool tag / caller thread) to avoid poisoning innocent
+/// batches running on other pools. Production code never arms it; an
+/// unarmed hook is a single mutex-protected `Option` read per *chunk*
+/// (not per item).
+pub mod fault {
+    use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+    /// Where a fault hook fires.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct FaultSite {
+        /// Tag ([`super::ThreadPool::tag`]) of the pool executing the
+        /// chunk, or `None` for the poolless sequential path.
+        pub pool: Option<usize>,
+        /// Chunk index within the batch (0 for the inline path).
+        pub chunk: usize,
+    }
+
+    type Hook = Arc<dyn Fn(FaultSite) + Send + Sync>;
+
+    fn slot() -> &'static Mutex<Option<Hook>> {
+        static SLOT: OnceLock<Mutex<Option<Hook>>> = OnceLock::new();
+        SLOT.get_or_init(|| Mutex::new(None))
+    }
+
+    fn gate() -> &'static Mutex<()> {
+        static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+        GATE.get_or_init(|| Mutex::new(()))
+    }
+
+    /// Swaps the slot contents under its own short-lived guard. The only
+    /// place the slot and gate locks could nest is arming, and routing
+    /// every slot write through here keeps each function single-lock:
+    /// the order is always gate → slot, never the reverse (`fire` takes
+    /// the slot alone), so the pair cannot deadlock.
+    fn store(hook: Option<Hook>) {
+        *slot().lock().unwrap_or_else(|p| p.into_inner()) = hook;
+    }
+
+    /// RAII guard for an armed fault hook; disarms on drop and holds the
+    /// exclusive arming gate so armed sections never overlap.
+    #[must_use = "the hook disarms when the guard drops"]
+    pub struct Armed {
+        _gate: MutexGuard<'static, ()>,
+    }
+
+    impl Drop for Armed {
+        fn drop(&mut self) {
+            // Poison only means a previous armer panicked mid-section;
+            // the slot itself stays valid.
+            store(None);
+        }
+    }
+
+    /// Arms `hook` until the returned guard drops. Blocks while another
+    /// armed section is active. The closure may panic — that is the
+    /// point — and the panic surfaces as
+    /// [`crate::ScopingError::WorkerPanicked`].
+    pub fn armed(hook: impl Fn(FaultSite) + Send + Sync + 'static) -> Armed {
+        let gate = gate().lock().unwrap_or_else(|p| p.into_inner());
+        store(Some(Arc::new(hook)));
+        Armed { _gate: gate }
+    }
+
+    /// Fires the hook (if armed) at a chunk boundary. Called inside the
+    /// pool's `catch_unwind`, so a panicking hook is a simulated worker
+    /// panic, not an escape.
+    pub(super) fn fire(site: FaultSite) {
+        // Clone out of the lock before calling: a panicking hook must
+        // not poison the slot for the chunks that follow.
+        let hook = slot().lock().unwrap_or_else(|p| p.into_inner()).clone();
+        if let Some(h) = hook {
+            h(site);
+        }
+    }
+}
+
 /// Upper clamp for `CS_THREADS`; protects against absurd requests like
 /// `CS_THREADS=100000` exhausting process resources.
 pub const MAX_THREADS: usize = 256;
@@ -61,6 +147,9 @@ pub struct ThreadPool {
     workers: Vec<JoinHandle<()>>,
     /// Generation counter for in-flight batches (diagnostics only).
     batches: AtomicUsize,
+    /// Process-unique identity, so fault hooks ([`fault`]) can target one
+    /// pool without touching batches on any other.
+    tag: usize,
 }
 
 impl ThreadPool {
@@ -81,10 +170,12 @@ impl ThreadPool {
                     .expect("spawning a pool worker")
             })
             .collect();
+        static NEXT_TAG: AtomicUsize = AtomicUsize::new(0);
         Self {
             sender: Some(sender),
             workers,
             batches: AtomicUsize::new(0),
+            tag: NEXT_TAG.fetch_add(1, Ordering::Relaxed),
         }
     }
 
@@ -98,6 +189,12 @@ impl ThreadPool {
     /// Number of worker threads (0 = inline execution).
     pub fn workers(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Process-unique pool identity, used by [`fault`] hooks to target a
+    /// specific pool's batches.
+    pub fn tag(&self) -> usize {
+        self.tag
     }
 
     /// Number of batches dispatched so far (diagnostics).
@@ -131,17 +228,22 @@ impl ThreadPool {
         if chunks <= 1 {
             // Inline sequential path: same ascending index order, still
             // panic-safe so `CS_THREADS=0` matches pool semantics.
-            return run_inline(k, &work);
+            return run_inline(k, &work, Some(self.tag));
         }
         self.batches.fetch_add(1, Ordering::Relaxed);
 
         let work = Arc::new(work);
+        let pool_tag = self.tag;
         let (tx, rx) = channel::<(usize, ChunkResult<T>)>();
         for (chunk_idx, range) in chunk_ranges(k, chunks).into_iter().enumerate() {
             let work = Arc::clone(&work);
             let tx = tx.clone();
             let job: Job = Box::new(move || {
                 let result = catch_unwind(AssertUnwindSafe(|| {
+                    fault::fire(fault::FaultSite {
+                        pool: Some(pool_tag),
+                        chunk: chunk_idx,
+                    });
                     range.clone().map(|i| work(i)).collect::<Vec<T>>()
                 }))
                 .map_err(|payload| panic_message(&*payload));
@@ -214,12 +316,18 @@ fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
 }
 
 /// Runs the batch on the caller thread with the same panic surface as
-/// the pooled path.
-fn run_inline<T, F>(k: usize, work: &F) -> Result<Vec<T>, ScopingError>
+/// the pooled path. `pool` carries the owning pool's tag when this is the
+/// single-chunk fast path of [`ThreadPool::run_slots`], `None` when no
+/// pool is involved ([`ExecPolicy::Sequential`]).
+fn run_inline<T, F>(k: usize, work: &F, pool: Option<usize>) -> Result<Vec<T>, ScopingError>
 where
     F: Fn(usize) -> T,
 {
-    catch_unwind(AssertUnwindSafe(|| (0..k).map(work).collect::<Vec<T>>())).map_err(|payload| {
+    catch_unwind(AssertUnwindSafe(|| {
+        fault::fire(fault::FaultSite { pool, chunk: 0 });
+        (0..k).map(work).collect::<Vec<T>>()
+    }))
+    .map_err(|payload| {
         ScopingError::WorkerPanicked {
             // `&*` matters: `&payload` would unsize the Box itself to
             // `&dyn Any` and every downcast would miss.
@@ -305,7 +413,7 @@ impl ExecPolicy {
         F: Fn(usize) -> T + Send + Sync + 'static,
     {
         match self {
-            ExecPolicy::Sequential => run_inline(k, &work),
+            ExecPolicy::Sequential => run_inline(k, &work, None),
             ExecPolicy::Global => global().run_slots(k, work),
             ExecPolicy::Pool(pool) => pool.run_slots(k, work),
         }
@@ -419,6 +527,65 @@ mod tests {
         let b = global() as *const ThreadPool;
         assert_eq!(a, b);
         assert!(global().workers() <= MAX_THREADS);
+    }
+
+    #[test]
+    fn armed_fault_hook_surfaces_as_worker_panicked_then_disarms() {
+        let pool = ThreadPool::with_threads(4);
+        let target = pool.tag();
+        {
+            let _guard = fault::armed(move |site| {
+                // Filter on the pool tag so concurrent batches on other
+                // pools (parallel test threads) are untouched.
+                if site.pool == Some(target) && site.chunk == 0 {
+                    panic!("injected fault: worker panic");
+                }
+            });
+            let err = pool.run_slots(16, |i| i).unwrap_err();
+            match err {
+                ScopingError::WorkerPanicked { detail } => {
+                    assert!(detail.contains("injected fault"), "detail: {detail}");
+                }
+                other => panic!("expected WorkerPanicked, got {other:?}"),
+            }
+        }
+        // Guard dropped → hook disarmed → pool healthy again.
+        assert_eq!(pool.run_slots(4, |i| i).unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn armed_fault_hook_reaches_sequential_and_inline_paths() {
+        let me = std::thread::current().id();
+        {
+            let _guard = fault::armed(move |site| {
+                // Sequential runs on the caller thread with no pool tag.
+                if site.pool.is_none() && std::thread::current().id() == me {
+                    panic!("injected fault: inline panic");
+                }
+            });
+            let err = ExecPolicy::Sequential
+                .run_slots(5, |i: usize| i)
+                .unwrap_err();
+            assert!(matches!(err, ScopingError::WorkerPanicked { ref detail }
+                if detail.contains("inline panic")));
+        }
+        // Single-chunk pooled fast path carries the pool's tag.
+        let pool = ThreadPool::with_threads(1);
+        let target = pool.tag();
+        {
+            let _guard = fault::armed(move |site| {
+                if site.pool == Some(target) {
+                    panic!("injected fault: single-chunk panic");
+                }
+            });
+            let err = pool.run_slots(3, |i| i).unwrap_err();
+            assert!(matches!(err, ScopingError::WorkerPanicked { ref detail }
+                if detail.contains("single-chunk panic")));
+        }
+        assert_eq!(
+            ExecPolicy::Sequential.run_slots(2, |i| i).unwrap(),
+            vec![0, 1]
+        );
     }
 
     #[test]

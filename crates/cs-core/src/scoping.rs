@@ -57,11 +57,21 @@ impl<D: OutlierDetector> GlobalScoper<D> {
     }
 
     /// Scopes streamlined schemas at threshold `p` (step 1–3 of Section 2.4).
+    ///
+    /// # Errors
+    /// [`ScopingError::InvalidParameter`] when `p` lies outside `[0, 1]`
+    /// or is not finite.
     pub fn scope_at(
         &self,
         signatures: &SchemaSignatures,
         p: f64,
     ) -> Result<ScopingOutcome, ScopingError> {
+        if !((0.0..=1.0).contains(&p) && p.is_finite()) {
+            return Err(ScopingError::InvalidParameter {
+                name: "p",
+                value: p,
+            });
+        }
         let scores = self.scores(signatures)?;
         Ok(scope_from_scores(
             format!("Scoping[{}] p={p}", self.detector.name()),
@@ -187,6 +197,19 @@ mod tests {
     fn out_of_range_p_panics() {
         let s = sigs();
         scope_from_scores("x", &s, &[0.0; 5], 1.5);
+    }
+
+    #[test]
+    fn scope_at_rejects_bad_p_as_typed_error() {
+        let scoper = GlobalScoper::new(ZScoreDetector);
+        let s = sigs();
+        for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = scoper.scope_at(&s, bad).unwrap_err();
+            assert!(
+                matches!(err, ScopingError::InvalidParameter { name: "p", .. }),
+                "p={bad}: {err:?}"
+            );
+        }
     }
 
     #[test]

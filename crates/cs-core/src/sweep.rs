@@ -17,7 +17,8 @@ use std::sync::Arc;
 
 use crate::collaborative::CombinationRule;
 use crate::error::ScopingError;
-use crate::outcome::ScopingOutcome;
+use crate::local_model::{check_spectrum, check_trainable};
+use crate::outcome::{DegradedSchema, ScopingOutcome};
 use crate::pool::ExecPolicy;
 use crate::signatures::SchemaSignatures;
 use cs_linalg::{Matrix, Pca};
@@ -70,13 +71,20 @@ impl ProjTable {
 struct SweepCache {
     element_ids: Vec<ElementId>,
     dim: usize,
-    /// Full explained-variance ratios per schema model.
+    /// Element count per schema (degraded schemas included — their
+    /// elements still occupy rows of the unified order).
+    schema_lens: Vec<usize>,
+    /// Full explained-variance ratios per schema model (empty for
+    /// degraded schemas).
     ratios: Vec<Vec<f64>>,
-    /// `own[m]` — schema `m`'s own elements under its own model.
-    own: Vec<ProjTable>,
-    /// `cross[k][m]` — schema `k`'s elements under model `m` (`None` on the
-    /// diagonal).
+    /// `own[m]` — schema `m`'s own elements under its own model
+    /// (`None` when `m` is degraded).
+    own: Vec<Option<ProjTable>>,
+    /// `cross[k][m]` — schema `k`'s elements under model `m` (`None` on
+    /// the diagonal and wherever `k` or `m` is degraded).
     cross: Vec<Vec<Option<ProjTable>>>,
+    /// Schemas no local model could be trained for, in schema order.
+    degraded: Vec<DegradedSchema>,
 }
 
 /// Prepared state for sweeping `v` over a catalog's signatures.
@@ -101,6 +109,17 @@ impl CollaborativeSweep {
     /// PCA fits and the projection tables are per-schema pure
     /// computations assembled in slot order, so every policy produces a
     /// bit-identical cache.
+    ///
+    /// # Graceful degradation
+    ///
+    /// A schema whose local model cannot be trained (empty, singleton,
+    /// non-finite or zero-variance signatures) does **not** abort the
+    /// sweep: it is recorded as a [`DegradedSchema`], excluded as a
+    /// foreign assessor, and every outcome prunes its elements
+    /// (`decisions = false`). Only when fewer than two schemas remain
+    /// healthy does preparation fail — with the first degraded schema's
+    /// typed error, since that schema is what made the catalog
+    /// unassessable.
     pub fn prepare_with(
         signatures: &SchemaSignatures,
         exec: &ExecPolicy,
@@ -109,31 +128,64 @@ impl CollaborativeSweep {
         if k < 2 {
             return Err(ScopingError::TooFewSchemas { found: k });
         }
-        for m in 0..k {
-            if signatures.schema_len(m) == 0 {
-                return Err(ScopingError::EmptySchema { schema: m });
+        // Classify every schema with the same guards the strict path
+        // (`LocalModel::train`) applies, so both paths agree on what is
+        // degenerate.
+        let sigs = signatures.clone();
+        let fits: Vec<Result<Pca, ScopingError>> = exec.run_slots(k, move |m| {
+            let data = sigs.schema(m);
+            check_trainable(m, data)?;
+            let pca = Pca::fit_full(data)?;
+            check_spectrum(m, data, &pca)?;
+            Ok(pca)
+        })?;
+        let mut pcas: Vec<Option<Pca>> = Vec::with_capacity(k);
+        let mut degraded = Vec::new();
+        for (m, fit) in fits.into_iter().enumerate() {
+            match fit {
+                Ok(pca) => pcas.push(Some(pca)),
+                Err(error) => {
+                    pcas.push(None);
+                    degraded.push(DegradedSchema { schema: m, error });
+                }
             }
         }
-        let sigs = signatures.clone();
-        let pcas: Arc<Vec<Pca>> = Arc::new(
-            exec.run_slots(k, move |m| {
-                Pca::fit_full(sigs.schema(m)).map_err(ScopingError::from)
-            })?
-            .into_iter()
-            .collect::<Result<_, _>>()?,
-        );
+        let healthy = k - degraded.len();
+        if healthy < 2 {
+            // Not enough schemas left to collaborate; surface the first
+            // failure as the reason.
+            return Err(degraded
+                .into_iter()
+                .next()
+                .map(|d| d.error)
+                .unwrap_or(ScopingError::TooFewSchemas { found: k }));
+        }
         let ratios = pcas
             .iter()
-            .map(|p| p.explained_variance_ratio().to_vec())
+            .map(|p| {
+                p.as_ref()
+                    .map(|p| p.explained_variance_ratio().to_vec())
+                    .unwrap_or_default()
+            })
             .collect();
         // One slot per schema: its own-model table plus its row of
-        // cross-model tables.
+        // cross-model tables. Degraded schemas get no tables at all —
+        // their signatures may be non-finite and must never be projected.
         let sigs = signatures.clone();
-        let shared_pcas = Arc::clone(&pcas);
+        let shared_pcas: Arc<Vec<Option<Pca>>> = Arc::new(pcas);
         let per_schema = exec.run_slots(k, move |sk| {
-            let own = ProjTable::build(&shared_pcas[sk], sigs.schema(sk));
+            let own = shared_pcas[sk]
+                .as_ref()
+                .map(|pca| ProjTable::build(pca, sigs.schema(sk)));
             let cross: Vec<Option<ProjTable>> = (0..k)
-                .map(|m| (m != sk).then(|| ProjTable::build(&shared_pcas[m], sigs.schema(sk))))
+                .map(|m| {
+                    if m == sk || own.is_none() {
+                        return None;
+                    }
+                    shared_pcas[m]
+                        .as_ref()
+                        .map(|pca| ProjTable::build(pca, sigs.schema(sk)))
+                })
                 .collect();
             (own, cross)
         })?;
@@ -147,11 +199,23 @@ impl CollaborativeSweep {
             inner: Arc::new(SweepCache {
                 element_ids: signatures.element_ids(),
                 dim: signatures.dim(),
+                schema_lens: (0..k).map(|m| signatures.schema_len(m)).collect(),
                 ratios,
                 own,
                 cross,
+                degraded,
             }),
         })
+    }
+
+    /// Schemas the sweep skipped (empty for a fully healthy catalog).
+    pub fn degraded(&self) -> &[DegradedSchema] {
+        &self.inner.degraded
+    }
+
+    /// Number of schemas with a trained local model.
+    pub fn healthy_count(&self) -> usize {
+        self.schema_count() - self.inner.degraded.len()
     }
 
     /// Number of schemas.
@@ -159,16 +223,24 @@ impl CollaborativeSweep {
         self.inner.own.len()
     }
 
-    /// Components each model retains at explained variance `v`.
+    /// Components each model retains at explained variance `v`
+    /// (0 for degraded schemas, which have no model).
     pub fn components_at(&self, v: f64) -> Vec<usize> {
         self.inner
             .ratios
             .iter()
-            .map(|r| Pca::components_for_variance(r, v))
+            .map(|r| {
+                if r.is_empty() {
+                    0
+                } else {
+                    Pca::components_for_variance(r, v)
+                }
+            })
             .collect()
     }
 
-    /// Local linkability ranges `l_m` at explained variance `v`.
+    /// Local linkability ranges `l_m` at explained variance `v`
+    /// (0.0 for degraded schemas, which accept nothing).
     pub fn ranges_at(&self, v: f64) -> Vec<f64> {
         let comps = self.components_at(v);
         self.inner
@@ -176,30 +248,61 @@ impl CollaborativeSweep {
             .iter()
             .zip(comps.iter())
             .map(|(table, &n)| {
-                (0..table.len())
-                    .map(|e| table.error_at(e, n, self.inner.dim))
-                    .fold(0.0, f64::max)
+                table
+                    .as_ref()
+                    .map(|t| {
+                        (0..t.len())
+                            .map(|e| t.error_at(e, n, self.inner.dim))
+                            .fold(0.0, f64::max)
+                    })
+                    .unwrap_or(0.0)
             })
             .collect()
     }
 
     /// Collaborative assessment at one grid point (equivalent to
     /// [`crate::CollaborativeScoper::run`] at the same `v`).
-    pub fn assess_at(&self, v: f64) -> ScopingOutcome {
+    ///
+    /// # Errors
+    /// [`ScopingError::InvalidVariance`] when `v` lies outside `(0, 1]`.
+    pub fn assess_at(&self, v: f64) -> Result<ScopingOutcome, ScopingError> {
         self.assess_with_rule(v, CombinationRule::Any)
     }
 
     /// Assessment with an explicit combination rule.
-    pub fn assess_with_rule(&self, v: f64, rule: CombinationRule) -> ScopingOutcome {
-        assert!(v.is_finite() && v > 0.0 && v <= 1.0, "v must lie in (0, 1]");
+    ///
+    /// # Errors
+    /// [`ScopingError::InvalidVariance`] when `v` lies outside `(0, 1]`.
+    pub fn assess_with_rule(
+        &self,
+        v: f64,
+        rule: CombinationRule,
+    ) -> Result<ScopingOutcome, ScopingError> {
+        if !(v.is_finite() && v > 0.0 && v <= 1.0) {
+            return Err(ScopingError::InvalidVariance { value: v });
+        }
+        Ok(self.assess_with_rule_unchecked(v, rule))
+    }
+
+    /// The grid-point kernel, for callers that already validated `v`
+    /// (the grid path validates once on the caller thread, then fans
+    /// out).
+    fn assess_with_rule_unchecked(&self, v: f64, rule: CombinationRule) -> ScopingOutcome {
         let cache = &*self.inner;
         let k = self.schema_count();
+        // A degraded schema is no assessor: foreign votes are counted
+        // out of the healthy models only.
+        let total_foreign = self.healthy_count().saturating_sub(1);
         let comps = self.components_at(v);
         let ranges = self.ranges_at(v);
         let mut decisions = Vec::with_capacity(cache.element_ids.len());
         for sk in 0..k {
-            let n_elems = cache.own[sk].len();
-            for e in 0..n_elems {
+            if cache.own[sk].is_none() {
+                // Degraded schema: its elements are pruned wholesale.
+                decisions.extend(std::iter::repeat(false).take(cache.schema_lens[sk]));
+                continue;
+            }
+            for e in 0..cache.schema_lens[sk] {
                 let mut accepts = 0usize;
                 for m in 0..k {
                     if let Some(table) = &cache.cross[sk][m] {
@@ -208,7 +311,7 @@ impl CollaborativeSweep {
                         }
                     }
                 }
-                decisions.push(rule.decide(accepts, k - 1));
+                decisions.push(rule.decide(accepts, total_foreign));
             }
         }
         ScopingOutcome::new(
@@ -216,6 +319,7 @@ impl CollaborativeSweep {
             cache.element_ids.clone(),
             decisions,
         )
+        .with_degraded(cache.degraded.clone())
     }
 
     /// Assesses every grid point of `vs`, dealing contiguous `v`-slices
@@ -246,7 +350,9 @@ impl CollaborativeSweep {
         }
         let sweep = self.clone();
         let vs: Arc<[f64]> = vs.into();
-        exec.run_slots(vs.len(), move |i| sweep.assess_with_rule(vs[i], rule))
+        exec.run_slots(vs.len(), move |i| {
+            sweep.assess_with_rule_unchecked(vs[i], rule)
+        })
     }
 }
 
@@ -287,7 +393,7 @@ mod tests {
         let sigs = random_sigs(5);
         let sweep = CollaborativeSweep::prepare(&sigs).unwrap();
         for &v in &[0.99, 0.9, 0.75, 0.5, 0.3, 0.1, 0.01] {
-            let fast = sweep.assess_at(v);
+            let fast = sweep.assess_at(v).unwrap();
             let slow = CollaborativeScoper::new(v).run(&sigs).unwrap().outcome;
             assert_eq!(fast.decisions, slow.decisions, "divergence at v={v}");
         }
@@ -345,8 +451,13 @@ mod tests {
             CollaborativeSweep::prepare(&one),
             Err(ScopingError::TooFewSchemas { found: 1 })
         ));
+        // One healthy schema + one empty: not enough left to collaborate,
+        // so the first degraded schema's typed error surfaces.
         let with_empty = SchemaSignatures::from_matrices(
-            vec![Matrix::from_rows(&[vec![1.0, 0.0]]), Matrix::zeros(0, 2)],
+            vec![
+                Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![0.5, 0.2]]),
+                Matrix::zeros(0, 2),
+            ],
             vec!["a".into(), "b".into()],
         );
         assert!(matches!(
@@ -356,10 +467,104 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "v must lie in")]
-    fn out_of_range_v_panics() {
+    fn out_of_range_v_is_typed_error() {
         let sigs = random_sigs(9);
-        CollaborativeSweep::prepare(&sigs).unwrap().assess_at(0.0);
+        let sweep = CollaborativeSweep::prepare(&sigs).unwrap();
+        for bad in [0.0, -0.5, 1.0001, f64::NAN, f64::INFINITY] {
+            let err = sweep.assess_at(bad).unwrap_err();
+            assert!(
+                matches!(err, ScopingError::InvalidVariance { .. }),
+                "v={bad}: {err:?}"
+            );
+        }
+        // The boundaries of (0, 1] themselves stay valid.
+        assert!(sweep.assess_at(1.0).is_ok());
+        assert!(sweep.assess_at(1e-9).is_ok());
+    }
+
+    /// Replaces schema `target` of `sigs` with `mat`, keeping names.
+    fn with_schema_replaced(
+        sigs: &SchemaSignatures,
+        target: usize,
+        mat: Matrix,
+    ) -> SchemaSignatures {
+        let mats: Vec<Matrix> = (0..sigs.schema_count())
+            .map(|m| {
+                if m == target {
+                    mat.clone()
+                } else {
+                    sigs.schema(m).clone()
+                }
+            })
+            .collect();
+        SchemaSignatures::from_matrices(mats, sigs.schema_names().to_vec())
+    }
+
+    #[test]
+    fn degraded_schema_is_skipped_not_fatal() {
+        let sigs = random_sigs(20);
+        let dim = sigs.dim();
+        // Schema 1 becomes all-duplicate rows → rank-deficient.
+        let flat = Matrix::from_rows(&vec![vec![0.5; dim]; sigs.schema_len(1)]);
+        let hostile = with_schema_replaced(&sigs, 1, flat);
+        let sweep = CollaborativeSweep::prepare(&hostile).unwrap();
+        assert_eq!(sweep.healthy_count(), 2);
+        assert_eq!(sweep.degraded().len(), 1);
+        assert_eq!(sweep.degraded()[0].schema, 1);
+        assert_eq!(
+            sweep.degraded()[0].error,
+            ScopingError::RankDeficient { schema: 1 }
+        );
+        let outcome = sweep.assess_at(0.6).unwrap();
+        assert!(outcome.is_degraded());
+        assert_eq!(outcome.degraded, sweep.degraded().to_vec());
+        // Every element of the degraded schema is pruned; the healthy
+        // schemas are still assessed normally.
+        assert_eq!(outcome.kept_in_schema(1), 0);
+        assert_eq!(outcome.len(), hostile.total_len());
+        let healthy_only =
+            CollaborativeSweep::prepare(&with_schema_replaced(&sigs, 1, sigs.schema(1).clone()))
+                .unwrap();
+        assert!(!healthy_only.assess_at(0.6).unwrap().is_degraded());
+    }
+
+    #[test]
+    fn non_finite_schema_degrades_without_poisoning_others() {
+        let sigs = random_sigs(21);
+        let mut bad = sigs.schema(2).clone();
+        bad[(0, 0)] = f64::NAN;
+        let hostile = with_schema_replaced(&sigs, 2, bad);
+        let sweep = CollaborativeSweep::prepare(&hostile).unwrap();
+        assert_eq!(
+            sweep.degraded()[0].error,
+            ScopingError::NonFiniteSignature {
+                schema: 2,
+                element: 0
+            }
+        );
+        let outcome = sweep.assess_at(0.5).unwrap();
+        // No NaN leaks into decisions: every healthy element got a real
+        // verdict and at least one survives on this seed.
+        assert_eq!(outcome.kept_in_schema(2), 0);
+        assert!(outcome.kept_count() > 0);
+    }
+
+    #[test]
+    fn degraded_sweep_is_policy_invariant() {
+        let sigs = random_sigs(22);
+        let flat = Matrix::from_rows(&vec![vec![-1.0; sigs.dim()]; sigs.schema_len(0)]);
+        let hostile = with_schema_replaced(&sigs, 0, flat);
+        let seq = CollaborativeSweep::prepare_with(&hostile, &ExecPolicy::Sequential).unwrap();
+        let par = CollaborativeSweep::prepare_with(
+            &hostile,
+            &ExecPolicy::Pool(Arc::new(crate::pool::ThreadPool::with_threads(3))),
+        )
+        .unwrap();
+        for &v in &[0.9, 0.5, 0.2] {
+            let a = seq.assess_at(v).unwrap();
+            let b = par.assess_at(v).unwrap();
+            assert_eq!(a, b, "v={v}");
+        }
     }
 
     #[test]
@@ -370,7 +575,11 @@ mod tests {
         let batch = sweep.assess_grid(&vs, CombinationRule::Any).unwrap();
         assert_eq!(batch.len(), vs.len());
         for (outcome, &v) in batch.iter().zip(vs.iter()) {
-            assert_eq!(outcome.decisions, sweep.assess_at(v).decisions, "v={v}");
+            assert_eq!(
+                outcome.decisions,
+                sweep.assess_at(v).unwrap().decisions,
+                "v={v}"
+            );
         }
     }
 
@@ -394,7 +603,10 @@ mod tests {
         for &v in &[0.9, 0.5, 0.2] {
             assert_eq!(seq.components_at(v), par.components_at(v));
             assert_eq!(seq.ranges_at(v), par.ranges_at(v));
-            assert_eq!(seq.assess_at(v).decisions, par.assess_at(v).decisions);
+            assert_eq!(
+                seq.assess_at(v).unwrap().decisions,
+                par.assess_at(v).unwrap().decisions
+            );
         }
     }
 }

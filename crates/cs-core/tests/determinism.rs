@@ -131,7 +131,11 @@ fn sweep_grid_is_bit_identical_across_worker_counts() {
             CollaborativeSweep::prepare_with(&sigs, &ExecPolicy::Sequential).expect("prepare");
         let baseline: Vec<_> = vs
             .iter()
-            .map(|&v| baseline_sweep.assess_with_rule(v, CombinationRule::Any))
+            .map(|&v| {
+                baseline_sweep
+                    .assess_with_rule(v, CombinationRule::Any)
+                    .expect("valid grid point")
+            })
             .collect();
         for (n, pool) in &pools {
             let exec = ExecPolicy::Pool(Arc::clone(pool));

@@ -10,6 +10,13 @@
 //! private noise attributes (unlinkable). Optionally an entirely alien
 //! schema with its own domain vocabulary is appended — the synthetic
 //! analog of the Formula-One extension.
+//!
+//! The `with_*` / [`all_unlinkable`] constructors build **adversarial**
+//! variants (empty schema, singleton schema, all-duplicate signatures,
+//! zero linkable elements) for the fault-injection harness. NaN/inf
+//! signature corruption is *not* expressible here — catalogs are purely
+//! textual — so that injector lives in `cs-fault`, which poisons the
+//! encoded signature matrices directly.
 
 use cs_linalg::Xoshiro256;
 use cs_schema::{
@@ -210,6 +217,70 @@ pub fn generate(config: &SyntheticConfig) -> Dataset {
     }
 }
 
+/// Appends `extra` to `base`'s catalog as a final schema, keeping the
+/// name, linkages, and (crucially) every existing [`cs_schema::ElementId`]
+/// valid — schema indices only ever grow at the end.
+fn with_appended_schema(base: Dataset, extra: Schema, suffix: &str) -> Dataset {
+    let mut schemas: Vec<Schema> = base.catalog.schemas().to_vec();
+    schemas.push(extra);
+    Dataset {
+        name: format!("{}+{suffix}", base.name),
+        catalog: Catalog::from_schemas(schemas),
+        linkages: base.linkages,
+    }
+}
+
+/// Adversarial variant: a healthy synthetic scenario plus one **empty**
+/// schema (zero tables, zero elements) appended at the end. Strict
+/// training on it must fail with `EmptySchema`; a graceful sweep must
+/// skip it and still assess the healthy schemas.
+pub fn with_empty_schema(config: &SyntheticConfig) -> Dataset {
+    with_appended_schema(
+        generate(config),
+        Schema::new("SYN-EMPTY", Vec::new()),
+        "empty",
+    )
+}
+
+/// Adversarial variant: appends a **singleton** schema — one attributeless
+/// table, hence exactly one element. A single signature centers to zero
+/// and carries no variance (`DegenerateSchema`).
+pub fn with_singleton_schema(config: &SyntheticConfig) -> Dataset {
+    with_appended_schema(
+        generate(config),
+        Schema::new("SYN-LONELY", vec![Table::new("LONELY", Vec::new())]),
+        "singleton",
+    )
+}
+
+/// Adversarial variant: appends a schema of `copies` **identical**
+/// attributeless tables. Identical serialized metadata → identical
+/// signatures → a rank-deficient (zero-variance) local model.
+///
+/// # Panics
+/// If `copies < 2` (one copy is the singleton case, zero the empty one).
+pub fn with_duplicate_schema(config: &SyntheticConfig, copies: usize) -> Dataset {
+    assert!(copies >= 2, "need at least two duplicate elements");
+    let tables = (0..copies).map(|_| Table::new("DUP", Vec::new())).collect();
+    with_appended_schema(
+        generate(config),
+        Schema::new("SYN-DUP", tables),
+        "duplicates",
+    )
+}
+
+/// Adversarial variant: every schema materializes **zero** shared
+/// concepts, so nothing is annotated linkable — the all-unlinkable
+/// source. Scoping quality metrics must handle an empty positive class.
+pub fn all_unlinkable(config: &SyntheticConfig) -> Dataset {
+    let ds = generate(&SyntheticConfig {
+        concepts_per_schema: 0,
+        ..config.clone()
+    });
+    debug_assert!(ds.linkages.is_empty());
+    ds
+}
+
 fn chunk_into_tables(prefix: &str, attrs: Vec<Attribute>, width: usize) -> Vec<Table> {
     let mut tables = Vec::new();
     for (ti, chunk) in attrs.chunks(width).enumerate() {
@@ -322,5 +393,56 @@ mod tests {
             concepts_per_schema: 10,
             ..Default::default()
         });
+    }
+
+    #[test]
+    fn empty_schema_variant_appends_zero_elements() {
+        let cfg = SyntheticConfig::default();
+        let ds = with_empty_schema(&cfg);
+        let last = ds.catalog.schema_count() - 1;
+        assert_eq!(last, cfg.schemas);
+        assert_eq!(ds.catalog.schema(last).element_count(), 0);
+        // The healthy part is untouched: same linkages as the base run.
+        assert_eq!(ds.linkages, generate(&cfg).linkages);
+    }
+
+    #[test]
+    fn singleton_schema_variant_appends_one_element() {
+        let ds = with_singleton_schema(&SyntheticConfig::default());
+        let last = ds.catalog.schema_count() - 1;
+        assert_eq!(ds.catalog.schema(last).element_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_schema_variant_has_identical_serializations() {
+        let ds = with_duplicate_schema(&SyntheticConfig::default(), 5);
+        let last = ds.catalog.schema_count() - 1;
+        let schema = ds.catalog.schema(last);
+        assert_eq!(schema.element_count(), 5);
+        let opts = cs_schema::SerializeOptions::default();
+        let texts: Vec<String> = schema
+            .tables
+            .iter()
+            .map(|t| cs_schema::serialize_table(t, &opts))
+            .collect();
+        assert!(
+            texts.windows(2).all(|w| w[0] == w[1]),
+            "duplicate tables must serialize identically: {texts:?}"
+        );
+    }
+
+    #[test]
+    fn all_unlinkable_variant_has_empty_positive_class() {
+        let ds = all_unlinkable(&SyntheticConfig::default());
+        assert!(ds.linkages.is_empty());
+        assert_eq!(ds.catalog.schema_count(), 3);
+        // Elements still exist — they are merely all private.
+        assert!(ds.catalog.schema(0).element_count() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "two duplicate")]
+    fn duplicate_variant_rejects_degenerate_copy_count() {
+        with_duplicate_schema(&SyntheticConfig::default(), 1);
     }
 }

@@ -167,13 +167,22 @@ impl SignatureEncoder {
 
     /// The (cached) vector of one uppercase token.
     pub fn token_vector(&self, token: &str) -> Vec<f64> {
-        if let Some(v) = self.token_cache.read().expect("cache poisoned").get(token) {
+        // Poison recovery, not a panic: a worker that panicked while
+        // holding the cache lock (e.g. an injected fault) must not
+        // cascade into every later encode. The cache itself is a pure
+        // memo table, so the stored values stay valid.
+        if let Some(v) = self
+            .token_cache
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(token)
+        {
             return v.clone();
         }
         let v = self.compute_token_vector(token);
         self.token_cache
             .write()
-            .expect("cache poisoned")
+            .unwrap_or_else(|p| p.into_inner())
             .insert(token.to_string(), v.clone());
         v
     }
@@ -189,8 +198,15 @@ impl SignatureEncoder {
             );
         }
         // 2) Initial-prefix abbreviation: CNAME → NAME, OID → ID.
-        if token.len() >= 3 {
-            if let Some(entry) = self.lexicon.resolve(&token[1..]) {
+        // Strip one *character*, not one byte — a multi-byte first char
+        // (non-ASCII identifiers) must not panic on the slice boundary.
+        let tail = token
+            .char_indices()
+            .nth(1)
+            .map(|(i, _)| &token[i..])
+            .unwrap_or("");
+        if token.len() >= 3 && !tail.is_empty() {
+            if let Some(entry) = self.lexicon.resolve(tail) {
                 return self.blend(
                     self.concept_vector(entry),
                     &surface,
@@ -332,6 +348,32 @@ mod tests {
         let e = enc();
         let v = e.encode("");
         assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn hostile_text_never_produces_non_finite_signatures() {
+        // Degenerate serialized metadata — whitespace runs, repeated
+        // tokens, huge identifiers, control characters, non-ASCII —
+        // must encode to finite vectors (NaN here would silently poison
+        // every downstream PCA).
+        let e = enc();
+        let huge = "X".repeat(10_000);
+        let hostile = [
+            "   \t\n  ",
+            "A A A A A A A A A A A A A A A A",
+            huge.as_str(),
+            "NULL NULL NULL []",
+            "\u{0}\u{1}\u{2}",
+            "ÜBERWEISUNG Ω λ 名前",
+            "-- ; DROP TABLE []",
+        ];
+        for text in hostile {
+            let v = e.encode(text);
+            assert!(
+                v.iter().all(|x| x.is_finite()),
+                "non-finite signature for {text:?}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,542 @@
+//! The fault-case matrix and the deterministic stage runner.
+//!
+//! A [`FaultCase`] names one degenerate scenario; [`run_case`] pushes it
+//! through every pipeline stage under one [`ExecPolicy`] and reports each
+//! stage's outcome as a plain text line. The lines mention **what**
+//! happened (kept counts, typed error displays, degraded-schema records)
+//! but never **how** it executed, so [`run_matrix`] can require the full
+//! matrix to be byte-identical across execution policies — the fault
+//! paths obey the same determinism contract (DESIGN.md §8) as the happy
+//! paths.
+//!
+//! A stage that *panics* (instead of returning a typed error) produces a
+//! `PANIC-ESCAPED:` line. No case may ever emit one; the in-crate tests
+//! and the `fault_smoke` binary both fail hard on it.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use cs_core::pool::{fault, global, ExecPolicy};
+use cs_core::{
+    CollaborativeScoper, CollaborativeSweep, CombinationRule, GlobalScoper, SchemaSignatures,
+    ScopingError,
+};
+use cs_datasets::synthetic::{
+    all_unlinkable, with_duplicate_schema, with_empty_schema, with_singleton_schema,
+    SyntheticConfig,
+};
+use cs_embed::SignatureEncoder;
+use cs_match::{ElementSet, Matcher, SimMatcher};
+use cs_oda::ZScoreDetector;
+
+use crate::inject::{flatten_schema, poison_non_finite};
+
+/// The explained variance the strict scoper stage runs at.
+const STRICT_V: f64 = 0.85;
+/// The grid the sweep stage evaluates.
+const GRID: [f64; 3] = [0.9, 0.6, 0.3];
+/// The keep fraction of the global-scoping stage.
+const GLOBAL_P: f64 = 0.5;
+/// The cosine threshold of the matcher stage.
+const SIM_T: f64 = 0.6;
+
+/// How a fault case manufactures its input.
+#[derive(Debug, Clone, Copy)]
+pub enum Scenario {
+    /// Run the signature pipeline on a manufactured signature catalog.
+    Signatures(fn() -> SchemaSignatures),
+    /// Healthy catalog, but the pool fault hook panics in chunk 0.
+    WorkerPanic,
+    /// Healthy catalog driven with out-of-range parameters everywhere.
+    InvalidParams,
+}
+
+/// One named scenario plus the substring its report must contain.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultCase {
+    /// Stable case name (sorted output key).
+    pub name: &'static str,
+    /// Input recipe.
+    pub scenario: Scenario,
+    /// A substring the joined stage lines must contain ("" = no
+    /// constraint beyond determinism and panic-freedom).
+    pub expect: &'static str,
+}
+
+/// The small synthetic catalog every scenario starts from. Kept tiny so
+/// the whole matrix (cases × policies) stays inside the verify smoke
+/// budget.
+fn base_config() -> SyntheticConfig {
+    SyntheticConfig {
+        schemas: 3,
+        shared_concepts: 12,
+        concepts_per_schema: 8,
+        private_per_schema: 4,
+        table_width: 4,
+        alien_elements: 0,
+        seed: 0xFA_17,
+    }
+}
+
+fn encode(ds: &cs_datasets::Dataset) -> SchemaSignatures {
+    cs_core::encode_catalog(&SignatureEncoder::default(), &ds.catalog)
+}
+
+fn baseline_sigs() -> SchemaSignatures {
+    encode(&cs_datasets::synthetic::generate(&base_config()))
+}
+
+/// The full fault matrix: eleven scenarios spanning catalog-level,
+/// signature-level, parameter-level, and runtime-level faults.
+pub fn cases() -> Vec<FaultCase> {
+    vec![
+        FaultCase {
+            name: "baseline",
+            scenario: Scenario::Signatures(baseline_sigs),
+            expect: "scoper: kept=",
+        },
+        FaultCase {
+            name: "empty_schema",
+            scenario: Scenario::Signatures(|| encode(&with_empty_schema(&base_config()))),
+            expect: "has no elements",
+        },
+        FaultCase {
+            name: "singleton_schema",
+            scenario: Scenario::Signatures(|| encode(&with_singleton_schema(&base_config()))),
+            expect: "too few to train",
+        },
+        FaultCase {
+            name: "duplicate_signatures",
+            scenario: Scenario::Signatures(|| encode(&with_duplicate_schema(&base_config(), 4))),
+            expect: "rank-deficient",
+        },
+        FaultCase {
+            name: "all_unlinkable",
+            scenario: Scenario::Signatures(|| encode(&all_unlinkable(&base_config()))),
+            expect: "scoper: kept=",
+        },
+        FaultCase {
+            name: "nan_signature",
+            scenario: Scenario::Signatures(|| {
+                poison_non_finite(&baseline_sigs(), 1, f64::NAN, 0xBAD)
+            }),
+            expect: "NaN/inf entry",
+        },
+        FaultCase {
+            name: "inf_signature",
+            scenario: Scenario::Signatures(|| {
+                poison_non_finite(&baseline_sigs(), 2, f64::INFINITY, 0xBAD)
+            }),
+            expect: "NaN/inf entry",
+        },
+        FaultCase {
+            name: "flattened_schema",
+            scenario: Scenario::Signatures(|| flatten_schema(&baseline_sigs(), 0)),
+            expect: "rank-deficient",
+        },
+        FaultCase {
+            name: "empty_catalog",
+            scenario: Scenario::Signatures(|| SchemaSignatures::from_matrices(vec![], vec![])),
+            expect: "needs ≥ 2 schemas",
+        },
+        FaultCase {
+            name: "worker_panic",
+            scenario: Scenario::WorkerPanic,
+            expect: "injected fault: worker panic",
+        },
+        FaultCase {
+            name: "invalid_params",
+            scenario: Scenario::InvalidParams,
+            expect: "out of range",
+        },
+    ]
+}
+
+/// Formats a stage outcome; errors render through their pinned `Display`.
+fn outcome_line<T: std::fmt::Display>(stage: &str, r: Result<T, ScopingError>) -> String {
+    match r {
+        Ok(v) => format!("{stage}: {v}"),
+        Err(e) => format!("{stage}: error: {e}"),
+    }
+}
+
+/// Runs `f`, converting an escaped panic into a loud marker line instead
+/// of aborting the harness. No public API should ever trip this.
+fn guarded(stage: &str, f: impl FnOnce() -> String) -> String {
+    catch_unwind(AssertUnwindSafe(f)).unwrap_or_else(|payload| {
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap_or_else(|| "opaque panic payload".to_string());
+        format!("PANIC-ESCAPED: {stage}: {msg}")
+    })
+}
+
+/// Runs one case under one execution policy and returns its stage lines.
+/// Lines are execution-independent: the same case must produce the same
+/// lines under every policy and worker count.
+pub fn run_case(case: &FaultCase, exec: &ExecPolicy) -> Vec<String> {
+    match case.scenario {
+        Scenario::Signatures(make) => run_signature_case(make, exec),
+        Scenario::WorkerPanic => run_worker_panic_case(exec),
+        Scenario::InvalidParams => run_invalid_params_case(exec),
+    }
+}
+
+fn run_signature_case(make: fn() -> SchemaSignatures, exec: &ExecPolicy) -> Vec<String> {
+    let sigs = make();
+    let mut lines = vec![format!(
+        "input: schemas={} elements={}",
+        sigs.schema_count(),
+        sigs.total_len()
+    )];
+
+    // Stage 1: strict collaborative scoper — degenerate schemas must be
+    // typed errors, healthy catalogs a kept count.
+    lines.push(guarded("scoper", || {
+        let run = CollaborativeScoper::builder()
+            .explained_variance(STRICT_V)
+            .exec(exec.clone())
+            .build()
+            .and_then(|s| s.run(&sigs));
+        outcome_line(
+            "scoper",
+            run.map(|r| format!("kept={}/{}", r.outcome.kept_count(), r.outcome.len())),
+        )
+    }));
+
+    // Stage 2: the sweep — must degrade gracefully (skip broken schemas,
+    // record them, keep assessing) and agree with its own pointwise path.
+    lines.push(guarded("sweep", || {
+        let sweep = match CollaborativeSweep::prepare_with(&sigs, exec) {
+            Ok(s) => s,
+            Err(e) => return format!("sweep: error: {e}"),
+        };
+        let degraded = sweep
+            .degraded()
+            .iter()
+            .map(|d| format!("#{}({})", d.schema, d.error))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let grid = match sweep.assess_grid_with(&GRID, CombinationRule::Any, exec) {
+            Ok(g) => g,
+            Err(e) => return format!("sweep: grid error: {e}"),
+        };
+        let mut pointwise_ok = true;
+        let kept: Vec<String> = GRID
+            .iter()
+            .zip(grid.iter())
+            .map(|(&v, outcome)| {
+                match sweep.assess_at(v) {
+                    Ok(p) => pointwise_ok &= p == *outcome,
+                    Err(_) => pointwise_ok = false,
+                }
+                format!("v={v}:{}", outcome.kept_count())
+            })
+            .collect();
+        format!(
+            "sweep: [{}] degraded=[{degraded}] grid==pointwise: {pointwise_ok}",
+            kept.join(" ")
+        )
+    }));
+
+    // Stage 3: the global-scoping baseline — rank/sort/filter must not
+    // choke on non-finite scores or empty catalogs.
+    lines.push(guarded("global", || {
+        let scoper = GlobalScoper::new(ZScoreDetector);
+        outcome_line(
+            "global",
+            scoper
+                .scope_at(&sigs, GLOBAL_P)
+                .map(|o| format!("kept={}/{}", o.kept_count(), o.len())),
+        )
+    }));
+
+    // Stage 4: a downstream matcher consuming the raw signatures — NaN
+    // rows must fail the threshold silently, never crash the matcher.
+    lines.push(guarded("matcher", || {
+        let sets: Vec<ElementSet> = (0..sigs.schema_count())
+            .map(|k| ElementSet::full(k, sigs.schema(k).clone()))
+            .collect();
+        let pairs = SimMatcher::new(SIM_T).match_pairs(&sets);
+        format!("matcher: pairs={}", pairs.len())
+    }));
+    lines
+}
+
+fn run_worker_panic_case(exec: &ExecPolicy) -> Vec<String> {
+    let sigs = baseline_sigs();
+    // Target exactly the pool this policy executes on (or, for the
+    // sequential path, this caller thread) so concurrent batches on any
+    // other pool in the process are untouched.
+    let target = match exec {
+        ExecPolicy::Sequential => None,
+        ExecPolicy::Global => Some(global().tag()),
+        ExecPolicy::Pool(pool) => Some(pool.tag()),
+    };
+    let me = std::thread::current().id();
+    let mut lines = Vec::new();
+    {
+        let _guard = fault::armed(move |site| {
+            let mine = match (site.pool, target) {
+                (Some(t), Some(want)) => t == want,
+                (None, None) => std::thread::current().id() == me,
+                _ => false,
+            };
+            if mine && site.chunk == 0 {
+                panic!("injected fault: worker panic");
+            }
+        });
+        lines.push(guarded("scoper", || {
+            let run = CollaborativeScoper::builder()
+                .explained_variance(STRICT_V)
+                .exec(exec.clone())
+                .build()
+                .and_then(|s| s.run(&sigs));
+            outcome_line(
+                "scoper",
+                run.map(|r| format!("kept={}", r.outcome.kept_count())),
+            )
+        }));
+        lines.push(guarded("sweep", || {
+            outcome_line(
+                "sweep",
+                CollaborativeSweep::prepare_with(&sigs, exec).map(|_| "prepared".to_string()),
+            )
+        }));
+    }
+    // Hook disarmed: the same pool must serve the next batch normally.
+    lines.push(guarded("recovery", || {
+        let run = CollaborativeScoper::builder()
+            .explained_variance(STRICT_V)
+            .exec(exec.clone())
+            .build()
+            .and_then(|s| s.run(&sigs));
+        outcome_line(
+            "recovery",
+            run.map(|r| format!("kept={}/{}", r.outcome.kept_count(), r.outcome.len())),
+        )
+    }));
+    lines
+}
+
+fn run_invalid_params_case(exec: &ExecPolicy) -> Vec<String> {
+    let sigs = baseline_sigs();
+    let mut lines = Vec::new();
+    lines.push(guarded("builder-v0", || {
+        outcome_line(
+            "builder-v0",
+            CollaborativeScoper::builder()
+                .explained_variance(0.0)
+                .exec(exec.clone())
+                .build()
+                .map(|_| "built".to_string()),
+        )
+    }));
+    lines.push(guarded("builder-v-nan", || {
+        outcome_line(
+            "builder-v-nan",
+            CollaborativeScoper::builder()
+                .explained_variance(f64::NAN)
+                .build()
+                .map(|_| "built".to_string()),
+        )
+    }));
+    lines.push(guarded("global-p", || {
+        outcome_line(
+            "global-p",
+            GlobalScoper::new(ZScoreDetector)
+                .scope_at(&sigs, 1.5)
+                .map(|o| format!("kept={}", o.kept_count())),
+        )
+    }));
+    lines.push(guarded("sweep-v", || {
+        let sweep = match CollaborativeSweep::prepare_with(&sigs, exec) {
+            Ok(s) => s,
+            Err(e) => return format!("sweep-v: error: {e}"),
+        };
+        outcome_line(
+            "sweep-v",
+            sweep
+                .assess_at(0.0)
+                .map(|o| format!("kept={}", o.kept_count())),
+        )
+    }));
+    lines.push(guarded("sweep-grid", || {
+        let sweep = match CollaborativeSweep::prepare_with(&sigs, exec) {
+            Ok(s) => s,
+            Err(e) => return format!("sweep-grid: error: {e}"),
+        };
+        outcome_line(
+            "sweep-grid",
+            sweep
+                .assess_grid_with(&[0.5, f64::INFINITY], CombinationRule::Any, exec)
+                .map(|g| format!("points={}", g.len())),
+        )
+    }));
+    lines
+}
+
+/// The verified result of a full matrix run.
+#[derive(Debug, Clone)]
+pub struct MatrixReport {
+    /// `(case name, stage lines)` in case order — identical under every
+    /// policy by construction (the run fails otherwise).
+    pub cases: Vec<(String, Vec<String>)>,
+    /// FNV-1a digest over every line, stable across runs, policies, and
+    /// `CS_THREADS` settings.
+    pub digest: u64,
+}
+
+/// Runs every fault case under every named policy, requiring
+/// byte-identical stage lines across policies and zero escaped panics.
+///
+/// # Errors
+/// A human-readable description of the first divergence or escaped panic.
+pub fn run_matrix(execs: &[(&str, ExecPolicy)]) -> Result<MatrixReport, String> {
+    assert!(!execs.is_empty(), "need at least one execution policy");
+    let mut report = Vec::new();
+    for case in cases() {
+        let (first_name, first_exec) = &execs[0];
+        let reference = run_case(&case, first_exec);
+        for line in &reference {
+            if line.starts_with("PANIC-ESCAPED") {
+                return Err(format!(
+                    "case {} under {first_name}: a panic crossed a public API: {line}",
+                    case.name
+                ));
+            }
+        }
+        let joined = reference.join("\n");
+        if !case.expect.is_empty() && !joined.contains(case.expect) {
+            return Err(format!(
+                "case {}: expected report to contain {:?}, got:\n{joined}",
+                case.name, case.expect
+            ));
+        }
+        for (name, exec) in &execs[1..] {
+            let got = run_case(&case, exec);
+            if got != reference {
+                return Err(format!(
+                    "case {} diverges between {first_name} and {name}:\n--- {first_name}\n{}\n--- {name}\n{}",
+                    case.name,
+                    joined,
+                    got.join("\n")
+                ));
+            }
+        }
+        report.push((case.name.to_string(), reference));
+    }
+    let mut digest = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+    for (name, lines) in &report {
+        for chunk in std::iter::once(name.as_str()).chain(lines.iter().map(String::as_str)) {
+            for b in chunk.bytes() {
+                digest ^= u64::from(b);
+                digest = digest.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+    }
+    Ok(MatrixReport {
+        cases: report,
+        digest,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_core::ThreadPool;
+    use std::sync::Arc;
+
+    fn policies() -> Vec<(&'static str, ExecPolicy)> {
+        vec![
+            ("sequential", ExecPolicy::Sequential),
+            (
+                "pool1",
+                ExecPolicy::Pool(Arc::new(ThreadPool::with_threads(1))),
+            ),
+            (
+                "pool2",
+                ExecPolicy::Pool(Arc::new(ThreadPool::with_threads(2))),
+            ),
+            (
+                "pool8",
+                ExecPolicy::Pool(Arc::new(ThreadPool::with_threads(8))),
+            ),
+        ]
+    }
+
+    #[test]
+    fn matrix_covers_at_least_eight_scenarios() {
+        assert!(cases().len() >= 8, "fault matrix shrank: {}", cases().len());
+    }
+
+    #[test]
+    fn full_matrix_is_policy_invariant_and_panic_free() {
+        let report = run_matrix(&policies()).expect("matrix must not diverge");
+        assert_eq!(report.cases.len(), cases().len());
+        for (name, lines) in &report.cases {
+            assert!(
+                lines.iter().all(|l| !l.starts_with("PANIC-ESCAPED")),
+                "{name}: {lines:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn matrix_digest_is_reproducible() {
+        let a = run_matrix(&[("seq", ExecPolicy::Sequential)]).expect("run a");
+        let b = run_matrix(&[("seq", ExecPolicy::Sequential)]).expect("run b");
+        assert_eq!(a.digest, b.digest);
+    }
+
+    #[test]
+    fn worker_panic_case_recovers() {
+        for (name, exec) in policies() {
+            let case = cases()
+                .into_iter()
+                .find(|c| c.name == "worker_panic")
+                .expect("case exists");
+            let lines = run_case(&case, &exec);
+            let joined = lines.join("\n");
+            assert!(
+                joined.contains("injected fault: worker panic"),
+                "{name}: {joined}"
+            );
+            assert!(
+                lines.iter().any(|l| l.starts_with("recovery: kept=")),
+                "{name}: pool did not recover: {joined}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_cases_report_typed_errors_not_panics() {
+        let exec = ExecPolicy::Sequential;
+        for case in cases() {
+            let joined = run_case(&case, &exec).join("\n");
+            if !case.expect.is_empty() {
+                assert!(
+                    joined.contains(case.expect),
+                    "{}: expected {:?} in:\n{joined}",
+                    case.name,
+                    case.expect
+                );
+            }
+            assert!(!joined.contains("PANIC-ESCAPED"), "{}: {joined}", case.name);
+        }
+    }
+
+    #[test]
+    fn graceful_sweep_still_assesses_healthy_schemas() {
+        // The duplicate-signature catalog has 3 healthy + 1 degraded
+        // schemas; the sweep must keep assessing the healthy ones.
+        let case = cases()
+            .into_iter()
+            .find(|c| c.name == "duplicate_signatures")
+            .expect("case exists");
+        let joined = run_case(&case, &ExecPolicy::Sequential).join("\n");
+        assert!(joined.contains("degraded=[#3"), "{joined}");
+        assert!(joined.contains("grid==pointwise: true"), "{joined}");
+    }
+}

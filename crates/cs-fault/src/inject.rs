@@ -1,0 +1,141 @@
+//! Seeded signature-level fault injectors.
+//!
+//! These corruptors operate on an encoded [`SchemaSignatures`] catalog —
+//! the representation where numeric faults (NaN/Inf entries, collapsed
+//! variance) actually live. They are pure functions of their inputs: the
+//! same seed always poisons the same entry, so every harness run is
+//! reproducible bit-for-bit.
+
+use cs_core::SchemaSignatures;
+use cs_linalg::{Matrix, Xoshiro256};
+
+/// Returns a copy of `sigs` where one seeded entry of schema `schema` is
+/// replaced by `value` (typically `f64::NAN` or `f64::INFINITY`).
+///
+/// The poisoned position is drawn from [`Xoshiro256`] seeded with `seed`,
+/// so a fault case names a seed, not a coordinate — and still corrupts
+/// the identical entry on every run.
+///
+/// # Panics
+/// If `schema` is out of range or has no elements (nothing to poison).
+pub fn poison_non_finite(
+    sigs: &SchemaSignatures,
+    schema: usize,
+    value: f64,
+    seed: u64,
+) -> SchemaSignatures {
+    let target = sigs.schema(schema);
+    assert!(
+        target.rows() > 0 && target.cols() > 0,
+        "cannot poison an empty schema"
+    );
+    let mut rng = Xoshiro256::seed_from(seed);
+    let row = rng.next_below(target.rows());
+    let col = rng.next_below(target.cols());
+    let mut poisoned = target.clone();
+    poisoned[(row, col)] = value;
+    rebuild(sigs, schema, poisoned)
+}
+
+/// Returns a copy of `sigs` where every signature of schema `schema` is
+/// overwritten with that schema's first row — a zero-variance
+/// (rank-deficient) matrix, the numeric analog of a catalog whose
+/// serialized metadata is all identical.
+///
+/// # Panics
+/// If `schema` is out of range or has no elements.
+pub fn flatten_schema(sigs: &SchemaSignatures, schema: usize) -> SchemaSignatures {
+    let target = sigs.schema(schema);
+    assert!(target.rows() > 0, "cannot flatten an empty schema");
+    let first = target.row(0).to_vec();
+    let flat = Matrix::from_rows(&vec![first; target.rows()]);
+    rebuild(sigs, schema, flat)
+}
+
+/// Re-assembles a signature catalog with schema `schema` replaced.
+fn rebuild(sigs: &SchemaSignatures, schema: usize, replacement: Matrix) -> SchemaSignatures {
+    let mats: Vec<Matrix> = (0..sigs.schema_count())
+        .map(|m| {
+            if m == schema {
+                replacement.clone()
+            } else {
+                sigs.schema(m).clone()
+            }
+        })
+        .collect();
+    SchemaSignatures::from_matrices(mats, sigs.schema_names().to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sigs() -> SchemaSignatures {
+        let mut rng = Xoshiro256::seed_from(7);
+        let mats: Vec<Matrix> = [4usize, 6]
+            .iter()
+            .map(|&n| Matrix::from_fn(n, 5, |_, _| rng.next_gaussian()))
+            .collect();
+        SchemaSignatures::from_matrices(mats, vec!["A".into(), "B".into()])
+    }
+
+    #[test]
+    fn poison_is_seed_deterministic_and_single_entry() {
+        let base = sigs();
+        let a = poison_non_finite(&base, 1, f64::NAN, 42);
+        let b = poison_non_finite(&base, 1, f64::NAN, 42);
+        // Same seed → same poisoned entry.
+        assert_eq!(
+            a.schema(1).first_non_finite(),
+            b.schema(1).first_non_finite()
+        );
+        // Exactly one entry differs; the untouched schema is identical.
+        let diffs = a
+            .schema(1)
+            .rows_iter()
+            .flatten()
+            .zip(base.schema(1).rows_iter().flatten())
+            .filter(|(x, y)| x.to_bits() != y.to_bits())
+            .count();
+        assert_eq!(diffs, 1);
+        assert_eq!(a.schema(0), base.schema(0));
+    }
+
+    #[test]
+    fn different_seeds_can_hit_different_entries() {
+        let base = sigs();
+        let spots: std::collections::BTreeSet<(usize, usize)> = (0u64..20)
+            .map(|seed| {
+                poison_non_finite(&base, 1, f64::NAN, seed)
+                    .schema(1)
+                    .first_non_finite()
+                    .expect("poisoned")
+            })
+            .collect();
+        assert!(spots.len() > 1, "seeds all collided: {spots:?}");
+    }
+
+    #[test]
+    fn flatten_collapses_variance() {
+        let base = sigs();
+        let flat = flatten_schema(&base, 0);
+        let m = flat.schema(0);
+        let first: Vec<f64> = m.row(0).to_vec();
+        for r in m.rows_iter() {
+            assert_eq!(r, &first[..]);
+        }
+        // Other schema untouched; names survive.
+        assert_eq!(flat.schema(1), base.schema(1));
+        assert_eq!(flat.schema_names(), base.schema_names());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty schema")]
+    fn poisoning_empty_schema_panics() {
+        let empty = SchemaSignatures::from_matrices(
+            vec![Matrix::zeros(0, 5), Matrix::zeros(2, 5)],
+            vec!["E".into(), "F".into()],
+        );
+        poison_non_finite(&empty, 0, f64::NAN, 1);
+    }
+}

@@ -342,6 +342,15 @@ impl Matrix {
     pub fn has_non_finite(&self) -> bool {
         self.data.iter().any(|x| !x.is_finite())
     }
+
+    /// `(row, col)` of the first NaN/infinite element in row-major scan
+    /// order, if any — lets callers report *which* signature is poisoned.
+    pub fn first_non_finite(&self) -> Option<(usize, usize)> {
+        self.data
+            .iter()
+            .position(|x| !x.is_finite())
+            .map(|i| (i / self.cols, i % self.cols))
+    }
 }
 
 impl std::ops::Index<(usize, usize)> for Matrix {
@@ -509,6 +518,17 @@ mod tests {
         assert!(!m.has_non_finite());
         m[(0, 0)] = f64::NAN;
         assert!(m.has_non_finite());
+    }
+
+    #[test]
+    fn first_non_finite_locates_offender() {
+        let mut m = sample();
+        assert_eq!(m.first_non_finite(), None);
+        m[(1, 2)] = f64::INFINITY;
+        assert_eq!(m.first_non_finite(), Some((1, 2)));
+        m[(0, 1)] = f64::NAN;
+        assert_eq!(m.first_non_finite(), Some((0, 1)));
+        assert_eq!(Matrix::zeros(0, 4).first_non_finite(), None);
     }
 
     #[test]

@@ -89,14 +89,15 @@ impl Pca {
     }
 
     /// Fits a full PCA (all `min(n, d)` components) on the rows of `data`.
+    ///
+    /// # Errors
+    /// [`SvdError::NonFiniteInput`] when the input carries NaN/inf — caught
+    /// up front, before a NaN mean could smear across every centered entry,
+    /// so release builds fail as loudly as debug builds.
     pub fn fit_full(data: &Matrix) -> Result<Self, SvdError> {
-        // Catch poisoned signatures at the source in debug builds; release
-        // builds still get the typed `SvdError::NonFiniteInput` from the
-        // decomposition below.
-        debug_assert!(
-            !data.has_non_finite(),
-            "Pca::fit_full: input contains NaN/inf — a signature upstream is poisoned"
-        );
+        if data.has_non_finite() {
+            return Err(SvdError::NonFiniteInput);
+        }
         let mean = column_mean(data);
         let centered = data.sub_row_vector(&mean);
         let svd = Svd::compute(&centered)?;
@@ -369,6 +370,18 @@ mod tests {
         let data = random_data(5, 4, 7);
         let pca = Pca::fit_full(&data).unwrap();
         pca.encode(&random_data(3, 5, 8));
+    }
+
+    #[test]
+    fn non_finite_input_is_typed_error() {
+        let mut data = random_data(6, 4, 9);
+        data[(2, 1)] = f64::NAN;
+        assert_eq!(Pca::fit_full(&data).unwrap_err(), SvdError::NonFiniteInput);
+        data[(2, 1)] = f64::INFINITY;
+        assert_eq!(
+            Pca::fit(&data, ExplainedVariance::new(0.5).unwrap()).unwrap_err(),
+            SvdError::NonFiniteInput
+        );
     }
 
     #[test]

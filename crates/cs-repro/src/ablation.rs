@@ -117,7 +117,7 @@ pub fn fig7_ablation(dataset: &Dataset, steps: usize) -> Vec<AblationPoint> {
     // Streamlined runs over the v grid.
     let sweep = CollaborativeSweep::prepare(&signatures).expect("valid dataset");
     for v in v_grid(steps) {
-        let kept = sweep.assess_at(v).kept();
+        let kept = sweep.assess_at(v).expect("valid grid point").kept();
         let (attr_sets, table_sets) = split_element_sets(dataset, &signatures, Some(&kept));
         for matcher in &roster {
             out.push(AblationPoint {

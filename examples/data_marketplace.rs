@@ -38,7 +38,7 @@ fn main() {
     println!("   v | candidate elements kept | own linkable kept");
     let labels = dataset.labels();
     for v in [0.95, 0.9, 0.8, 0.7, 0.6, 0.5] {
-        let outcome = sweep.assess_at(v);
+        let outcome = sweep.assess_at(v).expect("valid v");
         let candidate_kept = outcome.kept_in_schema(fo_schema);
         // Of our own landscape's annotated-linkable elements, how many survive?
         let own_kept = outcome

@@ -19,6 +19,22 @@ cargo run -q -p cs-lint --release --offline -- --api-check
 echo "==> bench_json --smoke (benchmark emitter gate)"
 cargo run -q -p cs-bench --release --offline --bin bench_json -- --smoke --out target/bench-smoke.json
 
+echo "==> cs-fault smoke (fault matrix, digest stable across CS_THREADS)"
+digest=""
+for threads in 1 2 8; do
+  out="$(CS_THREADS=$threads cargo run -q -p cs-fault --release --offline --bin fault_smoke)"
+  line="$(printf '%s\n' "$out" | grep '^fault-matrix digest: ')"
+  if [ -z "$digest" ]; then
+    digest="$line"
+    printf '%s (CS_THREADS=%s)\n' "$line" "$threads"
+  elif [ "$line" != "$digest" ]; then
+    echo "FAIL: fault-matrix digest diverged under CS_THREADS=$threads" >&2
+    echo "  expected: $digest" >&2
+    echo "  got:      $line" >&2
+    exit 1
+  fi
+done
+
 echo "==> cargo test -q --offline"
 cargo test -q --workspace --offline
 

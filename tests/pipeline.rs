@@ -36,7 +36,7 @@ fn formula_one_is_pruned_while_core_survives() {
     let sweep = CollaborativeSweep::prepare(&sigs).expect("valid catalog");
     let labels = ds.labels();
     for v in [0.9, 0.8, 0.7, 0.6] {
-        let outcome = sweep.assess_at(v);
+        let outcome = sweep.assess_at(v).expect("valid v");
         let fo_kept = outcome.kept_in_schema(3);
         assert!(
             fo_kept <= 12,
@@ -61,7 +61,7 @@ fn sweep_equals_direct_run_on_real_data() {
     let (_, sigs) = oc3_signatures();
     let sweep = CollaborativeSweep::prepare(&sigs).expect("valid catalog");
     for v in [0.9, 0.5, 0.2] {
-        let fast = sweep.assess_at(v);
+        let fast = sweep.assess_at(v).expect("valid v");
         let slow = CollaborativeScoper::new(v)
             .run(&sigs)
             .expect("valid")

@@ -5,12 +5,37 @@
 //! replacement for proptest); enable the `proptest-tests` feature for a
 //! deeper fuzzing multiplier.
 
-use collaborative_scoping::core::{scoping::scope_from_scores, CollaborativeSweep};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use collaborative_scoping::core::{
+    scoping::scope_from_scores, CollaborativeSweep, ExecPolicy, ThreadPool,
+};
 use collaborative_scoping::datasets::synthetic::{generate, SyntheticConfig};
 use collaborative_scoping::linalg::check::{run, Gen};
 use collaborative_scoping::prelude::*;
 
 const CASES: usize = 12;
+
+/// The two execution policies every metamorphic property is asserted
+/// under: outcomes must be bit-identical between them.
+fn exec_policies() -> [ExecPolicy; 2] {
+    [
+        ExecPolicy::Sequential,
+        ExecPolicy::Pool(Arc::new(ThreadPool::with_threads(3))),
+    ]
+}
+
+/// Start offset of each schema's decision block in unified row order.
+fn block_offsets(sigs: &SchemaSignatures) -> Vec<usize> {
+    let mut offsets = Vec::with_capacity(sigs.schema_count());
+    let mut acc = 0;
+    for k in 0..sigs.schema_count() {
+        offsets.push(acc);
+        acc += sigs.schema_len(k);
+    }
+    offsets
+}
 
 fn synthetic_config(g: &mut Gen) -> SyntheticConfig {
     let shared = g.usize_in(8, 15);
@@ -61,7 +86,7 @@ fn sweep_matches_direct_on_synthetic() {
         let encoder = SignatureEncoder::default();
         let sigs = encode_catalog(&encoder, &ds.catalog);
         let sweep = CollaborativeSweep::prepare(&sigs).unwrap();
-        let fast = sweep.assess_at(v);
+        let fast = sweep.assess_at(v).expect("valid v");
         let slow = CollaborativeScoper::new(v).run(&sigs).unwrap().outcome;
         assert_eq!(fast.decisions, slow.decisions);
     });
@@ -133,6 +158,193 @@ fn alien_schema_is_pruned_harder_than_related() {
             "alien kept {alien_frac:.2} vs related {related_frac:.2} (seed {seed})"
         );
     });
+}
+
+/// Metamorphic: the order schemas arrive in is presentation, not
+/// signal. Every per-element verdict must survive a random permutation
+/// of the schema order — the local models are per-schema and the ANY
+/// rule counts foreign votes, so nothing may depend on position.
+#[test]
+fn schema_order_permutation_preserves_verdicts() {
+    run("schema_order_permutation_preserves_verdicts", CASES, |g| {
+        let config = synthetic_config(g);
+        let v = g.f64_in(0.2, 0.95);
+        let ds = generate(&config);
+        let sigs = encode_catalog(&SignatureEncoder::default(), &ds.catalog);
+        let k = sigs.schema_count();
+        // Fisher–Yates on the harness rng: perm[i] = original index of
+        // the schema now sitting at position i.
+        let mut perm: Vec<usize> = (0..k).collect();
+        for i in (1..k).rev() {
+            let j = g.usize_in(0, i);
+            perm.swap(i, j);
+        }
+        let permuted = SchemaSignatures::from_matrices(
+            perm.iter().map(|&p| sigs.schema(p).clone()).collect(),
+            perm.iter()
+                .map(|&p| sigs.schema_names()[p].clone())
+                .collect(),
+        );
+
+        let mut per_policy: Vec<Vec<bool>> = Vec::new();
+        for exec in exec_policies() {
+            let scope = |s: &SchemaSignatures| {
+                CollaborativeScoper::builder()
+                    .explained_variance(v)
+                    .exec(exec.clone())
+                    .build()
+                    .expect("valid v")
+                    .run(s)
+                    .expect("healthy synthetic catalog")
+                    .outcome
+            };
+            let base = scope(&sigs);
+            let shuffled = scope(&permuted);
+            let base_off = block_offsets(&sigs);
+            let perm_off = block_offsets(&permuted);
+            for (pos, &orig) in perm.iter().enumerate() {
+                let len = sigs.schema_len(orig);
+                let a = &base.decisions[base_off[orig]..base_off[orig] + len];
+                let b = &shuffled.decisions[perm_off[pos]..perm_off[pos] + len];
+                assert_eq!(a, b, "schema {orig} verdicts changed under reordering");
+            }
+            per_policy.push(base.decisions);
+        }
+        // Bit-identical across Sequential and a pinned pool.
+        assert_eq!(per_policy[0], per_policy[1]);
+    });
+}
+
+/// Metamorphic: scoping only ever removes — the streamlined catalog S'
+/// is a subset of the input S, element for element and schema for
+/// schema, under every execution policy.
+#[test]
+fn streamlined_catalog_is_subset_of_input() {
+    run("streamlined_catalog_is_subset_of_input", CASES, |g| {
+        let config = synthetic_config(g);
+        let v = g.f64_in(0.1, 0.99);
+        let ds = generate(&config);
+        let sigs = encode_catalog(&SignatureEncoder::default(), &ds.catalog);
+        let all: HashSet<ElementId> = sigs.element_ids().into_iter().collect();
+
+        let mut per_policy: Vec<ScopingOutcome> = Vec::new();
+        for exec in exec_policies() {
+            let outcome = CollaborativeScoper::builder()
+                .explained_variance(v)
+                .exec(exec)
+                .build()
+                .expect("valid v")
+                .run(&sigs)
+                .expect("healthy synthetic catalog")
+                .outcome;
+            let kept = outcome.kept();
+            assert!(kept.is_subset(&all), "kept an element not in S");
+            // Projection keeps every kept element plus the container
+            // table of any kept attribute — never more than S, never
+            // fewer than the kept set, and schemas stay index-aligned.
+            let streamlined = outcome.streamlined(&ds.catalog);
+            assert!(streamlined.element_count() <= ds.catalog.element_count());
+            assert!(streamlined.element_count() >= kept.len());
+            assert_eq!(streamlined.schema_count(), ds.catalog.schema_count());
+            // Keeping everything is the identity on size.
+            assert_eq!(
+                ds.catalog.project(&all).element_count(),
+                ds.catalog.element_count()
+            );
+            per_policy.push(outcome);
+        }
+        assert_eq!(per_policy[0], per_policy[1]);
+    });
+}
+
+/// Metamorphic monotonicity — stated honestly. The naive claim
+/// "|S'| shrinks monotonically as v drops" is empirically FALSE: with
+/// `schemas: 3, shared_concepts: 12, concepts_per_schema: 8,
+/// private_per_schema: 4, table_width: 5, alien_elements: 6, seed: 2`,
+/// kept counts along v = 0.95, 0.85, …, 0.55 are 36, 41, 43, 40, 42 —
+/// lowering v shrinks every local model, but both own-range and foreign
+/// reconstruction errors move with it, so the acceptance set can
+/// oscillate. What the design DOES guarantee, and what this test pins:
+///
+/// 1. per-schema component counts are monotone non-increasing as v
+///    decreases (explained-variance truncation is nested), and
+/// 2. the kept set is nested in rule strictness:
+///    kept(AtLeast(j+1)) ⊆ kept(AtLeast(j)), with All ≡ AtLeast(k−1).
+///
+/// Both hold bit-identically under Sequential and pooled execution.
+#[test]
+fn sweep_monotonicity_in_components_and_rule_strictness() {
+    run(
+        "sweep_monotonicity_in_components_and_rule_strictness",
+        CASES,
+        |g| {
+            let config = synthetic_config(g);
+            let v = g.f64_in(0.2, 0.95);
+            let ds = generate(&config);
+            let sigs = encode_catalog(&SignatureEncoder::default(), &ds.catalog);
+            let foreign = sigs.schema_count() - 1;
+
+            let mut digests: Vec<Vec<Vec<bool>>> = Vec::new();
+            for exec in exec_policies() {
+                let sweep =
+                    CollaborativeSweep::prepare_with(&sigs, &exec).expect("healthy catalog");
+
+                // 1. Nested truncation: fewer components at lower v.
+                let ladder = [0.95, 0.75, 0.55, 0.35, 0.15];
+                for pair in ladder.windows(2) {
+                    let hi = sweep.components_at(pair[0]);
+                    let lo = sweep.components_at(pair[1]);
+                    for (schema, (h, l)) in hi.iter().zip(lo.iter()).enumerate() {
+                        assert!(
+                            l <= h,
+                            "schema {schema}: components grew from {h} to {l} as v fell \
+                             from {} to {}",
+                            pair[0],
+                            pair[1]
+                        );
+                    }
+                }
+
+                // 2. Rule-strictness nesting at a fixed v.
+                let mut outcomes = Vec::new();
+                let mut prev = sweep
+                    .assess_with_rule(v, CombinationRule::AtLeast(1))
+                    .expect("valid v");
+                assert_eq!(
+                    prev.decisions,
+                    sweep
+                        .assess_with_rule(v, CombinationRule::Any)
+                        .expect("valid v")
+                        .decisions,
+                    "Any must equal AtLeast(1)"
+                );
+                for j in 2..=foreign {
+                    let cur = sweep
+                        .assess_with_rule(v, CombinationRule::AtLeast(j))
+                        .expect("valid v");
+                    assert!(
+                        cur.kept().is_subset(&prev.kept()),
+                        "AtLeast({j}) kept an element AtLeast({}) pruned",
+                        j - 1
+                    );
+                    outcomes.push(prev.decisions.clone());
+                    prev = cur;
+                }
+                assert_eq!(
+                    prev.decisions,
+                    sweep
+                        .assess_with_rule(v, CombinationRule::All)
+                        .expect("valid v")
+                        .decisions,
+                    "All must equal AtLeast(k-1)"
+                );
+                outcomes.push(prev.decisions);
+                digests.push(outcomes);
+            }
+            // Bit-identical across Sequential and a pinned pool.
+            assert_eq!(digests[0], digests[1]);
+        },
+    );
 }
 
 #[test]

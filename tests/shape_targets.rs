@@ -53,7 +53,7 @@ fn collab_curve(sigs: &SchemaSignatures, labels: &[bool]) -> SweepCurve {
     let mut curve = SweepCurve::new();
     for i in 0..GRID {
         let v = 0.99 - 0.98 * (i as f64 / (GRID - 1) as f64);
-        let outcome = sweep.assess_at(v);
+        let outcome = sweep.assess_at(v).expect("valid v");
         curve.push(v, BinaryConfusion::from_labels(&outcome.decisions, labels));
     }
     curve
@@ -173,7 +173,7 @@ fn collaborative_precision_is_high_at_high_variance() {
     let (sigs, labels) = prepared(&oc3_fo());
     let sweep = CollaborativeSweep::prepare(&sigs).expect("valid");
     for v in [0.95, 0.9, 0.85] {
-        let outcome = sweep.assess_at(v);
+        let outcome = sweep.assess_at(v).expect("valid v");
         let confusion = BinaryConfusion::from_labels(&outcome.decisions, &labels);
         assert!(
             confusion.precision() > 0.6,
@@ -183,7 +183,7 @@ fn collaborative_precision_is_high_at_high_variance() {
     }
     // And it clearly exceeds the 27.5% linkable base rate everywhere above 0.6.
     for v in [0.8, 0.7, 0.65] {
-        let outcome = sweep.assess_at(v);
+        let outcome = sweep.assess_at(v).expect("valid v");
         let confusion = BinaryConfusion::from_labels(&outcome.decisions, &labels);
         assert!(
             confusion.precision() > 0.5,
