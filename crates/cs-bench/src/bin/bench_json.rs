@@ -1,36 +1,87 @@
-//! `bench_json` — runs the scoping / matching / scaling benchmark groups
-//! and writes the machine-readable `BENCH_3.json` baseline.
+//! `bench_json` — runs the scoping / matching / scaling / solver benchmark
+//! groups and writes the machine-readable `BENCH_4.json` baseline.
 //!
 //! Usage:
 //!
 //! ```text
-//! bench_json [--smoke] [--out PATH]
+//! bench_json [--smoke] [--out PATH] [--budget PATH]
 //! ```
 //!
 //! - `--smoke`: tiny datasets and sample budgets (< 5 s even in debug);
 //!   this is what `scripts/verify.sh` runs as its `bench-smoke` gate.
-//! - `--out PATH`: where to write the document (default `BENCH_3.json`
+//! - `--out PATH`: where to write the document (default `BENCH_4.json`
 //!   in the current directory).
+//! - `--budget PATH`: regression gate — reads the checked-in budget
+//!   document (`BENCH_BUDGET.json`) and fails with exit code 1 if this
+//!   run's `global_pca05` median exceeds `2 ×` the budgeted
+//!   `global_pca05_ns`. The 2× headroom absorbs machine noise while
+//!   still catching an accidental return to the dense-SVD hot path,
+//!   which is ~10× slower.
 //!
 //! Without `--smoke` the emitter measures the real OC3 / OC3-FO datasets
 //! with bench-grade calibration; run that from a release build.
 
 use cs_bench::emitter::{self, Mode};
+use cs_core::json::JsonValue;
 
 fn usage() -> ! {
-    eprintln!("usage: bench_json [--smoke] [--out PATH]");
+    eprintln!("usage: bench_json [--smoke] [--out PATH] [--budget PATH]");
     std::process::exit(2);
+}
+
+/// Multiple of the budgeted median this run may reach before the gate
+/// fails.
+const BUDGET_HEADROOM: f64 = 2.0;
+
+/// Enforces the `--budget` gate against the measured report; returns the
+/// human-readable verdict line, or an error describing why the gate could
+/// not run or did not pass.
+fn check_budget(report: &emitter::BenchReport, path: &str) -> Result<String, String> {
+    let body =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read budget {path}: {e}"))?;
+    let doc = cs_core::json::parse(&body).map_err(|e| format!("budget {path} is not JSON: {e}"))?;
+    let budget_ns = doc
+        .get("global_pca05_ns")
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| format!("budget {path} lacks a numeric global_pca05_ns"))?;
+    if !(budget_ns.is_finite() && budget_ns > 0.0) {
+        return Err(format!(
+            "budget {path}: global_pca05_ns = {budget_ns} is not usable"
+        ));
+    }
+    let measured = report
+        .records
+        .iter()
+        .find(|r| r.group == "scoping" && r.id.starts_with("global_pca05/"))
+        .ok_or_else(|| "this run produced no global_pca05 benchmark".to_string())?;
+    let median = measured.stats.median_ns as f64;
+    let limit = budget_ns * BUDGET_HEADROOM;
+    if median > limit {
+        return Err(format!(
+            "budget exceeded: {} median {median:.0} ns > {limit:.0} ns ({BUDGET_HEADROOM}x of budgeted {budget_ns:.0} ns)",
+            measured.id
+        ));
+    }
+    Ok(format!(
+        "budget ok: {} median {median:.0} ns <= {limit:.0} ns ({BUDGET_HEADROOM}x of budgeted {budget_ns:.0} ns)",
+        measured.id
+    ))
 }
 
 fn main() {
     let mut mode = Mode::Full;
-    let mut out = String::from("BENCH_3.json");
+    let mut out = String::from("BENCH_4.json");
+    let mut budget: Option<String> = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--smoke" => mode = Mode::Smoke,
             "--out" => match argv.next() {
                 Some(path) => out = path,
+                None => usage(),
+            },
+            "--budget" => match argv.next() {
+                Some(path) => budget = Some(path),
                 None => usage(),
             },
             "--help" | "-h" => usage(),
@@ -56,4 +107,13 @@ fn main() {
         report.records.len(),
         report.threads,
     );
+    if let Some(path) = budget {
+        match check_budget(&report, &path) {
+            Ok(line) => println!("bench_json: {line}"),
+            Err(e) => {
+                eprintln!("bench_json: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -3,9 +3,9 @@
 //!
 //! The bench targets print human-oriented lines; CI and the paper's
 //! efficiency discussion (Table 4, Figure 7, §4.4) want numbers a script
-//! can diff. This module re-runs the same scoping / matching / scaling
-//! workloads under a configurable [`MeasureConfig`] and serializes one
-//! document — `BENCH_3.json` — via the workspace's hermetic
+//! can diff. This module re-runs the same scoping / matching / scaling /
+//! solver workloads under a configurable [`MeasureConfig`] and serializes
+//! one document — `BENCH_4.json` — via the workspace's hermetic
 //! [`cs_core::json`] writer.
 //!
 //! Two calibration profiles exist:
@@ -35,8 +35,8 @@ use cs_oda::{LofDetector, OutlierDetector, PcaDetector, ZScoreDetector};
 /// Version of the emitted document layout.
 pub const SCHEMA_VERSION: usize = 1;
 
-/// Sequence number of this baseline in the PR stack (`BENCH_3.json`).
-pub const BENCH_ID: usize = 3;
+/// Sequence number of this baseline in the PR stack (`BENCH_4.json`).
+pub const BENCH_ID: usize = 4;
 
 /// Fraction of samples dropped from *each* end before the trimmed mean.
 pub const TRIM_FRACTION: f64 = 0.2;
@@ -48,7 +48,7 @@ pub enum Mode {
     /// debug build so it can run inside `cargo test -q` and verify.sh.
     Smoke,
     /// Real OC3 / OC3-FO datasets with bench-grade calibration; produces
-    /// the checked-in `BENCH_3.json` baseline (run in release).
+    /// the checked-in `BENCH_4.json` baseline (run in release).
     Full,
 }
 
@@ -225,7 +225,7 @@ pub fn measure<O, F: FnMut() -> O>(config: &MeasureConfig, mut f: F) -> BenchSta
 /// One measured benchmark.
 #[derive(Debug, Clone)]
 pub struct BenchRecord {
-    /// Top-level group: `scoping`, `matching`, or `scaling`.
+    /// Top-level group: `scoping`, `matching`, `scaling`, or `solver`.
     pub group: &'static str,
     /// Benchmark id, `workload/dataset`-style.
     pub id: String,
@@ -480,6 +480,67 @@ fn bench_scaling(mode: Mode, cfg: &MeasureConfig, out: &mut Vec<BenchRecord>) {
     }
 }
 
+/// Head-to-head comparison of the PCA eigensolvers and the matmul kernel
+/// variants behind them, on a low-rank-plus-noise probe shaped like a
+/// unified signature matrix (`n ≪ d`, decaying spectrum).
+fn bench_solver(mode: Mode, cfg: &MeasureConfig, out: &mut Vec<BenchRecord>) {
+    use cs_linalg::pca::ExplainedVariance;
+    use cs_linalg::{kernels, Matrix, Pca, PcaConfig, PcaSolver, Xoshiro256};
+
+    let (n, d, rank) = match mode {
+        Mode::Full => (128usize, 512usize, 16usize),
+        Mode::Smoke => (20, 48, 4),
+    };
+    let mut rng = Xoshiro256::seed_from(0xBE5C_11);
+    let basis = Matrix::from_fn(rank, d, |_, _| rng.next_gaussian());
+    let coeff = Matrix::from_fn(n, rank, |_, j| rng.next_gaussian() / (1.0 + j as f64));
+    let mut data = coeff.matmul(&basis);
+    for x in data.as_mut_slice() {
+        *x += rng.next_gaussian() * 1e-3;
+    }
+    let v = ExplainedVariance::new(0.5).expect("valid v");
+    for (label, solver) in [
+        ("auto", PcaSolver::Auto),
+        ("fullsvd", PcaSolver::FullSvd),
+        ("gram", PcaSolver::Gram),
+        ("truncated", PcaSolver::truncated()),
+    ] {
+        let config = PcaConfig::new().with_variance(v).with_solver(solver);
+        push(
+            out,
+            cfg,
+            "solver",
+            format!("pca_fit_v05/{label}/{n}x{d}"),
+            || Pca::fit_with(&data, config).expect("healthy probe"),
+        );
+    }
+
+    let m = match mode {
+        Mode::Full => 192usize,
+        Mode::Smoke => 16,
+    };
+    let a = Matrix::from_fn(m, m, |_, _| rng.next_gaussian());
+    let b = Matrix::from_fn(m, m, |_, _| rng.next_gaussian());
+    let q = Matrix::from_fn(m, 8, |_, _| rng.next_gaussian());
+    let w = Matrix::from_fn(8, m, |_, _| rng.next_gaussian());
+    push(out, cfg, "solver", format!("matmul_blocked/{m}"), || {
+        a.matmul(&b)
+    });
+    push(out, cfg, "solver", format!("matmul_f32acc/{m}"), || {
+        kernels::matmul_f32acc(&a, &b, kernels::TILE)
+    });
+    push(out, cfg, "solver", format!("matmul_narrow/{m}x8"), || {
+        kernels::matmul_narrow(&a, &q)
+    });
+    push(
+        out,
+        cfg,
+        "solver",
+        format!("matmul_chain/{m}x8x{m}"),
+        || kernels::matmul_chain(&[&a, &q, &w]),
+    );
+}
+
 /// Runs every benchmark group under `mode` and returns the report.
 pub fn run(mode: Mode) -> BenchReport {
     let cfg = mode.config();
@@ -498,6 +559,7 @@ pub fn run(mode: Mode) -> BenchReport {
     bench_scoping(mode, &cfg, &datasets, &mut records);
     bench_matching(&cfg, &datasets, &mut records);
     bench_scaling(mode, &cfg, &mut records);
+    bench_solver(mode, &cfg, &mut records);
     BenchReport {
         mode,
         threads: cs_core::pool::global().workers(),
@@ -525,7 +587,7 @@ fn record_json(r: &BenchRecord) -> JsonValue {
     ])
 }
 
-/// Serializes a report into the `BENCH_3.json` document model.
+/// Serializes a report into the `BENCH_4.json` document model.
 pub fn to_json(report: &BenchReport) -> JsonValue {
     let pass_ops: Vec<(&str, JsonValue)> = report
         .datasets
@@ -544,7 +606,7 @@ pub fn to_json(report: &BenchReport) -> JsonValue {
             )
         })
         .collect();
-    let groups: Vec<(&str, JsonValue)> = ["scoping", "matching", "scaling"]
+    let groups: Vec<(&str, JsonValue)> = ["scoping", "matching", "scaling", "solver"]
         .into_iter()
         .map(|g| {
             let items = report
@@ -679,9 +741,9 @@ mod tests {
             Some(total * (schemas - 1))
         );
 
-        // All three groups are present, non-empty, and carry sane stats.
+        // All four groups are present, non-empty, and carry sane stats.
         let groups = doc.get("groups").expect("groups");
-        for name in ["scoping", "matching", "scaling"] {
+        for name in ["scoping", "matching", "scaling", "solver"] {
             let items = groups
                 .get(name)
                 .and_then(JsonValue::as_array)

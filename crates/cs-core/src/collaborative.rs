@@ -17,6 +17,7 @@ use crate::outcome::ScopingOutcome;
 use crate::pool::{ExecPolicy, ThreadPool};
 use crate::signatures::SchemaSignatures;
 use cs_linalg::pca::ExplainedVariance;
+use cs_linalg::PcaSolver;
 
 /// How the verdicts of the foreign models are combined. The paper uses
 /// [`CombinationRule::Any`]; the others exist for the ablation bench.
@@ -98,6 +99,7 @@ pub struct CollaborativeScoperBuilder {
     v: f64,
     rule: CombinationRule,
     exec: ExecPolicy,
+    solver: PcaSolver,
 }
 
 impl CollaborativeScoperBuilder {
@@ -110,6 +112,13 @@ impl CollaborativeScoperBuilder {
     /// Sets how foreign-model verdicts are combined.
     pub fn combination(mut self, rule: CombinationRule) -> Self {
         self.rule = rule;
+        self
+    }
+
+    /// Pins the PCA eigensolver used when training local models
+    /// ([`PcaSolver::Auto`] by default, which picks by matrix shape).
+    pub fn pca_solver(mut self, solver: PcaSolver) -> Self {
+        self.solver = solver;
         self
     }
 
@@ -152,6 +161,7 @@ impl CollaborativeScoperBuilder {
             v: self.v,
             rule: self.rule,
             exec: self.exec,
+            solver: self.solver,
         })
     }
 }
@@ -162,6 +172,7 @@ pub struct CollaborativeScoper {
     v: f64,
     rule: CombinationRule,
     exec: ExecPolicy,
+    solver: PcaSolver,
 }
 
 impl CollaborativeScoper {
@@ -173,6 +184,7 @@ impl CollaborativeScoper {
             v,
             rule: CombinationRule::Any,
             exec: ExecPolicy::Global,
+            solver: PcaSolver::Auto,
         }
     }
 
@@ -182,6 +194,7 @@ impl CollaborativeScoper {
             v: 0.8,
             rule: CombinationRule::Any,
             exec: ExecPolicy::Global,
+            solver: PcaSolver::Auto,
         }
     }
 
@@ -206,6 +219,11 @@ impl CollaborativeScoper {
         &self.exec
     }
 
+    /// The PCA eigensolver local models train with.
+    pub fn pca_solver(&self) -> PcaSolver {
+        self.solver
+    }
+
     /// Trains one local model per schema, in parallel (phase II for the
     /// whole catalog).
     pub fn train_models(
@@ -219,8 +237,11 @@ impl CollaborativeScoper {
             return Err(ScopingError::TooFewSchemas { found: k });
         }
         let sigs = signatures.clone(); // Arc bump, not a data copy
+        let solver = self.solver;
         self.exec
-            .run_slots(k, move |idx| LocalModel::train(idx, sigs.schema(idx), v))?
+            .run_slots(k, move |idx| {
+                LocalModel::train_with(idx, sigs.schema(idx), v, solver)
+            })?
             .into_iter()
             .collect()
     }

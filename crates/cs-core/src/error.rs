@@ -1,6 +1,6 @@
 //! Typed errors for the scoping pipeline.
 
-use cs_linalg::SvdError;
+use cs_linalg::{PcaRehydrateError, SvdError};
 
 /// Errors surfaced by scoping and collaborative scoping.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,6 +54,9 @@ pub enum ScopingError {
     },
     /// Numerical decomposition failed.
     Svd(SvdError),
+    /// A PCA received over the wire failed shape validation on
+    /// rehydration (`Pca::from_parts`).
+    PcaRehydrate(PcaRehydrateError),
     /// A closure dispatched to the parallel runtime panicked; the panic
     /// was caught inside the worker and surfaced here instead of
     /// poisoning or hanging the pool.
@@ -100,6 +103,7 @@ impl std::fmt::Display for ScopingError {
                 write!(f, "explained variance v = {value} must lie in (0, 1]")
             }
             ScopingError::Svd(e) => write!(f, "decomposition failed: {e}"),
+            ScopingError::PcaRehydrate(e) => write!(f, "malformed PCA model: {e}"),
             ScopingError::WorkerPanicked { detail } => {
                 write!(f, "a parallel worker panicked: {detail}")
             }
@@ -111,6 +115,7 @@ impl std::error::Error for ScopingError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ScopingError::Svd(e) => Some(e),
+            ScopingError::PcaRehydrate(e) => Some(e),
             _ => None,
         }
     }
@@ -119,6 +124,12 @@ impl std::error::Error for ScopingError {
 impl From<SvdError> for ScopingError {
     fn from(e: SvdError) -> Self {
         ScopingError::Svd(e)
+    }
+}
+
+impl From<PcaRehydrateError> for ScopingError {
+    fn from(e: PcaRehydrateError) -> Self {
+        ScopingError::PcaRehydrate(e)
     }
 }
 
@@ -160,6 +171,11 @@ mod tests {
             .contains("rank-deficient"));
         let svd: ScopingError = SvdError::EmptyMatrix.into();
         assert!(svd.to_string().contains("decomposition"));
+        let rehydrate: ScopingError = PcaRehydrateError::EmptyComponents.into();
+        assert_eq!(
+            rehydrate.to_string(),
+            "malformed PCA model: a PCA needs at least one component"
+        );
         assert!(ScopingError::WorkerPanicked {
             detail: "boom".into()
         }
@@ -171,6 +187,8 @@ mod tests {
     fn source_chains_for_svd() {
         use std::error::Error;
         let e: ScopingError = SvdError::NonFiniteInput.into();
+        assert!(e.source().is_some());
+        let e: ScopingError = PcaRehydrateError::EmptyComponents.into();
         assert!(e.source().is_some());
         assert!(ScopingError::EmptySchema { schema: 0 }.source().is_none());
     }

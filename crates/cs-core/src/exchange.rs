@@ -363,7 +363,7 @@ pub fn to_pca(envelope: &ModelEnvelope) -> Result<(Pca, f64), ExchangeError> {
         vec![0.0; n],
         vec![0.0; n],
     )
-    .map_err(ExchangeError::MalformedShape)?;
+    .map_err(|e| ExchangeError::MalformedShape(e.to_string()))?;
     Ok((pca, envelope.linkability_range))
 }
 

@@ -25,6 +25,7 @@ use cs_datasets::synthetic::{
     SyntheticConfig,
 };
 use cs_embed::SignatureEncoder;
+use cs_linalg::PcaSolver;
 use cs_match::{ElementSet, Matcher, SimMatcher};
 use cs_oda::ZScoreDetector;
 
@@ -60,6 +61,10 @@ pub struct FaultCase {
     /// A substring the joined stage lines must contain ("" = no
     /// constraint beyond determinism and panic-freedom).
     pub expect: &'static str,
+    /// The PCA eigensolver the signature stages pin — every solver must
+    /// surface the same typed errors and obey the same determinism
+    /// contract, so the matrix re-runs the poison scenarios under each.
+    pub solver: PcaSolver,
 }
 
 /// The small synthetic catalog every scenario starts from. Kept tiny so
@@ -85,70 +90,110 @@ fn baseline_sigs() -> SchemaSignatures {
     encode(&cs_datasets::synthetic::generate(&base_config()))
 }
 
-/// The full fault matrix: eleven scenarios spanning catalog-level,
-/// signature-level, parameter-level, and runtime-level faults.
+/// A small gaussian catalog for the per-solver poison cases: enough
+/// structure to train, small enough that even the FullSvd reference is
+/// instant under every policy.
+fn solver_probe_sigs() -> SchemaSignatures {
+    use cs_linalg::{Matrix, Xoshiro256};
+    let mut rng = Xoshiro256::seed_from(0x501_7E2);
+    let mats = vec![
+        Matrix::from_fn(8, 12, |_, _| rng.next_gaussian()),
+        Matrix::from_fn(9, 12, |_, _| rng.next_gaussian()),
+        Matrix::from_fn(7, 12, |_, _| rng.next_gaussian()),
+    ];
+    SchemaSignatures::from_matrices(mats, vec!["P".into(), "Q".into(), "R".into()])
+}
+
+/// The solver-probe catalog with one NaN planted in schema 1: the strict
+/// scoper must reject it with the same typed error under every solver,
+/// while the sweep degrades schema 1 and still fits the healthy schemas
+/// with the pinned solver.
+fn poisoned_solver_probe() -> SchemaSignatures {
+    poison_non_finite(&solver_probe_sigs(), 1, f64::NAN, 0xBAD)
+}
+
+/// The full fault matrix: catalog-level, signature-level, parameter-level
+/// and runtime-level faults, plus the poison scenario re-run under every
+/// pinned [`PcaSolver`].
 pub fn cases() -> Vec<FaultCase> {
-    vec![
-        FaultCase {
-            name: "baseline",
-            scenario: Scenario::Signatures(baseline_sigs),
-            expect: "scoper: kept=",
-        },
-        FaultCase {
-            name: "empty_schema",
-            scenario: Scenario::Signatures(|| encode(&with_empty_schema(&base_config()))),
-            expect: "has no elements",
-        },
-        FaultCase {
-            name: "singleton_schema",
-            scenario: Scenario::Signatures(|| encode(&with_singleton_schema(&base_config()))),
-            expect: "too few to train",
-        },
-        FaultCase {
-            name: "duplicate_signatures",
-            scenario: Scenario::Signatures(|| encode(&with_duplicate_schema(&base_config(), 4))),
-            expect: "rank-deficient",
-        },
-        FaultCase {
-            name: "all_unlinkable",
-            scenario: Scenario::Signatures(|| encode(&all_unlinkable(&base_config()))),
-            expect: "scoper: kept=",
-        },
-        FaultCase {
-            name: "nan_signature",
-            scenario: Scenario::Signatures(|| {
-                poison_non_finite(&baseline_sigs(), 1, f64::NAN, 0xBAD)
-            }),
+    let auto = |name, scenario, expect| FaultCase {
+        name,
+        scenario,
+        expect,
+        solver: PcaSolver::Auto,
+    };
+    let mut cases = vec![
+        auto(
+            "baseline",
+            Scenario::Signatures(baseline_sigs),
+            "scoper: kept=",
+        ),
+        auto(
+            "empty_schema",
+            Scenario::Signatures(|| encode(&with_empty_schema(&base_config()))),
+            "has no elements",
+        ),
+        auto(
+            "singleton_schema",
+            Scenario::Signatures(|| encode(&with_singleton_schema(&base_config()))),
+            "too few to train",
+        ),
+        auto(
+            "duplicate_signatures",
+            Scenario::Signatures(|| encode(&with_duplicate_schema(&base_config(), 4))),
+            "rank-deficient",
+        ),
+        auto(
+            "all_unlinkable",
+            Scenario::Signatures(|| encode(&all_unlinkable(&base_config()))),
+            "scoper: kept=",
+        ),
+        auto(
+            "nan_signature",
+            Scenario::Signatures(|| poison_non_finite(&baseline_sigs(), 1, f64::NAN, 0xBAD)),
+            "NaN/inf entry",
+        ),
+        auto(
+            "inf_signature",
+            Scenario::Signatures(|| poison_non_finite(&baseline_sigs(), 2, f64::INFINITY, 0xBAD)),
+            "NaN/inf entry",
+        ),
+        auto(
+            "flattened_schema",
+            Scenario::Signatures(|| flatten_schema(&baseline_sigs(), 0)),
+            "rank-deficient",
+        ),
+        auto(
+            "empty_catalog",
+            Scenario::Signatures(|| SchemaSignatures::from_matrices(vec![], vec![])),
+            "needs ≥ 2 schemas",
+        ),
+        auto(
+            "worker_panic",
+            Scenario::WorkerPanic,
+            "injected fault: worker panic",
+        ),
+        auto("invalid_params", Scenario::InvalidParams, "out of range"),
+    ];
+    for (suffix, solver) in [
+        ("auto", PcaSolver::Auto),
+        ("fullsvd", PcaSolver::FullSvd),
+        ("gram", PcaSolver::Gram),
+        ("truncated", PcaSolver::truncated()),
+    ] {
+        cases.push(FaultCase {
+            name: match suffix {
+                "auto" => "poison_solver_auto",
+                "fullsvd" => "poison_solver_fullsvd",
+                "gram" => "poison_solver_gram",
+                _ => "poison_solver_truncated",
+            },
+            scenario: Scenario::Signatures(poisoned_solver_probe),
             expect: "NaN/inf entry",
-        },
-        FaultCase {
-            name: "inf_signature",
-            scenario: Scenario::Signatures(|| {
-                poison_non_finite(&baseline_sigs(), 2, f64::INFINITY, 0xBAD)
-            }),
-            expect: "NaN/inf entry",
-        },
-        FaultCase {
-            name: "flattened_schema",
-            scenario: Scenario::Signatures(|| flatten_schema(&baseline_sigs(), 0)),
-            expect: "rank-deficient",
-        },
-        FaultCase {
-            name: "empty_catalog",
-            scenario: Scenario::Signatures(|| SchemaSignatures::from_matrices(vec![], vec![])),
-            expect: "needs ≥ 2 schemas",
-        },
-        FaultCase {
-            name: "worker_panic",
-            scenario: Scenario::WorkerPanic,
-            expect: "injected fault: worker panic",
-        },
-        FaultCase {
-            name: "invalid_params",
-            scenario: Scenario::InvalidParams,
-            expect: "out of range",
-        },
-    ]
+            solver,
+        });
+    }
+    cases
 }
 
 /// Formats a stage outcome; errors render through their pinned `Display`.
@@ -177,13 +222,17 @@ fn guarded(stage: &str, f: impl FnOnce() -> String) -> String {
 /// lines under every policy and worker count.
 pub fn run_case(case: &FaultCase, exec: &ExecPolicy) -> Vec<String> {
     match case.scenario {
-        Scenario::Signatures(make) => run_signature_case(make, exec),
+        Scenario::Signatures(make) => run_signature_case(make, exec, case.solver),
         Scenario::WorkerPanic => run_worker_panic_case(exec),
         Scenario::InvalidParams => run_invalid_params_case(exec),
     }
 }
 
-fn run_signature_case(make: fn() -> SchemaSignatures, exec: &ExecPolicy) -> Vec<String> {
+fn run_signature_case(
+    make: fn() -> SchemaSignatures,
+    exec: &ExecPolicy,
+    solver: PcaSolver,
+) -> Vec<String> {
     let sigs = make();
     let mut lines = vec![format!(
         "input: schemas={} elements={}",
@@ -196,6 +245,7 @@ fn run_signature_case(make: fn() -> SchemaSignatures, exec: &ExecPolicy) -> Vec<
     lines.push(guarded("scoper", || {
         let run = CollaborativeScoper::builder()
             .explained_variance(STRICT_V)
+            .pca_solver(solver)
             .exec(exec.clone())
             .build()
             .and_then(|s| s.run(&sigs));
@@ -208,7 +258,7 @@ fn run_signature_case(make: fn() -> SchemaSignatures, exec: &ExecPolicy) -> Vec<
     // Stage 2: the sweep — must degrade gracefully (skip broken schemas,
     // record them, keep assessing) and agree with its own pointwise path.
     lines.push(guarded("sweep", || {
-        let sweep = match CollaborativeSweep::prepare_with(&sigs, exec) {
+        let sweep = match CollaborativeSweep::prepare_with_solver(&sigs, exec, solver) {
             Ok(s) => s,
             Err(e) => return format!("sweep: error: {e}"),
         };

@@ -34,7 +34,7 @@ pub mod svd;
 pub mod vecops;
 
 pub use matrix::Matrix;
-pub use pca::{ExplainedVariance, Pca};
+pub use pca::{ExplainedVariance, Pca, PcaConfig, PcaRehydrateError, PcaSolver, PcaTarget};
 pub use qr::{qr, randomized_svd};
 pub use rng::{SplitMix64, Xoshiro256};
 pub use svd::{Svd, SvdError};

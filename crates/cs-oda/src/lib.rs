@@ -19,7 +19,7 @@ pub mod lof;
 
 use cs_linalg::pca::ExplainedVariance;
 use cs_linalg::stats::row_zscore_magnitude;
-use cs_linalg::{Matrix, Pca};
+use cs_linalg::{Matrix, Pca, PcaConfig, PcaSolver};
 use cs_nn::{ensemble_scores, TrainConfig};
 
 pub use extra::{KnnDistanceDetector, MahalanobisDetector};
@@ -57,12 +57,18 @@ impl OutlierDetector for ZScoreDetector {
 #[derive(Debug, Clone, Copy)]
 pub struct PcaDetector {
     v: ExplainedVariance,
+    solver: PcaSolver,
 }
 
 impl PcaDetector {
-    /// Creates a detector keeping components per explained variance `v`.
+    /// Creates a detector keeping components per explained variance `v`,
+    /// fitting under [`PcaSolver::Auto`] (on unified global-scoping
+    /// matrices — hundreds of rows — `Auto` picks the truncated solver).
     pub fn new(v: ExplainedVariance) -> Self {
-        Self { v }
+        Self {
+            v,
+            solver: PcaSolver::Auto,
+        }
     }
 
     /// Convenience constructor from a raw `v ∈ (0, 1]`.
@@ -73,9 +79,21 @@ impl PcaDetector {
         Self::new(ExplainedVariance::new(v).expect("explained variance must lie in (0, 1]"))
     }
 
+    /// Pins the PCA eigensolver — `GlobalScoper` inherits the choice
+    /// through the detector it wraps.
+    pub fn with_solver(mut self, solver: PcaSolver) -> Self {
+        self.solver = solver;
+        self
+    }
+
     /// The configured explained variance.
     pub fn variance(&self) -> f64 {
         self.v.get()
+    }
+
+    /// The configured eigensolver.
+    pub fn solver(&self) -> PcaSolver {
+        self.solver
     }
 }
 
@@ -85,7 +103,11 @@ impl OutlierDetector for PcaDetector {
     }
 
     fn score(&self, data: &Matrix) -> Vec<f64> {
-        let pca = Pca::fit(data, self.v).expect("signature matrix must be non-empty and finite");
+        let config = PcaConfig::new()
+            .with_variance(self.v)
+            .with_solver(self.solver);
+        let pca =
+            Pca::fit_with(data, config).expect("signature matrix must be non-empty and finite");
         pca.reconstruction_errors(data)
     }
 }

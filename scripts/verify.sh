@@ -16,8 +16,8 @@ cargo run -q -p cs-lint --release --offline
 echo "==> cs-lint --api-check (public-API snapshot gate)"
 cargo run -q -p cs-lint --release --offline -- --api-check
 
-echo "==> bench_json --smoke (benchmark emitter gate)"
-cargo run -q -p cs-bench --release --offline --bin bench_json -- --smoke --out target/bench-smoke.json
+echo "==> bench_json --smoke (benchmark emitter + PCA hot-path budget gate)"
+cargo run -q -p cs-bench --release --offline --bin bench_json -- --smoke --out target/bench-smoke.json --budget BENCH_BUDGET.json
 
 echo "==> cs-fault smoke (fault matrix, digest stable across CS_THREADS)"
 digest=""

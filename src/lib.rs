@@ -57,7 +57,10 @@ pub mod prelude {
     };
     pub use cs_datasets::{oc3, oc3_fo, Dataset};
     pub use cs_embed::{EncoderConfig, SignatureEncoder};
-    pub use cs_linalg::{total_cmp_f64, ExplainedVariance, Matrix, Pca};
+    pub use cs_linalg::{
+        total_cmp_f64, ExplainedVariance, Matrix, Pca, PcaConfig, PcaRehydrateError, PcaSolver,
+        PcaTarget,
+    };
     pub use cs_match::{dedup_pairs, ClusterMatcher, ElementSet, LshMatcher, Matcher, SimMatcher};
     pub use cs_metrics::{match_quality, BinaryConfusion, MatchQuality, SweepCurve};
     pub use cs_oda::{OutlierDetector, PcaDetector, ZScoreDetector};

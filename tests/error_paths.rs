@@ -165,6 +165,58 @@ fn svd_error_through_local_model_train() {
 }
 
 #[test]
+fn pca_rehydrate_errors_through_from_parts() {
+    // The three typed rehydration failures, Display-pinned: exchange
+    // payload diagnostics print these verbatim.
+    let err = Pca::from_parts(vec![0.0; 3], Matrix::zeros(1, 2), vec![1.0], vec![1.0]).unwrap_err();
+    assert_eq!(
+        err,
+        PcaRehydrateError::ShapeMismatch {
+            component_width: 2,
+            mean_len: 3
+        }
+    );
+    assert_eq!(
+        err.to_string(),
+        "component width 2 does not match mean length 3"
+    );
+
+    let err = Pca::from_parts(vec![0.0; 2], Matrix::zeros(0, 2), vec![], vec![]).unwrap_err();
+    assert_eq!(err, PcaRehydrateError::EmptyComponents);
+    assert_eq!(err.to_string(), "a PCA needs at least one component");
+
+    let err = Pca::from_parts(
+        vec![0.0; 2],
+        Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]),
+        vec![1.0],
+        vec![1.0, 0.5],
+    )
+    .unwrap_err();
+    assert_eq!(
+        err,
+        PcaRehydrateError::ShortSpectrum {
+            ratios: 1,
+            singular_values: 2,
+            components: 2
+        }
+    );
+    assert_eq!(
+        err.to_string(),
+        "spectrum bookkeeping (1 ratios, 2 singular values) shorter than 2 components"
+    );
+
+    // The ScopingError conversion wraps the typed cause and chains it as
+    // the source.
+    let wrapped: ScopingError = PcaRehydrateError::EmptyComponents.into();
+    assert_eq!(
+        wrapped.to_string(),
+        "malformed PCA model: a PCA needs at least one component"
+    );
+    use std::error::Error;
+    assert!(wrapped.source().is_some());
+}
+
+#[test]
 fn worker_panicked_through_pooled_run() {
     let pool = Arc::new(ThreadPool::with_threads(2));
     let tag = pool.tag();
