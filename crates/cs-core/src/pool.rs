@@ -27,6 +27,18 @@
 //! A panicking closure is caught inside the worker ([`std::panic::catch_unwind`])
 //! and surfaced to the caller as [`ScopingError::WorkerPanicked`] — the
 //! pool never hangs and the worker survives for the next job.
+//!
+//! # Runtime sanitizer (DESIGN.md §12)
+//!
+//! The pool's lock sites are instrumented with the determinism sanitizer
+//! re-exported here as [`sanitize`]: when enabled (the `sanitize` cargo
+//! feature or the `CS_SANITIZE` env knob), every acquisition of the
+//! worker receiver lock and the fault-arming gate/slot locks records
+//! into a process-global lock-order graph, and every worker thread
+//! records a float-environment probe. `cs-fault`'s `fault_smoke` binary
+//! prints the resulting digest so `scripts/verify.sh` can compare
+//! sanitized runs across `CS_THREADS` settings. Off (the default), each
+//! instrumented site costs one relaxed atomic load.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -35,6 +47,10 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
 use crate::error::ScopingError;
+
+/// The runtime determinism sanitizer (lock-order graph + float probe),
+/// re-exported from `cs_linalg` so pool users have it at hand.
+pub use cs_linalg::sanitize;
 
 /// Deterministic fault injection for the pool — a **test-only** hook used
 /// by the `cs-fault` harness to prove that worker panics surface as
@@ -79,8 +95,11 @@ pub mod fault {
     /// place the slot and gate locks could nest is arming, and routing
     /// every slot write through here keeps each function single-lock:
     /// the order is always gate → slot, never the reverse (`fire` takes
-    /// the slot alone), so the pair cannot deadlock.
+    /// the slot alone), so the pair cannot deadlock. The sanitizer sees
+    /// exactly that: a gate→slot edge when called from an armed section,
+    /// never a slot→gate edge.
     fn store(hook: Option<Hook>) {
+        let _t = super::sanitize::trace("pool.fault.slot");
         *slot().lock().unwrap_or_else(|p| p.into_inner()) = hook;
     }
 
@@ -88,7 +107,11 @@ pub mod fault {
     /// exclusive arming gate so armed sections never overlap.
     #[must_use = "the hook disarms when the guard drops"]
     pub struct Armed {
+        // Field order is drop order: the gate guard releases before its
+        // sanitizer trace pops, keeping the recorded lifetime a superset
+        // of the real one.
         _gate: MutexGuard<'static, ()>,
+        _trace: Option<super::sanitize::LockTrace>,
     }
 
     impl Drop for Armed {
@@ -104,9 +127,13 @@ pub mod fault {
     /// point — and the panic surfaces as
     /// [`crate::ScopingError::WorkerPanicked`].
     pub fn armed(hook: impl Fn(FaultSite) + Send + Sync + 'static) -> Armed {
+        let trace = super::sanitize::trace("pool.fault.gate");
         let gate = gate().lock().unwrap_or_else(|p| p.into_inner());
         store(Some(Arc::new(hook)));
-        Armed { _gate: gate }
+        Armed {
+            _gate: gate,
+            _trace: trace,
+        }
     }
 
     /// Fires the hook (if armed) at a chunk boundary. Called inside the
@@ -115,7 +142,10 @@ pub mod fault {
     pub(super) fn fire(site: FaultSite) {
         // Clone out of the lock before calling: a panicking hook must
         // not poison the slot for the chunks that follow.
-        let hook = slot().lock().unwrap_or_else(|p| p.into_inner()).clone();
+        let hook = {
+            let _t = super::sanitize::trace("pool.fault.slot");
+            slot().lock().unwrap_or_else(|p| p.into_inner()).clone()
+        };
         if let Some(h) = hook {
             h(site);
         }
@@ -306,10 +336,18 @@ fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
     loop {
         // A poisoned lock only means another worker panicked while
         // holding it; the receiver itself is still valid.
-        let job = match receiver.lock().unwrap_or_else(|p| p.into_inner()).recv() {
+        let received = {
+            let _t = sanitize::trace("pool.recv");
+            receiver.lock().unwrap_or_else(|p| p.into_inner()).recv()
+        };
+        let job = match received {
             Ok(job) => job,
             Err(_) => return, // pool dropped
         };
+        // Each worker asserts its float environment once per job — a
+        // cheap enabled-check when the sanitizer is off, and with it on,
+        // drift (e.g. flush-to-zero on one thread) lands in the report.
+        sanitize::record_probe();
         // Executed outside the lock so other workers can pick up jobs.
         job();
     }
@@ -323,6 +361,7 @@ fn run_inline<T, F>(k: usize, work: &F, pool: Option<usize>) -> Result<Vec<T>, S
 where
     F: Fn(usize) -> T,
 {
+    sanitize::record_probe();
     catch_unwind(AssertUnwindSafe(|| {
         fault::fire(fault::FaultSite { pool, chunk: 0 });
         (0..k).map(work).collect::<Vec<T>>()

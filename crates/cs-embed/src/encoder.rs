@@ -171,6 +171,13 @@ impl SignatureEncoder {
         // holding the cache lock (e.g. an injected fault) must not
         // cascade into every later encode. The cache itself is a pure
         // memo table, so the stored values stay valid.
+        //
+        // Both acquisitions report to the runtime sanitizer (DESIGN.md
+        // §12) under one lock name: read and write are *sequential*
+        // here, so a sanitized run records no self-edge — if a future
+        // refactor nests them, the cycle shows up in the lock-order
+        // digest.
+        let read_trace = cs_linalg::sanitize::trace("embed.token_cache");
         if let Some(v) = self
             .token_cache
             .read()
@@ -179,7 +186,9 @@ impl SignatureEncoder {
         {
             return v.clone();
         }
+        drop(read_trace);
         let v = self.compute_token_vector(token);
+        let _write_trace = cs_linalg::sanitize::trace("embed.token_cache");
         self.token_cache
             .write()
             .unwrap_or_else(|p| p.into_inner())

@@ -13,10 +13,24 @@
 //! compares the digests — the fault paths must be as deterministic as the
 //! happy paths. Exits non-zero on any divergence, escaped panic, or
 //! missing expected error.
+//!
+//! With the runtime sanitizer on (`CS_SANITIZE=1` or the `sanitize`
+//! feature, DESIGN.md §12) a second digest line follows:
+//!
+//! ```text
+//! sanitizer digest: fedcba9876543210 (edges=1 cycles=0 probes=1)
+//! ```
+//!
+//! covering the lock-order graph recorded across the whole matrix plus
+//! the per-worker float-environment probes. A lock-order cycle (deadlock
+//! potential) or probe drift (float environments differ between workers)
+//! fails the run outright; verify.sh additionally compares the digest
+//! across `CS_THREADS` values — the nesting *set* must not depend on
+//! worker count.
 
 use std::sync::Arc;
 
-use cs_core::pool::ExecPolicy;
+use cs_core::pool::{sanitize, ExecPolicy};
 use cs_core::ThreadPool;
 use cs_fault::run_matrix;
 
@@ -71,5 +85,31 @@ fn main() {
             eprintln!("fault matrix FAILED: {msg}");
             std::process::exit(1);
         }
+    }
+
+    if sanitize::enabled() {
+        let san = sanitize::report();
+        if !san.cycles.is_empty() {
+            eprintln!("sanitizer FAILED: lock-order cycle(s) — deadlock potential:");
+            for cycle in &san.cycles {
+                eprintln!("  {}", cycle.join(" -> "));
+            }
+            std::process::exit(1);
+        }
+        if san.probes.len() > 1 {
+            eprintln!(
+                "sanitizer FAILED: float-environment drift — {} distinct probes: {:?}",
+                san.probes.len(),
+                san.probes
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "sanitizer digest: {:016x} (edges={} cycles={} probes={})",
+            san.digest(),
+            san.edges.len(),
+            san.cycles.len(),
+            san.probes.len()
+        );
     }
 }

@@ -21,6 +21,12 @@ pub const THREADS: &str = "CS_THREADS";
 /// (`crates/cs-repro/tests/golden.rs`).
 pub const GOLDEN_FULL: &str = "CS_GOLDEN_FULL";
 
+/// Opt-in flag for the runtime determinism sanitizer
+/// ([`crate::sanitize`]): lock-order recording plus the per-worker
+/// float-environment probe. The `sanitize` cargo feature forces the same
+/// switch at build time.
+pub const SANITIZE: &str = "CS_SANITIZE";
+
 /// Raw value of an environment knob, if set and valid UTF-8.
 pub fn env_knob(name: &str) -> Option<String> {
     std::env::var(name).ok()

@@ -216,7 +216,9 @@ pub fn matmul_f32acc(a: &Matrix, b: &Matrix, tile: usize) -> Matrix {
     );
     let (n, kd) = a.shape();
     let p = b.cols();
+    // cs-lint: allow(no-lossy-cast-in-hot-path) -- f32-accumulator kernel: the demotion IS the contract (see doc comment)
     let a32: Vec<f32> = a.as_slice().iter().map(|&x| x as f32).collect();
+    // cs-lint: allow(no-lossy-cast-in-hot-path) -- f32-accumulator kernel: the demotion IS the contract (see doc comment)
     let b32: Vec<f32> = b.as_slice().iter().map(|&x| x as f32).collect();
     let mut acc = vec![0.0f32; n * p];
     for i0 in (0..n).step_by(tile) {

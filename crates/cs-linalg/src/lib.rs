@@ -29,6 +29,7 @@ pub mod matrix;
 pub mod pca;
 pub mod qr;
 pub mod rng;
+pub mod sanitize;
 pub mod stats;
 pub mod svd;
 pub mod vecops;

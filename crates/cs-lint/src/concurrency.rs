@@ -29,7 +29,7 @@ use crate::rules::{FileClass, LOCK_DISCIPLINE, NO_AMBIENT_AUTHORITY, NO_UNORDERE
 
 /// Iterator-producing methods on hash collections whose order is
 /// hasher-dependent.
-const ITER_METHODS: [&str; 9] = [
+pub(crate) const ITER_METHODS: [&str; 9] = [
     "iter",
     "iter_mut",
     "keys",
@@ -116,7 +116,7 @@ pub fn lint_items(
 /// Local names that denote `std::collections::HashMap` / `HashSet`
 /// (imports and aliases), always including the literal names themselves —
 /// fully-qualified mentions keep the bare ident in the token stream.
-fn hash_type_names(uses: &UseMap) -> BTreeSet<String> {
+pub(crate) fn hash_type_names(uses: &UseMap) -> BTreeSet<String> {
     let mut names = BTreeSet::new();
     names.insert("HashMap".to_string());
     names.insert("HashSet".to_string());
@@ -148,7 +148,11 @@ fn outer_is_hash(toks: &[Tok], range: (usize, usize), names: &BTreeSet<String>) 
 }
 
 /// Struct fields (file-wide) whose declared type is a hash collection.
-fn hash_fields(toks: &[Tok], items: &[Item], names: &BTreeSet<String>) -> BTreeSet<String> {
+pub(crate) fn hash_fields(
+    toks: &[Tok],
+    items: &[Item],
+    names: &BTreeSet<String>,
+) -> BTreeSet<String> {
     let mut fields = BTreeSet::new();
     collect_hash_fields(toks, items, names, &mut fields);
     fields
@@ -229,7 +233,13 @@ fn field_end(toks: &[Tok], start: usize, close: usize) -> usize {
     close
 }
 
-fn seek_close(toks: &[Tok], open_idx: usize, end: usize, open: char, close: char) -> Option<usize> {
+pub(crate) fn seek_close(
+    toks: &[Tok],
+    open_idx: usize,
+    end: usize,
+    open: char,
+    close: char,
+) -> Option<usize> {
     let mut depth = 0i64;
     for (k, t) in toks.iter().enumerate().take(end).skip(open_idx) {
         if t.is_punct(open) {
@@ -247,7 +257,7 @@ fn seek_close(toks: &[Tok], open_idx: usize, end: usize, open: char, close: char
 /// Identifiers in one function known to hold a hash collection: annotated
 /// parameters, `let` bindings with a hash type annotation, and `let`
 /// bindings initialized from `HashName::..`.
-fn hash_symbols(toks: &[Tok], f: &Item, names: &BTreeSet<String>) -> BTreeSet<String> {
+pub(crate) fn hash_symbols(toks: &[Tok], f: &Item, names: &BTreeSet<String>) -> BTreeSet<String> {
     let mut symbols = BTreeSet::new();
     let (sig_start, sig_end) = f.sig;
 
@@ -320,7 +330,7 @@ fn hash_symbols(toks: &[Tok], f: &Item, names: &BTreeSet<String>) -> BTreeSet<St
 /// next `;` at brace-relative depth 0, the close of a depth-0 brace block
 /// (`if let .. { .. }` ends with its block), or the end of the enclosing
 /// block, bounded by `close`.
-fn statement_end(toks: &[Tok], start: usize, close: usize) -> usize {
+pub(crate) fn statement_end(toks: &[Tok], start: usize, close: usize) -> usize {
     let mut brace = 0i64;
     for (k, t) in toks.iter().enumerate().take(close).skip(start) {
         if t.is_punct('{') {
@@ -413,7 +423,7 @@ fn find_unordered_iterations(
 
 /// If the `for` at `for_idx` loops directly over a hash symbol/field,
 /// returns the line to report.
-fn for_loop_over_hash(
+pub(crate) fn for_loop_over_hash(
     toks: &[Tok],
     for_idx: usize,
     close: usize,
@@ -464,7 +474,7 @@ fn for_loop_over_hash(
 /// the statement it feeds) restores a deterministic order: an explicit
 /// sort, an order-insensitive terminal, or a collect into an ordered
 /// collection that is sorted afterwards.
-fn chain_restores_order(toks: &[Tok], mut call_close: usize, body_close: usize) -> bool {
+pub(crate) fn chain_restores_order(toks: &[Tok], mut call_close: usize, body_close: usize) -> bool {
     let mut last_method: Option<&str> = None;
     let mut collected_ordered = false;
     loop {

@@ -1,0 +1,1194 @@
+//! Interprocedural determinism-taint dataflow (DESIGN.md §7/§8) plus the
+//! hot-path item rules.
+//!
+//! The intraprocedural pack in [`crate::concurrency`] answers "does this
+//! one function iterate a hash map into a sum?". This module answers the
+//! question the pack cannot: *does a nondeterministically-ordered value
+//! produced in one function reach an order-sensitive float reduction in
+//! another?* It builds an intra-crate call graph from the
+//! [`crate::items`] brace tree and propagates taint across it:
+//!
+//! - **Sources** — producers whose value depends on hasher state, arrival
+//!   order, or the clock: unexonerated `HashMap`/`HashSet` iteration
+//!   (the same exoneration machinery as `no-unordered-iteration`:
+//!   sort-in-chain, BTree collect, order-insensitive terminals),
+//!   `Instant::now` / `SystemTime::now` reads, and arrival-order
+//!   `.lock()..push(..)` chains.
+//! - **Sinks** — order-sensitive float reductions: `.sum()` /
+//!   `.product()` / `.fold(..)`, float `+=` accumulation inside loops,
+//!   and calls into `kernels::*` entry points.
+//! - **Propagation** — both directions through the call graph: a sink
+//!   function that (transitively) *calls* a tainted function (return
+//!   flow), and a tainted function that (transitively) calls a sink
+//!   function (argument flow). No return-value/argument distinction is
+//!   attempted — shared-state channels (a locked accumulator both ends
+//!   can see) make that distinction unsound for a lite analysis, so a
+//!   call edge conducts taint either way.
+//!
+//! A finding reports the full source → call-chain → sink path and is
+//! emitted only when source and sink live in *different* functions — the
+//! same-function case is exactly `no-unordered-iteration`'s territory.
+//! Waivers (`// cs-lint: allow(determinism-taint) -- ..`) apply at either
+//! end of the path: the source line in the source file or the sink line
+//! in the sink file. Staleness for those pragmas is checked here too,
+//! since only this pass knows which lines anchor a taint path.
+//!
+//! Two cheaper item-level rules ride along on the same brace tree
+//! (`lint_hot_path_items`, invoked per-file from
+//! [`crate::rules::lint_rust_source`]):
+//!
+//! - [`crate::rules::NO_LOSSY_CAST_IN_HOT_PATH`] — float↔int (and
+//!   `as f32` narrowing) `as` casts in cs-linalg / pool kernels,
+//! - [`crate::rules::NO_UNCHECKED_INDEX_ARITH`] — raw subtraction inside
+//!   slice indexing in chunk-deal code.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::concurrency::{
+    chain_restores_order, for_loop_over_hash, hash_fields, hash_symbols, hash_type_names,
+    seek_close, statement_end, ITER_METHODS,
+};
+use crate::items::{self, Item, UseMap};
+use crate::lexer::{lex, Pragma, Tok};
+use crate::report::Finding;
+use crate::rules::{
+    find_test_regions, FileClass, DETERMINISM_TAINT, NO_LOSSY_CAST_IN_HOT_PATH,
+    NO_UNCHECKED_INDEX_ARITH, STALE_WAIVER,
+};
+
+/// Float-returning methods that mark a cast operand as float-derived even
+/// without a tracked receiver symbol.
+const FLOAT_METHODS: [&str; 14] = [
+    "sqrt", "powf", "powi", "ln", "log2", "log10", "exp", "floor", "ceil", "round", "trunc",
+    "recip", "mul_add", "hypot",
+];
+
+/// Integer targets of an `as` cast that truncate a float operand.
+const INT_CAST_TARGETS: [&str; 12] = [
+    "usize", "isize", "u8", "u16", "u32", "u64", "u128", "i8", "i16", "i32", "i64", "i128",
+];
+
+/// One taint source or sink location inside a function.
+#[derive(Debug, Clone)]
+struct Site {
+    line: u32,
+    desc: String,
+}
+
+/// Per-function facts feeding the call graph.
+#[derive(Debug)]
+struct FnFacts {
+    /// Index into the crate's file list.
+    file: usize,
+    name: String,
+    sources: Vec<Site>,
+    sinks: Vec<Site>,
+    /// Names called from the body (plain and method calls), resolved
+    /// against the crate's function set when edges are built.
+    calls: BTreeSet<String>,
+}
+
+/// One scanned file: its path, waiver pragmas, and extracted functions.
+#[derive(Debug)]
+struct FileFacts {
+    rel: String,
+    pragmas: Vec<Pragma>,
+}
+
+/// Runs the determinism-taint pass over the whole workspace. `files` holds
+/// `(workspace-relative path, source text)` pairs for every scanned `.rs`
+/// file; grouping into intra-crate call graphs happens here. Returned
+/// findings carry their waived flag already resolved, plus `stale-waiver`
+/// findings for `determinism-taint` pragmas that cover no path anchor.
+pub fn analyze_workspace(files: &[(String, String)]) -> Vec<Finding> {
+    let mut crates: BTreeMap<String, (Vec<FileFacts>, Vec<FnFacts>)> = BTreeMap::new();
+    for (rel, text) in files {
+        let Some(cr) = crate_of(rel) else { continue };
+        let class = FileClass::from_path(rel);
+        if class.test_code {
+            continue;
+        }
+        let entry = crates.entry(cr).or_default();
+        let file_idx = entry.0.len();
+        let lexed = lex(text);
+        let toks = &lexed.tokens;
+        let parsed = items::parse_items(toks);
+        let uses = UseMap::build(toks, &parsed);
+        let test_regions = find_test_regions(toks);
+        let hash_names = hash_type_names(&uses);
+        let fields = hash_fields(toks, &parsed, &hash_names);
+        let mut fns = Vec::new();
+        items::for_each_fn(&parsed, &mut |f| fns.push(f));
+        for f in &fns {
+            let Some((open, close)) = f.body else {
+                continue;
+            };
+            if test_regions.iter().any(|&(s, e)| open >= s && open <= e) {
+                continue;
+            }
+            if f.name.is_empty() {
+                continue;
+            }
+            let symbols = hash_symbols(toks, f, &hash_names);
+            let mut facts = FnFacts {
+                file: file_idx,
+                name: f.name.clone(),
+                sources: Vec::new(),
+                sinks: Vec::new(),
+                calls: BTreeSet::new(),
+            };
+            collect_sources(toks, (open, close), &symbols, &fields, &mut facts.sources);
+            collect_sinks(toks, f, (open, close), &mut facts.sinks);
+            collect_calls(toks, (open, close), &mut facts.calls);
+            entry.1.push(facts);
+        }
+        entry.0.push(FileFacts {
+            rel: rel.clone(),
+            pragmas: lexed.pragmas,
+        });
+    }
+
+    let mut findings = Vec::new();
+    for (files, fns) in crates.values() {
+        analyze_crate(files, fns, &mut findings);
+    }
+    findings
+}
+
+/// Crate a workspace-relative source path belongs to, for call-graph
+/// grouping. Test/bench trees and cs-bench (whose whole job is timing
+/// floats) are out of scope.
+fn crate_of(rel: &str) -> Option<String> {
+    let parts: Vec<&str> = rel.split('/').collect();
+    match parts.first() {
+        Some(&"crates") if parts.len() > 3 && parts[2] == "src" && parts[1] != "cs-bench" => {
+            Some(parts[1].to_string())
+        }
+        Some(&"src") => Some("<root>".to_string()),
+        _ => None,
+    }
+}
+
+/// Taint sources in one function body.
+fn collect_sources(
+    toks: &[Tok],
+    (open, close): (usize, usize),
+    symbols: &BTreeSet<String>,
+    fields: &BTreeSet<String>,
+    out: &mut Vec<Site>,
+) {
+    let is_hash_receiver = |idx: usize| -> bool {
+        let Some(word) = toks.get(idx).and_then(Tok::ident) else {
+            return false;
+        };
+        if symbols.contains(word)
+            && !toks
+                .get(idx.wrapping_sub(1))
+                .is_some_and(|t| t.is_punct('.'))
+        {
+            return true;
+        }
+        fields.contains(word) && idx >= 1 && toks[idx - 1].is_punct('.')
+    };
+
+    let mut i = open;
+    while i <= close.min(toks.len().saturating_sub(1)) {
+        let t = &toks[i];
+        if let Some(word) = t.ident() {
+            // Hash-ordered iteration, method form, minus exonerated chains.
+            if ITER_METHODS.contains(&word)
+                && i >= 2
+                && toks[i - 1].is_punct('.')
+                && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+                && is_hash_receiver(i - 2)
+            {
+                if let Some(call_close) = seek_close(toks, i + 1, close + 1, '(', ')') {
+                    if !chain_restores_order(toks, call_close, close) {
+                        out.push(Site {
+                            line: t.line,
+                            desc: format!("hasher-ordered `.{word}()` on a HashMap/HashSet"),
+                        });
+                    }
+                    i = call_close + 1;
+                    continue;
+                }
+            }
+            // Hash-ordered iteration, loop form.
+            if word == "for" {
+                if let Some(line) = for_loop_over_hash(toks, i, close, symbols, fields) {
+                    out.push(Site {
+                        line,
+                        desc: "hasher-ordered `for` over a HashMap/HashSet".to_string(),
+                    });
+                }
+            }
+            // Clock reads: `Instant::now(` / `SystemTime::now(`. Unlike
+            // `no-ambient-authority` this has no config-module exemption —
+            // a clock-derived *value* flowing into a reduction is
+            // nondeterministic no matter where it was read.
+            if (word == "Instant" || word == "SystemTime")
+                && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                && toks.get(i + 3).is_some_and(|t| t.is_ident("now"))
+                && toks.get(i + 4).is_some_and(|t| t.is_punct('('))
+            {
+                out.push(Site {
+                    line: t.line,
+                    desc: format!("clock-derived value (`{word}::now`)"),
+                });
+            }
+            // Arrival-order push: `.lock()..push(..)` in one chain.
+            if (word == "lock" || word == "write")
+                && i >= 1
+                && toks[i - 1].is_punct('.')
+                && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            {
+                if let Some(call_close) = seek_close(toks, i + 1, close + 1, '(', ')') {
+                    let mut chain_end = call_close;
+                    // Skip guard adapters that keep the same value.
+                    while toks.get(chain_end + 1).is_some_and(|t| t.is_punct('.'))
+                        && toks
+                            .get(chain_end + 2)
+                            .and_then(Tok::ident)
+                            .is_some_and(|w| matches!(w, "unwrap" | "expect" | "unwrap_or_else"))
+                        && toks.get(chain_end + 3).is_some_and(|t| t.is_punct('('))
+                    {
+                        match seek_close(toks, chain_end + 3, close + 1, '(', ')') {
+                            Some(c) => chain_end = c,
+                            None => break,
+                        }
+                    }
+                    if toks.get(chain_end + 1).is_some_and(|t| t.is_punct('.'))
+                        && toks.get(chain_end + 2).is_some_and(|t| t.is_ident("push"))
+                        && toks.get(chain_end + 3).is_some_and(|t| t.is_punct('('))
+                    {
+                        out.push(Site {
+                            line: t.line,
+                            desc: "arrival-order `.push(..)` under a lock".to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Order-sensitive float reductions in one function body.
+fn collect_sinks(toks: &[Tok], f: &Item, (open, close): (usize, usize), out: &mut Vec<Site>) {
+    let floats = float_symbols(toks, f);
+    let loops = loop_ranges(toks, open, close);
+    let mut i = open;
+    while i <= close.min(toks.len().saturating_sub(1)) {
+        let t = &toks[i];
+        if let Some(word) = t.ident() {
+            let method_call =
+                i >= 1 && toks[i - 1].is_punct('.') && args_open_after(toks, i).is_some();
+            if method_call && matches!(word, "sum" | "product" | "fold") {
+                out.push(Site {
+                    line: t.line,
+                    desc: format!("order-sensitive `.{word}(..)` reduction"),
+                });
+            }
+            // `kernels::<entry>(..)` — the numeric kernels assume their
+            // operands arrive in a deterministic order.
+            if word == "kernels"
+                && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            {
+                if let Some(entry) = toks.get(i + 3).and_then(Tok::ident) {
+                    if toks.get(i + 4).is_some_and(|t| t.is_punct('(')) {
+                        out.push(Site {
+                            line: t.line,
+                            desc: format!("`kernels::{entry}(..)` entry point"),
+                        });
+                    }
+                }
+            }
+        } else if t.is_punct('+')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('='))
+            && loops.iter().any(|&(s, e)| i >= s && i <= e)
+        {
+            // `acc += ..` inside a loop, with float evidence on either side.
+            let lhs_float = toks
+                .get(i.wrapping_sub(1))
+                .and_then(Tok::ident)
+                .is_some_and(|w| floats.contains(w));
+            let stmt_end = statement_end(toks, i + 2, close);
+            let rhs_float = (i + 2..stmt_end).any(|k| {
+                toks[k].ident().is_some_and(|w| floats.contains(w))
+                    || is_float_literal(&toks[k].text())
+            });
+            if lhs_float || rhs_float {
+                out.push(Site {
+                    line: t.line,
+                    desc: "float `+=` accumulation in a loop".to_string(),
+                });
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Call-site names in one function body: `name(..)` plain calls and
+/// `.name(..)` method calls. Resolution against the crate's function set
+/// happens when edges are built, so keywords and foreign names fall out
+/// naturally.
+fn collect_calls(toks: &[Tok], (open, close): (usize, usize), out: &mut BTreeSet<String>) {
+    for i in open..=close.min(toks.len().saturating_sub(1)) {
+        if let Some(word) = toks[i].ident() {
+            if args_open_after(toks, i).is_some() {
+                out.insert(word.to_string());
+            }
+        }
+    }
+}
+
+/// Index of the argument-list `(` for a call whose name ends at token `i`,
+/// skipping an optional `::<..>` turbofish (`sum::<f64>()`,
+/// `fold::<Vec<f64>, _>(..)`). `None` when no call follows.
+fn args_open_after(toks: &[Tok], i: usize) -> Option<usize> {
+    let mut j = i + 1;
+    if toks.get(j).is_some_and(|t| t.is_punct(':'))
+        && toks.get(j + 1).is_some_and(|t| t.is_punct(':'))
+        && toks.get(j + 2).is_some_and(|t| t.is_punct('<'))
+    {
+        let mut depth = 0usize;
+        j += 2;
+        while let Some(t) = toks.get(j) {
+            if t.is_punct('<') {
+                depth += 1;
+            } else if t.is_punct('>') {
+                depth -= 1;
+                if depth == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            j += 1;
+            if j > i + 64 {
+                return None; // not a plausible turbofish
+            }
+        }
+    }
+    toks.get(j).is_some_and(|t| t.is_punct('(')).then_some(j)
+}
+
+/// Builds the crate's call graph and reports every (tainted source fn,
+/// sink fn) pair connected by it, then checks `determinism-taint` waiver
+/// staleness against the anchors of the pre-waiver findings.
+fn analyze_crate(files: &[FileFacts], fns: &[FnFacts], findings: &mut Vec<Finding>) {
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (i, f) in fns.iter().enumerate() {
+        by_name.entry(f.name.as_str()).or_default().push(i);
+    }
+    let mut callees: Vec<Vec<usize>> = vec![Vec::new(); fns.len()];
+    let mut callers: Vec<Vec<usize>> = vec![Vec::new(); fns.len()];
+    for (i, f) in fns.iter().enumerate() {
+        for name in &f.calls {
+            for &j in by_name.get(name.as_str()).map_or(&[][..], |v| v) {
+                if j != i {
+                    callees[i].push(j);
+                    callers[j].push(i);
+                }
+            }
+        }
+    }
+
+    // (file, line) anchors of pre-waiver findings, for staleness.
+    let mut anchors: BTreeSet<(usize, u32)> = BTreeSet::new();
+    let mut reported: BTreeSet<(usize, usize)> = BTreeSet::new();
+
+    for (k, f) in fns.iter().enumerate() {
+        if f.sinks.is_empty() {
+            continue;
+        }
+        // Return flow (sink fn calls a tainted fn) and argument flow (a
+        // tainted fn calls the sink fn). `reach` paths run sink-first;
+        // reversing yields the data direction, source → sink.
+        for edges in [&callees, &callers] {
+            for (t, path) in reach(k, edges, fns) {
+                if !reported.insert((t, k)) {
+                    continue;
+                }
+                let chain: Vec<&str> = path.iter().rev().map(|&i| fns[i].name.as_str()).collect();
+                push_taint_finding(files, fns, t, k, &chain, &mut anchors, findings);
+            }
+        }
+    }
+
+    // Staleness: a justified determinism-taint pragma must cover a source
+    // or sink anchor of some reported path.
+    for (fi, file) in files.iter().enumerate() {
+        for p in &file.pragmas {
+            if !p.justified || !p.rules.iter().any(|r| r == DETERMINISM_TAINT) {
+                continue;
+            }
+            let live = anchors
+                .iter()
+                .any(|&(af, al)| af == fi && (al == p.line || al == p.line + 1));
+            if !live {
+                let mut f = Finding::new(
+                    STALE_WAIVER,
+                    file.rel.clone(),
+                    p.line,
+                    "waiver for `determinism-taint` anchors no source or sink of any \
+                     taint path; delete the pragma",
+                );
+                f.waived = covered(&file.pragmas, STALE_WAIVER, p.line);
+                findings.push(f);
+            }
+        }
+    }
+}
+
+/// BFS from `start` over `edges`, returning every reachable tainted
+/// function together with the (shortest) node path from `start`,
+/// inclusive of both ends.
+fn reach(start: usize, edges: &[Vec<usize>], fns: &[FnFacts]) -> Vec<(usize, Vec<usize>)> {
+    let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut queue = std::collections::VecDeque::from([start]);
+    let mut seen = BTreeSet::from([start]);
+    let mut hits = Vec::new();
+    while let Some(n) = queue.pop_front() {
+        for &m in &edges[n] {
+            if seen.contains(&m) {
+                continue;
+            }
+            seen.insert(m);
+            parent.insert(m, n);
+            if !fns[m].sources.is_empty() {
+                let mut path = vec![m];
+                let mut cur = m;
+                while let Some(&p) = parent.get(&cur) {
+                    path.push(p);
+                    cur = p;
+                }
+                path.reverse(); // start .. m
+                hits.push((m, path));
+            }
+            queue.push_back(m);
+        }
+    }
+    hits
+}
+
+/// Emits one determinism-taint finding for the (source fn `t`, sink fn
+/// `k`) pair, waiver-resolved at both ends; `chain` runs source → sink.
+fn push_taint_finding(
+    files: &[FileFacts],
+    fns: &[FnFacts],
+    t: usize,
+    k: usize,
+    chain: &[&str],
+    anchors: &mut BTreeSet<(usize, u32)>,
+    findings: &mut Vec<Finding>,
+) {
+    let source = &fns[t].sources[0];
+    let sink = &fns[k].sinks[0];
+    let src_file = &files[fns[t].file];
+    let sink_file = &files[fns[k].file];
+    anchors.insert((fns[t].file, source.line));
+    anchors.insert((fns[k].file, sink.line));
+    let mut f = Finding::new(
+        DETERMINISM_TAINT,
+        sink_file.rel.clone(),
+        sink.line,
+        format!(
+            "{} can consume a nondeterministically-ordered value: {} in `{}` ({}:{}) \
+             flows through `{}` (DESIGN.md §8); sort or slot-index the data before \
+             reducing, or waive at either end of the path",
+            sink.desc,
+            source.desc,
+            fns[t].name,
+            src_file.rel,
+            source.line,
+            chain.join(" -> "),
+        ),
+    );
+    f.waived = covered(&sink_file.pragmas, DETERMINISM_TAINT, sink.line)
+        || covered(&src_file.pragmas, DETERMINISM_TAINT, source.line);
+    findings.push(f);
+}
+
+/// Whether a justified pragma naming `rule` covers `line` (same line or
+/// the line above, matching `apply_waivers`).
+fn covered(pragmas: &[Pragma], rule: &str, line: u32) -> bool {
+    pragmas.iter().any(|p| {
+        p.justified && (p.line == line || p.line + 1 == line) && p.rules.iter().any(|r| r == rule)
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Hot-path item rules (per-file, invoked from `lint_rust_source`).
+// ---------------------------------------------------------------------------
+
+/// Runs `no-lossy-cast-in-hot-path` and `no-unchecked-index-arith` over
+/// the non-test functions of one file, scoped by [`FileClass`].
+pub(crate) fn lint_hot_path_items(
+    toks: &[Tok],
+    items: &[Item],
+    class: &FileClass,
+    rel_path: &str,
+    test_regions: &[(usize, usize)],
+    findings: &mut Vec<Finding>,
+) {
+    if !class.hot_path && !class.chunk_deal {
+        return;
+    }
+    let in_test =
+        |idx: usize| class.test_code || test_regions.iter().any(|&(s, e)| idx >= s && idx <= e);
+    let mut fns = Vec::new();
+    items::for_each_fn(items, &mut |f| fns.push(f));
+    for f in &fns {
+        let Some((open, close)) = f.body else {
+            continue;
+        };
+        if in_test(open) {
+            continue;
+        }
+        if class.hot_path {
+            find_lossy_casts(toks, f, (open, close), rel_path, findings);
+        }
+        if class.chunk_deal {
+            find_index_arith(toks, (open, close), rel_path, findings);
+        }
+    }
+}
+
+/// `as f32` anywhere, and float-evident `as <int>`, in one hot-path fn.
+fn find_lossy_casts(
+    toks: &[Tok],
+    f: &Item,
+    (open, close): (usize, usize),
+    rel_path: &str,
+    findings: &mut Vec<Finding>,
+) {
+    let floats = float_symbols(toks, f);
+    for i in open..=close.min(toks.len().saturating_sub(1)) {
+        if !toks[i].is_ident("as") {
+            continue;
+        }
+        let Some(ty) = toks.get(i + 1).and_then(Tok::ident) else {
+            continue;
+        };
+        if ty == "f32" {
+            findings.push(Finding::new(
+                NO_LOSSY_CAST_IN_HOT_PATH,
+                rel_path,
+                toks[i].line,
+                "`as f32` narrows to single precision in a hot-path kernel; the lost \
+                 bits change sums silently — keep f64, or waive with the kernel's \
+                 precision contract",
+            ));
+        } else if INT_CAST_TARGETS.contains(&ty) && operand_is_float(toks, i, open, &floats) {
+            findings.push(Finding::new(
+                NO_LOSSY_CAST_IN_HOT_PATH,
+                rel_path,
+                toks[i].line,
+                format!(
+                    "float `as {ty}` truncates silently in a hot-path kernel (NaN and \
+                     out-of-range collapse to arbitrary values); round explicitly and \
+                     bounds-check, or waive with justification"
+                ),
+            ));
+        }
+    }
+}
+
+/// Whether the expression ending just before the `as` at `as_idx` is
+/// float-evident: a tracked float symbol, a float literal, a call of a
+/// float-returning method, a float receiver's method result, or a
+/// parenthesized/indexed expression mentioning either.
+fn operand_is_float(toks: &[Tok], as_idx: usize, open: usize, floats: &BTreeSet<String>) -> bool {
+    let Some(prev) = as_idx.checked_sub(1).filter(|&p| p >= open) else {
+        return false;
+    };
+    let t = &toks[prev];
+    if let Some(w) = t.ident() {
+        return floats.contains(w);
+    }
+    if is_float_literal(&t.text()) {
+        return true;
+    }
+    if t.is_punct(')') {
+        let Some(po) = open_before(toks, prev, open, '(', ')') else {
+            return false;
+        };
+        // `(expr) as ..` — anything float-evident inside the parens.
+        if (po + 1..prev).any(|k| {
+            toks[k].ident().is_some_and(|w| floats.contains(w)) || is_float_literal(&toks[k].text())
+        }) {
+            return true;
+        }
+        // `recv.method(..) as ..` — a float method, or a float receiver.
+        if po >= 1 {
+            if let Some(m) = toks[po - 1].ident() {
+                if FLOAT_METHODS.contains(&m) {
+                    return true;
+                }
+                if po >= 3 && toks[po - 2].is_punct('.') {
+                    if let Some(r) = toks[po - 3].ident() {
+                        return floats.contains(r);
+                    }
+                }
+            }
+        }
+        return false;
+    }
+    if t.is_punct(']') {
+        // `v[i] as ..` — indexing into a float slice.
+        let Some(bo) = open_before(toks, prev, open, '[', ']') else {
+            return false;
+        };
+        return bo >= 1 && toks[bo - 1].ident().is_some_and(|w| floats.contains(w));
+    }
+    false
+}
+
+/// Index of the opener matching the closer at `close_idx`, scanning
+/// backwards no further than `floor`.
+fn open_before(
+    toks: &[Tok],
+    close_idx: usize,
+    floor: usize,
+    open: char,
+    close: char,
+) -> Option<usize> {
+    let mut depth = 0i64;
+    let mut k = close_idx;
+    loop {
+        if toks[k].is_punct(close) {
+            depth += 1;
+        } else if toks[k].is_punct(open) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+        if k == floor {
+            return None;
+        }
+        k -= 1;
+    }
+}
+
+/// Raw binary `-` at top level inside a slice-index expression.
+fn find_index_arith(
+    toks: &[Tok],
+    (open, close): (usize, usize),
+    rel_path: &str,
+    findings: &mut Vec<Finding>,
+) {
+    let end = close.min(toks.len().saturating_sub(1));
+    for i in open..=end {
+        if !toks[i].is_punct('[') {
+            continue;
+        }
+        // Indexing, not an array/slice literal or a type: the expression
+        // before the bracket must be a value (`ident[..]`, `call()[..]`,
+        // `v[i][..]`).
+        let indexing = i >= 1
+            && (toks[i - 1].ident().is_some()
+                || toks[i - 1].is_punct(')')
+                || toks[i - 1].is_punct(']'));
+        if !indexing {
+            continue;
+        }
+        let Some(bclose) = seek_close(toks, i, end + 1, '[', ']') else {
+            continue;
+        };
+        let mut paren = 0i64;
+        let mut bracket = 0i64;
+        for k in i + 1..bclose {
+            let t = &toks[k];
+            if t.is_punct('(') {
+                paren += 1;
+            } else if t.is_punct(')') {
+                paren -= 1;
+            } else if t.is_punct('[') {
+                bracket += 1;
+            } else if t.is_punct(']') {
+                bracket -= 1;
+            } else if t.is_punct('-') && paren == 0 && bracket == 0 {
+                // Binary minus only: `i - 1`, not unary `-x` after an
+                // operator or an opener.
+                let binary = k >= 1
+                    && (toks[k - 1].ident().is_some()
+                        || toks[k - 1].is_punct(')')
+                        || toks[k - 1].is_punct(']')
+                        || toks[k - 1].text().chars().all(|c| c.is_ascii_digit()))
+                    && !toks[k - 1].is_ident("return");
+                if binary {
+                    findings.push(Finding::new(
+                        NO_UNCHECKED_INDEX_ARITH,
+                        rel_path,
+                        t.line,
+                        "subtraction inside a slice index can wrap below zero (usize): \
+                         a panic in debug, a wild index in release; use \
+                         `checked_sub`/`saturating_sub` or restructure the chunk math",
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Identifiers in one function known to hold floats: parameters whose
+/// type annotation mentions `f64`/`f32` (including slices and references)
+/// and `let` bindings annotated that way or initialized from a float
+/// literal.
+fn float_symbols(toks: &[Tok], f: &Item) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let (sig_start, sig_end) = f.sig;
+    if let Some(popen) = (sig_start..sig_end).find(|&k| toks[k].is_punct('(')) {
+        if let Some(pclose) = seek_close(toks, popen, sig_end, '(', ')') {
+            let mut i = popen + 1;
+            while i < pclose {
+                let Some(name) = toks.get(i).and_then(Tok::ident) else {
+                    i += 1;
+                    continue;
+                };
+                if toks.get(i + 1).is_some_and(|t| t.is_punct(':')) {
+                    let ty_end = type_end(toks, i + 2, pclose);
+                    if (i + 2..ty_end)
+                        .any(|k| toks[k].ident().is_some_and(|w| w == "f64" || w == "f32"))
+                    {
+                        out.insert(name.to_string());
+                    }
+                    i = ty_end + 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    if let Some((open, close)) = f.body {
+        let mut i = open;
+        while i < close {
+            if !toks[i].is_ident("let") {
+                i += 1;
+                continue;
+            }
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            let Some(name) = toks.get(j).and_then(Tok::ident) else {
+                i = j + 1;
+                continue;
+            };
+            j += 1;
+            let stmt_end = statement_end(toks, j, close);
+            let floaty = if toks.get(j).is_some_and(|t| t.is_punct(':')) {
+                let ty_end = (j + 1..stmt_end)
+                    .find(|&k| toks[k].is_punct('='))
+                    .unwrap_or(stmt_end);
+                (j + 1..ty_end).any(|k| toks[k].ident().is_some_and(|w| w == "f64" || w == "f32"))
+            } else if toks.get(j).is_some_and(|t| t.is_punct('=')) {
+                (j + 1..stmt_end).any(|k| is_float_literal(&toks[k].text()))
+            } else {
+                false
+            };
+            if floaty {
+                out.insert(name.to_string());
+            }
+            i = stmt_end + 1;
+        }
+    }
+    out
+}
+
+/// Depth-0 `,` (or `close`) ending a parameter's type annotation.
+fn type_end(toks: &[Tok], start: usize, close: usize) -> usize {
+    let mut angle = 0i64;
+    let mut paren = 0i64;
+    let mut bracket = 0i64;
+    for (k, t) in toks.iter().enumerate().take(close).skip(start) {
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle -= 1;
+        } else if t.is_punct('(') {
+            paren += 1;
+        } else if t.is_punct(')') {
+            paren -= 1;
+        } else if t.is_punct('[') {
+            bracket += 1;
+        } else if t.is_punct(']') {
+            bracket -= 1;
+        } else if t.is_punct(',') && angle <= 0 && paren == 0 && bracket == 0 {
+            return k;
+        }
+    }
+    close
+}
+
+/// Token-index ranges of `for`/`while` loop bodies inside one fn body.
+fn loop_ranges(toks: &[Tok], open: usize, close: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let end = close.min(toks.len().saturating_sub(1));
+    let mut i = open;
+    while i <= end {
+        let looping = toks[i]
+            .ident()
+            .is_some_and(|w| w == "for" || w == "while" || w == "loop");
+        if looping {
+            // Body `{` is the first brace at paren/bracket depth 0 after
+            // the keyword (closure braces in the header sit inside parens).
+            let mut paren = 0i64;
+            let mut bracket = 0i64;
+            let mut j = i + 1;
+            while j <= end {
+                let t = &toks[j];
+                if t.is_punct('(') {
+                    paren += 1;
+                } else if t.is_punct(')') {
+                    paren -= 1;
+                } else if t.is_punct('[') {
+                    bracket += 1;
+                } else if t.is_punct(']') {
+                    bracket -= 1;
+                } else if t.is_punct('{') && paren == 0 && bracket == 0 {
+                    if let Some(bclose) = seek_close(toks, j, end + 1, '{', '}') {
+                        out.push((j, bclose));
+                    }
+                    break;
+                } else if t.is_punct(';') && paren == 0 && bracket == 0 {
+                    break; // not a loop header after all
+                }
+                j += 1;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// A numeric literal with a fractional part or an explicit float suffix.
+fn is_float_literal(text: &str) -> bool {
+    text.chars().next().is_some_and(|c| c.is_ascii_digit())
+        && (text.contains('.') || text.ends_with("f32") || text.ends_with("f64"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::lint_rust_source;
+
+    const KERN: &str = "crates/cs-linalg/src/kernels.rs";
+
+    fn taint(files: &[(&str, &str)]) -> Vec<Finding> {
+        let owned: Vec<(String, String)> = files
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect();
+        analyze_workspace(&owned)
+    }
+
+    fn fired(src: &str, path: &str) -> Vec<&'static str> {
+        lint_rust_source(src, path)
+            .into_iter()
+            .filter(|f| !f.waived)
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn clock_source_flows_cross_file_into_sum() {
+        // The designed gap: config.rs may *read* the clock (ambient
+        // exemption), but the value must not escape into a reduction.
+        let config = "use std::time::Instant;\n\
+                      pub fn jitter_seed() -> f64 {\n\
+                          Instant::now().elapsed().as_secs_f64()\n\
+                      }";
+        let agg = "pub fn accumulate(xs: &[f64]) -> f64 {\n\
+                       let j = crate::config::jitter_seed();\n\
+                       xs.iter().map(|x| x + j).sum()\n\
+                   }";
+        let findings = taint(&[
+            ("crates/cs-fake/src/config.rs", config),
+            ("crates/cs-fake/src/agg.rs", agg),
+        ]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        let f = &findings[0];
+        assert_eq!(f.rule, DETERMINISM_TAINT);
+        assert_eq!(f.file, "crates/cs-fake/src/agg.rs");
+        assert_eq!(f.line, 3);
+        assert!(!f.waived);
+        assert!(
+            f.message.contains("jitter_seed -> accumulate"),
+            "{}",
+            f.message
+        );
+        assert!(f.message.contains("Instant::now"), "{}", f.message);
+        assert!(f.message.contains("config.rs:3"), "{}", f.message);
+    }
+
+    #[test]
+    fn hash_source_flows_down_into_callee_sink() {
+        // Argument flow: the tainted fn calls the sink fn.
+        let a = "use std::collections::HashMap;\n\
+                 pub fn spread(m: &HashMap<u32, f64>) -> f64 {\n\
+                     let mut vals = Vec::new();\n\
+                     for (_, v) in m { vals.push(*v); }\n\
+                     crate::reduce::total(&vals)\n\
+                 }";
+        let b = "pub fn total(xs: &[f64]) -> f64 { xs.iter().sum() }";
+        let findings = taint(&[
+            ("crates/cs-fake/src/a.rs", a),
+            ("crates/cs-fake/src/reduce.rs", b),
+        ]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        let f = &findings[0];
+        assert_eq!(f.file, "crates/cs-fake/src/reduce.rs");
+        assert!(f.message.contains("spread -> total"), "{}", f.message);
+        assert!(f.message.contains("`for` over a HashMap"), "{}", f.message);
+    }
+
+    #[test]
+    fn turbofish_sum_is_still_a_sink() {
+        // `.sum::<f64>()` must match like `.sum()`, and a call made with a
+        // turbofish must still register as a call-graph edge.
+        let src = "use std::collections::HashMap;\n\
+                   fn seed(m: &HashMap<u32, f64>) -> f64 {\n\
+                       m.values().copied().next().unwrap_or(0.0)\n\
+                   }\n\
+                   fn total(m: &HashMap<u32, f64>) -> f64 {\n\
+                       let xs = [seed::<>(m); 4];\n\
+                       xs.iter().sum::<f64>()\n\
+                   }";
+        let findings = taint(&[("crates/cs-fake/src/a.rs", src)]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(
+            findings[0].message.contains("seed -> total"),
+            "{}",
+            findings[0].message
+        );
+    }
+
+    #[test]
+    fn multi_hop_chain_is_reported_in_full() {
+        let src = "use std::time::Instant;\n\
+                   fn leaf() -> f64 { Instant::now().elapsed().as_secs_f64() }\n\
+                   fn mid() -> f64 { leaf() * 2.0 }\n\
+                   fn top(xs: &[f64]) -> f64 { xs.iter().fold(mid(), |a, x| a + x) }";
+        let findings = taint(&[("crates/cs-fake/src/chain.rs", src)]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(
+            findings[0].message.contains("leaf -> mid -> top"),
+            "{}",
+            findings[0].message
+        );
+    }
+
+    #[test]
+    fn same_fn_source_and_sink_is_left_to_intra_rules() {
+        let src = "use std::collections::HashMap;\n\
+                   pub fn total(m: &HashMap<u32, f64>) -> f64 { m.values().sum() }";
+        assert!(taint(&[("crates/cs-fake/src/one.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn exonerated_iteration_is_not_a_source() {
+        let src = "use std::collections::HashMap;\n\
+                   pub fn keys_sorted(m: &HashMap<String, f64>) -> Vec<String> {\n\
+                       let mut v: Vec<String> = m.keys().cloned().collect();\n\
+                       v.sort();\n\
+                       v\n\
+                   }\n\
+                   pub fn count(m: &HashMap<String, f64>) -> f64 {\n\
+                       keys_sorted(m).iter().map(|k| k.len() as f64).sum()\n\
+                   }";
+        assert!(taint(&[("crates/cs-fake/src/ok.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn lock_push_source_reaches_kernel_entry() {
+        let src = "use std::sync::Mutex;\n\
+                   pub fn gather(acc: &Mutex<Vec<f64>>, v: f64) {\n\
+                       acc.lock().unwrap().push(v);\n\
+                   }\n\
+                   pub fn finish(acc: &Mutex<Vec<f64>>, out: &mut [f64]) {\n\
+                       gather(acc, 1.0);\n\
+                       kernels::axpy(out);\n\
+                   }";
+        let findings = taint(&[("crates/cs-fake/src/gath.rs", src)]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(
+            findings[0].message.contains("arrival-order `.push(..)`"),
+            "{}",
+            findings[0].message
+        );
+        assert!(
+            findings[0].message.contains("kernels::axpy"),
+            "{}",
+            findings[0].message
+        );
+    }
+
+    #[test]
+    fn waiver_at_sink_suppresses_and_is_not_stale() {
+        let config = "use std::time::Instant;\n\
+                      pub fn seed() -> f64 { Instant::now().elapsed().as_secs_f64() }";
+        let agg = "pub fn acc(xs: &[f64]) -> f64 {\n\
+                       let j = crate::config::seed();\n\
+                       // cs-lint: allow(determinism-taint) -- seed is logged, not summed into outputs\n\
+                       xs.iter().map(|x| x + j).sum()\n\
+                   }";
+        let findings = taint(&[
+            ("crates/cs-fake/src/config.rs", config),
+            ("crates/cs-fake/src/agg.rs", agg),
+        ]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].waived);
+    }
+
+    #[test]
+    fn waiver_at_source_suppresses_too() {
+        let config = "use std::time::Instant;\n\
+                      pub fn seed() -> f64 {\n\
+                          // cs-lint: allow(determinism-taint) -- wall-clock jitter is the feature here\n\
+                          Instant::now().elapsed().as_secs_f64()\n\
+                      }";
+        let agg = "pub fn acc(xs: &[f64]) -> f64 {\n\
+                       let j = crate::config::seed();\n\
+                       xs.iter().map(|x| x + j).sum()\n\
+                   }";
+        let findings = taint(&[
+            ("crates/cs-fake/src/config.rs", config),
+            ("crates/cs-fake/src/agg.rs", agg),
+        ]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].waived);
+    }
+
+    #[test]
+    fn dangling_taint_waiver_is_stale() {
+        let src = "pub fn plain(xs: &[f64]) -> f64 {\n\
+                       // cs-lint: allow(determinism-taint) -- left behind\n\
+                       xs.iter().sum()\n\
+                   }";
+        let findings = taint(&[("crates/cs-fake/src/x.rs", src)]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, STALE_WAIVER);
+        assert_eq!(findings[0].line, 2);
+        assert!(!findings[0].waived);
+    }
+
+    #[test]
+    fn test_files_and_bench_crate_are_out_of_scope() {
+        let src = "use std::time::Instant;\n\
+                   fn t() -> f64 { Instant::now().elapsed().as_secs_f64() }\n\
+                   fn s(xs: &[f64]) -> f64 { xs.iter().fold(t(), |a, x| a + x) }";
+        assert!(taint(&[("crates/cs-core/tests/x.rs", src)]).is_empty());
+        assert!(taint(&[("crates/cs-bench/src/x.rs", src)]).is_empty());
+        // In a test region of a lib file, same story.
+        let gated = format!("#[cfg(test)]\nmod t {{ {src} }}");
+        assert!(taint(&[("crates/cs-fake/src/y.rs", gated.as_str())]).is_empty());
+    }
+
+    #[test]
+    fn lossy_casts_fire_only_in_hot_path() {
+        let narrow = "pub fn demote(x: f64) -> f32 { x as f32 }";
+        assert_eq!(fired(narrow, KERN), vec![NO_LOSSY_CAST_IN_HOT_PATH]);
+        assert!(fired(narrow, "crates/cs-match/src/fake.rs").is_empty());
+
+        let trunc = "pub fn bucket(x: f64) -> usize { x as usize }";
+        assert_eq!(fired(trunc, KERN), vec![NO_LOSSY_CAST_IN_HOT_PATH]);
+
+        // Int→float widening and int→int casts stay silent.
+        let ok = "pub fn widen(n: usize) -> f64 { n as f64 }\n\
+                  pub fn shrink(n: u64) -> u32 { n as u32 }";
+        assert!(fired(ok, KERN).is_empty());
+
+        // Float evidence through parens, indexing, and float methods.
+        let paren = "pub fn f(x: f64, s: f64) -> usize { (x * s) as usize }";
+        assert_eq!(fired(paren, KERN), vec![NO_LOSSY_CAST_IN_HOT_PATH]);
+        let index = "pub fn g(v: &[f64], i: usize) -> u32 { v[i] as u32 }";
+        assert_eq!(fired(index, KERN), vec![NO_LOSSY_CAST_IN_HOT_PATH]);
+        let method = "pub fn h(x: f64) -> i64 { x.round() as i64 }";
+        assert_eq!(fired(method, KERN), vec![NO_LOSSY_CAST_IN_HOT_PATH]);
+
+        // Waivable with justification.
+        let waived = "pub fn demote(x: f64) -> f32 {\n\
+                      // cs-lint: allow(no-lossy-cast-in-hot-path) -- f32-accumulator kernel by design\n\
+                      x as f32\n\
+                      }";
+        assert!(fired(waived, KERN).is_empty());
+    }
+
+    #[test]
+    fn index_arith_fires_in_chunk_deal_scope() {
+        let src = "pub fn last(v: &[f64], n: usize) -> f64 { v[n - 1] }";
+        assert_eq!(fired(src, KERN), vec![NO_UNCHECKED_INDEX_ARITH]);
+        assert!(fired(src, "crates/cs-linalg/src/stats.rs").is_empty());
+
+        // checked_sub has no raw `-`: clean by construction.
+        let ok = "pub fn last(v: &[f64], n: usize) -> f64 {\n\
+                      v[n.checked_sub(1).unwrap_or(0)]\n\
+                  }";
+        assert!(fired(ok, KERN).is_empty());
+
+        // Subtraction buried in a nested call is not index arithmetic.
+        let nested = "pub fn f(v: &[f64], a: usize, b: usize) -> f64 { v[offset(a - b)] }";
+        assert!(fired(nested, KERN)
+            .iter()
+            .all(|r| *r != NO_UNCHECKED_INDEX_ARITH));
+
+        // Array type annotations and literals stay silent.
+        let ty = "pub fn f() -> [f64; 4] { let x: [f64; 4] = [0.0; 4]; x }";
+        assert!(fired(ty, KERN).is_empty());
+    }
+
+    #[test]
+    fn float_symbols_track_params_and_lets() {
+        let toks =
+            lex("fn f(a: f64, v: &[f64], n: usize) { let mut acc = 0.0; let k = 3; }").tokens;
+        let parsed = items::parse_items(&toks);
+        let mut fns = Vec::new();
+        items::for_each_fn(&parsed, &mut |f| fns.push(f));
+        let floats = float_symbols(&toks, fns[0]);
+        assert!(floats.contains("a") && floats.contains("v") && floats.contains("acc"));
+        assert!(!floats.contains("n") && !floats.contains("k"));
+    }
+
+    #[test]
+    fn float_accumulation_loop_is_a_sink() {
+        let src = "use std::collections::HashMap;\n\
+                   pub fn feed(m: &HashMap<u32, f64>) -> Vec<f64> {\n\
+                       let mut out = Vec::new();\n\
+                       for v in m.values() { out.push(*v); }\n\
+                       out\n\
+                   }\n\
+                   pub fn drain(m: &HashMap<u32, f64>) -> f64 {\n\
+                       let mut acc = 0.0;\n\
+                       for v in feed(m) { acc += v; }\n\
+                       acc\n\
+                   }";
+        let findings = taint(&[("crates/cs-fake/src/accl.rs", src)]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(
+            findings[0].message.contains("float `+=` accumulation"),
+            "{}",
+            findings[0].message
+        );
+        assert!(findings[0].message.contains("feed -> drain"));
+    }
+
+    #[test]
+    fn integer_accumulation_is_not_a_sink() {
+        let src = "use std::collections::HashMap;\n\
+                   pub fn feed(m: &HashMap<u32, u64>) -> Vec<u64> {\n\
+                       let mut out = Vec::new();\n\
+                       for v in m.values() { out.push(*v); }\n\
+                       out\n\
+                   }\n\
+                   pub fn drain(m: &HashMap<u32, u64>) -> u64 {\n\
+                       let mut acc = 0;\n\
+                       for v in feed(m) { acc += v; }\n\
+                       acc\n\
+                   }";
+        assert!(taint(&[("crates/cs-fake/src/acci.rs", src)]).is_empty());
+    }
+}

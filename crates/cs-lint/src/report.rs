@@ -2,7 +2,11 @@
 //! machine-readable JSON report (written with the in-workspace
 //! `cs_core::json` writer — the linter obeys the policy it enforces).
 
+use std::collections::BTreeMap;
+
 use cs_core::json::JsonValue;
+
+use crate::rules::{severity, Severity};
 
 /// One rule violation at a source location.
 #[derive(Debug, Clone)]
@@ -36,11 +40,22 @@ impl Finding {
     }
 
     /// `file:line: [rule] message` — the clickable diagnostic format.
+    /// Warnings carry their severity label so the two gate outcomes are
+    /// distinguishable in terminal output.
     pub fn render(&self) -> String {
+        let sev = match self.severity() {
+            Severity::Error => "",
+            Severity::Warning => " warning:",
+        };
         format!(
-            "{}:{}: [{}] {}",
-            self.file, self.line, self.rule, self.message
+            "{}:{}: [{}]{} {}",
+            self.file, self.line, self.rule, sev, self.message
         )
+    }
+
+    /// Severity of this finding, derived from its rule.
+    pub fn severity(&self) -> Severity {
+        severity(self.rule)
     }
 }
 
@@ -59,12 +74,34 @@ impl LintReport {
         self.findings.iter().filter(|f| !f.waived)
     }
 
-    /// True when the gate passes.
+    /// True when no finding is unwaived — the strict bar the shipped tree
+    /// is held to (selfcheck), regardless of severity.
     pub fn clean(&self) -> bool {
         self.unwaived().next().is_none()
     }
 
-    /// Machine-readable report document.
+    /// Unwaived findings whose rule is an error.
+    pub fn errors(&self) -> usize {
+        self.unwaived()
+            .filter(|f| f.severity() == Severity::Error)
+            .count()
+    }
+
+    /// Unwaived findings whose rule is advisory.
+    pub fn warnings(&self) -> usize {
+        self.unwaived()
+            .filter(|f| f.severity() == Severity::Warning)
+            .count()
+    }
+
+    /// The CI gate: zero unwaived errors (warnings allowed).
+    pub fn gate_ok(&self) -> bool {
+        self.errors() == 0
+    }
+
+    /// Machine-readable report document: per-finding severity, the
+    /// error/warning totals the gate keys on, and per-rule counts so
+    /// downstream tooling never has to grep the findings array.
     pub fn to_json(&self) -> JsonValue {
         let findings: Vec<JsonValue> = self
             .findings
@@ -72,11 +109,41 @@ impl LintReport {
             .map(|f| {
                 JsonValue::object(vec![
                     ("rule", JsonValue::String(f.rule.to_string())),
+                    (
+                        "severity",
+                        JsonValue::String(f.severity().label().to_string()),
+                    ),
                     ("file", JsonValue::String(f.file.clone())),
                     ("line", JsonValue::Number(f.line as f64)),
                     ("message", JsonValue::String(f.message.clone())),
                     ("waived", JsonValue::Bool(f.waived)),
                 ])
+            })
+            .collect();
+        // Per-rule tallies over every finding (waived included, tracked
+        // separately) for rules that fired at least once.
+        let mut tally: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
+        for f in &self.findings {
+            let e = tally.entry(f.rule).or_insert((0, 0));
+            e.0 += 1;
+            if f.waived {
+                e.1 += 1;
+            }
+        }
+        let rules: Vec<(&str, JsonValue)> = tally
+            .iter()
+            .map(|(rule, &(count, waived))| {
+                (
+                    *rule,
+                    JsonValue::object(vec![
+                        (
+                            "severity",
+                            JsonValue::String(severity(rule).label().to_string()),
+                        ),
+                        ("count", JsonValue::Number(count as f64)),
+                        ("waived", JsonValue::Number(waived as f64)),
+                    ]),
+                )
             })
             .collect();
         JsonValue::object(vec![
@@ -93,7 +160,11 @@ impl LintReport {
                 "waived",
                 JsonValue::Number(self.findings.iter().filter(|f| f.waived).count() as f64),
             ),
+            ("errors", JsonValue::Number(self.errors() as f64)),
+            ("warnings", JsonValue::Number(self.warnings() as f64)),
             ("clean", JsonValue::Bool(self.clean())),
+            ("gate_ok", JsonValue::Bool(self.gate_ok())),
+            ("rules", JsonValue::object(rules)),
             ("findings", JsonValue::Array(findings)),
         ])
     }
@@ -103,10 +174,60 @@ impl LintReport {
 mod tests {
     use super::*;
 
+    use crate::rules::NO_LOSSY_CAST_IN_HOT_PATH;
+
     #[test]
     fn render_format() {
         let f = Finding::new("no-unsafe", "crates/x/src/a.rs", 12, "msg");
         assert_eq!(f.render(), "crates/x/src/a.rs:12: [no-unsafe] msg");
+        let w = Finding::new(NO_LOSSY_CAST_IN_HOT_PATH, "a.rs", 3, "msg");
+        assert_eq!(
+            w.render(),
+            "a.rs:3: [no-lossy-cast-in-hot-path] warning: msg"
+        );
+    }
+
+    #[test]
+    fn severity_gate_counts() {
+        let mut r = LintReport::default();
+        r.findings.push(Finding::new("no-unsafe", "a.rs", 1, "m"));
+        r.findings
+            .push(Finding::new(NO_LOSSY_CAST_IN_HOT_PATH, "a.rs", 2, "m"));
+        assert_eq!(r.errors(), 1);
+        assert_eq!(r.warnings(), 1);
+        assert!(!r.gate_ok() && !r.clean());
+        // Waiving the error leaves only the warning: gate passes, strict
+        // cleanliness does not.
+        r.findings[0].waived = true;
+        assert_eq!(r.errors(), 0);
+        assert!(r.gate_ok() && !r.clean());
+    }
+
+    #[test]
+    fn rules_tally_in_json() {
+        let mut r = LintReport::default();
+        r.findings.push(Finding::new("no-unsafe", "a.rs", 1, "m"));
+        let mut w = Finding::new(NO_LOSSY_CAST_IN_HOT_PATH, "a.rs", 2, "m");
+        w.waived = true;
+        r.findings.push(w);
+        r.findings
+            .push(Finding::new(NO_LOSSY_CAST_IN_HOT_PATH, "b.rs", 3, "m"));
+        let doc = r.to_json();
+        assert_eq!(doc.get("errors").and_then(JsonValue::as_usize), Some(1));
+        assert_eq!(doc.get("warnings").and_then(JsonValue::as_usize), Some(1));
+        let rules = doc.get("rules").expect("rules object");
+        let cast = rules.get(NO_LOSSY_CAST_IN_HOT_PATH).expect("tallied");
+        assert_eq!(cast.get("count").and_then(JsonValue::as_usize), Some(2));
+        assert_eq!(cast.get("waived").and_then(JsonValue::as_usize), Some(1));
+        assert_eq!(
+            cast.get("severity"),
+            Some(&JsonValue::String("warning".to_string()))
+        );
+        let unsafe_rule = rules.get("no-unsafe").expect("tallied");
+        assert_eq!(
+            unsafe_rule.get("severity"),
+            Some(&JsonValue::String("error".to_string()))
+        );
     }
 
     #[test]

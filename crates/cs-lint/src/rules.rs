@@ -43,9 +43,22 @@ pub const LOCK_DISCIPLINE: &str = "lock-discipline";
 pub const STALE_WAIVER: &str = "stale-waiver";
 /// Diagnostic for malformed or unknown waiver pragmas (not waivable).
 pub const PRAGMA: &str = "pragma";
+/// Rule: interprocedural determinism taint ([`crate::dataflow`]) — a
+/// nondeterministically-ordered value (hash iteration, clock read,
+/// arrival-order push under a lock) reaches an order-sensitive float
+/// reduction through the intra-crate call graph (DESIGN.md §8). Waivable
+/// at the source line or the sink line.
+pub const DETERMINISM_TAINT: &str = "determinism-taint";
+/// Rule: an unchecked `as` cast between float and integer width (or a
+/// narrowing `as f32`) inside a hot-path kernel of cs-linalg /
+/// `cs_core::pool` — NaN and out-of-range inputs truncate silently.
+pub const NO_LOSSY_CAST_IN_HOT_PATH: &str = "no-lossy-cast-in-hot-path";
+/// Rule: raw subtraction inside a slice index in chunk-deal code — a
+/// `usize` underflow panics in debug and wraps to a wild index in release.
+pub const NO_UNCHECKED_INDEX_ARITH: &str = "no-unchecked-index-arith";
 
 /// Every enforceable rule name, for pragma validation.
-pub const ALL_RULES: [&str; 10] = [
+pub const ALL_RULES: [&str; 13] = [
     NO_FLOAT_SORT_UNWRAP,
     NO_UNWRAP_IN_LIB,
     PANIC_FREE_CORE,
@@ -56,7 +69,40 @@ pub const ALL_RULES: [&str; 10] = [
     NO_AMBIENT_AUTHORITY,
     LOCK_DISCIPLINE,
     STALE_WAIVER,
+    DETERMINISM_TAINT,
+    NO_LOSSY_CAST_IN_HOT_PATH,
+    NO_UNCHECKED_INDEX_ARITH,
 ];
+
+/// Diagnostic weight: `Error` findings fail the gate; `Warning` findings
+/// are reported (and counted in the JSON document) but do not flip the
+/// exit code, so advisory rules can ride in the same report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    Error,
+    Warning,
+}
+
+impl Severity {
+    /// The lowercase label used in the JSON report.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+/// Severity of a rule. Everything is an error except the advisory
+/// hot-path cast rule, whose findings are legitimate in mixed-precision
+/// kernels and gate via review + waiver instead of the exit code.
+pub fn severity(rule: &str) -> Severity {
+    if rule == NO_LOSSY_CAST_IN_HOT_PATH {
+        Severity::Warning
+    } else {
+        Severity::Error
+    }
+}
 
 /// Comparator-taking methods in whose argument list a float
 /// `partial_cmp().unwrap()` is banned. Matched after a `.` receiver or a
@@ -88,6 +134,12 @@ pub struct FileClass {
     pub ambient_exempt: bool,
     /// `lock-discipline` scope: `cs_core::pool` and cs-embed sources.
     pub lock_scope: bool,
+    /// Hot-path kernel scope (`no-lossy-cast-in-hot-path`): cs-linalg
+    /// library sources plus the chunk-deal pool.
+    pub hot_path: bool,
+    /// Chunk-deal / slot-assembly scope (`no-unchecked-index-arith`):
+    /// the pool and the cs-linalg kernels.
+    pub chunk_deal: bool,
 }
 
 impl FileClass {
@@ -108,6 +160,10 @@ impl FileClass {
             ambient_exempt: under(&["crates", "cs-bench"]) || basename == "config.rs",
             lock_scope: rel_path == "crates/cs-core/src/pool.rs"
                 || under(&["crates", "cs-embed", "src"]),
+            hot_path: under(&["crates", "cs-linalg", "src"])
+                || rel_path == "crates/cs-core/src/pool.rs",
+            chunk_deal: rel_path == "crates/cs-core/src/pool.rs"
+                || rel_path == "crates/cs-linalg/src/kernels.rs",
         }
     }
 }
@@ -198,6 +254,14 @@ pub fn lint_rust_source(src: &str, rel_path: &str) -> Vec<Finding> {
         &test_regions,
         &mut findings,
     );
+    crate::dataflow::lint_hot_path_items(
+        toks,
+        &parsed,
+        &class,
+        rel_path,
+        &test_regions,
+        &mut findings,
+    );
 
     apply_waivers(&lexed.pragmas, &mut findings);
     flag_stale_waivers(&lexed.pragmas, rel_path, &mut findings);
@@ -217,6 +281,12 @@ fn flag_stale_waivers(pragmas: &[Pragma], rel_path: &str, findings: &mut Vec<Fin
         for r in &p.rules {
             if !ALL_RULES.contains(&r.as_str()) {
                 continue; // already reported as a `pragma` finding
+            }
+            if r == DETERMINISM_TAINT {
+                // Taint findings only exist after the workspace-level
+                // dataflow pass; staleness for them is checked there
+                // (`crate::dataflow::analyze_workspace`).
+                continue;
             }
             let covers = findings
                 .iter()
@@ -288,7 +358,7 @@ fn apply_waivers(pragmas: &[Pragma], findings: &mut [Finding]) {
 
 /// Token-index ranges `(start, end)` covering the bodies of `#[cfg(test)]`
 /// / `#[test]` items (inclusive of the braces).
-fn find_test_regions(toks: &[Tok]) -> Vec<(usize, usize)> {
+pub(crate) fn find_test_regions(toks: &[Tok]) -> Vec<(usize, usize)> {
     let mut regions = Vec::new();
     let mut i = 0usize;
     while i < toks.len() {
@@ -345,7 +415,7 @@ fn attr_is_test(attr: &[Tok]) -> bool {
 }
 
 /// Index of the token closing the bracket opened at `open_idx`.
-fn matching(toks: &[Tok], open_idx: usize, open: char, close: char) -> Option<usize> {
+pub(crate) fn matching(toks: &[Tok], open_idx: usize, open: char, close: char) -> Option<usize> {
     let mut depth = 0i64;
     for (k, t) in toks.iter().enumerate().skip(open_idx) {
         if t.is_punct(open) {
@@ -397,7 +467,11 @@ fn find_float_sort_unwraps(
         } else if t.is_ident("partial_cmp")
             && !ctx.is_empty()
             && i > 0
-            && toks[i - 1].is_punct('.')
+            // Method form (`a.partial_cmp(b)`) or UFCS path form
+            // (`f64::partial_cmp(a, b)`) — both produce the NaN-panicking
+            // `Option<Ordering>` when chained into `unwrap`/`expect`.
+            && (toks[i - 1].is_punct('.')
+                || (toks[i - 1].is_punct(':') && i >= 2 && toks[i - 2].is_punct(':')))
             && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
         {
             if let Some(close) = matching(toks, i + 1, '(', ')') {
@@ -452,10 +526,25 @@ mod tests {
         assert!(root.test_code);
         let pool = FileClass::from_path("crates/cs-core/src/pool.rs");
         assert!(pool.lock_scope && pool.det_scope);
+        assert!(pool.hot_path && pool.chunk_deal);
         let embed = FileClass::from_path("crates/cs-embed/src/encoder.rs");
         assert!(embed.lock_scope && !embed.det_scope);
+        assert!(!embed.hot_path && !embed.chunk_deal);
         let cfg = FileClass::from_path("crates/cs-linalg/src/config.rs");
         assert!(cfg.ambient_exempt && cfg.linalg_lib);
+        let kern = FileClass::from_path("crates/cs-linalg/src/kernels.rs");
+        assert!(kern.hot_path && kern.chunk_deal);
+        let core = FileClass::from_path("crates/cs-core/src/scoping.rs");
+        assert!(!core.hot_path && !core.chunk_deal);
+    }
+
+    #[test]
+    fn severity_split() {
+        assert_eq!(severity(NO_LOSSY_CAST_IN_HOT_PATH), Severity::Warning);
+        assert_eq!(severity(NO_UNCHECKED_INDEX_ARITH), Severity::Error);
+        assert_eq!(severity(DETERMINISM_TAINT), Severity::Error);
+        assert_eq!(severity(NO_UNSAFE), Severity::Error);
+        assert_eq!(Severity::Warning.label(), "warning");
     }
 
     #[test]
@@ -531,6 +620,27 @@ mod tests {
             rules_fired(src, "crates/cs-match/src/fake.rs"),
             vec![NO_FLOAT_SORT_UNWRAP]
         );
+    }
+
+    #[test]
+    fn ufcs_partial_cmp_inside_comparator_fires() {
+        // PR 6-era kernels spell the comparator as `f64::partial_cmp(a, b)`
+        // — the path form must be caught exactly like `.partial_cmp(..)`.
+        let src = "fn f(v: &mut [f64]) { v.sort_by(|a, b| f64::partial_cmp(a, b).unwrap()); }";
+        assert_eq!(
+            rules_fired(src, "crates/cs-match/src/fake.rs"),
+            vec![NO_FLOAT_SORT_UNWRAP]
+        );
+        let src = "fn f(v: &[f64], d: f64) {\n\
+                   v.binary_search_by(|x| f64::partial_cmp(x, &d).expect(\"finite\")).ok();\n\
+                   }";
+        assert_eq!(
+            rules_fired(src, "crates/cs-match/src/fake.rs"),
+            vec![NO_FLOAT_SORT_UNWRAP]
+        );
+        // The UFCS form with a total order is clean.
+        let src = "fn f(v: &mut [f64]) { v.sort_by(|a, b| f64::total_cmp(a, b)); }";
+        assert!(rules_fired(src, "crates/cs-match/src/fake.rs").is_empty());
     }
 
     #[test]

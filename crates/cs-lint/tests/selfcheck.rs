@@ -63,5 +63,46 @@ fn linter_lints_itself_clean() {
             }
         }
     }
-    assert!(checked >= 7, "expected all cs-lint modules, saw {checked}");
+    assert!(checked >= 8, "expected all cs-lint modules, saw {checked}");
+}
+
+/// The dataflow pass eats its own dog food: the linter's sources — the
+/// dataflow module itself included — are fed through the interprocedural
+/// determinism-taint analysis as one crate and must produce no unwaived
+/// findings. `workspace_is_lint_clean` covers this transitively via
+/// `lint_workspace`; this test pins it directly so a regression names the
+/// taint pass instead of the whole workspace.
+#[test]
+fn dataflow_pass_accepts_its_own_module() {
+    let src_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
+    let mut sources: Vec<(String, String)> = Vec::new();
+    let mut stack = vec![src_dir.clone()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir).expect("read src dir") {
+            let path = entry.expect("dir entry").path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                let rel = format!(
+                    "crates/cs-lint/src/{}",
+                    path.strip_prefix(&src_dir).expect("under src").display()
+                );
+                sources.push((rel, std::fs::read_to_string(&path).expect("read source")));
+            }
+        }
+    }
+    assert!(
+        sources.iter().any(|(rel, _)| rel.ends_with("dataflow.rs")),
+        "the dataflow module itself must be among the analyzed sources"
+    );
+    let findings: Vec<String> = cs_lint::dataflow::analyze_workspace(&sources)
+        .into_iter()
+        .filter(|f| !f.waived)
+        .map(|f| f.render())
+        .collect();
+    assert!(
+        findings.is_empty(),
+        "the taint pass flags its own crate:\n{}",
+        findings.join("\n")
+    );
 }

@@ -35,6 +35,26 @@ for threads in 1 2 8; do
   fi
 done
 
+echo "==> cs-fault smoke under sanitizer (lock-order + float-env digests stable)"
+fault_digest=""
+san_digest=""
+for threads in 1 2 8; do
+  out="$(CS_SANITIZE=1 CS_THREADS=$threads cargo run -q -p cs-fault --release --offline --bin fault_smoke)"
+  fline="$(printf '%s\n' "$out" | grep '^fault-matrix digest: ')"
+  sline="$(printf '%s\n' "$out" | grep '^sanitizer digest: ')"
+  if [ -z "$san_digest" ]; then
+    fault_digest="$fline"
+    san_digest="$sline"
+    printf '%s (CS_SANITIZE=1 CS_THREADS=%s)\n' "$fline" "$threads"
+    printf '%s (CS_SANITIZE=1 CS_THREADS=%s)\n' "$sline" "$threads"
+  elif [ "$fline" != "$fault_digest" ] || [ "$sline" != "$san_digest" ]; then
+    echo "FAIL: sanitized digests diverged under CS_THREADS=$threads" >&2
+    echo "  expected: $fault_digest / $san_digest" >&2
+    echo "  got:      $fline / $sline" >&2
+    exit 1
+  fi
+done
+
 echo "==> cargo test -q --offline"
 cargo test -q --workspace --offline
 
