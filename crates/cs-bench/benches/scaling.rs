@@ -22,6 +22,7 @@ fn synthetic_signatures(
         table_width: 8,
         alien_elements: 0,
         seed,
+        ..SyntheticConfig::default()
     };
     let ds = generate(&config);
     let encoder = cs_embed::SignatureEncoder::default();

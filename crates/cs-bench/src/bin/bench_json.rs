@@ -1,5 +1,5 @@
 //! `bench_json` — runs the scoping / matching / scaling / solver benchmark
-//! groups and writes the machine-readable `BENCH_4.json` baseline.
+//! groups and writes the machine-readable `BENCH_5.json` baseline.
 //!
 //! Usage:
 //!
@@ -9,14 +9,15 @@
 //!
 //! - `--smoke`: tiny datasets and sample budgets (< 5 s even in debug);
 //!   this is what `scripts/verify.sh` runs as its `bench-smoke` gate.
-//! - `--out PATH`: where to write the document (default `BENCH_4.json`
+//! - `--out PATH`: where to write the document (default `BENCH_5.json`
 //!   in the current directory).
 //! - `--budget PATH`: regression gate — reads the checked-in budget
-//!   document (`BENCH_BUDGET.json`) and fails with exit code 1 if this
-//!   run's `global_pca05` median exceeds `2 ×` the budgeted
-//!   `global_pca05_ns`. The 2× headroom absorbs machine noise while
-//!   still catching an accidental return to the dense-SVD hot path,
-//!   which is ~10× slower.
+//!   document (`BENCH_BUDGET.json`) and fails with exit code 1 if any
+//!   gated benchmark's median exceeds `2 ×` its budgeted value. Gated:
+//!   the `global_pca05` scoping benchmark (an accidental return to the
+//!   dense-SVD hot path is ~10× slower) and the `size/` + `unlinkable/`
+//!   smoke entries of the `scaling` group (the sweep must stay inside
+//!   the verify smoke budget). The 2× headroom absorbs machine noise.
 //!
 //! Without `--smoke` the emitter measures the real OC3 / OC3-FO datasets
 //! with bench-grade calibration; run that from a release build.
@@ -33,44 +34,57 @@ fn usage() -> ! {
 /// fails.
 const BUDGET_HEADROOM: f64 = 2.0;
 
+/// Every gated benchmark family: budget key in `BENCH_BUDGET.json`, the
+/// record group, and the id prefix selecting the gated records. Families
+/// with several matching records (the scaling sweeps) gate on the worst
+/// median.
+const BUDGET_GATES: [(&str, &str, &str); 3] = [
+    ("global_pca05_ns", "scoping", "global_pca05/"),
+    ("scaling_size_ns", "scaling", "size/"),
+    ("scaling_unlinkable_ns", "scaling", "unlinkable/"),
+];
+
 /// Enforces the `--budget` gate against the measured report; returns the
-/// human-readable verdict line, or an error describing why the gate could
-/// not run or did not pass.
-fn check_budget(report: &emitter::BenchReport, path: &str) -> Result<String, String> {
+/// human-readable verdict lines, or an error describing why the gate
+/// could not run or did not pass.
+fn check_budget(report: &emitter::BenchReport, path: &str) -> Result<Vec<String>, String> {
     let body =
         std::fs::read_to_string(path).map_err(|e| format!("cannot read budget {path}: {e}"))?;
     let doc = cs_core::json::parse(&body).map_err(|e| format!("budget {path} is not JSON: {e}"))?;
-    let budget_ns = doc
-        .get("global_pca05_ns")
-        .and_then(JsonValue::as_f64)
-        .ok_or_else(|| format!("budget {path} lacks a numeric global_pca05_ns"))?;
-    if !(budget_ns.is_finite() && budget_ns > 0.0) {
-        return Err(format!(
-            "budget {path}: global_pca05_ns = {budget_ns} is not usable"
+    let mut verdicts = Vec::new();
+    for (key, group, prefix) in BUDGET_GATES {
+        let budget_ns = doc
+            .get(key)
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("budget {path} lacks a numeric {key}"))?;
+        if !(budget_ns.is_finite() && budget_ns > 0.0) {
+            return Err(format!("budget {path}: {key} = {budget_ns} is not usable"));
+        }
+        let worst = report
+            .records
+            .iter()
+            .filter(|r| r.group == group && r.id.starts_with(prefix))
+            .max_by_key(|r| r.stats.median_ns)
+            .ok_or_else(|| format!("this run produced no {group}/{prefix} benchmark"))?;
+        let median = worst.stats.median_ns as f64;
+        let limit = budget_ns * BUDGET_HEADROOM;
+        if median > limit {
+            return Err(format!(
+                "budget exceeded: {} median {median:.0} ns > {limit:.0} ns ({BUDGET_HEADROOM}x of budgeted {budget_ns:.0} ns)",
+                worst.id
+            ));
+        }
+        verdicts.push(format!(
+            "budget ok: {} median {median:.0} ns <= {limit:.0} ns ({BUDGET_HEADROOM}x of budgeted {budget_ns:.0} ns)",
+            worst.id
         ));
     }
-    let measured = report
-        .records
-        .iter()
-        .find(|r| r.group == "scoping" && r.id.starts_with("global_pca05/"))
-        .ok_or_else(|| "this run produced no global_pca05 benchmark".to_string())?;
-    let median = measured.stats.median_ns as f64;
-    let limit = budget_ns * BUDGET_HEADROOM;
-    if median > limit {
-        return Err(format!(
-            "budget exceeded: {} median {median:.0} ns > {limit:.0} ns ({BUDGET_HEADROOM}x of budgeted {budget_ns:.0} ns)",
-            measured.id
-        ));
-    }
-    Ok(format!(
-        "budget ok: {} median {median:.0} ns <= {limit:.0} ns ({BUDGET_HEADROOM}x of budgeted {budget_ns:.0} ns)",
-        measured.id
-    ))
+    Ok(verdicts)
 }
 
 fn main() {
     let mut mode = Mode::Full;
-    let mut out = String::from("BENCH_4.json");
+    let mut out = String::from("BENCH_5.json");
     let mut budget: Option<String> = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -109,7 +123,11 @@ fn main() {
     );
     if let Some(path) = budget {
         match check_budget(&report, &path) {
-            Ok(line) => println!("bench_json: {line}"),
+            Ok(lines) => {
+                for line in lines {
+                    println!("bench_json: {line}");
+                }
+            }
             Err(e) => {
                 eprintln!("bench_json: {e}");
                 std::process::exit(1);

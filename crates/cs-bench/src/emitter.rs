@@ -5,7 +5,7 @@
 //! efficiency discussion (Table 4, Figure 7, §4.4) want numbers a script
 //! can diff. This module re-runs the same scoping / matching / scaling /
 //! solver workloads under a configurable [`MeasureConfig`] and serializes
-//! one document — `BENCH_4.json` — via the workspace's hermetic
+//! one document — `BENCH_5.json` — via the workspace's hermetic
 //! [`cs_core::json`] writer.
 //!
 //! Two calibration profiles exist:
@@ -35,8 +35,8 @@ use cs_oda::{LofDetector, OutlierDetector, PcaDetector, ZScoreDetector};
 /// Version of the emitted document layout.
 pub const SCHEMA_VERSION: usize = 1;
 
-/// Sequence number of this baseline in the PR stack (`BENCH_4.json`).
-pub const BENCH_ID: usize = 4;
+/// Sequence number of this baseline in the PR stack (`BENCH_5.json`).
+pub const BENCH_ID: usize = 5;
 
 /// Fraction of samples dropped from *each* end before the trimmed mean.
 pub const TRIM_FRACTION: f64 = 0.2;
@@ -48,7 +48,7 @@ pub enum Mode {
     /// debug build so it can run inside `cargo test -q` and verify.sh.
     Smoke,
     /// Real OC3 / OC3-FO datasets with bench-grade calibration; produces
-    /// the checked-in `BENCH_4.json` baseline (run in release).
+    /// the checked-in `BENCH_5.json` baseline (run in release).
     Full,
 }
 
@@ -284,6 +284,7 @@ fn smoke_dataset() -> cs_datasets::Dataset {
         table_width: 4,
         alien_elements: 2,
         seed: 0xC5,
+        ..SyntheticConfig::default()
     })
 }
 
@@ -312,6 +313,7 @@ fn synthetic_signatures(schemas: usize, elements_per_schema: usize, seed: u64) -
         table_width: 8,
         alien_elements: 0,
         seed,
+        ..SyntheticConfig::default()
     });
     encode(&ds)
 }
@@ -419,6 +421,40 @@ fn bench_matching(
     }
 }
 
+/// A generated catalog for the size / unlinkable-ratio sweeps: schema
+/// count grows with the target so per-schema size stays bounded, and the
+/// linkable-ratio knob pins the unlinkable fraction exactly.
+fn scaling_dataset(total_attrs: usize, unlinkable: f64, seed: u64) -> cs_datasets::Dataset {
+    let schemas = (total_attrs / 1_000).max(2);
+    let per_schema = total_attrs / schemas;
+    generate(&SyntheticConfig {
+        schemas,
+        shared_concepts: per_schema,
+        concepts_per_schema: per_schema / 2,
+        private_per_schema: per_schema - per_schema / 2,
+        table_width: 8,
+        alien_elements: 0,
+        linkable_ratio: Some(1.0 - unlinkable),
+        seed,
+        ..SyntheticConfig::default()
+    })
+}
+
+/// Encodes a sweep catalog at dimension 64 instead of the default 768:
+/// the sweeps measure pipeline scaling in element count, and the 100k
+/// point at full width would cost ~600 MB of signatures for no extra
+/// signal.
+fn scaling_encode(ds: &cs_datasets::Dataset) -> SchemaSignatures {
+    let encoder = cs_embed::SignatureEncoder::new(
+        cs_embed::EncoderConfig {
+            dim: 64,
+            ..Default::default()
+        },
+        cs_embed::Lexicon::default_lexicon(),
+    );
+    encode_catalog(&encoder, &ds.catalog)
+}
+
 fn bench_scaling(mode: Mode, cfg: &MeasureConfig, out: &mut Vec<BenchRecord>) {
     let (schemas_fixed, per_schema_steps, total_budget, schema_counts) = match mode {
         Mode::Full => (4usize, vec![25usize, 50, 100], 200usize, vec![2usize, 4, 8]),
@@ -476,6 +512,91 @@ fn bench_scaling(mode: Mode, cfg: &MeasureConfig, out: &mut Vec<BenchRecord>) {
                     .scores(&sigs)
                     .expect("valid scores")
             },
+        );
+    }
+
+    // Size and unlinkable-ratio sweeps over generated catalogs (ROADMAP
+    // item 5): one-shot samples at the big points — a single 100k-element
+    // collaborative pass is tens of seconds, calibration loops would take
+    // hours. The matcher leg stops at `MATCH_CAP` attributes: the LSH
+    // matcher re-ranks per query against every foreign schema, which is
+    // quadratic-ish in total elements and would dwarf the sweep above it.
+    let (size_totals, ratio_total, ratios, sweep_cfg) = match mode {
+        Mode::Full => (
+            vec![1_000usize, 10_000, 100_000],
+            2_000usize,
+            vec![0.25, 0.5, 0.9],
+            MeasureConfig {
+                sample_size: 3,
+                target_sample: Duration::from_millis(1),
+                max_iters: 1,
+            },
+        ),
+        Mode::Smoke => (vec![24usize, 48], 24, vec![0.5], *cfg),
+    };
+    const MATCH_CAP: usize = 10_000;
+    for target in size_totals {
+        let ds = scaling_dataset(target, 0.5, 0x5CA_1E);
+        let sigs = scaling_encode(&ds);
+        let total = sigs.total_len();
+        push(
+            out,
+            &sweep_cfg,
+            "scaling",
+            format!("size/collaborative/{total}"),
+            || CollaborativeScoper::new(0.8).run(&sigs).expect("valid run"),
+        );
+        push(
+            out,
+            &sweep_cfg,
+            "scaling",
+            format!("size/global_pca/{total}"),
+            || {
+                GlobalScoper::new(PcaDetector::with_variance(0.5))
+                    .scores(&sigs)
+                    .expect("valid scores")
+            },
+        );
+        push(
+            out,
+            &sweep_cfg,
+            "scaling",
+            format!("size/sweep_prepare/{total}"),
+            || CollaborativeSweep::prepare(&sigs).expect("valid sweep"),
+        );
+        if target <= MATCH_CAP {
+            let sets: Vec<ElementSet> = (0..sigs.schema_count())
+                .map(|k| ElementSet::full(k, sigs.schema(k).clone()))
+                .collect();
+            push(
+                out,
+                &sweep_cfg,
+                "scaling",
+                format!("size/match_lsh/{total}"),
+                || LshMatcher::new(5).match_pairs(&sets),
+            );
+        }
+    }
+    for u in ratios {
+        let ds = scaling_dataset(ratio_total, u, 0xA1_1E7);
+        let sigs = scaling_encode(&ds);
+        let tag = format!("u{:02}", (u * 100.0) as u32);
+        push(
+            out,
+            &sweep_cfg,
+            "scaling",
+            format!("unlinkable/collaborative/{tag}"),
+            || CollaborativeScoper::new(0.8).run(&sigs).expect("valid run"),
+        );
+        let sets: Vec<ElementSet> = (0..sigs.schema_count())
+            .map(|k| ElementSet::full(k, sigs.schema(k).clone()))
+            .collect();
+        push(
+            out,
+            &sweep_cfg,
+            "scaling",
+            format!("unlinkable/match_lsh/{tag}"),
+            || LshMatcher::new(5).match_pairs(&sets),
         );
     }
 }
@@ -587,7 +708,7 @@ fn record_json(r: &BenchRecord) -> JsonValue {
     ])
 }
 
-/// Serializes a report into the `BENCH_4.json` document model.
+/// Serializes a report into the `BENCH_5.json` document model.
 pub fn to_json(report: &BenchReport) -> JsonValue {
     let pass_ops: Vec<(&str, JsonValue)> = report
         .datasets
@@ -740,6 +861,31 @@ mod tests {
             syn.get("pass_operations").and_then(JsonValue::as_usize),
             Some(total * (schemas - 1))
         );
+
+        // The scaling group carries both sweep families (the budget gate
+        // in bench_json keys on these id prefixes).
+        let scaling = doc
+            .get("groups")
+            .and_then(|g| g.get("scaling"))
+            .and_then(JsonValue::as_array)
+            .expect("scaling group");
+        let ids: Vec<&str> = scaling
+            .iter()
+            .filter_map(|r| r.get("id").and_then(JsonValue::as_str))
+            .collect();
+        for prefix in [
+            "size/collaborative/",
+            "size/global_pca/",
+            "size/sweep_prepare/",
+            "size/match_lsh/",
+            "unlinkable/collaborative/",
+            "unlinkable/match_lsh/",
+        ] {
+            assert!(
+                ids.iter().any(|id| id.starts_with(prefix)),
+                "scaling group lacks a {prefix} entry: {ids:?}"
+            );
+        }
 
         // All four groups are present, non-empty, and carry sane stats.
         let groups = doc.get("groups").expect("groups");

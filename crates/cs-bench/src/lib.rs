@@ -7,7 +7,7 @@
 //!
 //! The [`emitter`] module is the machine-readable counterpart: the
 //! `bench_json` binary (not feature-gated) runs the same workloads and
-//! writes `BENCH_4.json`; `scripts/verify.sh` exercises it with `--smoke`
+//! writes `BENCH_5.json`; `scripts/verify.sh` exercises it with `--smoke`
 //! and gates the PCA hot path against `BENCH_BUDGET.json` via `--budget`.
 
 pub mod emitter;

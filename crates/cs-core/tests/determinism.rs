@@ -38,6 +38,7 @@ fn synthetic_sigs(g: &mut Gen) -> SchemaSignatures {
         table_width: 5,
         alien_elements: if g.usize_in(0, 1) == 1 { 8 } else { 0 },
         seed: g.seed(),
+        ..SyntheticConfig::default()
     };
     let ds = generate(&config);
     encode_catalog(&SignatureEncoder::default(), &ds.catalog)

@@ -21,6 +21,7 @@
 //! [`synthetic`] generates parameterized multi-source scenarios with known
 //! ground truth for property tests and scaling benchmarks.
 
+pub mod codec;
 pub mod ground_truth;
 pub mod synthetic;
 

@@ -1,15 +1,27 @@
-//! Synthetic multi-source matching scenarios with known ground truth.
+//! Parameterized synthetic multi-source matching scenarios with exact
+//! ground truth.
 //!
 //! Used by property tests (scoping invariants must hold on arbitrary
-//! scenarios, not just OC3) and by the scaling benchmarks (complexity
-//! claims of Section 3 need schemas of controllable size).
+//! scenarios, not just OC3), by the scaling benchmarks (complexity claims
+//! of Section 3 need catalogs of controllable size), and by the
+//! generator-driven fuzz layer in `cs-fault`.
 //!
 //! The generator draws from a pool of shared "concept" words: each schema
 //! materializes a subset of the shared concepts (these become linkable
 //! attributes, annotated across every schema pair that shares them) plus
-//! private noise attributes (unlinkable). Optionally an entirely alien
-//! schema with its own domain vocabulary is appended — the synthetic
-//! analog of the Formula-One extension.
+//! private noise attributes (unlinkable). On top of that base model,
+//! [`SyntheticConfig`] exposes workload knobs — linkable ratio, lexicon
+//! overlap between schemas, naming-convention noise, subtype depth, and
+//! per-schema size distributions — whose semantics are documented per
+//! field and in DESIGN.md §13. Every knob preserves the **exact**
+//! ground-truth [`LinkageSet`]: linkages are annotated by element
+//! position during construction, never recovered by name, so even heavy
+//! naming noise cannot desynchronize the truth from the catalog.
+//!
+//! Configurations are validated up front: [`try_generate`] rejects
+//! impossible combinations (zero schemas, zero table width, more concept
+//! picks than the accessible pool region) with a typed
+//! [`SyntheticError`] instead of panicking mid-build.
 //!
 //! The `with_*` / [`all_unlinkable`] constructors build **adversarial**
 //! variants (empty schema, singleton schema, all-duplicate signatures,
@@ -20,10 +32,121 @@
 
 use cs_linalg::Xoshiro256;
 use cs_schema::{
-    Attribute, Catalog, Constraint, DataType, LinkageKind, LinkagePair, LinkageSet, Schema, Table,
+    Attribute, Catalog, Constraint, DataType, ElementId, LinkageKind, LinkagePair, LinkageSet,
+    Schema, Table,
 };
 
 use crate::Dataset;
+
+/// Salt XORed into the seed for the naming-noise stream, so noise draws
+/// never perturb the structural stream (level 0 must be byte-identical to
+/// the un-noised output).
+const NOISE_STREAM_SALT: u64 = 0x9E37_79B9_97F4_A7C5;
+
+/// How many base attributes each schema materializes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SizeDistribution {
+    /// Every schema holds exactly `concepts_per_schema +
+    /// private_per_schema` base attributes (the legacy behaviour).
+    Fixed,
+    /// Per-schema totals drawn uniformly from `[min, max]`, seeded.
+    Uniform {
+        /// Smallest allowed base-attribute count (≥ 1).
+        min: usize,
+        /// Largest allowed base-attribute count.
+        max: usize,
+    },
+    /// A deterministic linear ramp from `min` (first schema) to `max`
+    /// (last schema).
+    Ramp {
+        /// Base-attribute count of schema 0 (≥ 1).
+        min: usize,
+        /// Base-attribute count of the last schema.
+        max: usize,
+    },
+}
+
+/// Typed configuration error: [`try_generate`] refuses impossible knob
+/// combinations up front instead of clamping silently or panicking
+/// mid-build. Display strings are pinned in `tests/error_paths.rs`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SyntheticError {
+    /// `schemas == 0`: a catalog needs at least one schema.
+    ZeroSchemas,
+    /// `table_width == 0`: tables are filled greedily and need room for
+    /// at least one attribute.
+    ZeroTableWidth,
+    /// `concepts_per_schema > shared_concepts` under the fixed size
+    /// model: a schema cannot materialize more concepts than the pool
+    /// holds.
+    ConceptsExceedPool {
+        /// Requested concept picks per schema.
+        concepts: usize,
+        /// Size of the shared concept pool.
+        pool: usize,
+    },
+    /// `linkable_ratio` outside `[0, 1]` or non-finite.
+    InvalidRatio(f64),
+    /// `lexicon_overlap` outside `[0, 1]` or non-finite.
+    InvalidOverlap(f64),
+    /// `naming_noise` outside `[0, 1]` or non-finite.
+    InvalidNoise(f64),
+    /// A [`SizeDistribution`] range with `min == 0` or `min > max`.
+    InvalidSizeRange {
+        /// Lower bound of the rejected range.
+        min: usize,
+        /// Upper bound of the rejected range.
+        max: usize,
+    },
+    /// A schema's derived concept picks exceed its accessible pool
+    /// region (the overlap-shared slice plus its private slice).
+    RegionTooSmall {
+        /// The schema whose picks could not be satisfied.
+        schema: usize,
+        /// Concept picks the knobs demand.
+        need: usize,
+        /// Concepts the schema's accessible region holds.
+        have: usize,
+    },
+}
+
+impl std::fmt::Display for SyntheticError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SyntheticError::ZeroSchemas => {
+                write!(f, "synthetic config needs at least one schema")
+            }
+            SyntheticError::ZeroTableWidth => {
+                write!(f, "synthetic tables need room for at least one attribute")
+            }
+            SyntheticError::ConceptsExceedPool { concepts, pool } => write!(
+                f,
+                "cannot materialize more concepts than the pool holds \
+                 ({concepts} per schema > pool of {pool})"
+            ),
+            SyntheticError::InvalidRatio(v) => {
+                write!(f, "linkable_ratio {v} is outside [0, 1]")
+            }
+            SyntheticError::InvalidOverlap(v) => {
+                write!(f, "lexicon_overlap {v} is outside [0, 1]")
+            }
+            SyntheticError::InvalidNoise(v) => {
+                write!(f, "naming_noise {v} is outside [0, 1]")
+            }
+            SyntheticError::InvalidSizeRange { min, max } => write!(
+                f,
+                "size distribution range [{min}, {max}] is empty or starts at zero"
+            ),
+            SyntheticError::RegionTooSmall { schema, need, have } => write!(
+                f,
+                "schema #{schema} needs {need} concept picks but its accessible \
+                 pool region holds only {have}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SyntheticError {}
 
 /// Generator parameters.
 #[derive(Debug, Clone)]
@@ -32,7 +155,10 @@ pub struct SyntheticConfig {
     pub schemas: usize,
     /// Size of the shared concept pool.
     pub shared_concepts: usize,
-    /// Shared concepts each schema actually materializes.
+    /// Shared concepts each schema actually materializes (used when
+    /// `sizes` is [`SizeDistribution::Fixed`] and `linkable_ratio` is
+    /// `None`; otherwise only its ratio to `private_per_schema` seeds
+    /// the default linkable fraction).
     pub concepts_per_schema: usize,
     /// Private (unlinkable) attributes per schema.
     pub private_per_schema: usize,
@@ -40,6 +166,29 @@ pub struct SyntheticConfig {
     pub table_width: usize,
     /// Append one alien schema with this many elements (0 = none).
     pub alien_elements: usize,
+    /// Target fraction of each schema's base attributes drawn from the
+    /// shared concept pool. `None` keeps the explicit
+    /// `concepts_per_schema` / `private_per_schema` counts; `Some(r)`
+    /// derives `round(r · n_s)` concept picks per schema of size `n_s`.
+    pub linkable_ratio: Option<f64>,
+    /// Fraction of the concept pool shared by every schema. The
+    /// remainder is split into disjoint per-schema regions, so `1.0`
+    /// (default) lets any pair of schemas share any concept and `0.0`
+    /// guarantees an empty ground-truth linkage set.
+    pub lexicon_overlap: f64,
+    /// Per-attribute probability of rewriting the attribute name in a
+    /// seeded naming convention (lower-casing, camelCase, vowel-stripped
+    /// abbreviation, separator removal). `0.0` (default) is byte-
+    /// identical to the un-noised generator; ground truth is positional
+    /// and survives any level.
+    pub naming_noise: f64,
+    /// Maximum subtype-chain depth: concept `c` additionally spawns
+    /// `c mod (depth + 1)` foreign-key child attributes (`…_SUB1`, …)
+    /// annotated inter-sub-typed against the concept's base attribute in
+    /// every other schema sharing it. `0` (default) disables chains.
+    pub subtype_depth: usize,
+    /// Per-schema base-attribute count model.
+    pub sizes: SizeDistribution,
     /// RNG seed.
     pub seed: u64,
 }
@@ -53,8 +202,58 @@ impl Default for SyntheticConfig {
             private_per_schema: 15,
             table_width: 8,
             alien_elements: 0,
+            linkable_ratio: None,
+            lexicon_overlap: 1.0,
+            naming_noise: 0.0,
+            subtype_depth: 0,
+            sizes: SizeDistribution::Fixed,
             seed: 0x5F_EE_D5,
         }
+    }
+}
+
+impl SyntheticConfig {
+    /// Validates every statically checkable knob combination. Size- and
+    /// overlap-derived constraints that depend on seeded draws are
+    /// checked by [`try_generate`] as [`SyntheticError::RegionTooSmall`].
+    ///
+    /// # Errors
+    /// The first violated constraint, as a typed [`SyntheticError`].
+    pub fn validate(&self) -> Result<(), SyntheticError> {
+        if self.schemas == 0 {
+            return Err(SyntheticError::ZeroSchemas);
+        }
+        if self.table_width == 0 {
+            return Err(SyntheticError::ZeroTableWidth);
+        }
+        if let Some(r) = self.linkable_ratio {
+            if !r.is_finite() || !(0.0..=1.0).contains(&r) {
+                return Err(SyntheticError::InvalidRatio(r));
+            }
+        }
+        if !self.lexicon_overlap.is_finite() || !(0.0..=1.0).contains(&self.lexicon_overlap) {
+            return Err(SyntheticError::InvalidOverlap(self.lexicon_overlap));
+        }
+        if !self.naming_noise.is_finite() || !(0.0..=1.0).contains(&self.naming_noise) {
+            return Err(SyntheticError::InvalidNoise(self.naming_noise));
+        }
+        match self.sizes {
+            SizeDistribution::Fixed => {
+                if self.linkable_ratio.is_none() && self.concepts_per_schema > self.shared_concepts
+                {
+                    return Err(SyntheticError::ConceptsExceedPool {
+                        concepts: self.concepts_per_schema,
+                        pool: self.shared_concepts,
+                    });
+                }
+            }
+            SizeDistribution::Uniform { min, max } | SizeDistribution::Ramp { min, max } => {
+                if min == 0 || min > max {
+                    return Err(SyntheticError::InvalidSizeRange { min, max });
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -128,55 +327,231 @@ const ALIEN_WORDS: &[&str] = &[
     "ROUND",
 ];
 
-/// Generates a synthetic [`Dataset`].
-///
-/// # Panics
-/// If `concepts_per_schema > shared_concepts` or the configuration is
-/// degenerate (zero schemas / zero table width).
-pub fn generate(config: &SyntheticConfig) -> Dataset {
-    assert!(config.schemas >= 1, "need at least one schema");
-    assert!(
-        config.table_width >= 1,
-        "tables need at least one attribute"
-    );
-    assert!(
-        config.concepts_per_schema <= config.shared_concepts,
-        "cannot materialize more concepts than the pool holds"
-    );
-    let mut rng = Xoshiro256::seed_from(config.seed);
+/// Concept names: reuse lexicon words, suffix extras deterministically.
+fn concept_name(i: usize) -> String {
+    let base = SHARED_WORDS[i % SHARED_WORDS.len()];
+    if i < SHARED_WORDS.len() {
+        base.to_string()
+    } else {
+        format!("{base}_{}", i / SHARED_WORDS.len())
+    }
+}
 
-    // Concept names: reuse lexicon words, suffix extras deterministically.
-    let concept_name = |i: usize| -> String {
-        let base = SHARED_WORDS[i % SHARED_WORDS.len()];
-        if i < SHARED_WORDS.len() {
-            base.to_string()
-        } else {
-            format!("{base}_{}", i / SHARED_WORDS.len())
+/// One attribute slot of a schema under construction: what it is decided
+/// before where it lands, so linkage annotation can use final positions.
+enum AttrSpec {
+    /// A shared-concept attribute (linkable when the concept is shared).
+    Concept(usize),
+    /// A subtype child of a concept at the given chain level.
+    Sub(usize, usize),
+    /// A private attribute with a pre-drawn name suffix.
+    Private(usize, usize),
+}
+
+/// Contiguous split of the non-shared pool remainder: schema `s` owns a
+/// private slice of `rem / schemas` concepts (+1 for the first
+/// `rem % schemas` schemas) starting after the common region.
+fn private_region(common: usize, rem: usize, schemas: usize, s: usize) -> (usize, usize) {
+    let base = rem / schemas;
+    let extra = rem % schemas;
+    let start = common + s * base + s.min(extra);
+    let len = base + usize::from(s < extra);
+    (start, len)
+}
+
+/// Subtype-chain depth of concept `c`: deterministic in the concept id so
+/// every schema sharing `c` grows the same chain.
+fn subtype_chain_len(c: usize, depth: usize) -> usize {
+    if depth == 0 {
+        0
+    } else {
+        c % (depth + 1)
+    }
+}
+
+/// Applies one naming-convention style to an attribute name.
+fn apply_style(name: &str, style: usize) -> String {
+    match style {
+        0 => name.to_ascii_lowercase(),
+        1 => {
+            // lowerCamelCase over '_'-separated segments.
+            let mut out = String::with_capacity(name.len());
+            for (i, seg) in name.split('_').filter(|s| !s.is_empty()).enumerate() {
+                if i == 0 {
+                    out.push_str(&seg.to_ascii_lowercase());
+                } else {
+                    let mut chars = seg.chars();
+                    if let Some(first) = chars.next() {
+                        out.extend(first.to_uppercase());
+                        out.push_str(chars.as_str().to_ascii_lowercase().as_str());
+                    }
+                }
+            }
+            if out.is_empty() {
+                name.to_string()
+            } else {
+                out
+            }
         }
+        2 => {
+            // Abbreviation: keep each segment's first char, drop later
+            // vowels (digits and consonants survive).
+            let abbrev_seg = |seg: &str| -> String {
+                let mut out = String::new();
+                for (i, ch) in seg.chars().enumerate() {
+                    if i == 0 || !matches!(ch.to_ascii_uppercase(), 'A' | 'E' | 'I' | 'O' | 'U') {
+                        out.push(ch);
+                    }
+                }
+                out
+            };
+            name.split('_')
+                .map(abbrev_seg)
+                .collect::<Vec<_>>()
+                .join("_")
+        }
+        _ => name.replace('_', ""),
+    }
+}
+
+/// Generates a synthetic [`Dataset`], validating the configuration first.
+///
+/// # Errors
+/// A typed [`SyntheticError`] describing the first impossible knob
+/// combination (see [`SyntheticConfig::validate`]); size/overlap-derived
+/// pick counts that exceed a schema's accessible pool region surface as
+/// [`SyntheticError::RegionTooSmall`].
+pub fn try_generate(config: &SyntheticConfig) -> Result<Dataset, SyntheticError> {
+    config.validate()?;
+    let mut rng = Xoshiro256::seed_from(config.seed);
+    let pool = config.shared_concepts;
+    // `round` on a value in [0, pool]: overlap is validated finite in [0, 1].
+    let common = ((config.lexicon_overlap * pool as f64).round() as usize).min(pool);
+    let rem = pool - common;
+
+    let fixed_total = config.concepts_per_schema + config.private_per_schema;
+    let default_ratio = if fixed_total == 0 {
+        0.0
+    } else {
+        config.concepts_per_schema as f64 / fixed_total as f64
     };
 
     let mut schemas = Vec::new();
-    // Which schemas picked which concept, for linkage annotation:
-    // picks[s] = sorted concept indices.
-    let mut picks: Vec<Vec<usize>> = Vec::new();
+    // Per schema: concept → final attribute position (base attrs), plus
+    // (concept, level, position) for subtype children.
+    let mut base_pos: Vec<Vec<(usize, usize)>> = Vec::new();
+    let mut sub_pos: Vec<Vec<(usize, usize, usize)>> = Vec::new();
     for s in 0..config.schemas {
-        let mut chosen = rng.sample_indices(config.shared_concepts, config.concepts_per_schema);
-        chosen.sort_unstable();
-        let mut attrs: Vec<Attribute> = chosen
-            .iter()
-            .map(|&c| Attribute::plain(concept_name(c), DataType::Varchar(Some(64))))
-            .collect();
-        for p in 0..config.private_per_schema {
-            attrs.push(Attribute::plain(
-                format!("X{s}_PRIVATE_{p}_{}", rng.next_below(1_000_000)),
-                DataType::Integer,
-            ));
+        // Base size n_s under the configured distribution.
+        let n = match config.sizes {
+            SizeDistribution::Fixed => fixed_total,
+            SizeDistribution::Uniform { min, max } => min + rng.next_below(max - min + 1),
+            SizeDistribution::Ramp { min, max } => {
+                if config.schemas <= 1 {
+                    min
+                } else {
+                    min + s * (max - min) / (config.schemas - 1)
+                }
+            }
+        };
+        // Concept picks k_s: explicit count under the legacy model,
+        // ratio-derived otherwise.
+        let k = match (config.sizes, config.linkable_ratio) {
+            (SizeDistribution::Fixed, None) => config.concepts_per_schema,
+            (_, Some(r)) => ((r * n as f64).round() as usize).min(n),
+            (_, None) => ((default_ratio * n as f64).round() as usize).min(n),
+        };
+        let (priv_start, priv_len) = private_region(common, rem, config.schemas, s);
+        let accessible = common + priv_len;
+        if k > accessible {
+            return Err(SyntheticError::RegionTooSmall {
+                schema: s,
+                need: k,
+                have: accessible,
+            });
         }
-        rng.shuffle(&mut attrs);
+
+        // Sample k distinct concepts from the accessible region: indices
+        // below `common` are the shared slice, the rest map into this
+        // schema's private slice.
+        let mut chosen: Vec<usize> = rng
+            .sample_indices(accessible, k)
+            .into_iter()
+            .map(|j| {
+                if j < common {
+                    j
+                } else {
+                    priv_start + (j - common)
+                }
+            })
+            .collect();
+        chosen.sort_unstable();
+
+        let mut specs: Vec<AttrSpec> = Vec::new();
+        for &c in &chosen {
+            specs.push(AttrSpec::Concept(c));
+            for level in 1..=subtype_chain_len(c, config.subtype_depth) {
+                specs.push(AttrSpec::Sub(c, level));
+            }
+        }
+        for p in 0..n - k {
+            specs.push(AttrSpec::Private(p, rng.next_below(1_000_000)));
+        }
+        rng.shuffle(&mut specs);
+
+        let mut attrs: Vec<Attribute> = Vec::with_capacity(specs.len());
+        let mut bases = Vec::new();
+        let mut subs = Vec::new();
+        for (pos, spec) in specs.iter().enumerate() {
+            match *spec {
+                AttrSpec::Concept(c) => {
+                    bases.push((c, pos));
+                    attrs.push(Attribute::plain(
+                        concept_name(c),
+                        DataType::Varchar(Some(64)),
+                    ));
+                }
+                AttrSpec::Sub(c, level) => {
+                    subs.push((c, level, pos));
+                    attrs.push(Attribute::new(
+                        format!("{}_SUB{level}", concept_name(c)),
+                        DataType::Varchar(Some(32)),
+                        Constraint::ForeignKey,
+                    ));
+                }
+                AttrSpec::Private(p, suffix) => {
+                    attrs.push(Attribute::plain(
+                        format!("X{s}_PRIVATE_{p}_{suffix}"),
+                        DataType::Integer,
+                    ));
+                }
+            }
+        }
         let tables = chunk_into_tables(&format!("S{s}"), attrs, config.table_width);
         schemas.push(Schema::new(format!("SYN-{s}"), tables));
-        picks.push(chosen);
+        base_pos.push(bases);
+        sub_pos.push(subs);
     }
+
+    // Naming-convention noise: a separate seeded stream rewrites related-
+    // schema attribute names in place. Positions — and therefore the
+    // ground truth below — are untouched. Level 0 skips the pass
+    // entirely, so it is byte-identical to the un-noised output.
+    if config.naming_noise > 0.0 {
+        let mut noise_rng = Xoshiro256::seed_from(config.seed ^ NOISE_STREAM_SALT);
+        for schema in &mut schemas {
+            for table in &mut schema.tables {
+                for attr in &mut table.attributes {
+                    let u = noise_rng.next_f64();
+                    let style = noise_rng.next_below(4);
+                    if u < config.naming_noise {
+                        attr.name = apply_style(&attr.name, style);
+                    }
+                }
+            }
+        }
+    }
+
     if config.alien_elements > 0 {
         let attrs: Vec<Attribute> = (0..config.alien_elements)
             .map(|i| {
@@ -196,25 +571,55 @@ pub fn generate(config: &SyntheticConfig) -> Dataset {
 
     let catalog = Catalog::from_schemas(schemas);
 
-    // Annotate: same concept in two schemas → inter-identical pair.
+    // Annotate by position: the same concept in two schemas is an
+    // inter-identical pair; a subtype child links inter-sub-typed to the
+    // concept's base attribute in every other schema sharing it.
     let mut linkages = LinkageSet::new();
     for a in 0..config.schemas {
         for b in (a + 1)..config.schemas {
-            for &c in &picks[a] {
-                if picks[b].contains(&c) {
-                    let name = concept_name(c);
-                    let ida = find_attribute(&catalog, a, &name);
-                    let idb = find_attribute(&catalog, b, &name);
-                    linkages.insert(LinkagePair::new(ida, idb, LinkageKind::InterIdentical));
+            for &(c, pa) in &base_pos[a] {
+                if let Some(&(_, pb)) = base_pos[b].iter().find(|&&(cb, _)| cb == c) {
+                    linkages.insert(LinkagePair::new(
+                        ElementId::new(a, pa),
+                        ElementId::new(b, pb),
+                        LinkageKind::InterIdentical,
+                    ));
+                    for &(cs, _, ps) in &sub_pos[a] {
+                        if cs == c {
+                            linkages.insert(LinkagePair::new(
+                                ElementId::new(a, ps),
+                                ElementId::new(b, pb),
+                                LinkageKind::InterSubTyped,
+                            ));
+                        }
+                    }
+                    for &(cs, _, ps) in &sub_pos[b] {
+                        if cs == c {
+                            linkages.insert(LinkagePair::new(
+                                ElementId::new(a, pa),
+                                ElementId::new(b, ps),
+                                LinkageKind::InterSubTyped,
+                            ));
+                        }
+                    }
                 }
             }
         }
     }
-    Dataset {
+    Ok(Dataset {
         name: format!("SYN(seed={})", config.seed),
         catalog,
         linkages,
-    }
+    })
+}
+
+/// Generates a synthetic [`Dataset`].
+///
+/// # Panics
+/// With the [`SyntheticError`] display if the configuration is invalid;
+/// use [`try_generate`] to handle that as a value.
+pub fn generate(config: &SyntheticConfig) -> Dataset {
+    try_generate(config).unwrap_or_else(|e| panic!("invalid synthetic config: {e}"))
 }
 
 /// Appends `extra` to `base`'s catalog as a final schema, keeping the
@@ -269,12 +674,14 @@ pub fn with_duplicate_schema(config: &SyntheticConfig, copies: usize) -> Dataset
     )
 }
 
-/// Adversarial variant: every schema materializes **zero** shared
-/// concepts, so nothing is annotated linkable — the all-unlinkable
-/// source. Scoping quality metrics must handle an empty positive class.
+/// Adversarial variant: forces `linkable_ratio = 0`, so every schema
+/// materializes **zero** shared concepts and nothing is annotated
+/// linkable — the all-unlinkable source. Scoping quality metrics must
+/// handle an empty positive class. Equivalent by construction to
+/// [`generate`] with `linkable_ratio: Some(0.0)`.
 pub fn all_unlinkable(config: &SyntheticConfig) -> Dataset {
     let ds = generate(&SyntheticConfig {
-        concepts_per_schema: 0,
+        linkable_ratio: Some(0.0),
         ..config.clone()
     });
     debug_assert!(ds.linkages.is_empty());
@@ -294,18 +701,6 @@ fn chunk_into_tables(prefix: &str, attrs: Vec<Attribute>, width: usize) -> Vec<T
         tables.push(Table::new(format!("{prefix}_T{ti}"), cols));
     }
     tables
-}
-
-fn find_attribute(catalog: &Catalog, schema: usize, name: &str) -> cs_schema::ElementId {
-    let s = catalog.schema(schema);
-    for table in &s.tables {
-        if table.attribute(name).is_some() {
-            return catalog
-                .attribute_id(&s.name, &table.name, name)
-                .expect("attribute just found");
-        }
-    }
-    panic!("generated attribute {name} missing from schema {schema}");
 }
 
 #[cfg(test)]
@@ -396,6 +791,201 @@ mod tests {
     }
 
     #[test]
+    fn try_generate_returns_typed_errors() {
+        let err = |cfg: SyntheticConfig| try_generate(&cfg).unwrap_err();
+        assert_eq!(
+            err(SyntheticConfig {
+                schemas: 0,
+                ..Default::default()
+            }),
+            SyntheticError::ZeroSchemas
+        );
+        assert_eq!(
+            err(SyntheticConfig {
+                table_width: 0,
+                ..Default::default()
+            }),
+            SyntheticError::ZeroTableWidth
+        );
+        assert_eq!(
+            err(SyntheticConfig {
+                shared_concepts: 5,
+                concepts_per_schema: 10,
+                ..Default::default()
+            }),
+            SyntheticError::ConceptsExceedPool {
+                concepts: 10,
+                pool: 5
+            }
+        );
+        assert_eq!(
+            err(SyntheticConfig {
+                linkable_ratio: Some(1.5),
+                ..Default::default()
+            }),
+            SyntheticError::InvalidRatio(1.5)
+        );
+        assert!(matches!(
+            err(SyntheticConfig {
+                lexicon_overlap: f64::NAN,
+                ..Default::default()
+            }),
+            SyntheticError::InvalidOverlap(v) if v.is_nan()
+        ));
+        assert_eq!(
+            err(SyntheticConfig {
+                naming_noise: -0.1,
+                ..Default::default()
+            }),
+            SyntheticError::InvalidNoise(-0.1)
+        );
+        assert_eq!(
+            err(SyntheticConfig {
+                sizes: SizeDistribution::Uniform { min: 9, max: 3 },
+                ..Default::default()
+            }),
+            SyntheticError::InvalidSizeRange { min: 9, max: 3 }
+        );
+        // Ratio-derived picks can exceed the accessible region even when
+        // the static pool check passes: 0 overlap splits a 30-concept
+        // pool into 10-concept regions, but 0.9 · 35 = 32 picks.
+        assert_eq!(
+            err(SyntheticConfig {
+                linkable_ratio: Some(0.9),
+                lexicon_overlap: 0.0,
+                ..Default::default()
+            }),
+            SyntheticError::RegionTooSmall {
+                schema: 0,
+                need: 32,
+                have: 10
+            }
+        );
+    }
+
+    #[test]
+    fn zero_overlap_yields_empty_linkage_set() {
+        let ds = generate(&SyntheticConfig {
+            lexicon_overlap: 0.0,
+            linkable_ratio: Some(0.25),
+            ..Default::default()
+        });
+        assert!(
+            ds.linkages.is_empty(),
+            "disjoint lexicon regions cannot share concepts"
+        );
+        assert!(ds.catalog.schema(0).element_count() > 0);
+    }
+
+    #[test]
+    fn linkable_ratio_sets_exact_eligible_counts() {
+        let cfg = SyntheticConfig {
+            linkable_ratio: Some(0.4),
+            ..Default::default()
+        };
+        let ds = generate(&cfg);
+        for s in ds.catalog.schemas() {
+            let n = s.attribute_count();
+            let private = s
+                .tables
+                .iter()
+                .flat_map(|t| t.attributes.iter())
+                .filter(|a| a.name.contains("PRIVATE"))
+                .count();
+            assert_eq!(n - private, (0.4f64 * n as f64).round() as usize);
+        }
+    }
+
+    #[test]
+    fn size_distributions_control_schema_sizes() {
+        let uni = generate(&SyntheticConfig {
+            sizes: SizeDistribution::Uniform { min: 6, max: 20 },
+            linkable_ratio: Some(0.5),
+            ..Default::default()
+        });
+        for s in uni.catalog.schemas() {
+            assert!((6..=20).contains(&s.attribute_count()), "{}", s.name);
+        }
+        let ramp = generate(&SyntheticConfig {
+            schemas: 4,
+            sizes: SizeDistribution::Ramp { min: 5, max: 17 },
+            linkable_ratio: Some(0.5),
+            ..Default::default()
+        });
+        let sizes: Vec<usize> = ramp
+            .catalog
+            .schemas()
+            .iter()
+            .map(|s| s.attribute_count())
+            .collect();
+        assert_eq!(sizes, vec![5, 9, 13, 17]);
+    }
+
+    #[test]
+    fn naming_noise_rewrites_names_but_not_ground_truth() {
+        let base = SyntheticConfig::default();
+        let noisy = SyntheticConfig {
+            naming_noise: 0.8,
+            ..base.clone()
+        };
+        let a = generate(&base);
+        let b = generate(&noisy);
+        // Same structure and identical positional linkages…
+        assert_eq!(a.linkages, b.linkages);
+        assert_eq!(a.catalog.element_count(), b.catalog.element_count());
+        // …but a substantial share of names changed.
+        let names = |ds: &Dataset| -> Vec<String> {
+            ds.catalog
+                .schemas()
+                .iter()
+                .flat_map(|s| s.tables.iter())
+                .flat_map(|t| t.attributes.iter())
+                .map(|at| at.name.clone())
+                .collect()
+        };
+        let (na, nb) = (names(&a), names(&b));
+        let changed = na.iter().zip(nb.iter()).filter(|(x, y)| x != y).count();
+        assert!(
+            changed > na.len() / 4,
+            "{changed}/{} names changed",
+            na.len()
+        );
+    }
+
+    #[test]
+    fn naming_noise_zero_is_byte_identical_to_unnoised() {
+        let base = SyntheticConfig::default();
+        let zero = SyntheticConfig {
+            naming_noise: 0.0,
+            ..base.clone()
+        };
+        let a = generate(&base);
+        let b = generate(&zero);
+        assert_eq!(
+            crate::codec::dataset_to_bytes(&a),
+            crate::codec::dataset_to_bytes(&b)
+        );
+    }
+
+    #[test]
+    fn subtype_depth_adds_inter_sub_typed_pairs() {
+        let ds = generate(&SyntheticConfig {
+            subtype_depth: 2,
+            ..Default::default()
+        });
+        assert!(ds.linkages.count_kind(LinkageKind::InterSubTyped) > 0);
+        // Every sub-typed pair touches at least one _SUB attribute, and
+        // all endpoints are real attributes.
+        for p in ds.linkages.iter() {
+            if p.kind == LinkageKind::InterSubTyped {
+                let qa = ds.catalog.info(p.a).qualified_name;
+                let qb = ds.catalog.info(p.b).qualified_name;
+                assert!(qa.contains("_SUB") || qb.contains("_SUB"), "{qa} vs {qb}");
+            }
+        }
+    }
+
+    #[test]
     fn empty_schema_variant_appends_zero_elements() {
         let cfg = SyntheticConfig::default();
         let ds = with_empty_schema(&cfg);
@@ -438,6 +1028,24 @@ mod tests {
         assert_eq!(ds.catalog.schema_count(), 3);
         // Elements still exist — they are merely all private.
         assert!(ds.catalog.schema(0).element_count() > 0);
+    }
+
+    #[test]
+    fn all_unlinkable_equals_zero_linkable_ratio() {
+        let cfg = SyntheticConfig {
+            subtype_depth: 1,
+            naming_noise: 0.3,
+            ..Default::default()
+        };
+        let a = all_unlinkable(&cfg);
+        let b = generate(&SyntheticConfig {
+            linkable_ratio: Some(0.0),
+            ..cfg
+        });
+        assert_eq!(
+            crate::codec::dataset_to_bytes(&a),
+            crate::codec::dataset_to_bytes(&b)
+        );
     }
 
     #[test]

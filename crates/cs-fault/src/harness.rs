@@ -44,11 +44,60 @@ const SIM_T: f64 = 0.6;
 #[derive(Debug, Clone, Copy)]
 pub enum Scenario {
     /// Run the signature pipeline on a manufactured signature catalog.
-    Signatures(fn() -> SchemaSignatures),
+    Signatures(SigRecipe),
     /// Healthy catalog, but the pool fault hook panics in chunk 0.
     WorkerPanic,
     /// Healthy catalog driven with out-of-range parameters everywhere.
     InvalidParams,
+}
+
+/// A named signature-catalog construction, parameterized by the base
+/// [`SyntheticConfig`] so the same 15-case matrix can replay over any
+/// generated catalog (the fuzz driver feeds it a knob lattice). Recipes
+/// that poison a specific schema index require `config.schemas >= 3`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SigRecipe {
+    /// The healthy catalog as generated.
+    Baseline,
+    /// Healthy catalog plus an appended zero-element schema.
+    EmptySchema,
+    /// Healthy catalog plus an appended single-element schema.
+    SingletonSchema,
+    /// Healthy catalog plus a schema of identical serializations.
+    DuplicateSignatures,
+    /// The all-private (`linkable_ratio = 0`) variant.
+    AllUnlinkable,
+    /// Baseline with seeded NaNs planted in schema 1.
+    PoisonNan,
+    /// Baseline with seeded infinities planted in schema 2.
+    PoisonInf,
+    /// Baseline with schema 0 flattened to zero variance.
+    Flattened,
+    /// No schemas at all (config-independent).
+    EmptyCatalog,
+    /// The gaussian solver-probe catalog with a NaN in schema 1
+    /// (config-independent; exercises every pinned eigensolver).
+    SolverProbePoison,
+}
+
+impl SigRecipe {
+    /// Materializes the signature catalog this recipe describes on top of
+    /// `config`.
+    pub fn build(self, config: &SyntheticConfig) -> SchemaSignatures {
+        let baseline = || encode(&cs_datasets::synthetic::generate(config));
+        match self {
+            SigRecipe::Baseline => baseline(),
+            SigRecipe::EmptySchema => encode(&with_empty_schema(config)),
+            SigRecipe::SingletonSchema => encode(&with_singleton_schema(config)),
+            SigRecipe::DuplicateSignatures => encode(&with_duplicate_schema(config, 4)),
+            SigRecipe::AllUnlinkable => encode(&all_unlinkable(config)),
+            SigRecipe::PoisonNan => poison_non_finite(&baseline(), 1, f64::NAN, 0xBAD),
+            SigRecipe::PoisonInf => poison_non_finite(&baseline(), 2, f64::INFINITY, 0xBAD),
+            SigRecipe::Flattened => flatten_schema(&baseline(), 0),
+            SigRecipe::EmptyCatalog => SchemaSignatures::from_matrices(vec![], vec![]),
+            SigRecipe::SolverProbePoison => poisoned_solver_probe(),
+        }
+    }
 }
 
 /// One named scenario plus the substring its report must contain.
@@ -79,15 +128,12 @@ fn base_config() -> SyntheticConfig {
         table_width: 4,
         alien_elements: 0,
         seed: 0xFA_17,
+        ..SyntheticConfig::default()
     }
 }
 
 fn encode(ds: &cs_datasets::Dataset) -> SchemaSignatures {
     cs_core::encode_catalog(&SignatureEncoder::default(), &ds.catalog)
-}
-
-fn baseline_sigs() -> SchemaSignatures {
-    encode(&cs_datasets::synthetic::generate(&base_config()))
 }
 
 /// A small gaussian catalog for the per-solver poison cases: enough
@@ -125,47 +171,47 @@ pub fn cases() -> Vec<FaultCase> {
     let mut cases = vec![
         auto(
             "baseline",
-            Scenario::Signatures(baseline_sigs),
+            Scenario::Signatures(SigRecipe::Baseline),
             "scoper: kept=",
         ),
         auto(
             "empty_schema",
-            Scenario::Signatures(|| encode(&with_empty_schema(&base_config()))),
+            Scenario::Signatures(SigRecipe::EmptySchema),
             "has no elements",
         ),
         auto(
             "singleton_schema",
-            Scenario::Signatures(|| encode(&with_singleton_schema(&base_config()))),
+            Scenario::Signatures(SigRecipe::SingletonSchema),
             "too few to train",
         ),
         auto(
             "duplicate_signatures",
-            Scenario::Signatures(|| encode(&with_duplicate_schema(&base_config(), 4))),
+            Scenario::Signatures(SigRecipe::DuplicateSignatures),
             "rank-deficient",
         ),
         auto(
             "all_unlinkable",
-            Scenario::Signatures(|| encode(&all_unlinkable(&base_config()))),
+            Scenario::Signatures(SigRecipe::AllUnlinkable),
             "scoper: kept=",
         ),
         auto(
             "nan_signature",
-            Scenario::Signatures(|| poison_non_finite(&baseline_sigs(), 1, f64::NAN, 0xBAD)),
+            Scenario::Signatures(SigRecipe::PoisonNan),
             "NaN/inf entry",
         ),
         auto(
             "inf_signature",
-            Scenario::Signatures(|| poison_non_finite(&baseline_sigs(), 2, f64::INFINITY, 0xBAD)),
+            Scenario::Signatures(SigRecipe::PoisonInf),
             "NaN/inf entry",
         ),
         auto(
             "flattened_schema",
-            Scenario::Signatures(|| flatten_schema(&baseline_sigs(), 0)),
+            Scenario::Signatures(SigRecipe::Flattened),
             "rank-deficient",
         ),
         auto(
             "empty_catalog",
-            Scenario::Signatures(|| SchemaSignatures::from_matrices(vec![], vec![])),
+            Scenario::Signatures(SigRecipe::EmptyCatalog),
             "needs ≥ 2 schemas",
         ),
         auto(
@@ -188,7 +234,7 @@ pub fn cases() -> Vec<FaultCase> {
                 "gram" => "poison_solver_gram",
                 _ => "poison_solver_truncated",
             },
-            scenario: Scenario::Signatures(poisoned_solver_probe),
+            scenario: Scenario::Signatures(SigRecipe::SolverProbePoison),
             expect: "NaN/inf entry",
             solver,
         });
@@ -217,23 +263,38 @@ fn guarded(stage: &str, f: impl FnOnce() -> String) -> String {
     })
 }
 
-/// Runs one case under one execution policy and returns its stage lines.
-/// Lines are execution-independent: the same case must produce the same
-/// lines under every policy and worker count.
+/// Runs one case on the default [`base_config`] catalog. See
+/// [`run_case_on`].
 pub fn run_case(case: &FaultCase, exec: &ExecPolicy) -> Vec<String> {
+    run_case_on(case, &base_config(), exec)
+}
+
+/// Runs one case on a caller-supplied generator config under one
+/// execution policy and returns its stage lines. Lines are
+/// execution-independent: the same (case, config) must produce the same
+/// lines under every policy and worker count. Configs must describe at
+/// least three related schemas — the poison recipes target schema
+/// indices 1 and 2.
+pub fn run_case_on(case: &FaultCase, config: &SyntheticConfig, exec: &ExecPolicy) -> Vec<String> {
+    assert!(
+        config.schemas >= 3,
+        "fault recipes poison schemas #1/#2: need ≥ 3 schemas, got {}",
+        config.schemas
+    );
     match case.scenario {
-        Scenario::Signatures(make) => run_signature_case(make, exec, case.solver),
-        Scenario::WorkerPanic => run_worker_panic_case(exec),
-        Scenario::InvalidParams => run_invalid_params_case(exec),
+        Scenario::Signatures(recipe) => run_signature_case(recipe, config, exec, case.solver),
+        Scenario::WorkerPanic => run_worker_panic_case(config, exec),
+        Scenario::InvalidParams => run_invalid_params_case(config, exec),
     }
 }
 
 fn run_signature_case(
-    make: fn() -> SchemaSignatures,
+    recipe: SigRecipe,
+    config: &SyntheticConfig,
     exec: &ExecPolicy,
     solver: PcaSolver,
 ) -> Vec<String> {
-    let sigs = make();
+    let sigs = recipe.build(config);
     let mut lines = vec![format!(
         "input: schemas={} elements={}",
         sigs.schema_count(),
@@ -314,8 +375,8 @@ fn run_signature_case(
     lines
 }
 
-fn run_worker_panic_case(exec: &ExecPolicy) -> Vec<String> {
-    let sigs = baseline_sigs();
+fn run_worker_panic_case(config: &SyntheticConfig, exec: &ExecPolicy) -> Vec<String> {
+    let sigs = SigRecipe::Baseline.build(config);
     // Target exactly the pool this policy executes on (or, for the
     // sequential path, this caller thread) so concurrent batches on any
     // other pool in the process are untouched.
@@ -370,8 +431,8 @@ fn run_worker_panic_case(exec: &ExecPolicy) -> Vec<String> {
     lines
 }
 
-fn run_invalid_params_case(exec: &ExecPolicy) -> Vec<String> {
-    let sigs = baseline_sigs();
+fn run_invalid_params_case(config: &SyntheticConfig, exec: &ExecPolicy) -> Vec<String> {
+    let sigs = SigRecipe::Baseline.build(config);
     let mut lines = Vec::new();
     lines.push(guarded("builder-v0", || {
         outcome_line(
@@ -438,17 +499,32 @@ pub struct MatrixReport {
     pub digest: u64,
 }
 
-/// Runs every fault case under every named policy, requiring
-/// byte-identical stage lines across policies and zero escaped panics.
+/// Runs the full matrix on the default [`base_config`] catalog. See
+/// [`run_matrix_on`].
 ///
 /// # Errors
 /// A human-readable description of the first divergence or escaped panic.
 pub fn run_matrix(execs: &[(&str, ExecPolicy)]) -> Result<MatrixReport, String> {
+    run_matrix_on(&base_config(), execs)
+}
+
+/// Runs every fault case on a caller-supplied generator config under
+/// every named policy, requiring byte-identical stage lines across
+/// policies and zero escaped panics. The `expect` substrings are
+/// config-independent (they pin typed-error Displays and stage
+/// prefixes), so any valid ≥ 3-schema config must satisfy them.
+///
+/// # Errors
+/// A human-readable description of the first divergence or escaped panic.
+pub fn run_matrix_on(
+    config: &SyntheticConfig,
+    execs: &[(&str, ExecPolicy)],
+) -> Result<MatrixReport, String> {
     assert!(!execs.is_empty(), "need at least one execution policy");
     let mut report = Vec::new();
     for case in cases() {
         let (first_name, first_exec) = &execs[0];
-        let reference = run_case(&case, first_exec);
+        let reference = run_case_on(&case, config, first_exec);
         for line in &reference {
             if line.starts_with("PANIC-ESCAPED") {
                 return Err(format!(
@@ -465,7 +541,7 @@ pub fn run_matrix(execs: &[(&str, ExecPolicy)]) -> Result<MatrixReport, String> 
             ));
         }
         for (name, exec) in &execs[1..] {
-            let got = run_case(&case, exec);
+            let got = run_case_on(&case, config, exec);
             if got != reference {
                 return Err(format!(
                     "case {} diverges between {first_name} and {name}:\n--- {first_name}\n{}\n--- {name}\n{}",

@@ -15,7 +15,7 @@
 //! every `CS_THREADS` setting; [`harness::run_matrix`] checks exactly
 //! that and digests the result.
 //!
-//! Two submodules:
+//! Three submodules:
 //!
 //! - [`inject`] — pure signature-level corruptors (poison an entry,
 //!   flatten a schema to zero variance). Catalog-level degeneracies
@@ -25,15 +25,26 @@
 //! - [`harness`] — the fault-case matrix and the stage runner that
 //!   pushes each case through the full pipeline, proving that typed
 //!   errors (never panics) cross the public API boundary and that the
-//!   sweep degrades gracefully.
+//!   sweep degrades gracefully. The matrix is parameterized over the
+//!   generator config ([`harness::run_matrix_on`]), so any synthetic
+//!   catalog can host the same 15 cases.
+//! - [`fuzz`] — a deterministic knob lattice over
+//!   `cs_datasets::synthetic::SyntheticConfig` feeding ≥ 20 generated
+//!   catalogs through the full matrix, digest-compared across thread
+//!   counts by the `fuzz_smoke` binary.
 //!
 //! Worker panics are forced through `cs_core::pool::fault`, a test-only
 //! hook that keeps the no-ambient-authority policy intact: the hook is
 //! armed explicitly per case, filters on the target pool's tag (or the
 //! caller thread for the sequential path), and disarms on drop.
 
+pub mod fuzz;
 pub mod harness;
 pub mod inject;
 
-pub use harness::{cases, run_case, run_matrix, FaultCase, MatrixReport, Scenario};
+pub use fuzz::{knob_lattice, run_fuzz, FuzzCatalog, FuzzReport};
+pub use harness::{
+    cases, run_case, run_case_on, run_matrix, run_matrix_on, FaultCase, MatrixReport, Scenario,
+    SigRecipe,
+};
 pub use inject::{flatten_schema, poison_non_finite};

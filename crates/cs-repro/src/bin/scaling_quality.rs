@@ -1,0 +1,44 @@
+//! Regenerates the scaling-quality grid: RR / PQ / PC / F1 of SIM(0.6)
+//! on generated catalogs over size × unlinkable-fraction, on original vs
+//! collaboratively streamlined schemas. The companion of the `cs-bench`
+//! `scaling` group — that one charts wall time on the same catalog
+//! family, this one charts match quality.
+//!
+//! Usage: `scaling_quality` (the grid is pinned so the output stays
+//! byte-comparable with `results/scaling_quality.csv`).
+
+use cs_repro::goldens::{self, SCALING_QUALITY_TOTALS, SCALING_QUALITY_UNLINKABLE};
+use cs_repro::report::render_table;
+
+fn main() {
+    let t = goldens::scaling_quality(&SCALING_QUALITY_TOTALS, &SCALING_QUALITY_UNLINKABLE);
+
+    let rows: Vec<Vec<String>> = t
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.total.to_string(),
+                format!("{:.2}", p.unlinkable),
+                p.variant.to_string(),
+                format!("{:.3}", p.quality.pq),
+                format!("{:.3}", p.quality.pc),
+                format!("{:.3}", p.quality.f1),
+                format!("{:.3}", p.quality.rr),
+                p.quality.candidates.to_string(),
+            ]
+        })
+        .collect();
+    println!("Scaling quality — SIM(0.6), streamlined at v = 0.8\n");
+    println!(
+        "{}",
+        render_table(
+            &["Total", "Unlink", "Variant", "PQ", "PC", "F1", "RR", "Cand"],
+            &rows
+        )
+    );
+
+    let path = format!("{}/scaling_quality.csv", cs_repro::RESULTS_DIR);
+    t.csv.write_to(&path).expect("write results CSV");
+    println!("written: {path}");
+}

@@ -6,9 +6,13 @@
 //! Each builder returns the [`CsvTable`] destined for `results/` plus the
 //! intermediate rows the binaries render on the console.
 
-use crate::ablation::{fig7_ablation, AblationPoint};
+use crate::ablation::{evaluate_matcher, fig7_ablation, split_element_sets, AblationPoint};
 use crate::csv::{fmt_f64, CsvTable};
-use crate::experiments::{table4_rows, ScopingMethodResult};
+use crate::experiments::{dataset_signatures, table4_rows, ScopingMethodResult};
+use cs_core::CollaborativeSweep;
+use cs_datasets::synthetic::{generate, SyntheticConfig};
+use cs_match::SimMatcher;
+use cs_metrics::MatchQuality;
 use cs_schema::LinkageKind;
 
 /// Table 2: linkable/unlinkable element counts.
@@ -219,6 +223,107 @@ pub fn fig7(steps: usize) -> Fig7 {
     Fig7 { per_dataset, csv }
 }
 
+/// One scaling-quality measurement on a generated catalog.
+#[derive(Debug, Clone)]
+pub struct ScalingQualityPoint {
+    /// Total attribute budget of the generated catalog.
+    pub total: usize,
+    /// Requested unlinkable fraction (`1 − linkable_ratio`).
+    pub unlinkable: f64,
+    /// `"original"` (SOTA) or `"streamlined"` (post-sweep kept set).
+    pub variant: &'static str,
+    /// SIM(0.6) match quality at this grid point.
+    pub quality: MatchQuality,
+}
+
+/// The scaling-quality grid: catalog sizes × unlinkable fractions.
+#[derive(Debug, Clone)]
+pub struct ScalingQuality {
+    /// Measurements in grid order (size-major, variant-minor).
+    pub points: Vec<ScalingQualityPoint>,
+    /// The `results/scaling_quality.csv` content.
+    pub csv: CsvTable,
+}
+
+/// The generated catalog behind one scaling-quality grid point: the same
+/// shape the `cs-bench` scaling group measures for wall time, so the
+/// quality CSV and the timing sweep describe the same family.
+fn scaling_quality_dataset(total: usize, unlinkable: f64, seed: u64) -> cs_datasets::Dataset {
+    let schemas = (total / 1_000).max(2);
+    let per_schema = total / schemas;
+    generate(&SyntheticConfig {
+        schemas,
+        shared_concepts: per_schema,
+        concepts_per_schema: per_schema / 2,
+        private_per_schema: per_schema - per_schema / 2,
+        table_width: 8,
+        alien_elements: 0,
+        linkable_ratio: Some(1.0 - unlinkable),
+        seed,
+        ..SyntheticConfig::default()
+    })
+}
+
+/// Builds the scaling-quality grid: RR / PQ / F1 of SIM(0.6) on generated
+/// catalogs over `totals × unlinkable`, on the original schemas and after
+/// collaborative streamlining at `v = 0.8`.
+pub fn scaling_quality(totals: &[usize], unlinkable: &[f64]) -> ScalingQuality {
+    let mut points = Vec::new();
+    let mut csv = CsvTable::new(&[
+        "total",
+        "unlinkable",
+        "variant",
+        "pq",
+        "pc",
+        "f1",
+        "rr",
+        "candidates",
+    ]);
+    let matcher = SimMatcher::new(0.6);
+    for (ti, &total) in totals.iter().enumerate() {
+        for (ui, &u) in unlinkable.iter().enumerate() {
+            let seed = 0x5CA_1E + (ti * unlinkable.len() + ui) as u64;
+            let ds = scaling_quality_dataset(total, u, seed);
+            let signatures = dataset_signatures(&ds);
+            let sweep = CollaborativeSweep::prepare(&signatures).expect("valid sweep");
+            let kept = sweep.assess_at(0.8).expect("valid grid point").kept();
+            let variants = [
+                ("original", split_element_sets(&ds, &signatures, None)),
+                (
+                    "streamlined",
+                    split_element_sets(&ds, &signatures, Some(&kept)),
+                ),
+            ];
+            for (variant, (attr_sets, table_sets)) in variants {
+                let quality = evaluate_matcher(&matcher, &attr_sets, &table_sets, &ds);
+                csv.push_row(vec![
+                    total.to_string(),
+                    fmt_f64(u),
+                    variant.to_string(),
+                    fmt_f64(quality.pq),
+                    fmt_f64(quality.pc),
+                    fmt_f64(quality.f1),
+                    fmt_f64(quality.rr),
+                    quality.candidates.to_string(),
+                ]);
+                points.push(ScalingQualityPoint {
+                    total,
+                    unlinkable: u,
+                    variant,
+                    quality,
+                });
+            }
+        }
+    }
+    ScalingQuality { points, csv }
+}
+
+/// The checked-in `results/scaling_quality.csv` grid: catalog sizes and
+/// unlinkable fractions small enough to regenerate in the golden test.
+pub const SCALING_QUALITY_TOTALS: [usize; 3] = [48, 96, 192];
+/// Unlinkable fractions of the checked-in scaling-quality grid.
+pub const SCALING_QUALITY_UNLINKABLE: [f64; 3] = [0.2, 0.5, 0.8];
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,6 +336,19 @@ mod tests {
         // console only.
         assert_eq!(t.console_rows[0][0], "OC3");
         assert!(t.console_rows[1][0].starts_with("  "));
+    }
+
+    #[test]
+    fn scaling_quality_emits_both_variants_per_grid_point() {
+        let t = scaling_quality(&[48], &[0.5]);
+        assert_eq!(t.points.len(), 2);
+        assert_eq!(t.csv.len(), 2);
+        assert_eq!(t.points[0].variant, "original");
+        assert_eq!(t.points[1].variant, "streamlined");
+        for p in &t.points {
+            assert!((0.0..=1.0).contains(&p.quality.rr), "rr out of range");
+            assert!((0.0..=1.0).contains(&p.quality.f1), "f1 out of range");
+        }
     }
 
     #[test]

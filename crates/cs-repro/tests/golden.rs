@@ -84,3 +84,21 @@ fn fig7_csv_is_byte_identical() {
     // The `fig7` binary's default: 20 grid points.
     assert_matches_golden("fig7.csv", &goldens::fig7(20).csv);
 }
+
+#[test]
+fn scaling_quality_csv_is_byte_identical() {
+    if !heavy_goldens_enabled() {
+        eprintln!("skipping scaling_quality golden in debug build (set CS_GOLDEN_FULL=1 to force)");
+        return;
+    }
+    // The `scaling_quality` binary's pinned grid: generated catalogs
+    // over size × unlinkable-fraction, original vs streamlined.
+    assert_matches_golden(
+        "scaling_quality.csv",
+        &goldens::scaling_quality(
+            &goldens::SCALING_QUALITY_TOTALS,
+            &goldens::SCALING_QUALITY_UNLINKABLE,
+        )
+        .csv,
+    );
+}

@@ -55,6 +55,22 @@ for threads in 1 2 8; do
   fi
 done
 
+echo "==> cs-fault generator fuzz (knob lattice, digest stable across CS_THREADS)"
+fuzz_digest=""
+for threads in 1 2 8; do
+  out="$(CS_THREADS=$threads cargo run -q -p cs-fault --release --offline --bin fuzz_smoke)"
+  line="$(printf '%s\n' "$out" | grep '^generator-fuzz digest: ')"
+  if [ -z "$fuzz_digest" ]; then
+    fuzz_digest="$line"
+    printf '%s (CS_THREADS=%s)\n' "$line" "$threads"
+  elif [ "$line" != "$fuzz_digest" ]; then
+    echo "FAIL: generator-fuzz digest diverged under CS_THREADS=$threads" >&2
+    echo "  expected: $fuzz_digest" >&2
+    echo "  got:      $line" >&2
+    exit 1
+  fi
+done
+
 echo "==> cargo test -q --offline"
 cargo test -q --workspace --offline
 

@@ -243,3 +243,109 @@ fn worker_panicked_through_pooled_run() {
         "a parallel worker panicked: injected fault: error-path coverage"
     );
 }
+
+/// Every [`SyntheticError`] variant reached through `try_generate`, with
+/// its `Display` rendering pinned — generator config errors are operator
+/// output too.
+#[test]
+fn synthetic_config_errors_pin_their_display() {
+    use collaborative_scoping::datasets::synthetic::{
+        try_generate, SizeDistribution, SyntheticConfig, SyntheticError,
+    };
+
+    let base = SyntheticConfig::default();
+    let err = |c: SyntheticConfig| try_generate(&c).unwrap_err();
+
+    let zero_schemas = err(SyntheticConfig {
+        schemas: 0,
+        ..base.clone()
+    });
+    assert_eq!(zero_schemas, SyntheticError::ZeroSchemas);
+    assert_eq!(
+        zero_schemas.to_string(),
+        "synthetic config needs at least one schema"
+    );
+
+    let zero_width = err(SyntheticConfig {
+        table_width: 0,
+        ..base.clone()
+    });
+    assert_eq!(zero_width, SyntheticError::ZeroTableWidth);
+    assert_eq!(
+        zero_width.to_string(),
+        "synthetic tables need room for at least one attribute"
+    );
+
+    let exceed = err(SyntheticConfig {
+        shared_concepts: 6,
+        concepts_per_schema: 9,
+        ..base.clone()
+    });
+    assert_eq!(
+        exceed,
+        SyntheticError::ConceptsExceedPool {
+            concepts: 9,
+            pool: 6
+        }
+    );
+    assert_eq!(
+        exceed.to_string(),
+        "cannot materialize more concepts than the pool holds (9 per schema > pool of 6)"
+    );
+
+    let ratio = err(SyntheticConfig {
+        linkable_ratio: Some(1.5),
+        ..base.clone()
+    });
+    assert_eq!(ratio, SyntheticError::InvalidRatio(1.5));
+    assert_eq!(ratio.to_string(), "linkable_ratio 1.5 is outside [0, 1]");
+
+    let overlap = err(SyntheticConfig {
+        lexicon_overlap: -0.25,
+        ..base.clone()
+    });
+    assert_eq!(overlap, SyntheticError::InvalidOverlap(-0.25));
+    assert_eq!(
+        overlap.to_string(),
+        "lexicon_overlap -0.25 is outside [0, 1]"
+    );
+
+    let noise = err(SyntheticConfig {
+        naming_noise: 2.0,
+        ..base.clone()
+    });
+    assert_eq!(noise, SyntheticError::InvalidNoise(2.0));
+    assert_eq!(noise.to_string(), "naming_noise 2 is outside [0, 1]");
+
+    let range = err(SyntheticConfig {
+        sizes: SizeDistribution::Uniform { min: 9, max: 4 },
+        ..base.clone()
+    });
+    assert_eq!(range, SyntheticError::InvalidSizeRange { min: 9, max: 4 });
+    assert_eq!(
+        range.to_string(),
+        "size distribution range [9, 4] is empty or starts at zero"
+    );
+
+    let region = err(SyntheticConfig {
+        linkable_ratio: Some(0.9),
+        lexicon_overlap: 0.0,
+        ..base.clone()
+    });
+    assert_eq!(
+        region,
+        SyntheticError::RegionTooSmall {
+            schema: 0,
+            need: 32,
+            have: 10
+        }
+    );
+    assert_eq!(
+        region.to_string(),
+        "schema #0 needs 32 concept picks but its accessible pool region holds only 10"
+    );
+
+    // The typed error is a std::error::Error with no deeper source.
+    use std::error::Error;
+    assert!(region.source().is_none());
+}

@@ -11,7 +11,10 @@ use std::sync::Arc;
 use collaborative_scoping::core::{
     scoping::scope_from_scores, CollaborativeSweep, ExecPolicy, ThreadPool,
 };
-use collaborative_scoping::datasets::synthetic::{generate, SyntheticConfig};
+use collaborative_scoping::datasets::codec::dataset_to_bytes;
+use collaborative_scoping::datasets::synthetic::{
+    all_unlinkable, generate, SizeDistribution, SyntheticConfig,
+};
 use collaborative_scoping::linalg::check::{run, Gen};
 use collaborative_scoping::prelude::*;
 
@@ -37,15 +40,34 @@ fn block_offsets(sigs: &SchemaSignatures) -> Vec<usize> {
     offsets
 }
 
+/// Draws a config across the whole generator knob surface. The shared
+/// pool (24–32) is kept large enough that even the worst drawn
+/// combination (Fixed sizes, ratio 0.9, overlap 0.5, 4 schemas) leaves
+/// every schema's accessible region at least as large as its concept
+/// picks, so every drawn config is valid by construction.
 fn synthetic_config(g: &mut Gen) -> SyntheticConfig {
-    let shared = g.usize_in(8, 15);
+    let sizes = match g.usize_in(0, 2) {
+        0 => SizeDistribution::Fixed,
+        1 => SizeDistribution::Uniform { min: 4, max: 10 },
+        _ => SizeDistribution::Ramp { min: 4, max: 12 },
+    };
+    let ratio = if g.usize_in(0, 2) == 0 {
+        None
+    } else {
+        Some(g.f64_in(0.1, 0.9))
+    };
     SyntheticConfig {
         schemas: g.usize_in(2, 4),
-        shared_concepts: shared,
-        concepts_per_schema: g.usize_in(4, 7).min(shared),
+        shared_concepts: g.usize_in(24, 32),
+        concepts_per_schema: g.usize_in(4, 7),
         private_per_schema: g.usize_in(0, 9),
         table_width: 5,
         alien_elements: 0,
+        linkable_ratio: ratio,
+        lexicon_overlap: g.f64_in(0.5, 1.0),
+        naming_noise: g.f64_in(0.0, 0.8),
+        subtype_depth: g.usize_in(0, 2),
+        sizes,
         seed: g.u64_below(1000),
     }
 }
@@ -142,6 +164,7 @@ fn alien_schema_is_pruned_harder_than_related() {
             table_width: 6,
             alien_elements: 24,
             seed,
+            ..SyntheticConfig::default()
         };
         let ds = generate(&config);
         let encoder = SignatureEncoder::default();
@@ -345,6 +368,136 @@ fn sweep_monotonicity_in_components_and_rule_strictness() {
             assert_eq!(digests[0], digests[1]);
         },
     );
+}
+
+/// Generator self-consistency over the whole knob surface: the same
+/// config must regenerate byte-identically (binary codec), every
+/// annotated linkage must reference attributes that exist, and the
+/// sub-typed pairs must connect distinct schemas.
+#[test]
+fn generator_is_self_consistent_across_knobs() {
+    run("generator_is_self_consistent_across_knobs", CASES, |g| {
+        let config = synthetic_config(g);
+        let ds = generate(&config);
+        assert_eq!(
+            dataset_to_bytes(&ds),
+            dataset_to_bytes(&generate(&config)),
+            "same seed must regenerate byte-identically"
+        );
+        assert_eq!(ds.catalog.schema_count(), config.schemas);
+        for p in ds.linkages.iter() {
+            for id in [p.a, p.b] {
+                assert!(id.schema < ds.catalog.schema_count(), "schema out of range");
+                assert!(
+                    id.element < ds.catalog.schema(id.schema).attribute_count(),
+                    "linkage references a non-attribute element"
+                );
+            }
+            assert_ne!(p.a.schema, p.b.schema, "inter-schema linkages only");
+        }
+    });
+}
+
+/// The linkable-ratio knob is honest: the annotated linkable fraction
+/// never exceeds the eligible fraction `round(r·n)/n` and tracks the
+/// knob closely when the pool is tight enough that shared picks
+/// collide (full overlap, pool = schema size, 4 schemas).
+#[test]
+fn linkable_ratio_knob_tracks_annotated_fraction() {
+    run(
+        "linkable_ratio_knob_tracks_annotated_fraction",
+        CASES,
+        |g| {
+            let r = g.f64_in(0.4, 0.95);
+            let config = SyntheticConfig {
+                schemas: 4,
+                shared_concepts: 12,
+                concepts_per_schema: 8,
+                private_per_schema: 4,
+                table_width: 5,
+                alien_elements: 0,
+                linkable_ratio: Some(r),
+                lexicon_overlap: 1.0,
+                naming_noise: 0.0,
+                subtype_depth: 0,
+                sizes: SizeDistribution::Fixed,
+                seed: g.u64_below(1000),
+            };
+            let ds = generate(&config);
+            let linkable = ds.linkages.linkable_per_schema(&ds.catalog);
+            for k in 0..config.schemas {
+                let n = ds.catalog.schema(k).attribute_count() as f64;
+                let annotated = linkable[k] as f64 / n;
+                let eligible = (r * n).round() / n;
+                assert!(
+                    annotated <= eligible + 1e-12,
+                    "schema {k}: annotated {annotated:.3} exceeds eligible {eligible:.3}"
+                );
+                assert!(
+                    (annotated - r).abs() <= 0.25,
+                    "schema {k}: annotated {annotated:.3} drifted from knob {r:.3} \
+                 (seed {})",
+                    config.seed
+                );
+            }
+        },
+    );
+}
+
+/// Metamorphic: `linkable_ratio = 0` and the `all_unlinkable`
+/// constructor are the same source, byte for byte, and both produce an
+/// empty positive class.
+#[test]
+fn zero_linkable_ratio_equals_all_unlinkable() {
+    run("zero_linkable_ratio_equals_all_unlinkable", CASES, |g| {
+        let config = synthetic_config(g);
+        let a = all_unlinkable(&config);
+        let b = generate(&SyntheticConfig {
+            linkable_ratio: Some(0.0),
+            ..config.clone()
+        });
+        assert!(a.linkages.is_empty(), "positive class must be empty");
+        assert_eq!(dataset_to_bytes(&a), dataset_to_bytes(&b));
+    });
+}
+
+/// Metamorphic: naming noise rewrites presentation only. The noise pass
+/// draws from its own salted RNG stream, so any noise level leaves the
+/// schema sizes and the entire ground-truth linkage set untouched, and
+/// level `0` is byte-stable.
+#[test]
+fn naming_noise_preserves_ground_truth() {
+    run("naming_noise_preserves_ground_truth", CASES, |g| {
+        let mut config = synthetic_config(g);
+        config.naming_noise = 0.0;
+        let clean = generate(&config);
+        let noisy = generate(&SyntheticConfig {
+            naming_noise: g.f64_in(0.3, 1.0),
+            ..config.clone()
+        });
+        assert_eq!(clean.catalog.schema_count(), noisy.catalog.schema_count());
+        for k in 0..clean.catalog.schema_count() {
+            assert_eq!(
+                clean.catalog.schema(k).element_count(),
+                noisy.catalog.schema(k).element_count(),
+                "noise changed schema {k}'s size"
+            );
+        }
+        assert_eq!(clean.linkages.len(), noisy.linkages.len());
+        for p in clean.linkages.iter() {
+            assert!(
+                noisy.linkages.contains_pair(p.a, p.b),
+                "noise dropped linkage {:?}-{:?}",
+                p.a,
+                p.b
+            );
+        }
+        // Level 0 skips the noise pass entirely: byte-identical.
+        assert_eq!(
+            dataset_to_bytes(&clean),
+            dataset_to_bytes(&generate(&config))
+        );
+    });
 }
 
 #[test]
