@@ -1,0 +1,91 @@
+//! Sublinear retrieval benches: seeded LSH index construction, the
+//! two-stage (PCA prefilter → exact rerank) query path, and the matcher
+//! facades on top — dense-only ANN and the RRF-fused hybrid. Companion
+//! to the `ann` group in the JSON emitter.
+
+use cs_bench::harness::{BenchmarkId, Criterion};
+use cs_bench::{criterion_group, criterion_main};
+use cs_match::{AnnConfig, AnnIndex, AnnMatcher, ElementSet, HybridMatcher, Matcher, NamedSet};
+use std::hint::black_box;
+
+/// Full attribute+table element sets for a dataset, one per schema.
+fn element_sets(sigs: &cs_core::SchemaSignatures) -> Vec<ElementSet> {
+    (0..sigs.schema_count())
+        .map(|k| ElementSet::full(k, sigs.schema(k).clone()))
+        .collect()
+}
+
+/// Element display names aligned with [`ElementSet::full`] ordering.
+fn named_sets(ds: &cs_datasets::Dataset) -> Vec<NamedSet> {
+    (0..ds.catalog.schema_count())
+        .map(|k| {
+            let schema = ds.catalog.schema(k);
+            let mut ids = Vec::new();
+            let mut names = Vec::new();
+            for (e, r) in schema.element_refs().into_iter().enumerate() {
+                ids.push(cs_schema::ElementId::new(k, e));
+                names.push(match r {
+                    cs_schema::ElementRef::Table { table } => schema.tables[table].name.clone(),
+                    cs_schema::ElementRef::Attribute { table, attribute } => {
+                        schema.tables[table].attributes[attribute].name.clone()
+                    }
+                });
+            }
+            NamedSet::new(k, ids, names)
+        })
+        .collect()
+}
+
+fn bench_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ann/index");
+    group.sample_size(10);
+    let config = AnnConfig::with_k(5);
+    for (name, ds) in [
+        ("oc3", cs_datasets::oc3()),
+        ("oc3-fo", cs_datasets::oc3_fo()),
+    ] {
+        let encoder = cs_embed::SignatureEncoder::default();
+        let sigs = cs_core::encode_catalog(&encoder, &ds.catalog);
+        let unified = sigs.unified();
+        group.bench_function(BenchmarkId::new("build", name), |b| {
+            b.iter(|| black_box(AnnIndex::build(unified.clone(), config)))
+        });
+        let index = AnnIndex::build(unified.clone(), config);
+        group.bench_function(BenchmarkId::new("search_k5", name), |b| {
+            b.iter(|| {
+                black_box(
+                    (0..index.len())
+                        .map(|q| index.search(index.data().row(q), 5).len())
+                        .sum::<usize>(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_matchers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ann/matchers");
+    group.sample_size(10);
+    let config = AnnConfig::with_k(5);
+    for (name, ds) in [
+        ("oc3", cs_datasets::oc3()),
+        ("oc3-fo", cs_datasets::oc3_fo()),
+    ] {
+        let encoder = cs_embed::SignatureEncoder::default();
+        let sigs = cs_core::encode_catalog(&encoder, &ds.catalog);
+        let sets = element_sets(&sigs);
+        let ann = AnnMatcher::with_config(config);
+        group.bench_function(BenchmarkId::new(ann.name(), name), |b| {
+            b.iter(|| black_box(ann.match_pairs(&sets)))
+        });
+        let hybrid = HybridMatcher::new(config, named_sets(&ds));
+        group.bench_function(BenchmarkId::new(hybrid.name(), name), |b| {
+            b.iter(|| black_box(hybrid.match_pairs(&sets)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_index, bench_matchers);
+criterion_main!(benches);

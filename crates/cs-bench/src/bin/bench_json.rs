@@ -1,5 +1,6 @@
-//! `bench_json` — runs the scoping / matching / scaling / solver benchmark
-//! groups and writes the machine-readable `BENCH_5.json` baseline.
+//! `bench_json` — runs the scoping / matching / scaling / ann / solver
+//! benchmark groups and writes the machine-readable `BENCH_6.json`
+//! baseline.
 //!
 //! Usage:
 //!
@@ -9,15 +10,18 @@
 //!
 //! - `--smoke`: tiny datasets and sample budgets (< 5 s even in debug);
 //!   this is what `scripts/verify.sh` runs as its `bench-smoke` gate.
-//! - `--out PATH`: where to write the document (default `BENCH_5.json`
+//! - `--out PATH`: where to write the document (default `BENCH_6.json`
 //!   in the current directory).
 //! - `--budget PATH`: regression gate — reads the checked-in budget
 //!   document (`BENCH_BUDGET.json`) and fails with exit code 1 if any
 //!   gated benchmark's median exceeds `2 ×` its budgeted value. Gated:
 //!   the `global_pca05` scoping benchmark (an accidental return to the
-//!   dense-SVD hot path is ~10× slower) and the `size/` + `unlinkable/`
+//!   dense-SVD hot path is ~10× slower), the `size/` + `unlinkable/`
 //!   smoke entries of the `scaling` group (the sweep must stay inside
-//!   the verify smoke budget). The 2× headroom absorbs machine noise.
+//!   the verify smoke budget) — the `size/` family includes the budgeted
+//!   `match_ann` leg that re-enables the 100k matcher point in full
+//!   mode — and the worst entry of the `ann` retrieval group. The 2×
+//!   headroom absorbs machine noise.
 //!
 //! Without `--smoke` the emitter measures the real OC3 / OC3-FO datasets
 //! with bench-grade calibration; run that from a release build.
@@ -38,10 +42,11 @@ const BUDGET_HEADROOM: f64 = 2.0;
 /// record group, and the id prefix selecting the gated records. Families
 /// with several matching records (the scaling sweeps) gate on the worst
 /// median.
-const BUDGET_GATES: [(&str, &str, &str); 3] = [
+const BUDGET_GATES: [(&str, &str, &str); 4] = [
     ("global_pca05_ns", "scoping", "global_pca05/"),
     ("scaling_size_ns", "scaling", "size/"),
     ("scaling_unlinkable_ns", "scaling", "unlinkable/"),
+    ("ann_ns", "ann", ""),
 ];
 
 /// Enforces the `--budget` gate against the measured report; returns the
@@ -84,7 +89,7 @@ fn check_budget(report: &emitter::BenchReport, path: &str) -> Result<Vec<String>
 
 fn main() {
     let mut mode = Mode::Full;
-    let mut out = String::from("BENCH_5.json");
+    let mut out = String::from("BENCH_6.json");
     let mut budget: Option<String> = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {

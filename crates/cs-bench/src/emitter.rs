@@ -4,9 +4,9 @@
 //! The bench targets print human-oriented lines; CI and the paper's
 //! efficiency discussion (Table 4, Figure 7, §4.4) want numbers a script
 //! can diff. This module re-runs the same scoping / matching / scaling /
-//! solver workloads under a configurable [`MeasureConfig`] and serializes
-//! one document — `BENCH_5.json` — via the workspace's hermetic
-//! [`cs_core::json`] writer.
+//! ann / solver workloads under a configurable [`MeasureConfig`] and
+//! serializes one document — `BENCH_6.json` — via the workspace's
+//! hermetic [`cs_core::json`] writer.
 //!
 //! Two calibration profiles exist:
 //!
@@ -29,14 +29,17 @@ use cs_core::{
     SchemaSignatures,
 };
 use cs_datasets::synthetic::{generate, SyntheticConfig};
-use cs_match::{ClusterMatcher, ElementSet, LshMatcher, Matcher, SimMatcher};
+use cs_match::{
+    AnnConfig, AnnIndex, AnnMatcher, ClusterMatcher, ElementSet, HybridMatcher, LshMatcher,
+    Matcher, NamedSet, SimMatcher,
+};
 use cs_oda::{LofDetector, OutlierDetector, PcaDetector, ZScoreDetector};
 
 /// Version of the emitted document layout.
 pub const SCHEMA_VERSION: usize = 1;
 
-/// Sequence number of this baseline in the PR stack (`BENCH_5.json`).
-pub const BENCH_ID: usize = 5;
+/// Sequence number of this baseline in the PR stack (`BENCH_6.json`).
+pub const BENCH_ID: usize = 6;
 
 /// Fraction of samples dropped from *each* end before the trimmed mean.
 pub const TRIM_FRACTION: f64 = 0.2;
@@ -48,7 +51,7 @@ pub enum Mode {
     /// debug build so it can run inside `cargo test -q` and verify.sh.
     Smoke,
     /// Real OC3 / OC3-FO datasets with bench-grade calibration; produces
-    /// the checked-in `BENCH_5.json` baseline (run in release).
+    /// the checked-in `BENCH_6.json` baseline (run in release).
     Full,
 }
 
@@ -421,6 +424,72 @@ fn bench_matching(
     }
 }
 
+/// Element display names per schema, aligned with [`ElementSet::full`]
+/// ordering — the lexical leg of the hybrid matcher bench.
+fn named_sets(ds: &cs_datasets::Dataset) -> Vec<NamedSet> {
+    (0..ds.catalog.schema_count())
+        .map(|k| {
+            let schema = ds.catalog.schema(k);
+            let mut ids = Vec::new();
+            let mut names = Vec::new();
+            for (e, r) in schema.element_refs().into_iter().enumerate() {
+                ids.push(cs_schema::ElementId::new(k, e));
+                names.push(match r {
+                    cs_schema::ElementRef::Table { table } => schema.tables[table].name.clone(),
+                    cs_schema::ElementRef::Attribute { table, attribute } => {
+                        schema.tables[table].attributes[attribute].name.clone()
+                    }
+                });
+            }
+            NamedSet::new(k, ids, names)
+        })
+        .collect()
+}
+
+/// The sublinear retrieval group: seeded LSH index construction, the
+/// two-stage (PCA prefilter → exact rerank) query path, and the matcher
+/// facades built on it — dense-only [`AnnMatcher`] and the RRF-fused
+/// [`HybridMatcher`].
+fn bench_ann(
+    cfg: &MeasureConfig,
+    datasets: &[(String, cs_datasets::Dataset, SchemaSignatures)],
+    out: &mut Vec<BenchRecord>,
+) {
+    let config = AnnConfig::with_k(5);
+    for (name, ds, sigs) in datasets {
+        let unified = sigs.unified();
+        push(out, cfg, "ann", format!("index_build/{name}"), || {
+            AnnIndex::build(unified.clone(), config)
+        });
+        let index = AnnIndex::build(unified.clone(), config);
+        push(out, cfg, "ann", format!("search_k5/{name}"), || {
+            (0..index.len())
+                .map(|q| index.search(index.data().row(q), 5).len())
+                .sum::<usize>()
+        });
+
+        let sets: Vec<ElementSet> = (0..sigs.schema_count())
+            .map(|k| ElementSet::full(k, sigs.schema(k).clone()))
+            .collect();
+        let ann = AnnMatcher::with_config(config);
+        push(
+            out,
+            cfg,
+            "ann",
+            format!("{}/original/{name}", ann.name()),
+            || ann.match_pairs(&sets),
+        );
+        let hybrid = HybridMatcher::new(config, named_sets(ds));
+        push(
+            out,
+            cfg,
+            "ann",
+            format!("{}/original/{name}", hybrid.name()),
+            || hybrid.match_pairs(&sets),
+        );
+    }
+}
+
 /// A generated catalog for the size / unlinkable-ratio sweeps: schema
 /// count grows with the target so per-schema size stays bounded, and the
 /// linkable-ratio knob pins the unlinkable fraction exactly.
@@ -518,9 +587,10 @@ fn bench_scaling(mode: Mode, cfg: &MeasureConfig, out: &mut Vec<BenchRecord>) {
     // Size and unlinkable-ratio sweeps over generated catalogs (ROADMAP
     // item 5): one-shot samples at the big points — a single 100k-element
     // collaborative pass is tens of seconds, calibration loops would take
-    // hours. The matcher leg stops at `MATCH_CAP` attributes: the LSH
-    // matcher re-ranks per query against every foreign schema, which is
-    // quadratic-ish in total elements and would dwarf the sweep above it.
+    // hours. The exhaustive-rerank LSH matcher leg stops at `MATCH_CAP`
+    // attributes — it re-ranks per query against every foreign schema,
+    // which is quadratic-ish in total elements — while the budgeted ANN
+    // matcher covers the full range including the 100k point.
     let (size_totals, ratio_total, ratios, sweep_cfg) = match mode {
         Mode::Full => (
             vec![1_000usize, 10_000, 100_000],
@@ -564,10 +634,10 @@ fn bench_scaling(mode: Mode, cfg: &MeasureConfig, out: &mut Vec<BenchRecord>) {
             format!("size/sweep_prepare/{total}"),
             || CollaborativeSweep::prepare(&sigs).expect("valid sweep"),
         );
+        let sets: Vec<ElementSet> = (0..sigs.schema_count())
+            .map(|k| ElementSet::full(k, sigs.schema(k).clone()))
+            .collect();
         if target <= MATCH_CAP {
-            let sets: Vec<ElementSet> = (0..sigs.schema_count())
-                .map(|k| ElementSet::full(k, sigs.schema(k).clone()))
-                .collect();
             push(
                 out,
                 &sweep_cfg,
@@ -576,6 +646,13 @@ fn bench_scaling(mode: Mode, cfg: &MeasureConfig, out: &mut Vec<BenchRecord>) {
                 || LshMatcher::new(5).match_pairs(&sets),
             );
         }
+        push(
+            out,
+            &sweep_cfg,
+            "scaling",
+            format!("size/match_ann/{total}"),
+            || AnnMatcher::new(5).match_pairs(&sets),
+        );
     }
     for u in ratios {
         let ds = scaling_dataset(ratio_total, u, 0xA1_1E7);
@@ -597,6 +674,13 @@ fn bench_scaling(mode: Mode, cfg: &MeasureConfig, out: &mut Vec<BenchRecord>) {
             "scaling",
             format!("unlinkable/match_lsh/{tag}"),
             || LshMatcher::new(5).match_pairs(&sets),
+        );
+        push(
+            out,
+            &sweep_cfg,
+            "scaling",
+            format!("unlinkable/match_ann/{tag}"),
+            || AnnMatcher::new(5).match_pairs(&sets),
         );
     }
 }
@@ -680,6 +764,7 @@ pub fn run(mode: Mode) -> BenchReport {
     bench_scoping(mode, &cfg, &datasets, &mut records);
     bench_matching(&cfg, &datasets, &mut records);
     bench_scaling(mode, &cfg, &mut records);
+    bench_ann(&cfg, &datasets, &mut records);
     bench_solver(mode, &cfg, &mut records);
     BenchReport {
         mode,
@@ -708,7 +793,7 @@ fn record_json(r: &BenchRecord) -> JsonValue {
     ])
 }
 
-/// Serializes a report into the `BENCH_5.json` document model.
+/// Serializes a report into the `BENCH_6.json` document model.
 pub fn to_json(report: &BenchReport) -> JsonValue {
     let pass_ops: Vec<(&str, JsonValue)> = report
         .datasets
@@ -727,7 +812,7 @@ pub fn to_json(report: &BenchReport) -> JsonValue {
             )
         })
         .collect();
-    let groups: Vec<(&str, JsonValue)> = ["scoping", "matching", "scaling", "solver"]
+    let groups: Vec<(&str, JsonValue)> = ["scoping", "matching", "scaling", "ann", "solver"]
         .into_iter()
         .map(|g| {
             let items = report
@@ -878,8 +963,10 @@ mod tests {
             "size/global_pca/",
             "size/sweep_prepare/",
             "size/match_lsh/",
+            "size/match_ann/",
             "unlinkable/collaborative/",
             "unlinkable/match_lsh/",
+            "unlinkable/match_ann/",
         ] {
             assert!(
                 ids.iter().any(|id| id.starts_with(prefix)),
@@ -887,9 +974,26 @@ mod tests {
             );
         }
 
-        // All four groups are present, non-empty, and carry sane stats.
+        // The ann group carries the index path and both matcher facades.
+        let ann = doc
+            .get("groups")
+            .and_then(|g| g.get("ann"))
+            .and_then(JsonValue::as_array)
+            .expect("ann group");
+        let ann_ids: Vec<&str> = ann
+            .iter()
+            .filter_map(|r| r.get("id").and_then(JsonValue::as_str))
+            .collect();
+        for prefix in ["index_build/", "search_k5/", "ANN(5)/", "HYBRID("] {
+            assert!(
+                ann_ids.iter().any(|id| id.starts_with(prefix)),
+                "ann group lacks a {prefix} entry: {ann_ids:?}"
+            );
+        }
+
+        // All five groups are present, non-empty, and carry sane stats.
         let groups = doc.get("groups").expect("groups");
-        for name in ["scoping", "matching", "scaling", "solver"] {
+        for name in ["scoping", "matching", "scaling", "ann", "solver"] {
             let items = groups
                 .get(name)
                 .and_then(JsonValue::as_array)

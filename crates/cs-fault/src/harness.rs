@@ -26,7 +26,7 @@ use cs_datasets::synthetic::{
 };
 use cs_embed::SignatureEncoder;
 use cs_linalg::PcaSolver;
-use cs_match::{ElementSet, Matcher, SimMatcher};
+use cs_match::{AnnConfig, AnnMatcher, ElementSet, Matcher, SimMatcher};
 use cs_oda::ZScoreDetector;
 
 use crate::inject::{flatten_schema, poison_non_finite};
@@ -39,6 +39,8 @@ const GRID: [f64; 3] = [0.9, 0.6, 0.3];
 const GLOBAL_P: f64 = 0.5;
 /// The cosine threshold of the matcher stage.
 const SIM_T: f64 = 0.6;
+/// The neighbor count of the ANN matcher stage.
+const ANN_K: usize = 2;
 
 /// How a fault case manufactures its input.
 #[derive(Debug, Clone, Copy)]
@@ -372,6 +374,28 @@ fn run_signature_case(
         let pairs = SimMatcher::new(SIM_T).match_pairs(&sets);
         format!("matcher: pairs={}", pairs.len())
     }));
+
+    // Stage 5: the sublinear ANN matcher over the same signatures — the
+    // banded index must swallow NaN-poisoned queries, empty/singleton
+    // schemas, and zero-variance prefilter fits (the projection degrades
+    // to coordinate truncation) without a panic, and its pair count must
+    // be execution-independent like every other stage line.
+    lines.push(guarded("ann", || {
+        let sets: Vec<ElementSet> = (0..sigs.schema_count())
+            .map(|k| ElementSet::full(k, sigs.schema(k).clone()))
+            .collect();
+        let config = AnnConfig {
+            k: ANN_K,
+            tables: 2,
+            band_bits: 4,
+            candidate_budget: 8,
+            prefilter_dims: 4,
+            threads: 1,
+            ..AnnConfig::default()
+        };
+        let pairs = AnnMatcher::with_config(config).match_pairs(&sets);
+        format!("ann: pairs={}", pairs.len())
+    }));
     lines
 }
 
@@ -651,6 +675,37 @@ mod tests {
             }
             assert!(!joined.contains("PANIC-ESCAPED"), "{}: {joined}", case.name);
         }
+    }
+
+    #[test]
+    fn ann_stage_reports_on_every_signature_case() {
+        // The poisoned, empty, singleton, and flattened catalogs all pass
+        // through the banded ANN index; each must end in a pair count,
+        // never a panic marker.
+        let exec = ExecPolicy::Sequential;
+        for case in cases() {
+            if !matches!(case.scenario, Scenario::Signatures(_)) {
+                continue;
+            }
+            let lines = run_case(&case, &exec);
+            let ann = lines
+                .iter()
+                .find(|l| l.starts_with("ann:"))
+                .unwrap_or_else(|| panic!("{}: missing ann stage: {lines:?}", case.name));
+            assert!(ann.starts_with("ann: pairs="), "{}: {ann}", case.name);
+        }
+    }
+
+    #[test]
+    fn ann_stage_finds_pairs_on_healthy_catalogs() {
+        let case = cases()
+            .into_iter()
+            .find(|c| c.name == "baseline")
+            .expect("case exists");
+        let lines = run_case(&case, &ExecPolicy::Sequential);
+        let ann = lines.iter().find(|l| l.starts_with("ann:")).unwrap();
+        let pairs: usize = ann.trim_start_matches("ann: pairs=").parse().unwrap();
+        assert!(pairs > 0, "healthy catalog must yield ANN pairs: {ann}");
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod config;
 pub mod kernels;
 pub mod matrix;
 pub mod pca;
+pub mod projection;
 pub mod qr;
 pub mod rng;
 pub mod sanitize;
@@ -36,6 +37,7 @@ pub mod vecops;
 
 pub use matrix::Matrix;
 pub use pca::{ExplainedVariance, Pca, PcaConfig, PcaRehydrateError, PcaSolver, PcaTarget};
+pub use projection::TruncatedProjection;
 pub use qr::{qr, randomized_svd};
 pub use rng::{SplitMix64, Xoshiro256};
 pub use svd::{Svd, SvdError};

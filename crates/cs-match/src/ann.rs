@@ -1,0 +1,575 @@
+//! Sublinear approximate nearest-neighbor matching — the production path
+//! behind the 100k-element scaling point (DESIGN.md §14).
+//!
+//! [`AnnIndex`] is the two-stage retrieval engine: a seeded
+//! [`HyperplaneLsh`] over a *truncated* projection of the signatures
+//! (the leading PCA components via [`TruncatedProjection`], so hashing
+//! and prefiltering pay low-dimensional dot products), followed by an
+//! exact full-dimension rerank of the surviving candidate budget.
+//! [`AnnMatcher`] lifts the index into the [`Matcher`] trait by building
+//! **one global index** over every schema's rows and excluding
+//! same-schema hits at query time — per-schema indexes would put the
+//! schema count back into the complexity and re-create the quadratic
+//! cliff this module removes.
+//!
+//! Determinism contract: hyperplanes are drawn from a fixed seed, bucket
+//! contents hold row indices in ascending order, query fan-out uses the
+//! chunk-dealt [`crate::par`] map, and every truncation is tie-inclusive
+//! on the exact score — so results are bit-identical across
+//! `CS_THREADS` and invariant to schema order (the projection fits in
+//! canonical row order).
+
+use crate::{dedup_pairs, CandidatePair, ElementSet, HyperplaneLsh, Matcher};
+use cs_linalg::vecops::{cosine, sq_euclidean, total_cmp_f64};
+use cs_linalg::{Matrix, TruncatedProjection};
+use std::collections::BTreeMap;
+
+/// Tuning knobs for the ANN index and matcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnnConfig {
+    /// Neighbors retrieved per query (`≥ 1`).
+    pub k: usize,
+    /// LSH tables (`≥ 1`); more tables trade build time for recall.
+    pub tables: usize,
+    /// Sign bits per band; `0` sizes automatically from the row count.
+    pub band_bits: usize,
+    /// Max candidates surviving the prefilter into the exact rerank;
+    /// values below `k` are treated as `k`.
+    pub candidate_budget: usize,
+    /// Truncated-projection dimensionality for hashing/prefiltering;
+    /// `0` disables the projection (hash in full dimension).
+    pub prefilter_dims: usize,
+    /// Seed for the hyperplane draws and the projection fit.
+    pub seed: u64,
+    /// Worker threads for query fan-out; `0` defers to `CS_THREADS`,
+    /// then to the machine. Never affects results, only wall time.
+    pub threads: usize,
+}
+
+impl Default for AnnConfig {
+    fn default() -> Self {
+        Self {
+            k: 5,
+            tables: 8,
+            band_bits: 0,
+            candidate_budget: 128,
+            prefilter_dims: 16,
+            seed: 0xA2_2B,
+            threads: 0,
+        }
+    }
+}
+
+impl AnnConfig {
+    /// Default configuration retrieving `k` neighbors per query.
+    pub fn with_k(k: usize) -> Self {
+        Self {
+            k,
+            ..Self::default()
+        }
+    }
+
+    /// Effective candidate budget (never below `k`).
+    pub fn budget(&self) -> usize {
+        self.candidate_budget.max(self.k)
+    }
+
+    fn validate(&self) {
+        assert!(self.k >= 1, "top-k must be at least 1");
+        assert!(self.tables >= 1, "need at least one LSH table");
+        assert!(self.band_bits <= 63, "band bits must fit a u64");
+    }
+
+    /// Automatic band width: aim for a mean bucket occupancy of ~8 rows,
+    /// clamped to `[4, 16]` bits.
+    fn resolve_band_bits(&self, rows: usize) -> usize {
+        if self.band_bits > 0 {
+            return self.band_bits;
+        }
+        let mut bits = 4usize;
+        while bits < 16 && (rows >> bits) > 8 {
+            bits += 1;
+        }
+        bits
+    }
+}
+
+/// Keeps the first `limit` entries of a `(score, index)`-sorted list plus
+/// every entry tied with the boundary score, so the kept *set* does not
+/// depend on index order (and hence not on schema order).
+fn truncate_with_ties(scored: &mut Vec<(usize, f64)>, limit: usize) {
+    if limit == 0 {
+        scored.clear();
+        return;
+    }
+    if scored.len() <= limit {
+        return;
+    }
+    let boundary = scored[limit - 1].1;
+    let mut end = limit;
+    while end < scored.len() && total_cmp_f64(&scored[end].1, &boundary).is_eq() {
+        end += 1;
+    }
+    scored.truncate(end);
+}
+
+/// Two-stage ANN index: banded hyperplane LSH over a truncated
+/// projection, exact full-dimension rerank of the candidate budget.
+#[derive(Debug, Clone)]
+pub struct AnnIndex {
+    full: Matrix,
+    projection: Option<TruncatedProjection>,
+    lsh: HyperplaneLsh,
+    config: AnnConfig,
+}
+
+impl AnnIndex {
+    /// Builds the index over the rows of `data`.
+    ///
+    /// The projection fit degrades gracefully (coordinate truncation) on
+    /// non-finite or rank-deficient data, so poisoned catalogs index
+    /// deterministically instead of aborting (DESIGN.md §10).
+    pub fn build(data: Matrix, config: AnnConfig) -> Self {
+        config.validate();
+        let band_bits = config.resolve_band_bits(data.rows());
+        let projection = (config.prefilter_dims > 0 && config.prefilter_dims < data.cols())
+            .then(|| TruncatedProjection::fit(&data, config.prefilter_dims, config.seed));
+        let hashed = match &projection {
+            Some(p) => p.project_rows(&data),
+            None => data.clone(),
+        };
+        let lsh = HyperplaneLsh::build(hashed, config.tables, band_bits, config.seed ^ 0x5EED);
+        Self {
+            full: data,
+            projection,
+            lsh,
+            config,
+        }
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.full.rows()
+    }
+
+    /// True if nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.full.rows() == 0
+    }
+
+    /// The full-dimension vectors the index holds.
+    pub fn data(&self) -> &Matrix {
+        &self.full
+    }
+
+    /// True when the prefilter runs on PCA components (vs coordinate
+    /// truncation or no projection at all).
+    pub fn prefilter_is_pca(&self) -> bool {
+        self.projection.as_ref().is_some_and(|p| !p.is_coordinate())
+    }
+
+    /// Top-`k` rows by exact distance among rows passing `keep`, ties at
+    /// the boundary included.
+    ///
+    /// Retrieval: project the query, gather banded candidates (widening
+    /// sparse probes), drop filtered rows — falling back to an exact scan
+    /// of the kept rows when fewer than `k` survive — prefilter down to
+    /// the candidate budget by projected distance, then rerank the
+    /// survivors by full-dimension distance.
+    pub fn search_filtered(
+        &self,
+        query: &[f64],
+        k: usize,
+        keep: impl Fn(usize) -> bool,
+    ) -> Vec<(usize, f64)> {
+        assert_eq!(
+            query.len(),
+            self.full.cols(),
+            "query dimensionality mismatch"
+        );
+        if k == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        let projected_query = self.projection.as_ref().map(|p| p.project(query));
+        let hash_query: &[f64] = projected_query.as_deref().unwrap_or(query);
+        let budget = self.config.budget();
+        let mut kept: Vec<usize> = self
+            .lsh
+            .candidates(hash_query, budget.max(k))
+            .into_iter()
+            .filter(|&i| keep(i))
+            .collect();
+        if kept.len() < k {
+            kept = (0..self.full.rows()).filter(|&i| keep(i)).collect();
+        }
+        if kept.len() > budget {
+            let hashed = self.lsh.data();
+            let mut scored: Vec<(usize, f64)> = kept
+                .into_iter()
+                .map(|i| (i, sq_euclidean(hash_query, hashed.row(i))))
+                .collect();
+            scored.sort_by(|a, b| total_cmp_f64(&a.1, &b.1).then(a.0.cmp(&b.0)));
+            truncate_with_ties(&mut scored, budget);
+            kept = scored.into_iter().map(|(i, _)| i).collect();
+        }
+        let mut reranked: Vec<(usize, f64)> = kept
+            .into_iter()
+            .map(|i| (i, sq_euclidean(query, self.full.row(i))))
+            .collect();
+        reranked.sort_by(|a, b| total_cmp_f64(&a.1, &b.1).then(a.0.cmp(&b.0)));
+        truncate_with_ties(&mut reranked, k);
+        reranked
+    }
+
+    /// Unfiltered top-`k` search (ties at the boundary included).
+    pub fn search(&self, query: &[f64], k: usize) -> Vec<(usize, f64)> {
+        self.search_filtered(query, k, |_| true)
+    }
+}
+
+/// The concatenated rows of every non-empty element set, with maps back
+/// to element ids and schemas.
+struct GlobalRows {
+    data: Matrix,
+    ids: Vec<cs_schema::ElementId>,
+    schema_of: Vec<usize>,
+}
+
+fn concat_sets(sets: &[ElementSet]) -> Option<GlobalRows> {
+    let nonempty: Vec<&ElementSet> = sets.iter().filter(|s| !s.is_empty()).collect();
+    if nonempty.len() < 2 {
+        return None;
+    }
+    let dim = nonempty[0].signatures.cols();
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut ids = Vec::new();
+    let mut schema_of = Vec::new();
+    for set in &nonempty {
+        assert_eq!(
+            set.signatures.cols(),
+            dim,
+            "element sets must share signature dimensionality"
+        );
+        for (r, &id) in set.ids.iter().enumerate() {
+            rows.push(set.signatures.row(r).to_vec());
+            ids.push(id);
+            schema_of.push(set.schema);
+        }
+    }
+    Some(GlobalRows {
+        data: Matrix::from_rows(&rows),
+        ids,
+        schema_of,
+    })
+}
+
+/// Sublinear ANN matcher: one global two-stage index, cross-schema
+/// top-`k` retrieval per element.
+#[derive(Debug, Clone, Copy)]
+pub struct AnnMatcher {
+    config: AnnConfig,
+}
+
+impl AnnMatcher {
+    /// Default configuration retrieving `k` neighbors per query.
+    pub fn new(k: usize) -> Self {
+        Self::with_config(AnnConfig::with_k(k))
+    }
+
+    /// Fully explicit configuration.
+    pub fn with_config(config: AnnConfig) -> Self {
+        config.validate();
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &AnnConfig {
+        &self.config
+    }
+
+    /// Cross-schema candidate pairs scored by exact squared distance
+    /// (ascending — best first), deduplicated to each pair's best score.
+    ///
+    /// This is the ranking the RRF fusion consumes ([`crate::fuse`]);
+    /// [`Matcher::match_pairs`] is the same list with scores dropped.
+    pub fn ranked_pairs(&self, sets: &[ElementSet]) -> Vec<(CandidatePair, f64)> {
+        let Some(global) = concat_sets(sets) else {
+            return Vec::new();
+        };
+        let index = AnnIndex::build(global.data, self.config);
+        let threads = crate::par::resolve_threads(self.config.threads);
+        let k = self.config.k;
+        let schema_of = &global.schema_of;
+        let ids = &global.ids;
+        let per_query: Vec<Vec<(CandidatePair, f64)>> =
+            crate::par::par_map_indexed(index.len(), threads, |qi| {
+                let qs = schema_of[qi];
+                index
+                    .search_filtered(index.data().row(qi), k, |i| schema_of[i] != qs)
+                    .into_iter()
+                    .map(|(i, d)| (CandidatePair::new(ids[qi], ids[i]), d))
+                    .collect()
+            });
+        let mut best: BTreeMap<CandidatePair, f64> = BTreeMap::new();
+        for (pair, d) in per_query.into_iter().flatten() {
+            best.entry(pair)
+                .and_modify(|cur| {
+                    if total_cmp_f64(&d, cur).is_lt() {
+                        *cur = d;
+                    }
+                })
+                .or_insert(d);
+        }
+        let mut out: Vec<(CandidatePair, f64)> = best.into_iter().collect();
+        out.sort_by(|a, b| total_cmp_f64(&a.1, &b.1).then(a.0.cmp(&b.0)));
+        out
+    }
+}
+
+impl Matcher for AnnMatcher {
+    fn name(&self) -> String {
+        format!("ANN({})", self.config.k)
+    }
+
+    fn match_pairs(&self, sets: &[ElementSet]) -> Vec<CandidatePair> {
+        dedup_pairs(
+            self.ranked_pairs(sets)
+                .into_iter()
+                .map(|(p, _)| p)
+                .collect(),
+        )
+    }
+}
+
+/// ANN-accelerated SIM: cosine threshold applied to ANN candidates only
+/// — the sublinear stand-in for [`crate::SimMatcher`]'s exhaustive
+/// cross product, F1-gated against it on the scaling-quality grid.
+#[derive(Debug, Clone, Copy)]
+pub struct AnnSimMatcher {
+    config: AnnConfig,
+    threshold: f64,
+}
+
+impl AnnSimMatcher {
+    /// Threshold in `[0, 1]` over cosine similarity of full signatures.
+    pub fn new(config: AnnConfig, threshold: f64) -> Self {
+        config.validate();
+        assert!(
+            (0.0..=1.0).contains(&threshold),
+            "threshold must lie in [0, 1]"
+        );
+        Self { config, threshold }
+    }
+
+    /// The active ANN configuration.
+    pub fn config(&self) -> &AnnConfig {
+        &self.config
+    }
+
+    /// The cosine threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+}
+
+impl Matcher for AnnSimMatcher {
+    fn name(&self) -> String {
+        format!("ANN-SIM({})", self.threshold)
+    }
+
+    fn match_pairs(&self, sets: &[ElementSet]) -> Vec<CandidatePair> {
+        let Some(global) = concat_sets(sets) else {
+            return Vec::new();
+        };
+        let index = AnnIndex::build(global.data, self.config);
+        let threads = crate::par::resolve_threads(self.config.threads);
+        let k = self.config.k;
+        let schema_of = &global.schema_of;
+        let ids = &global.ids;
+        let threshold = self.threshold;
+        let per_query: Vec<Vec<CandidatePair>> =
+            crate::par::par_map_indexed(index.len(), threads, |qi| {
+                let qs = schema_of[qi];
+                let query = index.data().row(qi);
+                index
+                    .search_filtered(query, k, |i| schema_of[i] != qs)
+                    .into_iter()
+                    .filter(|&(i, _)| cosine(query, index.data().row(i)) >= threshold)
+                    .map(|(i, _)| CandidatePair::new(ids[qi], ids[i]))
+                    .collect()
+            });
+        dedup_pairs(per_query.into_iter().flatten().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FlatIndex, SimMatcher};
+    use cs_linalg::Xoshiro256;
+    use cs_schema::ElementId;
+
+    fn random_sets(schemas: usize, per: usize, dim: usize, seed: u64) -> Vec<ElementSet> {
+        let mut rng = Xoshiro256::seed_from(seed);
+        (0..schemas)
+            .map(|s| ElementSet::full(s, Matrix::from_fn(per, dim, |_, _| rng.next_gaussian())))
+            .collect()
+    }
+
+    #[test]
+    fn index_recall_against_flat_is_high() {
+        let mut rng = Xoshiro256::seed_from(13);
+        let data = Matrix::from_fn(300, 32, |_, _| rng.next_gaussian());
+        let exact = FlatIndex::build(data.clone());
+        let index = AnnIndex::build(data.clone(), AnnConfig::with_k(10));
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for q in 0..40 {
+            let query = data.row(q).to_vec();
+            let truth: std::collections::BTreeSet<usize> = exact
+                .search(&query, 10)
+                .into_iter()
+                .map(|(i, _)| i)
+                .collect();
+            let approx: std::collections::BTreeSet<usize> = index
+                .search(&query, 10)
+                .into_iter()
+                .map(|(i, _)| i)
+                .collect();
+            hits += truth.intersection(&approx).count();
+            total += truth.len();
+        }
+        let recall = hits as f64 / total as f64;
+        assert!(recall >= 0.9, "two-stage recall too low: {recall}");
+    }
+
+    #[test]
+    fn rerank_orders_by_full_dimension_distance() {
+        // Two vectors identical in the leading (high-variance) dims but
+        // separated in the tail: only the full-dim rerank can order them.
+        let mut rows = vec![vec![0.0; 8]; 3];
+        rows[0] = vec![1.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.9];
+        rows[1] = vec![1.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.1];
+        rows[2] = vec![-5.0, 3.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let query = vec![1.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let cfg = AnnConfig {
+            prefilter_dims: 2,
+            ..AnnConfig::with_k(2)
+        };
+        let index = AnnIndex::build(Matrix::from_rows(&rows), cfg);
+        let hits = index.search(&query, 2);
+        assert_eq!(hits[0].0, 1, "closest in full dimension must win");
+        assert_eq!(hits[1].0, 0);
+    }
+
+    #[test]
+    fn matcher_links_near_duplicates_across_schemas() {
+        let mut sets = random_sets(2, 20, 16, 3);
+        // Make schema 1's row 4 a near-copy of schema 0's row 7.
+        let twin: Vec<f64> = sets[0].signatures.row(7).iter().map(|x| x + 1e-6).collect();
+        sets[1].signatures.row_mut(4).copy_from_slice(&twin);
+        let pairs = AnnMatcher::new(3).match_pairs(&sets);
+        assert!(pairs.contains(&CandidatePair::new(
+            ElementId::new(0, 7),
+            ElementId::new(1, 4)
+        )));
+    }
+
+    #[test]
+    fn matcher_is_schema_order_invariant() {
+        let sets = random_sets(3, 12, 16, 5);
+        let mut permuted = vec![sets[2].clone(), sets[0].clone(), sets[1].clone()];
+        let a = AnnMatcher::new(4).match_pairs(&sets);
+        let b = AnnMatcher::new(4).match_pairs(&mut permuted);
+        assert_eq!(a, b, "pair set must not depend on schema order");
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_empty() {
+        let m = AnnMatcher::new(3);
+        assert!(m.match_pairs(&[]).is_empty());
+        let one = random_sets(1, 5, 8, 1);
+        assert!(m.match_pairs(&one).is_empty());
+        let empty = vec![
+            ElementSet::full(0, Matrix::zeros(0, 8)),
+            ElementSet::full(1, Matrix::zeros(0, 8)),
+        ];
+        assert!(m.match_pairs(&empty).is_empty());
+        // Singleton schemas still pair up.
+        let tiny = random_sets(2, 1, 8, 2);
+        assert_eq!(m.match_pairs(&tiny).len(), 1);
+    }
+
+    #[test]
+    fn nan_poisoned_rows_do_not_panic_and_stay_deterministic() {
+        let mut sets = random_sets(2, 10, 12, 7);
+        sets[0].signatures.row_mut(3).fill(f64::NAN);
+        let a = AnnMatcher::new(3).match_pairs(&sets);
+        let b = AnnMatcher::new(3).match_pairs(&sets);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ann_sim_agrees_with_exhaustive_sim_on_small_sets() {
+        let sets = random_sets(2, 15, 16, 11);
+        // k at set size makes retrieval exhaustive; the pair sets must
+        // then be identical.
+        let cfg = AnnConfig {
+            candidate_budget: 64,
+            ..AnnConfig::with_k(15)
+        };
+        let approx = AnnSimMatcher::new(cfg, 0.2).match_pairs(&sets);
+        let exact = SimMatcher::new(0.2).match_pairs(&sets);
+        assert_eq!(approx, exact);
+    }
+
+    #[test]
+    fn names_expose_parameters() {
+        assert_eq!(AnnMatcher::new(7).name(), "ANN(7)");
+        let sim = AnnSimMatcher::new(AnnConfig::default(), 0.6);
+        assert_eq!(sim.name(), "ANN-SIM(0.6)");
+        assert!((sim.threshold() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranked_pairs_sorted_best_first_and_deduped() {
+        let sets = random_sets(2, 10, 8, 9);
+        let ranked = AnnMatcher::new(4).ranked_pairs(&sets);
+        for w in ranked.windows(2) {
+            assert!(total_cmp_f64(&w[0].1, &w[1].1).is_le());
+        }
+        let mut pairs: Vec<CandidatePair> = ranked.iter().map(|&(p, _)| p).collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        assert_eq!(pairs.len(), ranked.len());
+    }
+
+    #[test]
+    fn auto_band_bits_scale_with_rows() {
+        let cfg = AnnConfig::default();
+        assert_eq!(cfg.resolve_band_bits(10), 4);
+        assert!(cfg.resolve_band_bits(100_000) > cfg.resolve_band_bits(1_000));
+        assert!(cfg.resolve_band_bits(usize::MAX / 2) <= 16);
+        let fixed = AnnConfig {
+            band_bits: 9,
+            ..cfg
+        };
+        assert_eq!(fixed.resolve_band_bits(100_000), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "top-k must be at least 1")]
+    fn zero_k_panics() {
+        AnnMatcher::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "share signature dimensionality")]
+    fn mismatched_dims_panic() {
+        let sets = vec![
+            ElementSet::full(0, Matrix::zeros(2, 4)),
+            ElementSet::full(1, Matrix::zeros(2, 5)),
+        ];
+        AnnMatcher::new(1).match_pairs(&sets);
+    }
+}

@@ -1,0 +1,284 @@
+//! Std-only token-trigram lexical scoring for hybrid scoping
+//! (DESIGN.md §14).
+//!
+//! Complements the dense signature channel with the surface signal the
+//! embeddings can wash out: element names are split on delimiter and
+//! camel-case boundaries, each token is padded and shredded into
+//! character trigrams, and names are compared by Jaccard similarity of
+//! their trigram *sets*. An inverted trigram index (ordered postings —
+//! the `no-unordered-iteration` gate applies here) makes top-`k` lookup
+//! touch only rows sharing at least one trigram instead of the full
+//! cross product.
+//!
+//! Distinct from [`cs_embed::textsim::ngram_jaccard`]: that measure
+//! shreds the raw string; this one tokenizes first, so `ORDER_DATE`,
+//! `orderDate`, and `date_of_order` land on overlapping token grams.
+
+use crate::{CandidatePair, NamedSet};
+use cs_linalg::vecops::total_cmp_f64;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Splits a name on non-alphanumeric delimiters and lower→upper
+/// camel-case boundaries; tokens come back lowercased.
+pub fn tokenize(name: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    let mut prev_lower = false;
+    for ch in name.chars() {
+        if !ch.is_alphanumeric() {
+            if !cur.is_empty() {
+                tokens.push(std::mem::take(&mut cur));
+            }
+            prev_lower = false;
+            continue;
+        }
+        if ch.is_uppercase() && prev_lower && !cur.is_empty() {
+            tokens.push(std::mem::take(&mut cur));
+        }
+        prev_lower = ch.is_lowercase() || ch.is_numeric();
+        cur.extend(ch.to_lowercase());
+    }
+    if !cur.is_empty() {
+        tokens.push(cur);
+    }
+    tokens
+}
+
+/// The boundary-padded character trigrams of a name's tokens.
+pub fn name_trigrams(name: &str) -> BTreeSet<String> {
+    let mut grams = BTreeSet::new();
+    for token in tokenize(name) {
+        let padded: Vec<char> = std::iter::once('#')
+            .chain(token.chars())
+            .chain(std::iter::once('#'))
+            .collect();
+        for w in padded.windows(3) {
+            grams.insert(w.iter().collect());
+        }
+    }
+    grams
+}
+
+/// Jaccard similarity of two names' trigram sets (`0.0` when both are
+/// empty).
+pub fn trigram_similarity(a: &str, b: &str) -> f64 {
+    let (ga, gb) = (name_trigrams(a), name_trigrams(b));
+    let inter = ga.intersection(&gb).count();
+    let union = ga.len() + gb.len() - inter;
+    if union == 0 {
+        0.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Inverted token-trigram index over a list of names.
+#[derive(Debug, Clone)]
+pub struct LexicalIndex {
+    grams: Vec<BTreeSet<String>>,
+    postings: BTreeMap<String, Vec<usize>>,
+}
+
+impl LexicalIndex {
+    /// Indexes `names` by row.
+    pub fn build(names: &[String]) -> Self {
+        let grams: Vec<BTreeSet<String>> = names.iter().map(|n| name_trigrams(n)).collect();
+        let mut postings: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (row, set) in grams.iter().enumerate() {
+            for g in set {
+                postings.entry(g.clone()).or_default().push(row);
+            }
+        }
+        Self { grams, postings }
+    }
+
+    /// Number of indexed names.
+    pub fn len(&self) -> usize {
+        self.grams.len()
+    }
+
+    /// True if nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.grams.is_empty()
+    }
+
+    /// Jaccard similarity between two indexed rows.
+    pub fn similarity(&self, a: usize, b: usize) -> f64 {
+        let inter = self.grams[a].intersection(&self.grams[b]).count();
+        let union = self.grams[a].len() + self.grams[b].len() - inter;
+        if union == 0 {
+            0.0
+        } else {
+            inter as f64 / union as f64
+        }
+    }
+
+    /// Top-`k` rows most similar to indexed row `query` among rows
+    /// passing `keep`, best first (ties at the boundary included; rows
+    /// sharing no trigram never appear).
+    pub fn search_filtered(
+        &self,
+        query: usize,
+        k: usize,
+        keep: impl Fn(usize) -> bool,
+    ) -> Vec<(usize, f64)> {
+        if k == 0 || self.grams[query].is_empty() {
+            return Vec::new();
+        }
+        // Postings store each row once per gram, so occurrence counts
+        // across the query's grams are exactly |intersection|.
+        let mut overlap: BTreeMap<usize, usize> = BTreeMap::new();
+        for g in &self.grams[query] {
+            if let Some(rows) = self.postings.get(g) {
+                for &r in rows {
+                    if r != query && keep(r) {
+                        *overlap.entry(r).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        let qlen = self.grams[query].len();
+        let mut scored: Vec<(usize, f64)> = overlap
+            .into_iter()
+            .map(|(r, inter)| {
+                let union = qlen + self.grams[r].len() - inter;
+                (r, inter as f64 / union as f64)
+            })
+            .collect();
+        scored.sort_by(|a, b| total_cmp_f64(&b.1, &a.1).then(a.0.cmp(&b.0)));
+        if scored.len() > k {
+            let boundary = scored[k - 1].1;
+            let mut end = k;
+            while end < scored.len() && total_cmp_f64(&scored[end].1, &boundary).is_eq() {
+                end += 1;
+            }
+            scored.truncate(end);
+        }
+        scored
+    }
+}
+
+/// Cross-schema lexical ranking over named sets: every element queries a
+/// global trigram index for its top-`k` foreign neighbors; pairs keep
+/// their (symmetric) Jaccard score, deduplicated, best first.
+pub fn ranked_lexical_pairs(sets: &[NamedSet], k: usize) -> Vec<(CandidatePair, f64)> {
+    let nonempty: Vec<&NamedSet> = sets.iter().filter(|s| !s.is_empty()).collect();
+    if nonempty.len() < 2 || k == 0 {
+        return Vec::new();
+    }
+    let mut names = Vec::new();
+    let mut ids = Vec::new();
+    let mut schema_of = Vec::new();
+    for set in &nonempty {
+        for (r, &id) in set.ids.iter().enumerate() {
+            names.push(set.names[r].clone());
+            ids.push(id);
+            schema_of.push(set.schema);
+        }
+    }
+    let index = LexicalIndex::build(&names);
+    let mut best: BTreeMap<CandidatePair, f64> = BTreeMap::new();
+    for qi in 0..index.len() {
+        for (r, score) in index.search_filtered(qi, k, |i| schema_of[i] != schema_of[qi]) {
+            let pair = CandidatePair::new(ids[qi], ids[r]);
+            best.entry(pair)
+                .and_modify(|cur| {
+                    if total_cmp_f64(&score, cur).is_gt() {
+                        *cur = score;
+                    }
+                })
+                .or_insert(score);
+        }
+    }
+    let mut out: Vec<(CandidatePair, f64)> = best.into_iter().collect();
+    out.sort_by(|a, b| total_cmp_f64(&b.1, &a.1).then(a.0.cmp(&b.0)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_schema::ElementId;
+
+    #[test]
+    fn tokenizer_splits_delimiters_and_camel_case() {
+        assert_eq!(tokenize("ORDER_DATE"), vec!["order", "date"]);
+        assert_eq!(tokenize("orderDate"), vec!["order", "date"]);
+        assert_eq!(tokenize("date-of.order2"), vec!["date", "of", "order2"]);
+        assert!(tokenize("__ ~~").is_empty());
+    }
+
+    #[test]
+    fn shared_tokens_score_high_across_conventions() {
+        let s = trigram_similarity("ORDER_DATE", "orderDate");
+        assert!((s - 1.0).abs() < 1e-12, "same tokens must score 1: {s}");
+        assert!(trigram_similarity("ORDER_DATE", "date_of_order") > 0.5);
+        assert!(trigram_similarity("ORDER_DATE", "ZIP") < 0.1);
+        assert_eq!(trigram_similarity("", ""), 0.0);
+    }
+
+    #[test]
+    fn index_search_matches_pairwise_similarity() {
+        let names: Vec<String> = ["CUSTOMER_ID", "customerId", "CUSTOMER_NAME", "ZIP_CODE"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let index = LexicalIndex::build(&names);
+        assert_eq!(index.len(), 4);
+        let hits = index.search_filtered(0, 2, |_| true);
+        assert_eq!(hits[0].0, 1, "identical token stream first");
+        assert!((hits[0].1 - index.similarity(0, 1)).abs() < 1e-12);
+        assert!(hits[0].1 > hits[1].1);
+        // ZIP_CODE shares no trigram with CUSTOMER_ID.
+        assert!(hits.iter().all(|&(r, _)| r != 3));
+    }
+
+    #[test]
+    fn ranked_pairs_are_cross_schema_symmetric_and_sorted() {
+        let sets = vec![
+            NamedSet::new(
+                0,
+                vec![ElementId::new(0, 0), ElementId::new(0, 1)],
+                vec!["CUSTOMER_ID".into(), "ORDER_DATE".into()],
+            ),
+            NamedSet::new(
+                1,
+                vec![ElementId::new(1, 0), ElementId::new(1, 1)],
+                vec!["customerId".into(), "orderDate".into()],
+            ),
+        ];
+        let ranked = ranked_lexical_pairs(&sets, 2);
+        assert!(!ranked.is_empty());
+        for w in ranked.windows(2) {
+            assert!(total_cmp_f64(&w[0].1, &w[1].1).is_ge());
+        }
+        let top: Vec<CandidatePair> = ranked.iter().take(2).map(|&(p, _)| p).collect();
+        assert!(top.contains(&CandidatePair::new(
+            ElementId::new(0, 0),
+            ElementId::new(1, 0)
+        )));
+        assert!(top.contains(&CandidatePair::new(
+            ElementId::new(0, 1),
+            ElementId::new(1, 1)
+        )));
+        // Schema order must not change the scored pair set.
+        let flipped = vec![sets[1].clone(), sets[0].clone()];
+        assert_eq!(ranked, ranked_lexical_pairs(&flipped, 2));
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_empty() {
+        assert!(ranked_lexical_pairs(&[], 3).is_empty());
+        let one = vec![NamedSet::new(
+            0,
+            vec![ElementId::new(0, 0)],
+            vec!["A".into()],
+        )];
+        assert!(ranked_lexical_pairs(&one, 3).is_empty());
+        let empties = vec![
+            NamedSet::new(0, vec![], vec![]),
+            NamedSet::new(1, vec![], vec![]),
+        ];
+        assert!(ranked_lexical_pairs(&empties, 3).is_empty());
+    }
+}

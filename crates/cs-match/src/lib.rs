@@ -19,16 +19,23 @@
 //! (original schemas) and the collaborative-scoping ablation (streamlined
 //! schemas).
 
+pub mod ann;
 pub mod cluster;
 pub mod flat;
+pub mod fuse;
 pub mod kmeans;
+pub mod lexical;
 pub mod lsh;
 pub mod name;
+mod par;
 pub mod sim;
 
+pub use ann::{AnnConfig, AnnIndex, AnnMatcher, AnnSimMatcher};
 pub use cluster::ClusterMatcher;
 pub use flat::FlatIndex;
+pub use fuse::{HybridMatcher, RRF_K};
 pub use kmeans::KMeans;
+pub use lexical::LexicalIndex;
 pub use lsh::{HyperplaneLsh, LshMatcher};
 pub use name::{NameMatcher, NameMeasure, NamedSet};
 pub use sim::SimMatcher;

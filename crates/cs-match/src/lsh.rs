@@ -13,7 +13,7 @@ use crate::flat::FlatIndex;
 use crate::{dedup_pairs, CandidatePair, ElementSet, Matcher};
 use cs_linalg::vecops::{sq_euclidean, total_cmp_f64};
 use cs_linalg::{Matrix, Xoshiro256};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Top-k nearest-neighbor matcher over exact flat indexes.
 #[derive(Debug, Clone, Copy)]
@@ -66,12 +66,17 @@ impl Matcher for LshMatcher {
 ///
 /// Signatures are hashed to `tables × band_bits` sign bits; candidates
 /// share a full band in at least one table and are re-ranked by exact
-/// distance.
+/// distance. Sparse probes widen deterministically: single-bit-flip
+/// neighbor buckets first, then an exact scan, so [`Self::search`] never
+/// silently returns fewer than `k` hits while more rows exist
+/// (DESIGN.md §14).
 #[derive(Debug, Clone)]
 pub struct HyperplaneLsh {
     data: Matrix,
-    /// `tables` hash maps: band value → row indices.
-    buckets: Vec<HashMap<u64, Vec<usize>>>,
+    /// `tables` ordered maps: band value → row indices (ascending).
+    /// BTreeMap keeps iteration deterministic for the lint gate; rows
+    /// within a bucket are pushed in index order and stay sorted.
+    buckets: Vec<BTreeMap<u64, Vec<usize>>>,
     /// Hyperplanes per table, each `band_bits × dim`.
     planes: Vec<Matrix>,
 }
@@ -90,7 +95,7 @@ impl HyperplaneLsh {
         let mut buckets = Vec::with_capacity(tables);
         for _ in 0..tables {
             let p = Matrix::from_fn(band_bits, dim, |_, _| rng.next_gaussian());
-            let mut map: HashMap<u64, Vec<usize>> = HashMap::new();
+            let mut map: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
             for i in 0..data.rows() {
                 let h = Self::hash(&p, data.row(i));
                 map.entry(h).or_default().push(i);
@@ -126,26 +131,73 @@ impl HyperplaneLsh {
         self.data.rows() == 0
     }
 
+    /// The vectors the index was built over (the hashing space).
+    pub fn data(&self) -> &Matrix {
+        &self.data
+    }
+
+    /// Candidate rows for `query`, at least `min` of them when the index
+    /// holds that many.
+    ///
+    /// Three deterministic probe stages, each widening only if the
+    /// previous one came up short: (1) the query's own band bucket in
+    /// every table, (2) every single-bit-flip neighbor bucket of those
+    /// bands, (3) an exact scan of all rows. The returned indices are
+    /// sorted and deduplicated.
+    pub fn candidates(&self, query: &[f64], min: usize) -> Vec<usize> {
+        if self.is_empty() {
+            return Vec::new();
+        }
+        let hashes: Vec<u64> = self
+            .planes
+            .iter()
+            .map(|planes| Self::hash(planes, query))
+            .collect();
+        let mut out: Vec<usize> = Vec::new();
+        for (h, map) in hashes.iter().zip(self.buckets.iter()) {
+            if let Some(rows) = map.get(h) {
+                out.extend_from_slice(rows);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        if out.len() >= min {
+            return out;
+        }
+        // Widened probe: all Hamming-distance-1 buckets of each band.
+        for ((h, map), planes) in hashes
+            .iter()
+            .zip(self.buckets.iter())
+            .zip(self.planes.iter())
+        {
+            for bit in 0..planes.rows() {
+                if let Some(rows) = map.get(&(h ^ (1u64 << bit))) {
+                    out.extend_from_slice(rows);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        if out.len() >= min {
+            return out;
+        }
+        // Exact scan: banding is too sparse for this query.
+        (0..self.data.rows()).collect()
+    }
+
     /// Approximate top-`k` search: gathers bucket collisions across all
-    /// tables and re-ranks them by exact squared distance.
+    /// tables — widening the probe when banding yields fewer than `k`
+    /// candidates — and re-ranks them by exact squared distance.
     pub fn search(&self, query: &[f64], k: usize) -> Vec<(usize, f64)> {
         if k == 0 || self.is_empty() {
             return Vec::new();
         }
-        let mut candidates: Vec<usize> = Vec::new();
-        for (planes, map) in self.planes.iter().zip(self.buckets.iter()) {
-            let h = Self::hash(planes, query);
-            if let Some(rows) = map.get(&h) {
-                candidates.extend_from_slice(rows);
-            }
-        }
-        candidates.sort_unstable();
-        candidates.dedup();
-        let mut scored: Vec<(usize, f64)> = candidates
+        let mut scored: Vec<(usize, f64)> = self
+            .candidates(query, k)
             .into_iter()
             .map(|i| (i, sq_euclidean(query, self.data.row(i))))
             .collect();
-        scored.sort_by(|a, b| total_cmp_f64(&a.1, &b.1));
+        scored.sort_by(|a, b| total_cmp_f64(&a.1, &b.1).then(a.0.cmp(&b.0)));
         scored.truncate(k);
         scored
     }
@@ -249,6 +301,50 @@ mod tests {
         }
         let recall = recall_hits as f64 / total as f64;
         assert!(recall > 0.5, "LSH recall too low: {recall}");
+    }
+
+    #[test]
+    fn sparse_buckets_fall_back_to_full_k() {
+        // Regression: with many tables of wide bands over few, widely
+        // separated points, the query's own buckets rarely hold k rows;
+        // search must widen the probe (ultimately to an exact scan)
+        // instead of silently returning a short list.
+        let rows: Vec<Vec<f64>> = (0..6)
+            .map(|i| {
+                let mut v = vec![0.0; 24];
+                v[i * 4] = 1000.0 * (i as f64 + 1.0);
+                v[i * 4 + 1] = -500.0 * (i as f64 + 1.0);
+                v
+            })
+            .collect();
+        let lsh = HyperplaneLsh::build(Matrix::from_rows(&rows), 4, 16, 99);
+        for q in 0..rows.len() {
+            let hits = lsh.search(&rows[q], 4);
+            assert_eq!(hits.len(), 4, "query {q} returned a short list");
+            assert_eq!(hits[0].0, q, "query {q} must find itself first");
+        }
+        // k beyond the index size returns everything, exactly once.
+        let all = lsh.search(&rows[0], 100);
+        assert_eq!(all.len(), rows.len());
+        let mut ids: Vec<usize> = all.iter().map(|&(i, _)| i).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), rows.len());
+    }
+
+    #[test]
+    fn candidates_widen_monotonically() {
+        let mut rng = Xoshiro256::seed_from(21);
+        let data = Matrix::from_fn(64, 8, |_, _| rng.next_gaussian());
+        let lsh = HyperplaneLsh::build(data.clone(), 2, 12, 5);
+        let q = data.row(7).to_vec();
+        let narrow = lsh.candidates(&q, 1);
+        let wide = lsh.candidates(&q, 64);
+        assert!(narrow.len() <= wide.len());
+        assert_eq!(wide.len(), 64, "min at index size must reach every row");
+        for w in narrow.windows(2) {
+            assert!(w[0] < w[1], "candidates must be sorted/deduped");
+        }
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! Deterministic fork-join map for query fan-out.
+//!
+//! Mirrors the `cs_core::pool` chunk-deal contract (DESIGN.md §8) with
+//! scoped threads so cs-match stays below cs-core in the crate DAG: the
+//! index range is dealt into at most `threads` *contiguous* chunks,
+//! earlier chunks absorb the remainder, and results are reassembled in
+//! index order. The output is therefore a pure function of `(n, f)` —
+//! the thread count only changes wall-clock time, never a byte of the
+//! result.
+
+use cs_linalg::config;
+
+/// Hard ceiling mirroring `cs_core::pool::MAX_THREADS`.
+const MAX_THREADS: usize = 64;
+
+/// Worker count for ANN query fan-out: an explicit `requested ≥ 1` wins;
+/// `0` defers to the `CS_THREADS` knob, then to the machine.
+pub(crate) fn resolve_threads(requested: usize) -> usize {
+    let picked = if requested >= 1 {
+        requested
+    } else {
+        match config::env_usize(config::THREADS) {
+            Some(n) if n >= 1 => n,
+            _ => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    };
+    picked.clamp(1, MAX_THREADS)
+}
+
+/// Maps `f` over `0..n` with `threads` workers, returning results in
+/// index order regardless of the worker count.
+pub(crate) fn par_map_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.clamp(1, MAX_THREADS).min(n.max(1));
+    if threads <= 1 || n < 2 {
+        return (0..n).map(f).collect();
+    }
+    let base = n / threads;
+    let rem = n % threads;
+    let mut chunks = Vec::with_capacity(threads);
+    let mut start = 0;
+    for c in 0..threads {
+        let len = base + usize::from(c < rem);
+        chunks.push((start, start + len));
+        start += len;
+    }
+    let f = &f;
+    let mut slots: Vec<Vec<T>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|&(lo, hi)| scope.spawn(move || (lo..hi).map(f).collect::<Vec<T>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("ANN worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(n);
+    for slot in &mut slots {
+        out.append(slot);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_arrive_in_index_order_for_any_thread_count() {
+        let expect: Vec<usize> = (0..37).map(|i| i * i).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            assert_eq!(par_map_indexed(37, threads, |i| i * i), expect);
+        }
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert!(par_map_indexed(0, 4, |i| i).is_empty());
+        assert_eq!(par_map_indexed(1, 4, |i| i), vec![0]);
+    }
+
+    #[test]
+    fn explicit_request_wins_and_is_clamped() {
+        assert_eq!(resolve_threads(3), 3);
+        assert_eq!(resolve_threads(1000), MAX_THREADS);
+        assert!(resolve_threads(0) >= 1);
+    }
+}

@@ -19,6 +19,8 @@ fn main() {
         ("fig6", &[]),
         ("fig7", &[]),
         ("discussion", &[]),
+        ("scaling_quality", &[]),
+        ("ann_quality", &[]),
     ];
     for (bin, args) in binaries {
         println!("==== {bin} {} ====", args.join(" "));

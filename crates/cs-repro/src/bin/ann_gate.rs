@@ -1,0 +1,45 @@
+//! The ANN recall/F1 smoke gate run by `scripts/verify.sh`.
+//!
+//! Recomputes the ANN quality grid on the scaling-quality catalog family
+//! and enforces the two acceptance tolerances at **every** grid point:
+//! recall@10 ≥ 0.9 against the exact cross-schema top-10, and
+//! |F1(ANN-SIM 0.6) − F1(SIM 0.6)| ≤ 0.02. Exits non-zero on the first
+//! violated point so CI fails loudly when index tuning regresses.
+
+use cs_repro::goldens::{
+    self, ANN_F1_TOLERANCE, ANN_RECALL_FLOOR, SCALING_QUALITY_TOTALS, SCALING_QUALITY_UNLINKABLE,
+};
+
+fn main() {
+    let t = goldens::ann_quality(&SCALING_QUALITY_TOTALS, &SCALING_QUALITY_UNLINKABLE);
+    let mut failures = 0usize;
+    for p in &t.points {
+        let mut verdict = "ok";
+        if p.recall < ANN_RECALL_FLOOR {
+            verdict = "RECALL-FAIL";
+            failures += 1;
+        } else if p.f1_delta() > ANN_F1_TOLERANCE {
+            verdict = "F1-FAIL";
+            failures += 1;
+        }
+        println!(
+            "total={:<4} unlinkable={:.2} recall@10={:.3} sim_f1={:.3} ann_sim_f1={:.3} delta={:.3} [{verdict}]",
+            p.total,
+            p.unlinkable,
+            p.recall,
+            p.sim_f1,
+            p.ann_sim_f1,
+            p.f1_delta(),
+        );
+    }
+    if failures > 0 {
+        eprintln!(
+            "ann_gate: {failures} grid point(s) outside tolerance (recall floor {ANN_RECALL_FLOOR}, F1 tolerance {ANN_F1_TOLERANCE})"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "ann_gate: all {} points within tolerance (recall ≥ {ANN_RECALL_FLOOR}, |ΔF1| ≤ {ANN_F1_TOLERANCE})",
+        t.points.len()
+    );
+}

@@ -1,0 +1,42 @@
+//! Regenerates the ANN quality grid: recall@10 of the two-stage
+//! [`cs_match::AnnIndex`] against the exact cross-schema scan, and F1
+//! parity of ANN-SIM(0.6) with exhaustive SIM(0.6), on the same
+//! generated catalog family as `scaling_quality`. The tolerances this
+//! grid documents are the ones `ann_gate` enforces in verify.sh.
+//!
+//! Usage: `ann_quality` (the grid is pinned so the output stays
+//! byte-comparable with `results/ann_quality.csv`).
+
+use cs_repro::goldens::{self, SCALING_QUALITY_TOTALS, SCALING_QUALITY_UNLINKABLE};
+use cs_repro::report::render_table;
+
+fn main() {
+    let t = goldens::ann_quality(&SCALING_QUALITY_TOTALS, &SCALING_QUALITY_UNLINKABLE);
+
+    let rows: Vec<Vec<String>> = t
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.total.to_string(),
+                format!("{:.2}", p.unlinkable),
+                format!("{:.3}", p.recall),
+                format!("{:.3}", p.sim_f1),
+                format!("{:.3}", p.ann_sim_f1),
+                format!("{:.3}", p.f1_delta()),
+            ]
+        })
+        .collect();
+    println!("ANN quality — recall@10 vs exact, ANN-SIM(0.6) vs SIM(0.6)\n");
+    println!(
+        "{}",
+        render_table(
+            &["Total", "Unlink", "Recall@10", "SIM F1", "ANN F1", "|ΔF1|"],
+            &rows
+        )
+    );
+
+    let path = format!("{}/ann_quality.csv", cs_repro::RESULTS_DIR);
+    t.csv.write_to(&path).expect("write results CSV");
+    println!("written: {path}");
+}

@@ -11,7 +11,8 @@ use crate::csv::{fmt_f64, CsvTable};
 use crate::experiments::{dataset_signatures, table4_rows, ScopingMethodResult};
 use cs_core::CollaborativeSweep;
 use cs_datasets::synthetic::{generate, SyntheticConfig};
-use cs_match::SimMatcher;
+use cs_linalg::vecops::{sq_euclidean, total_cmp_f64};
+use cs_match::{AnnConfig, AnnIndex, AnnSimMatcher, ElementSet, SimMatcher};
 use cs_metrics::MatchQuality;
 use cs_schema::LinkageKind;
 
@@ -324,6 +325,146 @@ pub const SCALING_QUALITY_TOTALS: [usize; 3] = [48, 96, 192];
 /// Unlinkable fractions of the checked-in scaling-quality grid.
 pub const SCALING_QUALITY_UNLINKABLE: [f64; 3] = [0.2, 0.5, 0.8];
 
+/// Recall cutoff of the ANN quality grid (recall@10).
+pub const ANN_RECALL_AT: usize = 10;
+/// The recall@10 floor `ann_gate` enforces at every grid point.
+pub const ANN_RECALL_FLOOR: f64 = 0.9;
+/// The |ΔF1| ceiling between SIM(0.6) and ANN-SIM(0.6) at every point.
+pub const ANN_F1_TOLERANCE: f64 = 0.02;
+
+/// The ANN configuration the quality grid (and gate) measures: the
+/// default index tuning with a neighbor count sized for the SIM
+/// comparison.
+pub fn ann_quality_config() -> AnnConfig {
+    AnnConfig::with_k(16)
+}
+
+/// One ANN-quality measurement on a generated catalog.
+#[derive(Debug, Clone)]
+pub struct AnnQualityPoint {
+    /// Total attribute budget of the generated catalog.
+    pub total: usize,
+    /// Requested unlinkable fraction.
+    pub unlinkable: f64,
+    /// Mean recall@10 of the ANN index vs the exact cross-schema top-10.
+    pub recall: f64,
+    /// Exhaustive SIM(0.6) F1 on the original schemas.
+    pub sim_f1: f64,
+    /// ANN-SIM(0.6) F1 on the same element sets.
+    pub ann_sim_f1: f64,
+}
+
+impl AnnQualityPoint {
+    /// Absolute F1 gap between the exhaustive and the ANN-backed matcher.
+    pub fn f1_delta(&self) -> f64 {
+        (self.sim_f1 - self.ann_sim_f1).abs()
+    }
+}
+
+/// The ANN quality grid: recall and F1 parity versus the exact paths.
+#[derive(Debug, Clone)]
+pub struct AnnQuality {
+    /// Measurements in grid order (size-major).
+    pub points: Vec<AnnQualityPoint>,
+    /// The `results/ann_quality.csv` content.
+    pub csv: CsvTable,
+}
+
+/// Mean recall@`k` of the two-stage ANN index against an exact
+/// cross-schema scan over the same concatenated signatures.
+fn ann_recall(sets: &[ElementSet], config: AnnConfig, k: usize) -> f64 {
+    let nonempty: Vec<&ElementSet> = sets.iter().filter(|s| !s.is_empty()).collect();
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut schema_of = Vec::new();
+    for set in &nonempty {
+        for r in 0..set.len() {
+            rows.push(set.signatures.row(r).to_vec());
+            schema_of.push(set.schema);
+        }
+    }
+    if rows.len() < 2 {
+        return 1.0;
+    }
+    let data = cs_linalg::Matrix::from_rows(&rows);
+    let index = AnnIndex::build(data.clone(), config);
+    let mut recall_sum = 0.0;
+    let mut queries = 0usize;
+    for q in 0..rows.len() {
+        // Exact cross-schema top-k by full-dimension distance.
+        let mut exact: Vec<(usize, f64)> = (0..rows.len())
+            .filter(|&i| schema_of[i] != schema_of[q])
+            .map(|i| (i, sq_euclidean(data.row(q), data.row(i))))
+            .collect();
+        if exact.is_empty() {
+            continue;
+        }
+        exact.sort_by(|a, b| total_cmp_f64(&a.1, &b.1).then(a.0.cmp(&b.0)));
+        exact.truncate(k);
+        let truth: std::collections::BTreeSet<usize> = exact.iter().map(|&(i, _)| i).collect();
+        let approx: std::collections::BTreeSet<usize> = index
+            .search_filtered(data.row(q), k, |i| schema_of[i] != schema_of[q])
+            .into_iter()
+            .map(|(i, _)| i)
+            .collect();
+        recall_sum += truth.intersection(&approx).count() as f64 / truth.len() as f64;
+        queries += 1;
+    }
+    if queries == 0 {
+        1.0
+    } else {
+        recall_sum / queries as f64
+    }
+}
+
+/// Builds the ANN quality grid on the scaling-quality catalog family:
+/// per grid point, mean recall@10 of the ANN index vs the exact
+/// cross-schema scan, and F1 of ANN-SIM(0.6) vs exhaustive SIM(0.6) on
+/// the original schemas — the two tolerances `ann_gate` enforces.
+pub fn ann_quality(totals: &[usize], unlinkable: &[f64]) -> AnnQuality {
+    let mut points = Vec::new();
+    let mut csv = CsvTable::new(&[
+        "total",
+        "unlinkable",
+        "recall_at_10",
+        "sim_f1",
+        "ann_sim_f1",
+        "f1_delta",
+    ]);
+    let config = ann_quality_config();
+    let exhaustive = SimMatcher::new(0.6);
+    let approx = AnnSimMatcher::new(config, 0.6);
+    for (ti, &total) in totals.iter().enumerate() {
+        for (ui, &u) in unlinkable.iter().enumerate() {
+            // Same seeds as the scaling-quality grid: both CSVs describe
+            // the same catalogs.
+            let seed = 0x5CA_1E + (ti * unlinkable.len() + ui) as u64;
+            let ds = scaling_quality_dataset(total, u, seed);
+            let signatures = dataset_signatures(&ds);
+            let (attr_sets, table_sets) = split_element_sets(&ds, &signatures, None);
+            let recall = ann_recall(&attr_sets, config, ANN_RECALL_AT);
+            let sim_f1 = evaluate_matcher(&exhaustive, &attr_sets, &table_sets, &ds).f1;
+            let ann_sim_f1 = evaluate_matcher(&approx, &attr_sets, &table_sets, &ds).f1;
+            let point = AnnQualityPoint {
+                total,
+                unlinkable: u,
+                recall,
+                sim_f1,
+                ann_sim_f1,
+            };
+            csv.push_row(vec![
+                total.to_string(),
+                fmt_f64(u),
+                fmt_f64(point.recall),
+                fmt_f64(point.sim_f1),
+                fmt_f64(point.ann_sim_f1),
+                fmt_f64(point.f1_delta()),
+            ]);
+            points.push(point);
+        }
+    }
+    AnnQuality { points, csv }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -349,6 +490,25 @@ mod tests {
             assert!((0.0..=1.0).contains(&p.quality.rr), "rr out of range");
             assert!((0.0..=1.0).contains(&p.quality.f1), "f1 out of range");
         }
+    }
+
+    #[test]
+    fn ann_quality_meets_gate_tolerances_on_a_small_point() {
+        let t = ann_quality(&[48], &[0.5]);
+        assert_eq!(t.points.len(), 1);
+        assert_eq!(t.csv.len(), 1);
+        let p = &t.points[0];
+        assert!(
+            p.recall >= ANN_RECALL_FLOOR,
+            "recall@10 below floor: {}",
+            p.recall
+        );
+        assert!(
+            p.f1_delta() <= ANN_F1_TOLERANCE,
+            "F1 gap above tolerance: {} vs {}",
+            p.sim_f1,
+            p.ann_sim_f1
+        );
     }
 
     #[test]

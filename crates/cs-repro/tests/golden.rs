@@ -86,6 +86,24 @@ fn fig7_csv_is_byte_identical() {
 }
 
 #[test]
+fn ann_quality_csv_is_byte_identical() {
+    if !heavy_goldens_enabled() {
+        eprintln!("skipping ann_quality golden in debug build (set CS_GOLDEN_FULL=1 to force)");
+        return;
+    }
+    // The `ann_quality` binary's pinned grid: the scaling-quality catalog
+    // family measured for ANN recall and F1 parity.
+    assert_matches_golden(
+        "ann_quality.csv",
+        &goldens::ann_quality(
+            &goldens::SCALING_QUALITY_TOTALS,
+            &goldens::SCALING_QUALITY_UNLINKABLE,
+        )
+        .csv,
+    );
+}
+
+#[test]
 fn scaling_quality_csv_is_byte_identical() {
     if !heavy_goldens_enabled() {
         eprintln!("skipping scaling_quality golden in debug build (set CS_GOLDEN_FULL=1 to force)");

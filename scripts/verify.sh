@@ -19,6 +19,9 @@ cargo run -q -p cs-lint --release --offline -- --api-check
 echo "==> bench_json --smoke (benchmark emitter + PCA hot-path budget gate)"
 cargo run -q -p cs-bench --release --offline --bin bench_json -- --smoke --out target/bench-smoke.json --budget BENCH_BUDGET.json
 
+echo "==> ann_gate (ANN recall@10 >= 0.9 and SIM-F1 parity on the scaling-quality grid)"
+cargo run -q -p cs-repro --release --offline --bin ann_gate
+
 echo "==> cs-fault smoke (fault matrix, digest stable across CS_THREADS)"
 digest=""
 for threads in 1 2 8; do

@@ -61,7 +61,10 @@ pub mod prelude {
         total_cmp_f64, ExplainedVariance, Matrix, Pca, PcaConfig, PcaRehydrateError, PcaSolver,
         PcaTarget,
     };
-    pub use cs_match::{dedup_pairs, ClusterMatcher, ElementSet, LshMatcher, Matcher, SimMatcher};
+    pub use cs_match::{
+        dedup_pairs, AnnConfig, AnnMatcher, AnnSimMatcher, ClusterMatcher, ElementSet,
+        HybridMatcher, LshMatcher, Matcher, NamedSet, SimMatcher,
+    };
     pub use cs_metrics::{match_quality, BinaryConfusion, MatchQuality, SweepCurve};
     pub use cs_oda::{OutlierDetector, PcaDetector, ZScoreDetector};
     pub use cs_schema::{

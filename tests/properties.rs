@@ -16,6 +16,7 @@ use collaborative_scoping::datasets::synthetic::{
     all_unlinkable, generate, SizeDistribution, SyntheticConfig,
 };
 use collaborative_scoping::linalg::check::{run, Gen};
+use collaborative_scoping::matching::CandidatePair;
 use collaborative_scoping::prelude::*;
 
 const CASES: usize = 12;
@@ -498,6 +499,227 @@ fn naming_noise_preserves_ground_truth() {
             dataset_to_bytes(&generate(&config))
         );
     });
+}
+
+/// Full attribute+table element sets, one per schema, in canonical order.
+fn full_sets(sigs: &SchemaSignatures) -> Vec<ElementSet> {
+    (0..sigs.schema_count())
+        .map(|k| ElementSet::full(k, sigs.schema(k).clone()))
+        .collect()
+}
+
+/// Element display names aligned with [`ElementSet::full`] ordering.
+fn named_sets_of(ds: &Dataset) -> Vec<NamedSet> {
+    use collaborative_scoping::schema::ElementRef;
+    (0..ds.catalog.schema_count())
+        .map(|k| {
+            let schema = ds.catalog.schema(k);
+            let mut ids = Vec::new();
+            let mut names = Vec::new();
+            for (e, r) in schema.element_refs().into_iter().enumerate() {
+                ids.push(ElementId::new(k, e));
+                names.push(match r {
+                    ElementRef::Table { table } => schema.tables[table].name.clone(),
+                    ElementRef::Attribute { table, attribute } => {
+                        schema.tables[table].attributes[attribute].name.clone()
+                    }
+                });
+            }
+            NamedSet::new(k, ids, names)
+        })
+        .collect()
+}
+
+/// The exact tie-inclusive cross-schema top-`k` pair set: for every
+/// element, the pairs to its `k` nearest foreign elements by full-dim
+/// squared Euclidean distance, keeping boundary ties. This is the
+/// bounded `k′` reference the ANN matcher must stay inside.
+fn exact_top_k_pairs(sets: &[ElementSet], k: usize) -> HashSet<CandidatePair> {
+    use collaborative_scoping::linalg::vecops::sq_euclidean;
+    let rows: Vec<(usize, ElementId, &[f64])> = sets
+        .iter()
+        .flat_map(|s| (0..s.ids.len()).map(move |i| (s.schema, s.ids[i], s.signatures.row(i))))
+        .collect();
+    let mut pairs = HashSet::new();
+    for &(schema, id, q) in &rows {
+        let mut scored: Vec<(ElementId, f64)> = rows
+            .iter()
+            .filter(|(s, _, _)| *s != schema)
+            .map(|&(_, other, r)| (other, sq_euclidean(q, r)))
+            .collect();
+        scored.sort_by(|a, b| total_cmp_f64(&a.1, &b.1).then(a.0.cmp(&b.0)));
+        if scored.len() > k {
+            // Tie-inclusive boundary: keep everything scoring no worse
+            // than the k-th entry.
+            let bound = scored[k - 1].1;
+            scored.retain(|(_, d)| total_cmp_f64(d, &bound) != std::cmp::Ordering::Greater);
+        }
+        for (other, _) in scored {
+            pairs.insert(CandidatePair::new(id, other));
+        }
+    }
+    pairs
+}
+
+/// With a candidate budget covering the whole catalog the two-stage ANN
+/// path degenerates to exact retrieval, so every emitted pair must lie
+/// inside the exact tie-inclusive top-`k′` pair set (`k′ = k` plus
+/// boundary ties) — the prefilter and banding may reorder work but can
+/// never invent a pair the flat index would not rank.
+#[test]
+fn ann_pairs_are_a_subset_of_flat_top_k_prime() {
+    run("ann_pairs_are_a_subset_of_flat_top_k_prime", CASES, |g| {
+        let config = synthetic_config(g);
+        let ds = generate(&config);
+        let sigs = encode_catalog(&SignatureEncoder::default(), &ds.catalog);
+        let sets = full_sets(&sigs);
+        let k = g.usize_in(1, 4);
+        let ann = AnnMatcher::with_config(AnnConfig {
+            candidate_budget: sigs.total_len(),
+            prefilter_dims: if g.usize_in(0, 1) == 0 { 0 } else { 8 },
+            threads: 1,
+            ..AnnConfig::with_k(k)
+        });
+        let pairs = ann.match_pairs(&sets);
+        assert!(!pairs.is_empty(), "ANN found nothing on a healthy catalog");
+        let reference = exact_top_k_pairs(&sets, k);
+        for p in &pairs {
+            assert!(
+                reference.contains(p),
+                "ANN emitted {p:?} outside the exact top-{k} (+ties) pair set"
+            );
+        }
+    });
+}
+
+/// Recall gate across the generator knob surface: with a candidate
+/// budget well below the catalog size, the banded index must still
+/// recover at least 90% of each element's exact top-10 (sizes ×
+/// unlinkable ratios × naming noise, all seeded).
+#[test]
+fn ann_recall_at_10_exceeds_floor_across_knob_grid() {
+    use collaborative_scoping::embed::Lexicon;
+    use collaborative_scoping::matching::{AnnIndex, FlatIndex};
+
+    let encoder = SignatureEncoder::new(
+        EncoderConfig {
+            dim: 64,
+            ..Default::default()
+        },
+        Lexicon::default_lexicon(),
+    );
+    for shared in [16usize, 28] {
+        for unlinkable in [0.25f64, 0.5] {
+            for noise in [0.0f64, 0.6] {
+                let ds = generate(&SyntheticConfig {
+                    schemas: 3,
+                    shared_concepts: shared,
+                    concepts_per_schema: shared / 2,
+                    private_per_schema: shared / 4,
+                    table_width: 6,
+                    alien_elements: 0,
+                    linkable_ratio: Some(1.0 - unlinkable),
+                    naming_noise: noise,
+                    seed: 0xA2_2B,
+                    ..SyntheticConfig::default()
+                });
+                let sigs = encode_catalog(&encoder, &ds.catalog);
+                let unified = sigs.unified();
+                let rows = unified.rows();
+                let config = AnnConfig {
+                    candidate_budget: 48,
+                    ..AnnConfig::with_k(10)
+                };
+                let index = AnnIndex::build(unified.clone(), config);
+                let flat = FlatIndex::build(unified.clone());
+                let mut hit = 0usize;
+                let mut truth = 0usize;
+                for q in 0..rows {
+                    let exact: HashSet<usize> = flat
+                        .search(unified.row(q), 10)
+                        .into_iter()
+                        .map(|(i, _)| i)
+                        .collect();
+                    let approx: HashSet<usize> = index
+                        .search(unified.row(q), 10)
+                        .into_iter()
+                        .map(|(i, _)| i)
+                        .collect();
+                    hit += exact.intersection(&approx).count();
+                    truth += exact.len();
+                }
+                let recall = hit as f64 / truth as f64;
+                assert!(
+                    recall >= 0.9,
+                    "recall@10 = {recall:.3} < 0.9 at shared={shared} \
+                     unlinkable={unlinkable} noise={noise} ({rows} rows)"
+                );
+            }
+        }
+    }
+}
+
+/// Metamorphic: the fused (dense + lexical, RRF) ranking is presentation
+/// independent — permuting the order schemas are handed to the hybrid
+/// matcher changes global row numbering, bucket fill order, and lexical
+/// posting order, yet the ranked output (pairs AND scores) must be
+/// bit-identical.
+#[test]
+fn hybrid_fused_ranking_is_invariant_under_schema_permutation() {
+    run(
+        "hybrid_fused_ranking_is_invariant_under_schema_permutation",
+        CASES,
+        |g| {
+            let config = synthetic_config(g);
+            let ds = generate(&config);
+            let sigs = encode_catalog(&SignatureEncoder::default(), &ds.catalog);
+            let sets = full_sets(&sigs);
+            let names = named_sets_of(&ds);
+            let k = sets.len();
+            let mut perm: Vec<usize> = (0..k).collect();
+            for i in (1..k).rev() {
+                let j = g.usize_in(0, i);
+                perm.swap(i, j);
+            }
+            let sets_p: Vec<ElementSet> = perm.iter().map(|&p| sets[p].clone()).collect();
+            let names_p: Vec<NamedSet> = perm.iter().map(|&p| names[p].clone()).collect();
+
+            let ann = AnnConfig::with_k(3);
+            let base = HybridMatcher::new(ann, names).ranked_pairs(&sets);
+            let shuffled = HybridMatcher::new(ann, names_p).ranked_pairs(&sets_p);
+            assert_eq!(
+                base, shuffled,
+                "fused ranking changed under schema reordering (perm {perm:?})"
+            );
+        },
+    );
+}
+
+/// Determinism across regenerations: the same seeded config regenerates
+/// the catalog byte-identically (codec digest pattern), and the full ANN
+/// + hybrid pipeline built on each copy emits bit-identical rankings.
+#[test]
+fn ann_pipeline_is_stable_across_catalog_regeneration() {
+    run(
+        "ann_pipeline_is_stable_across_catalog_regeneration",
+        CASES,
+        |g| {
+            let config = synthetic_config(g);
+            let first = generate(&config);
+            let second = generate(&config);
+            assert_eq!(dataset_to_bytes(&first), dataset_to_bytes(&second));
+
+            let rank = |ds: &Dataset| {
+                let sigs = encode_catalog(&SignatureEncoder::default(), &ds.catalog);
+                let sets = full_sets(&sigs);
+                let ann = AnnMatcher::new(3).ranked_pairs(&sets);
+                let hybrid =
+                    HybridMatcher::new(AnnConfig::with_k(3), named_sets_of(ds)).ranked_pairs(&sets);
+                (ann, hybrid)
+            };
+            assert_eq!(rank(&first), rank(&second));
+        },
+    );
 }
 
 #[test]
